@@ -1,0 +1,216 @@
+//! The ledger abstraction actors use to move funds.
+//!
+//! System actors (SCA, SA, atomic coordinator) manipulate balances of the
+//! subnet they live in — freezing collateral, burning funds leaving the
+//! subnet, minting funds entering it. They do so through this trait so the
+//! actor state machines stay independent of the concrete state tree
+//! (`hc-state` provides the production implementation; tests use
+//! [`MapLedger`]).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use hc_types::{Address, TokenAmount};
+
+/// Error returned by fallible ledger operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LedgerError {
+    /// The debited account's balance is lower than the requested amount.
+    InsufficientFunds {
+        /// Account being debited.
+        account: Address,
+        /// Amount requested.
+        needed: TokenAmount,
+        /// Amount available.
+        available: TokenAmount,
+    },
+}
+
+impl fmt::Display for LedgerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LedgerError::InsufficientFunds {
+                account,
+                needed,
+                available,
+            } => write!(
+                f,
+                "insufficient funds in {account}: need {needed}, have {available}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LedgerError {}
+
+/// Balance book of a single subnet, as seen by its system actors.
+pub trait Ledger {
+    /// Current balance of `account` (zero for unknown accounts).
+    fn balance(&self, account: Address) -> TokenAmount;
+
+    /// Adds `amount` to `account`, creating it if needed.
+    fn credit(&mut self, account: Address, amount: TokenAmount);
+
+    /// Removes `amount` from `account`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LedgerError::InsufficientFunds`] without mutating state if
+    /// the balance is too low.
+    fn debit(&mut self, account: Address, amount: TokenAmount) -> Result<(), LedgerError>;
+
+    /// Moves `amount` between two accounts atomically.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LedgerError::InsufficientFunds`] if `from` cannot cover
+    /// `amount`; in that case neither account changes.
+    fn transfer(
+        &mut self,
+        from: Address,
+        to: Address,
+        amount: TokenAmount,
+    ) -> Result<(), LedgerError> {
+        self.debit(from, amount)?;
+        self.credit(to, amount);
+        Ok(())
+    }
+
+    /// Destroys `amount` from `account` by moving it to the burnt-funds
+    /// actor. Burned funds stay visible for supply audits but are
+    /// unspendable (the burn actor never signs messages).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LedgerError::InsufficientFunds`] if the balance is too low.
+    fn burn(&mut self, account: Address, amount: TokenAmount) -> Result<(), LedgerError> {
+        self.transfer(account, Address::BURNT_FUNDS, amount)
+    }
+
+    /// Creates `amount` new tokens in `account`.
+    ///
+    /// Minting happens only when applying a committed top-down message: the
+    /// parent already froze the equivalent value in its SCA, so global
+    /// supply is conserved (audited by the supply-conservation tests).
+    fn mint(&mut self, account: Address, amount: TokenAmount) {
+        self.credit(account, amount);
+    }
+}
+
+/// A simple in-memory ledger used in unit tests and by the state substrate.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MapLedger {
+    balances: BTreeMap<Address, TokenAmount>,
+}
+
+impl MapLedger {
+    /// Creates an empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a ledger with the given initial balances.
+    pub fn with_balances<I: IntoIterator<Item = (Address, TokenAmount)>>(balances: I) -> Self {
+        MapLedger {
+            balances: balances.into_iter().collect(),
+        }
+    }
+
+    /// Sum of all balances, including burnt funds.
+    pub fn total(&self) -> TokenAmount {
+        self.balances.values().copied().sum()
+    }
+
+    /// Iterates over all `(account, balance)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&Address, &TokenAmount)> {
+        self.balances.iter()
+    }
+}
+
+impl Ledger for MapLedger {
+    fn balance(&self, account: Address) -> TokenAmount {
+        self.balances
+            .get(&account)
+            .copied()
+            .unwrap_or(TokenAmount::ZERO)
+    }
+
+    fn credit(&mut self, account: Address, amount: TokenAmount) {
+        let entry = self.balances.entry(account).or_insert(TokenAmount::ZERO);
+        *entry += amount;
+    }
+
+    fn debit(&mut self, account: Address, amount: TokenAmount) -> Result<(), LedgerError> {
+        let available = self.balance(account);
+        let new = available
+            .checked_sub(amount)
+            .ok_or(LedgerError::InsufficientFunds {
+                account,
+                needed: amount,
+                available,
+            })?;
+        self.balances.insert(account, new);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn credit_debit_round_trip() {
+        let mut l = MapLedger::new();
+        let a = Address::new(100);
+        l.credit(a, TokenAmount::from_atto(10));
+        assert_eq!(l.balance(a), TokenAmount::from_atto(10));
+        l.debit(a, TokenAmount::from_atto(4)).unwrap();
+        assert_eq!(l.balance(a), TokenAmount::from_atto(6));
+    }
+
+    #[test]
+    fn debit_more_than_balance_fails_without_mutation() {
+        let mut l = MapLedger::with_balances([(Address::new(100), TokenAmount::from_atto(3))]);
+        let err = l
+            .debit(Address::new(100), TokenAmount::from_atto(5))
+            .unwrap_err();
+        assert!(matches!(err, LedgerError::InsufficientFunds { .. }));
+        assert_eq!(l.balance(Address::new(100)), TokenAmount::from_atto(3));
+    }
+
+    #[test]
+    fn transfer_is_atomic() {
+        let mut l = MapLedger::with_balances([(Address::new(100), TokenAmount::from_atto(3))]);
+        let before = l.clone();
+        assert!(l
+            .transfer(
+                Address::new(100),
+                Address::new(101),
+                TokenAmount::from_atto(5)
+            )
+            .is_err());
+        assert_eq!(l, before);
+        l.transfer(
+            Address::new(100),
+            Address::new(101),
+            TokenAmount::from_atto(2),
+        )
+        .unwrap();
+        assert_eq!(l.balance(Address::new(101)), TokenAmount::from_atto(2));
+    }
+
+    #[test]
+    fn burn_preserves_total_but_moves_to_burn_actor() {
+        let mut l = MapLedger::with_balances([(Address::new(100), TokenAmount::from_atto(9))]);
+        l.burn(Address::new(100), TokenAmount::from_atto(4)).unwrap();
+        assert_eq!(l.balance(Address::BURNT_FUNDS), TokenAmount::from_atto(4));
+        assert_eq!(l.total(), TokenAmount::from_atto(9));
+    }
+
+    #[test]
+    fn mint_increases_total() {
+        let mut l = MapLedger::new();
+        l.mint(Address::new(100), TokenAmount::from_atto(7));
+        assert_eq!(l.total(), TokenAmount::from_atto(7));
+    }
+}

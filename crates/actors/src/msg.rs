@@ -1,0 +1,311 @@
+//! Cross-net messages and their aggregated metadata.
+//!
+//! A [`CrossMsg`] is a message whose source and destination live in
+//! different subnets. Depending on the relative position of the two subnets
+//! it propagates *top-down* (committed directly by the parent's SCA and
+//! applied by the child's consensus), *bottom-up* (aggregated into
+//! checkpoints as [`CrossMsgMeta`]), or as a *path* message combining both
+//! legs via the least common ancestor (paper §IV-A).
+
+use serde::{Deserialize, Serialize};
+
+use hc_types::merkle::merkle_root;
+use hc_types::{encode_fields, Address, CanonicalEncode, Cid, Nonce, SubnetId, TokenAmount};
+
+/// A hierarchical address: an actor address qualified by the subnet it
+/// lives in. This is how cross-net message endpoints are named.
+///
+/// # Example
+///
+/// ```
+/// use hc_actors::HcAddress;
+/// use hc_types::{Address, SubnetId};
+///
+/// let alice = HcAddress::new(SubnetId::root(), Address::new(100));
+/// assert_eq!(alice.to_string(), "/root:a100");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct HcAddress {
+    /// The subnet the actor lives in.
+    pub subnet: SubnetId,
+    /// The actor address within that subnet.
+    pub raw: Address,
+}
+
+impl HcAddress {
+    /// Creates a hierarchical address.
+    pub fn new(subnet: SubnetId, raw: Address) -> Self {
+        HcAddress { subnet, raw }
+    }
+}
+
+impl std::fmt::Display for HcAddress {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}", self.subnet, self.raw)
+    }
+}
+
+encode_fields!(HcAddress { subnet, raw });
+
+/// What a cross-net message does on arrival.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CrossMsgKind {
+    /// Plain token transfer to `to.raw` in the destination subnet.
+    Transfer,
+    /// Invocation of an actor method in the destination subnet, carrying
+    /// opaque call data interpreted by the destination VM.
+    Call {
+        /// Method selector understood by the destination actor.
+        method: u64,
+        /// Opaque, canonical parameter bytes.
+        params: Vec<u8>,
+    },
+    /// A revert of a failed cross-message: value is returned to the
+    /// original sender. Generated automatically when application fails at
+    /// the destination (paper §IV-B: "a cross-msg that cannot be applied in
+    /// a subnet triggers a new cross-msg … used to revert every
+    /// intermediate state change").
+    Revert {
+        /// CID of the cross-message being reverted.
+        original: Cid,
+    },
+}
+
+impl CanonicalEncode for CrossMsgKind {
+    fn write_bytes(&self, out: &mut Vec<u8>) {
+        match self {
+            CrossMsgKind::Transfer => out.push(0),
+            CrossMsgKind::Call { method, params } => {
+                out.push(1);
+                method.write_bytes(out);
+                params.write_bytes(out);
+            }
+            CrossMsgKind::Revert { original } => {
+                out.push(2);
+                original.write_bytes(out);
+            }
+        }
+    }
+}
+
+/// A cross-net message.
+///
+/// The `nonce` is assigned by the SCA that first commits the message in a
+/// given direction and enforces total order of arrival at the destination
+/// (paper §IV-A). A freshly created message carries `Nonce::ZERO` until the
+/// SCA stamps it.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CrossMsg {
+    /// Source endpoint.
+    pub from: HcAddress,
+    /// Destination endpoint.
+    pub to: HcAddress,
+    /// Token value carried by the message.
+    pub value: TokenAmount,
+    /// Per-(direction, destination) sequence number assigned by the SCA.
+    pub nonce: Nonce,
+    /// Payload semantics.
+    pub kind: CrossMsgKind,
+    /// Fee paid to the miners of the subnets the message traverses.
+    pub fee: TokenAmount,
+}
+
+encode_fields!(CrossMsg {
+    from,
+    to,
+    value,
+    nonce,
+    kind,
+    fee
+});
+
+impl CrossMsg {
+    /// Creates an unstamped transfer message.
+    pub fn transfer(from: HcAddress, to: HcAddress, value: TokenAmount) -> Self {
+        CrossMsg {
+            from,
+            to,
+            value,
+            nonce: Nonce::ZERO,
+            kind: CrossMsgKind::Transfer,
+            fee: TokenAmount::ZERO,
+        }
+    }
+
+    /// Creates an unstamped actor call message.
+    pub fn call(
+        from: HcAddress,
+        to: HcAddress,
+        value: TokenAmount,
+        method: u64,
+        params: Vec<u8>,
+    ) -> Self {
+        CrossMsg {
+            from,
+            to,
+            value,
+            nonce: Nonce::ZERO,
+            kind: CrossMsgKind::Call { method, params },
+            fee: TokenAmount::ZERO,
+        }
+    }
+
+    /// Builds the revert message for this message: same value, flowing back
+    /// from the failing subnet to the original source.
+    #[must_use]
+    pub fn revert_msg(&self, failed_at: &SubnetId) -> CrossMsg {
+        CrossMsg {
+            from: HcAddress::new(failed_at.clone(), Address::SCA),
+            to: self.from.clone(),
+            value: self.value,
+            nonce: Nonce::ZERO,
+            kind: CrossMsgKind::Revert {
+                original: self.cid(),
+            },
+            fee: TokenAmount::ZERO,
+        }
+    }
+
+    /// Returns `true` if this message only descends the hierarchy
+    /// (destination is in a strict descendant of the source subnet).
+    pub fn is_top_down(&self) -> bool {
+        self.from.subnet.is_ancestor_of(&self.to.subnet)
+    }
+
+    /// Returns `true` if this message only ascends the hierarchy.
+    pub fn is_bottom_up(&self) -> bool {
+        self.to.subnet.is_ancestor_of(&self.from.subnet)
+    }
+
+    /// Returns `true` if source and destination are in different branches,
+    /// so the message combines a bottom-up and a top-down leg.
+    pub fn is_path(&self) -> bool {
+        !self.is_top_down() && !self.is_bottom_up() && self.from.subnet != self.to.subnet
+    }
+}
+
+/// Aggregated metadata for a group of bottom-up cross-messages, as carried
+/// in checkpoints: `crossMeta = (from, to, nonce, msgsCid)` (paper §III-B).
+///
+/// The raw messages are *not* embedded; the destination resolves `msgs_cid`
+/// through the content-resolution protocol (paper §IV-C).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CrossMsgMeta {
+    /// Source subnet of the group.
+    pub from: SubnetId,
+    /// Destination subnet of the group.
+    pub to: SubnetId,
+    /// Sequence number assigned by the destination's SCA on arrival;
+    /// `Nonce::ZERO` while in flight.
+    pub nonce: Nonce,
+    /// Merkle-root CID of the message group.
+    pub msgs_cid: Cid,
+    /// Number of messages behind `msgs_cid`.
+    pub count: u64,
+    /// Total token value carried by the group — message values only; fees
+    /// are paid to miners of the source subnet and never traverse. Used
+    /// for supply accounting as the meta moves through intermediate
+    /// subnets.
+    pub total_value: TokenAmount,
+}
+
+encode_fields!(CrossMsgMeta {
+    from,
+    to,
+    nonce,
+    msgs_cid,
+    count,
+    total_value
+});
+
+impl CrossMsgMeta {
+    /// Builds the metadata for a group of messages travelling `from → to`,
+    /// committing to them with a Merkle root.
+    pub fn for_group(from: SubnetId, to: SubnetId, msgs: &[CrossMsg]) -> Self {
+        CrossMsgMeta {
+            from,
+            to,
+            nonce: Nonce::ZERO,
+            msgs_cid: merkle_root(msgs),
+            count: msgs.len() as u64,
+            total_value: msgs.iter().map(|m| m.value).sum(),
+        }
+    }
+
+    /// Verifies that `msgs` is exactly the group committed to by this meta.
+    pub fn matches(&self, msgs: &[CrossMsg]) -> bool {
+        msgs.len() as u64 == self.count && merkle_root(msgs) == self.msgs_cid
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn subnet(route: &[u64]) -> SubnetId {
+        SubnetId::from_route(route.iter().copied().map(Address::new))
+    }
+
+    fn addr(route: &[u64], id: u64) -> HcAddress {
+        HcAddress::new(subnet(route), Address::new(id))
+    }
+
+    #[test]
+    fn direction_classification() {
+        let td = CrossMsg::transfer(addr(&[], 100), addr(&[100, 101], 200), TokenAmount::ZERO);
+        assert!(td.is_top_down());
+        assert!(!td.is_bottom_up());
+        assert!(!td.is_path());
+
+        let bu = CrossMsg::transfer(addr(&[100, 101], 200), addr(&[], 100), TokenAmount::ZERO);
+        assert!(bu.is_bottom_up());
+        assert!(!bu.is_top_down());
+
+        let path = CrossMsg::transfer(addr(&[100], 200), addr(&[102], 300), TokenAmount::ZERO);
+        assert!(path.is_path());
+
+        let local = CrossMsg::transfer(addr(&[100], 200), addr(&[100], 300), TokenAmount::ZERO);
+        assert!(!local.is_top_down() && !local.is_bottom_up() && !local.is_path());
+    }
+
+    #[test]
+    fn meta_commits_to_exact_group() {
+        let msgs = vec![
+            CrossMsg::transfer(addr(&[100], 1), addr(&[], 2), TokenAmount::from_atto(5)),
+            CrossMsg::transfer(addr(&[100], 3), addr(&[], 4), TokenAmount::from_atto(7)),
+        ];
+        let meta = CrossMsgMeta::for_group(subnet(&[100]), subnet(&[]), &msgs);
+        assert_eq!(meta.count, 2);
+        assert_eq!(meta.total_value, TokenAmount::from_atto(12));
+        assert!(meta.matches(&msgs));
+
+        let mut reordered = msgs.clone();
+        reordered.swap(0, 1);
+        assert!(!meta.matches(&reordered));
+        assert!(!meta.matches(&msgs[..1]));
+    }
+
+    #[test]
+    fn revert_flows_back_to_source_with_same_value() {
+        let orig = CrossMsg::transfer(addr(&[100], 1), addr(&[102], 2), TokenAmount::from_atto(9));
+        let failed_at = subnet(&[102]);
+        let rev = orig.revert_msg(&failed_at);
+        assert_eq!(rev.to, orig.from);
+        assert_eq!(rev.from.subnet, failed_at);
+        assert_eq!(rev.value, orig.value);
+        assert_eq!(
+            rev.kind,
+            CrossMsgKind::Revert {
+                original: orig.cid()
+            }
+        );
+    }
+
+    #[test]
+    fn cids_differ_for_different_messages() {
+        let a = CrossMsg::transfer(addr(&[100], 1), addr(&[], 2), TokenAmount::from_atto(5));
+        let mut b = a.clone();
+        b.nonce = Nonce::new(1);
+        assert_ne!(a.cid(), b.cid());
+    }
+}

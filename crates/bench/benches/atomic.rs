@@ -1,0 +1,32 @@
+//! E5 + F5 benchmark: atomic execution commit and abort paths.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hc_sim::experiments::{e5_atomic, E5Params};
+
+fn bench_atomic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_atomic");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(3));
+    for parties in [2usize, 3] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(parties),
+            &parties,
+            |b, &n| {
+                b.iter(|| {
+                    e5_atomic::e5_run(&E5Params {
+                        party_counts: vec![n],
+                        fault_scenarios: false,
+                    })
+                    .unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_atomic);
+criterion_main!(benches);

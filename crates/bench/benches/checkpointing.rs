@@ -1,0 +1,34 @@
+//! E3 + F2 benchmark: checkpoint cutting, commitment, and parent load.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hc_sim::experiments::{e3_checkpoints, E3Params};
+
+fn bench_checkpointing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_checkpoints");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(3));
+    for children in [1usize, 8] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(children),
+            &children,
+            |b, &n| {
+                b.iter(|| {
+                    e3_checkpoints::e3_run(&E3Params {
+                        child_counts: vec![n],
+                        periods: vec![5],
+                        child_blocks: 20,
+                        internal_msgs: 20,
+                    })
+                    .unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_checkpointing);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! E6 benchmark: one workload per consensus engine.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hc_actors::sa::ConsensusKind;
+use hc_sim::experiments::{e6_consensus, E6Params};
+
+fn bench_consensus(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_consensus");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(3));
+    for kind in [
+        ConsensusKind::RoundRobin,
+        ConsensusKind::Tendermint,
+        ConsensusKind::Mir,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind),
+            &kind,
+            |b, &k| {
+                b.iter(|| {
+                    e6_consensus::e6_run(&E6Params {
+                        engines: vec![k],
+                        validators: 4,
+                        msgs: 200,
+                        block_capacity: 50,
+                    })
+                    .unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_consensus);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! E4 benchmark: the forged-withdrawal attack and its containment.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hc_sim::experiments::{e4_firewall, E4Params};
+
+fn bench_firewall(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_firewall");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(3));
+    group.bench_function("attack_ladder", |b| {
+        b.iter(|| {
+            e4_firewall::e4_run(&E4Params {
+                circ_supply: 30,
+                claims: vec![10, 100, 20],
+            })
+            .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_firewall);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! E2 benchmark: cross-net delivery latency measurement per class.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hc_sim::experiments::{e2_latency, E2Params};
+
+fn bench_latency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_latency");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(3));
+    for depth in [1usize, 2] {
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, &d| {
+            b.iter(|| {
+                e2_latency::e2_run(&E2Params {
+                    depths: vec![d],
+                    periods: vec![5],
+                    samples: 1,
+                })
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_latency);
+criterion_main!(benches);

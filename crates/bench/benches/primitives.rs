@@ -1,0 +1,92 @@
+//! Micro-benchmarks of the substrate primitives: SHA-256, Merkle trees,
+//! canonical encoding, state-tree flush, and block execution.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use hc_actors::ScaConfig;
+use hc_chain::produce_block;
+use hc_state::{Message, StateTree};
+use hc_types::crypto::sha256;
+use hc_types::merkle::MerkleTree;
+use hc_types::{Address, CanonicalEncode, ChainEpoch, Cid, Keypair, Nonce, SubnetId, TokenAmount};
+
+fn bench_primitives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("primitives");
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(3));
+
+    let data = vec![0xa5u8; 4096];
+    group.throughput(Throughput::Bytes(4096));
+    group.bench_function("sha256_4k", |b| b.iter(|| sha256(&data)));
+    group.throughput(Throughput::Elements(1));
+
+    let leaves: Vec<u64> = (0..1_000).collect();
+    group.bench_function("merkle_1000_leaves", |b| {
+        b.iter(|| MerkleTree::from_items(&leaves).root())
+    });
+
+    let user = Keypair::from_seed([0xbe; 32]);
+    let tree = StateTree::genesis(
+        SubnetId::root(),
+        ScaConfig::default(),
+        [(Address::new(100), user.public(), TokenAmount::from_whole(1_000_000))],
+    );
+    group.bench_function("state_flush", |b| b.iter(|| tree.flush()));
+
+    group.bench_function("sign_and_verify_message", |b| {
+        b.iter(|| {
+            let msg = Message::transfer(
+                Address::new(100),
+                Address::new(101),
+                TokenAmount::from_atto(1),
+                Nonce::ZERO,
+            )
+            .sign(&user);
+            assert!(msg.verify_signature());
+            msg.cid()
+        })
+    });
+
+    group.bench_function("produce_block_100_transfers", |b| {
+        let proposer = Keypair::from_seed([0xbf; 32]);
+        b.iter(|| {
+            let mut t = tree.clone();
+            let msgs: Vec<_> = (0..100)
+                .map(|i| {
+                    Message::transfer(
+                        Address::new(100),
+                        Address::new(101),
+                        TokenAmount::from_atto(1),
+                        Nonce::new(i),
+                    )
+                    .sign(&user)
+                })
+                .collect();
+            produce_block(
+                &mut t,
+                SubnetId::root(),
+                ChainEpoch::new(1),
+                Cid::NIL,
+                vec![],
+                msgs,
+                &proposer,
+                1_000,
+            )
+        })
+    });
+
+    group.bench_function("canonical_encode_checkpoint", |b| {
+        let ckpt = hc_actors::Checkpoint::template(
+            SubnetId::root().child(Address::new(100)),
+            ChainEpoch::new(10),
+            Cid::NIL,
+        );
+        b.iter(|| ckpt.canonical_bytes())
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_primitives);
+criterion_main!(benches);

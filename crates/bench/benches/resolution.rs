@@ -1,0 +1,26 @@
+//! E7 + F4 benchmark: content resolution, push vs pull.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hc_sim::experiments::{e7_resolution, E7Params};
+
+fn bench_resolution(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_resolution");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(3));
+    group.bench_function("push_and_pull", |b| {
+        b.iter(|| {
+            e7_resolution::e7_run(&E7Params {
+                drop_rates: vec![0.0],
+                transfers: 2,
+            })
+            .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_resolution);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! E1 benchmark: simulating the throughput scale-out sweep.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hc_sim::experiments::{e1_scaling, E1Params};
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_scaling");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(3));
+    for subnets in [1usize, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(subnets),
+            &subnets,
+            |b, &n| {
+                b.iter(|| {
+                    e1_scaling::e1_run(&E1Params {
+                        subnet_counts: vec![n],
+                        msgs_per_subnet: 100,
+                        users_per_subnet: 2,
+                        block_capacity: 50,
+                        seed: 11,
+                    })
+                    .unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

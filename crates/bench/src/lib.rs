@@ -1,0 +1,12 @@
+//! # hc-bench — experiment harness
+//!
+//! Scenario drivers for the paper's figures (F1–F5), shared by the
+//! `report` binary (which prints every table) and the Criterion benches.
+//! The quantitative experiments E1–E10 live in [`hc_sim::experiments`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod figures;
+
+pub use figures::{f1_overview, f2_windows, f3_commitment, f4_resolution, f5_atomic};

@@ -1,0 +1,193 @@
+//! Blocks and block headers.
+
+use serde::{Deserialize, Serialize};
+
+use hc_state::{ImplicitMsg, SignedMessage};
+use hc_types::crypto::AggregateSignature;
+use hc_types::merkle::merkle_root;
+use hc_types::{
+    encode_fields, CanonicalEncode, ChainEpoch, Cid, Keypair, PublicKey, Signature, SubnetId,
+};
+
+/// A block header: the content-addressed commitment to a block's position,
+/// payload, and resulting state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BlockHeader {
+    /// The subnet chain this block belongs to.
+    pub subnet: SubnetId,
+    /// Height of the block.
+    pub epoch: ChainEpoch,
+    /// CID of the parent block ([`Cid::NIL`] for genesis).
+    pub parent: Cid,
+    /// State root after executing this block.
+    pub state_root: Cid,
+    /// Merkle root over the CIDs of all carried messages (signed, then
+    /// implicit).
+    pub msgs_root: Cid,
+    /// The proposer's public key.
+    pub proposer: PublicKey,
+    /// Simulated wall-clock timestamp (milliseconds of virtual time).
+    pub timestamp_ms: u64,
+}
+
+encode_fields!(BlockHeader {
+    subnet,
+    epoch,
+    parent,
+    state_root,
+    msgs_root,
+    proposer,
+    timestamp_ms
+});
+
+/// A full block: header, payload, the proposer's signature, and (for BFT
+/// engines) a justification carrying the committing quorum's signatures.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Block {
+    /// The header committed to by [`Block::cid`].
+    pub header: BlockHeader,
+    /// User messages included by the proposer.
+    pub signed_msgs: Vec<SignedMessage>,
+    /// Consensus-injected messages (cross-net applications, checkpoint
+    /// cuts), in execution order.
+    pub implicit_msgs: Vec<ImplicitMsg>,
+    /// The proposer's signature over the header CID.
+    pub signature: Signature,
+    /// Quorum signatures for engines with explicit finality (empty for
+    /// longest-chain engines).
+    pub justification: AggregateSignature,
+}
+
+impl Block {
+    /// Computes the Merkle root over the payload's message CIDs.
+    pub fn compute_msgs_root(
+        signed: &[SignedMessage],
+        implicit: &[ImplicitMsg],
+    ) -> Cid {
+        let mut cids: Vec<Cid> = signed.iter().map(|m| m.cid()).collect();
+        cids.extend(implicit.iter().map(|m| m.cid()));
+        merkle_root(&cids)
+    }
+
+    /// Assembles and signs a block.
+    pub fn seal(
+        header: BlockHeader,
+        signed_msgs: Vec<SignedMessage>,
+        implicit_msgs: Vec<ImplicitMsg>,
+        proposer: &Keypair,
+    ) -> Block {
+        let signature = proposer.sign(header.cid().as_bytes());
+        Block {
+            header,
+            signed_msgs,
+            implicit_msgs,
+            signature,
+            justification: AggregateSignature::new(),
+        }
+    }
+
+    /// The block's identity: the CID of its header.
+    pub fn cid(&self) -> Cid {
+        self.header.cid()
+    }
+
+    /// Total number of messages carried.
+    pub fn msg_count(&self) -> usize {
+        self.signed_msgs.len() + self.implicit_msgs.len()
+    }
+
+    /// Structural validation: the messages root matches the payload, the
+    /// proposer's signature verifies, and the proposer field matches the
+    /// signer.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first violation.
+    pub fn validate_structure(&self) -> Result<(), String> {
+        let expect = Self::compute_msgs_root(&self.signed_msgs, &self.implicit_msgs);
+        if self.header.msgs_root != expect {
+            return Err("messages root does not match payload".into());
+        }
+        if self.signature.signer() != self.header.proposer {
+            return Err("block signed by someone other than the proposer".into());
+        }
+        self.signature
+            .verify(self.header.cid().as_bytes())
+            .map_err(|e| format!("invalid proposer signature: {e}"))?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hc_state::{Message, Method};
+    use hc_types::{Address, Nonce, TokenAmount};
+
+    fn keypair(seed: u8) -> Keypair {
+        let mut s = [0u8; 32];
+        s[0] = seed;
+        s[1] = 0xb1;
+        Keypair::from_seed(s)
+    }
+
+    fn sample_block(proposer: &Keypair) -> Block {
+        let user = keypair(99);
+        let msg = Message {
+            from: Address::new(100),
+            to: Address::new(101),
+            value: TokenAmount::from_whole(1),
+            nonce: Nonce::ZERO,
+            method: Method::Send,
+        }
+        .sign(&user);
+        let signed = vec![msg];
+        let implicit = vec![];
+        let header = BlockHeader {
+            subnet: SubnetId::root(),
+            epoch: ChainEpoch::new(1),
+            parent: Cid::digest(b"genesis"),
+            state_root: Cid::digest(b"state"),
+            msgs_root: Block::compute_msgs_root(&signed, &implicit),
+            proposer: proposer.public(),
+            timestamp_ms: 1_000,
+        };
+        Block::seal(header, signed, implicit, proposer)
+    }
+
+    #[test]
+    fn sealed_block_validates() {
+        let kp = keypair(1);
+        let block = sample_block(&kp);
+        block.validate_structure().unwrap();
+        assert_eq!(block.msg_count(), 1);
+    }
+
+    #[test]
+    fn tampered_payload_fails_validation() {
+        let kp = keypair(2);
+        let mut block = sample_block(&kp);
+        block.signed_msgs.clear();
+        assert!(block.validate_structure().is_err());
+    }
+
+    #[test]
+    fn wrong_proposer_fails_validation() {
+        let kp = keypair(3);
+        let other = keypair(4);
+        let mut block = sample_block(&kp);
+        block.header.proposer = other.public();
+        // Signature now does not match claimed proposer.
+        assert!(block.validate_structure().is_err());
+    }
+
+    #[test]
+    fn block_cid_is_header_cid_and_unique() {
+        let kp = keypair(5);
+        let a = sample_block(&kp);
+        let mut b = a.clone();
+        b.header.epoch = ChainEpoch::new(2);
+        assert_eq!(a.cid(), a.header.cid());
+        assert_ne!(a.cid(), b.cid());
+    }
+}

@@ -1,0 +1,360 @@
+//! Message pools.
+//!
+//! Per the paper (§IV-B), "nodes in subnets keep two types of message
+//! pools: an internal pool to track unverified messages originating in and
+//! targeting the subnet, and a cross-msg pool that listens to unverified
+//! cross-msgs directed at (or traversing) the subnet".
+//!
+//! * [`Mempool`] is the internal pool: signed user messages, ordered per
+//!   sender by nonce, selected FIFO-fairly into block proposals.
+//! * [`CrossMsgPool`] is the cross-msg pool: top-down messages pulled from
+//!   the parent SCA (applied in nonce order), and bottom-up metas awaiting
+//!   content resolution before they can be proposed.
+
+use std::collections::{BTreeMap, HashSet};
+
+use hc_actors::{CrossMsg, CrossMsgMeta};
+use hc_state::SignedMessage;
+use hc_types::{Address, CanonicalEncode, Cid, Nonce};
+
+/// The internal pool of pending signed user messages.
+#[derive(Debug, Clone, Default)]
+pub struct Mempool {
+    /// Per-sender queues ordered by nonce.
+    by_sender: BTreeMap<Address, BTreeMap<Nonce, SignedMessage>>,
+    /// CIDs already admitted (dedup).
+    seen: HashSet<Cid>,
+}
+
+impl Mempool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Admits a message after signature pre-validation. Duplicates and
+    /// messages with unverifiable signatures are refused.
+    ///
+    /// Returns `true` if the message was admitted.
+    pub fn push(&mut self, msg: SignedMessage) -> bool {
+        if !msg.verify_signature() {
+            return false;
+        }
+        let cid = msg.cid();
+        if !self.seen.insert(cid) {
+            return false;
+        }
+        self.by_sender
+            .entry(msg.message.from)
+            .or_default()
+            .insert(msg.message.nonce, msg);
+        true
+    }
+
+    /// Number of pending messages.
+    pub fn len(&self) -> usize {
+        self.by_sender.values().map(BTreeMap::len).sum()
+    }
+
+    /// Returns `true` if no messages are pending.
+    pub fn is_empty(&self) -> bool {
+        self.by_sender.values().all(BTreeMap::is_empty)
+    }
+
+    /// Selects up to `max` messages for a block proposal: round-robin over
+    /// senders, each sender's messages in nonce order, so no sender can
+    /// starve the pool.
+    pub fn select(&self, max: usize) -> Vec<SignedMessage> {
+        let mut cursors: Vec<_> = self
+            .by_sender
+            .values()
+            .filter(|q| !q.is_empty())
+            .map(|q| q.values())
+            .collect();
+        let mut out = Vec::new();
+        while out.len() < max && !cursors.is_empty() {
+            let mut exhausted = Vec::new();
+            for (i, cursor) in cursors.iter_mut().enumerate() {
+                if out.len() >= max {
+                    break;
+                }
+                match cursor.next() {
+                    Some(m) => out.push(m.clone()),
+                    None => exhausted.push(i),
+                }
+            }
+            for i in exhausted.into_iter().rev() {
+                let _ = cursors.remove(i);
+            }
+            if out.len() >= max {
+                break;
+            }
+            // All cursors advanced; loop again until everything is drained.
+            cursors.retain(|c| c.clone().next().is_some());
+        }
+        out
+    }
+
+    /// Removes messages that were included in a committed block.
+    pub fn remove_included<'a, I: IntoIterator<Item = &'a SignedMessage>>(&mut self, msgs: I) {
+        for m in msgs {
+            if let Some(q) = self.by_sender.get_mut(&m.message.from) {
+                q.remove(&m.message.nonce);
+            }
+            // Keep `seen` so replays of the same CID stay excluded.
+        }
+        self.by_sender.retain(|_, q| !q.is_empty());
+    }
+}
+
+/// The cross-msg pool: unverified cross-net work for this subnet.
+///
+/// Top-down messages arrive already ordered by the parent-assigned nonce;
+/// the pool releases them strictly in order. Bottom-up metas arrive from
+/// committed checkpoints carrying only a CID; they wait in
+/// `awaiting_resolution` until the content-resolution protocol supplies the
+/// raw messages (paper §IV-C), then become proposable.
+#[derive(Debug, Clone, Default)]
+pub struct CrossMsgPool {
+    /// Top-down messages by nonce, not yet applied.
+    top_down: BTreeMap<Nonce, CrossMsg>,
+    /// Next top-down nonce to propose (all lower nonces already applied).
+    next_top_down: Nonce,
+    /// Bottom-up metas whose message groups are not yet resolved.
+    awaiting_resolution: BTreeMap<Cid, CrossMsgMeta>,
+    /// Resolved groups ready to be proposed, in meta-nonce order.
+    ready_bottom_up: BTreeMap<Nonce, (CrossMsgMeta, Vec<CrossMsg>)>,
+    /// Next bottom-up meta nonce to propose.
+    next_bottom_up: Nonce,
+}
+
+impl CrossMsgPool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ingests top-down messages learned by syncing the parent SCA.
+    /// Messages below the already-applied nonce are ignored.
+    pub fn ingest_top_down<I: IntoIterator<Item = CrossMsg>>(&mut self, msgs: I) {
+        for m in msgs {
+            if m.nonce >= self.next_top_down {
+                self.top_down.insert(m.nonce, m);
+            }
+        }
+    }
+
+    /// Registers a bottom-up meta that still needs content resolution.
+    pub fn ingest_meta(&mut self, meta: CrossMsgMeta) {
+        self.awaiting_resolution.insert(meta.msgs_cid, meta);
+    }
+
+    /// CIDs the pool needs resolved — what a node publishes *pull*
+    /// requests for.
+    pub fn unresolved_cids(&self) -> Vec<Cid> {
+        self.awaiting_resolution.keys().copied().collect()
+    }
+
+    /// The metas still awaiting resolution (source subnet and CID drive
+    /// the pull requests).
+    pub fn unresolved_metas(&self) -> Vec<CrossMsgMeta> {
+        self.awaiting_resolution.values().cloned().collect()
+    }
+
+    /// Supplies resolved content for a meta. Returns `true` if the content
+    /// matched a pending CID and was accepted.
+    pub fn resolve(&mut self, cid: Cid, msgs: Vec<CrossMsg>) -> bool {
+        let Some(meta) = self.awaiting_resolution.get(&cid) else {
+            return false;
+        };
+        if !meta.matches(&msgs) {
+            return false;
+        }
+        let meta = self.awaiting_resolution.remove(&cid).expect("checked");
+        self.ready_bottom_up.insert(meta.nonce, (meta, msgs));
+        true
+    }
+
+    /// Drains the cross-net work proposable right now: the dense prefix of
+    /// top-down messages from the next expected nonce, and the dense prefix
+    /// of resolved bottom-up groups. Called by the proposer when building a
+    /// block (paper Fig. 3).
+    pub fn take_proposable(
+        &mut self,
+        max: usize,
+    ) -> (Vec<CrossMsg>, Vec<(CrossMsgMeta, Vec<CrossMsg>)>) {
+        let mut tds = Vec::new();
+        while tds.len() < max {
+            match self.top_down.remove(&self.next_top_down) {
+                Some(m) => {
+                    self.next_top_down = self.next_top_down.next();
+                    tds.push(m);
+                }
+                None => break,
+            }
+        }
+        let mut bus = Vec::new();
+        while tds.len() + bus.len() < max {
+            match self.ready_bottom_up.remove(&self.next_bottom_up) {
+                Some(entry) => {
+                    self.next_bottom_up = self.next_bottom_up.next();
+                    bus.push(entry);
+                }
+                None => break,
+            }
+        }
+        (tds, bus)
+    }
+
+    /// Number of top-down messages waiting.
+    pub fn pending_top_down(&self) -> usize {
+        self.top_down.len()
+    }
+
+    /// Number of metas waiting for resolution or proposal.
+    pub fn pending_bottom_up(&self) -> usize {
+        self.awaiting_resolution.len() + self.ready_bottom_up.len()
+    }
+
+    /// The next top-down nonce this pool will release.
+    pub fn next_top_down_nonce(&self) -> Nonce {
+        self.next_top_down
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hc_actors::HcAddress;
+    use hc_state::{Message, Method};
+    use hc_types::{Keypair, SubnetId, TokenAmount};
+
+    fn kp(seed: u8) -> Keypair {
+        let mut s = [0u8; 32];
+        s[0] = seed;
+        s[1] = 0xc2;
+        Keypair::from_seed(s)
+    }
+
+    fn signed(from: u64, nonce: u64, key: &Keypair) -> SignedMessage {
+        Message {
+            from: Address::new(from),
+            to: Address::new(1),
+            value: TokenAmount::ZERO,
+            nonce: Nonce::new(nonce),
+            method: Method::Send,
+        }
+        .sign(key)
+    }
+
+    #[test]
+    fn mempool_dedups_and_rejects_bad_signatures() {
+        let mut pool = Mempool::new();
+        let k = kp(1);
+        let m = signed(100, 0, &k);
+        assert!(pool.push(m.clone()));
+        assert!(!pool.push(m.clone()), "duplicate refused");
+        let mut tampered = signed(100, 1, &k);
+        tampered.message.value = TokenAmount::from_whole(9);
+        assert!(!pool.push(tampered), "bad signature refused");
+        assert_eq!(pool.len(), 1);
+    }
+
+    #[test]
+    fn mempool_selects_fairly_across_senders_in_nonce_order() {
+        let mut pool = Mempool::new();
+        let ka = kp(2);
+        let kb = kp(3);
+        for n in 0..3 {
+            pool.push(signed(100, n, &ka));
+            pool.push(signed(200, n, &kb));
+        }
+        let selected = pool.select(4);
+        assert_eq!(selected.len(), 4);
+        // Round-robin: a0, b0, a1, b1.
+        assert_eq!(selected[0].message.from, Address::new(100));
+        assert_eq!(selected[1].message.from, Address::new(200));
+        assert_eq!(selected[0].message.nonce, Nonce::new(0));
+        assert_eq!(selected[2].message.nonce, Nonce::new(1));
+        // Selection does not mutate the pool.
+        assert_eq!(pool.len(), 6);
+        // Removal after inclusion.
+        pool.remove_included(selected.iter());
+        assert_eq!(pool.len(), 2);
+        // Replays of included messages stay excluded.
+        assert!(!pool.push(selected[0].clone()));
+    }
+
+    fn td(nonce: u64) -> CrossMsg {
+        let mut m = CrossMsg::transfer(
+            HcAddress::new(SubnetId::root(), Address::new(1)),
+            HcAddress::new(SubnetId::root().child(Address::new(9)), Address::new(2)),
+            TokenAmount::from_whole(1),
+        );
+        m.nonce = Nonce::new(nonce);
+        m
+    }
+
+    #[test]
+    fn cross_pool_releases_dense_topdown_prefix_only() {
+        let mut pool = CrossMsgPool::new();
+        pool.ingest_top_down([td(0), td(2)]); // gap at nonce 1
+        let (tds, _) = pool.take_proposable(10);
+        assert_eq!(tds.len(), 1);
+        assert_eq!(tds[0].nonce, Nonce::new(0));
+        // The gap blocks nonce 2 until 1 arrives.
+        pool.ingest_top_down([td(1)]);
+        let (tds, _) = pool.take_proposable(10);
+        assert_eq!(tds.len(), 2);
+        assert_eq!(pool.pending_top_down(), 0);
+        assert_eq!(pool.next_top_down_nonce(), Nonce::new(3));
+        // Stale re-ingestion is ignored.
+        pool.ingest_top_down([td(0)]);
+        assert_eq!(pool.pending_top_down(), 0);
+    }
+
+    #[test]
+    fn cross_pool_resolution_flow() {
+        let mut pool = CrossMsgPool::new();
+        let src = SubnetId::root().child(Address::new(9));
+        let msgs = vec![td(0)];
+        let mut meta = CrossMsgMeta::for_group(src.clone(), SubnetId::root(), &msgs);
+        meta.nonce = Nonce::new(0);
+        pool.ingest_meta(meta.clone());
+        assert_eq!(pool.unresolved_cids(), vec![meta.msgs_cid]);
+        // Nothing proposable before resolution.
+        assert!(pool.take_proposable(10).1.is_empty());
+        // Wrong content is refused.
+        assert!(!pool.resolve(meta.msgs_cid, vec![td(5)]));
+        // Unknown CID is refused.
+        assert!(!pool.resolve(Cid::digest(b"x"), msgs.clone()));
+        // Correct content unlocks proposal.
+        assert!(pool.resolve(meta.msgs_cid, msgs.clone()));
+        let (_, bus) = pool.take_proposable(10);
+        assert_eq!(bus.len(), 1);
+        assert_eq!(bus[0].0, meta);
+        assert_eq!(pool.pending_bottom_up(), 0);
+    }
+
+    #[test]
+    fn cross_pool_bottom_up_respects_meta_nonce_order() {
+        let mut pool = CrossMsgPool::new();
+        let src = SubnetId::root().child(Address::new(9));
+        let g0 = vec![td(0)];
+        let g1 = vec![td(1)];
+        let mut m0 = CrossMsgMeta::for_group(src.clone(), SubnetId::root(), &g0);
+        m0.nonce = Nonce::new(0);
+        let mut m1 = CrossMsgMeta::for_group(src.clone(), SubnetId::root(), &g1);
+        m1.nonce = Nonce::new(1);
+        pool.ingest_meta(m0.clone());
+        pool.ingest_meta(m1.clone());
+        // Resolve out of order: only the dense prefix is proposable.
+        assert!(pool.resolve(m1.msgs_cid, g1));
+        assert!(pool.take_proposable(10).1.is_empty());
+        assert!(pool.resolve(m0.msgs_cid, g0));
+        let (_, bus) = pool.take_proposable(10);
+        assert_eq!(bus.len(), 2);
+        assert_eq!(bus[0].0.nonce, Nonce::new(0));
+        assert_eq!(bus[1].0.nonce, Nonce::new(1));
+    }
+}

@@ -1,0 +1,1264 @@
+//! The hierarchy runtime: spawning, stepping, and cross-net plumbing.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use hc_actors::checkpoint::SignedCheckpoint;
+use hc_actors::sa::SaConfig;
+use hc_actors::{CrossMsg, HcAddress, ScaConfig};
+use hc_chain::{produce_block, ChainStore, CrossMsgPool, Mempool};
+use hc_consensus::{make_engine, EngineParams, ValidatorSet};
+use hc_net::{NetConfig, Network, ResolutionMsg, Resolver};
+use hc_state::{ImplicitMsg, Message, Method, Receipt, SignedMessage, StateTree, VmEvent};
+use hc_types::{
+    Address, CanonicalEncode, ChainEpoch, Cid, Keypair, Nonce, SubnetId, TokenAmount,
+};
+
+use crate::node::{NodeStats, SubnetNode};
+
+/// Domain separation for root validator key seeds.
+const ROOT_SEED_DOMAIN: u64 = 0x726f_6f74; // "root"
+
+/// Global runtime parameters.
+#[derive(Debug, Clone)]
+pub struct RuntimeConfig {
+    /// Network delay/loss model.
+    pub net: NetConfig,
+    /// Consensus engine parameters (applied to every subnet).
+    pub engine_params: EngineParams,
+    /// SCA parameters (the checkpoint period is overridden per subnet by
+    /// its Subnet Actor config).
+    pub sca: ScaConfig,
+    /// Validators of the rootnet (round-robin authority set).
+    pub root_validators: usize,
+    /// RNG seed: identical configs and call sequences replay identically.
+    pub seed: u64,
+    /// Enable the *push* path of content resolution (paper §IV-C); when
+    /// disabled every meta is resolved by pull, which experiment E7
+    /// compares.
+    pub push_enabled: bool,
+    /// Epochs after which a pending atomic execution is force-aborted by
+    /// the coordinator's sweep (the *timeliness* guarantee, paper §IV-D).
+    pub atomic_timeout_epochs: u64,
+    /// Emit fund certificates for slow (bottom-up/path) cross-net messages
+    /// so destinations learn of pending payments immediately
+    /// (the §IV-A acceleration).
+    pub certificates_enabled: bool,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            net: NetConfig::default(),
+            engine_params: EngineParams::default(),
+            sca: ScaConfig::default(),
+            root_validators: 4,
+            seed: 42,
+            push_enabled: true,
+            atomic_timeout_epochs: 50,
+            certificates_enabled: true,
+        }
+    }
+}
+
+/// A user account handle: the subnet it lives in plus its address. The
+/// runtime keeps the signing key.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct UserHandle {
+    /// The subnet the account lives in.
+    pub subnet: SubnetId,
+    /// The account address.
+    pub addr: Address,
+}
+
+impl UserHandle {
+    /// The hierarchical address of this user.
+    pub fn hc_address(&self) -> HcAddress {
+        HcAddress::new(self.subnet.clone(), self.addr)
+    }
+}
+
+impl fmt::Display for UserHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.subnet, self.addr)
+    }
+}
+
+/// What one [`HierarchyRuntime::step`] did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StepReport {
+    /// The subnet that produced a block.
+    pub subnet: SubnetId,
+    /// The block's epoch.
+    pub epoch: ChainEpoch,
+    /// Virtual time of the block, in milliseconds.
+    pub at_ms: u64,
+    /// Messages carried (signed + implicit).
+    pub msgs: usize,
+    /// Gas executed.
+    pub gas_used: u64,
+}
+
+/// Errors surfaced by the runtime.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RuntimeError {
+    /// The referenced subnet does not exist in the hierarchy.
+    UnknownSubnet(SubnetId),
+    /// The referenced user is not managed by this runtime.
+    UnknownUser(UserHandle),
+    /// A message executed with a non-OK exit code.
+    Execution(String),
+    /// Child-subnet accounts can only be created empty; fund them with a
+    /// top-down cross-net message so supply stays conserved.
+    NonRootMint,
+    /// The spawn flow failed at the given stage.
+    Spawn(String),
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::UnknownSubnet(id) => write!(f, "unknown subnet {id}"),
+            RuntimeError::UnknownUser(u) => write!(f, "unknown user {u}"),
+            RuntimeError::Execution(why) => write!(f, "execution failed: {why}"),
+            RuntimeError::NonRootMint => {
+                f.write_str("non-root accounts must be created empty and funded cross-net")
+            }
+            RuntimeError::Spawn(why) => write!(f, "subnet spawn failed: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+struct Wallet {
+    key: Keypair,
+    next_nonce: Nonce,
+}
+
+/// The hierarchical consensus runtime: one node per subnet plus the shared
+/// pub-sub network, advanced by a deterministic discrete-event loop.
+pub struct HierarchyRuntime {
+    config: RuntimeConfig,
+    nodes: BTreeMap<SubnetId, SubnetNode>,
+    network: Network<ResolutionMsg>,
+    rng: StdRng,
+    now_ms: u64,
+    next_user_id: u64,
+    wallets: BTreeMap<(SubnetId, Address), Wallet>,
+    events: VecDeque<(SubnetId, VmEvent)>,
+    /// Tokens minted at the rootnet (genesis + faucet), the global supply
+    /// baseline for conservation audits.
+    root_minted: TokenAmount,
+    /// Every committed child checkpoint, for light-client audits.
+    archive: crate::archive::CheckpointArchive,
+}
+
+impl fmt::Debug for HierarchyRuntime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("HierarchyRuntime")
+            .field("subnets", &self.nodes.len())
+            .field("now_ms", &self.now_ms)
+            .finish_non_exhaustive()
+    }
+}
+
+impl HierarchyRuntime {
+    /// Creates a hierarchy containing only the rootnet, with
+    /// `config.root_validators` authority validators.
+    pub fn new(config: RuntimeConfig) -> Self {
+        let network = Network::new(config.net.clone(), config.seed);
+        let rng = StdRng::seed_from_u64(config.seed ^ 0x5eed);
+        let root = SubnetId::root();
+
+        // Root validators: deterministic authority identities.
+        let mut validator_keys = Vec::new();
+        let mut validators = Vec::new();
+        for i in 0..config.root_validators.max(1) {
+            let mut seed = [0u8; 32];
+            let v = config.seed ^ ((i as u64) << 32) ^ ROOT_SEED_DOMAIN;
+            seed[..8].copy_from_slice(&v.to_le_bytes());
+            seed[8] = 0x52;
+            let key = Keypair::from_seed(seed);
+            validators.push(hc_consensus::Validator {
+                addr: Address::new(10 + i as u64),
+                key: key.public(),
+                power: 1,
+            });
+            validator_keys.push(key);
+        }
+
+        let tree = StateTree::genesis(root.clone(), config.sca.clone(), []);
+        let subscription = network.subscribe(&root.topic());
+        let engine = make_engine(
+            hc_consensus::ConsensusKind::RoundRobin,
+            config.engine_params.clone(),
+        );
+        let node = SubnetNode {
+            subnet_id: root.clone(),
+            tree,
+            chain: ChainStore::new(root.clone()),
+            mempool: Mempool::new(),
+            cross_pool: CrossMsgPool::new(),
+            engine,
+            validators: ValidatorSet::new(validators),
+            validator_keys,
+            resolver: Resolver::new(),
+            subscription,
+            next_block_at_ms: config.engine_params.block_time_ms,
+            next_epoch: ChainEpoch::new(1),
+            pending_checkpoints: Vec::new(),
+            pending_turnarounds: Vec::new(),
+            unresolved_turnarounds: Vec::new(),
+            last_receipts: BTreeMap::new(),
+            tentative: BTreeMap::new(),
+            stats: NodeStats::default(),
+        };
+
+        let mut nodes = BTreeMap::new();
+        nodes.insert(root, node);
+        HierarchyRuntime {
+            config,
+            nodes,
+            network,
+            rng,
+            now_ms: 0,
+            next_user_id: 100,
+            wallets: BTreeMap::new(),
+            events: VecDeque::new(),
+            root_minted: TokenAmount::ZERO,
+            archive: crate::archive::CheckpointArchive::default(),
+        }
+    }
+
+    /// Current virtual time in milliseconds.
+    pub fn now_ms(&self) -> u64 {
+        self.now_ms
+    }
+
+    /// The runtime configuration.
+    pub fn config(&self) -> &RuntimeConfig {
+        &self.config
+    }
+
+    /// The subnets in the hierarchy (always includes the root).
+    pub fn subnets(&self) -> impl Iterator<Item = &SubnetId> {
+        self.nodes.keys()
+    }
+
+    /// Read access to a subnet node.
+    pub fn node(&self, subnet: &SubnetId) -> Option<&SubnetNode> {
+        self.nodes.get(subnet)
+    }
+
+    /// The shared network's traffic statistics.
+    pub fn net_stats(&self) -> hc_net::NetStats {
+        self.network.stats()
+    }
+
+    /// Tokens minted at the root (the global conservation baseline).
+    pub fn root_minted(&self) -> TokenAmount {
+        self.root_minted
+    }
+
+    /// Drains the domain events emitted since the last call.
+    pub fn drain_events(&mut self) -> Vec<(SubnetId, VmEvent)> {
+        self.events.drain(..).collect()
+    }
+
+    /// Internal accessor used by the archive module.
+    pub(crate) fn archive_ref(&self) -> &crate::archive::CheckpointArchive {
+        &self.archive
+    }
+
+    /// Publishes a raw gossip message on a topic — the adversarial
+    /// injection point for network-level attacks (forged certificates,
+    /// junk resolution traffic) in tests and experiments.
+    pub fn inject_gossip(&mut self, topic: &str, msg: ResolutionMsg) {
+        self.network.publish(topic, msg, self.now_ms, None);
+    }
+
+    /// Queues an externally produced signed checkpoint at `parent`
+    /// (adversarial injection path; honest checkpoints travel via
+    /// [`VmEvent::CheckpointCut`] routing).
+    pub(crate) fn push_pending_checkpoint(
+        &mut self,
+        parent: &SubnetId,
+        signed: SignedCheckpoint,
+    ) -> Result<(), RuntimeError> {
+        Self::get_node_mut(&mut self.nodes, parent)?
+            .pending_checkpoints
+            .push(signed);
+        Ok(())
+    }
+
+    /// Mutable node access for the attack module.
+    pub(crate) fn node_mut_for_attack(&mut self, subnet: &SubnetId) -> Option<&mut SubnetNode> {
+        self.nodes.get_mut(subnet)
+    }
+
+    fn get_node_mut<'a>(
+        nodes: &'a mut BTreeMap<SubnetId, SubnetNode>,
+        subnet: &SubnetId,
+    ) -> Result<&'a mut SubnetNode, RuntimeError> {
+        nodes
+            .get_mut(subnet)
+            .ok_or_else(|| RuntimeError::UnknownSubnet(subnet.clone()))
+    }
+
+    // ------------------------------------------------------------------
+    // Accounts
+    // ------------------------------------------------------------------
+
+    /// Creates an account in `subnet` with a fresh key.
+    ///
+    /// On the rootnet the balance is minted (genesis/faucet, tracked in
+    /// [`HierarchyRuntime::root_minted`]); accounts in other subnets must
+    /// start empty and be funded by top-down cross-net messages so global
+    /// supply stays conserved.
+    ///
+    /// # Errors
+    ///
+    /// Fails for unknown subnets or non-zero balances off the root.
+    pub fn create_user(
+        &mut self,
+        subnet: &SubnetId,
+        balance: TokenAmount,
+    ) -> Result<UserHandle, RuntimeError> {
+        if !subnet.is_root() && !balance.is_zero() {
+            return Err(RuntimeError::NonRootMint);
+        }
+        let addr = Address::new(self.next_user_id);
+        self.next_user_id += 1;
+        let mut seed = [0u8; 32];
+        seed[..8].copy_from_slice(&addr.id().to_le_bytes());
+        seed[8..16].copy_from_slice(&self.config.seed.to_le_bytes());
+        seed[16] = 0xac;
+        let key = Keypair::from_seed(seed);
+
+        let node = Self::get_node_mut(&mut self.nodes, subnet)?;
+        let acc = node.tree.accounts_mut().get_or_create(addr);
+        acc.key = Some(key.public());
+        acc.balance = balance;
+        if subnet.is_root() {
+            self.root_minted += balance;
+        }
+        self.wallets.insert(
+            (subnet.clone(), addr),
+            Wallet {
+                key,
+                next_nonce: Nonce::ZERO,
+            },
+        );
+        Ok(UserHandle {
+            subnet: subnet.clone(),
+            addr,
+        })
+    }
+
+    /// Balance of a user account (zero for unknown accounts).
+    pub fn balance(&self, user: &UserHandle) -> TokenAmount {
+        self.nodes
+            .get(&user.subnet)
+            .and_then(|n| n.tree.accounts().get(user.addr))
+            .map(|a| a.balance)
+            .unwrap_or(TokenAmount::ZERO)
+    }
+
+    /// Signs a message for `user` with its tracked nonce and queues it in
+    /// the subnet's mempool. Returns the message CID.
+    ///
+    /// # Errors
+    ///
+    /// Fails for unknown users/subnets.
+    pub fn submit(
+        &mut self,
+        user: &UserHandle,
+        to: Address,
+        value: TokenAmount,
+        method: Method,
+    ) -> Result<Cid, RuntimeError> {
+        let signed = self.sign_message(user, to, value, method)?;
+        let cid = signed.message.cid();
+        let node = Self::get_node_mut(&mut self.nodes, &user.subnet)?;
+        node.mempool.push(signed);
+        Ok(cid)
+    }
+
+    fn sign_message(
+        &mut self,
+        user: &UserHandle,
+        to: Address,
+        value: TokenAmount,
+        method: Method,
+    ) -> Result<SignedMessage, RuntimeError> {
+        let wallet = self
+            .wallets
+            .get_mut(&(user.subnet.clone(), user.addr))
+            .ok_or_else(|| RuntimeError::UnknownUser(user.clone()))?;
+        let msg = Message {
+            from: user.addr,
+            to,
+            value,
+            nonce: wallet.next_nonce.fetch_increment(),
+            method,
+        };
+        Ok(msg.sign(&wallet.key))
+    }
+
+    /// Submits a message and immediately produces a block on the user's
+    /// subnet, returning the message's receipt.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the message is not included or reports a non-OK exit.
+    pub fn execute(
+        &mut self,
+        user: &UserHandle,
+        to: Address,
+        value: TokenAmount,
+        method: Method,
+    ) -> Result<Receipt, RuntimeError> {
+        let subnet = user.subnet.clone();
+        let cid = self.submit(user, to, value, method)?;
+        self.tick_subnet(&subnet)?;
+        let node = self
+            .nodes
+            .get(&subnet)
+            .ok_or_else(|| RuntimeError::UnknownSubnet(subnet.clone()))?;
+        let rec = node
+            .last_receipts
+            .get(&cid)
+            .cloned()
+            .ok_or_else(|| RuntimeError::Execution("message not included in block".into()))?;
+        if rec.exit.is_ok() {
+            Ok(rec)
+        } else {
+            Err(RuntimeError::Execution(rec.exit.to_string()))
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Subnet lifecycle (paper §III)
+    // ------------------------------------------------------------------
+
+    /// Spawns a child subnet of `creator`'s subnet: deploys the Subnet
+    /// Actor, registers it with the SCA (freezing `collateral` from the
+    /// creator), joins the given validators with their stakes, and boots
+    /// the child chain (paper §III-A).
+    ///
+    /// # Errors
+    ///
+    /// Fails if any stage of the flow fails (insufficient funds, duplicate
+    /// registration, validators on the wrong subnet, …).
+    pub fn spawn_subnet(
+        &mut self,
+        creator: &UserHandle,
+        sa_config: SaConfig,
+        collateral: TokenAmount,
+        validators: &[(UserHandle, TokenAmount)],
+    ) -> Result<SubnetId, RuntimeError> {
+        let params = self.config.engine_params.clone();
+        self.spawn_subnet_with_params(creator, sa_config, collateral, validators, params)
+    }
+
+    /// [`HierarchyRuntime::spawn_subnet`] with subnet-specific consensus
+    /// engine parameters — "each subnet can … set its own security and
+    /// performance guarantees" (paper §I): block time, capacity, network
+    /// delay, fault rate, and leader count can all differ per subnet.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`HierarchyRuntime::spawn_subnet`].
+    pub fn spawn_subnet_with_params(
+        &mut self,
+        creator: &UserHandle,
+        sa_config: SaConfig,
+        collateral: TokenAmount,
+        validators: &[(UserHandle, TokenAmount)],
+        engine_params: EngineParams,
+    ) -> Result<SubnetId, RuntimeError> {
+        let parent = creator.subnet.clone();
+        let consensus = sa_config.consensus;
+        let checkpoint_period = sa_config.checkpoint_period;
+
+        // 1. Deploy the Subnet Actor.
+        let rec = self.execute(
+            creator,
+            Address::SYSTEM,
+            TokenAmount::ZERO,
+            Method::DeploySubnetActor { config: sa_config },
+        )?;
+        let sa_bytes: [u8; 8] = rec
+            .ret
+            .as_slice()
+            .try_into()
+            .map_err(|_| RuntimeError::Spawn("deploy returned no address".into()))?;
+        let sa = Address::new(u64::from_le_bytes(sa_bytes));
+
+        // 2. Register with the parent SCA.
+        self.execute(
+            creator,
+            Address::SCA,
+            collateral,
+            Method::RegisterSubnet { sa },
+        )?;
+        let child_id = parent.child(sa);
+
+        // 3. Validators join.
+        for (v, stake) in validators {
+            if v.subnet != parent {
+                return Err(RuntimeError::Spawn(format!(
+                    "validator {} lives in {}, not the parent {}",
+                    v.addr, v.subnet, parent
+                )));
+            }
+            let key = self
+                .wallets
+                .get(&(parent.clone(), v.addr))
+                .ok_or_else(|| RuntimeError::UnknownUser(v.clone()))?
+                .key
+                .public();
+            self.execute(v, sa, *stake, Method::JoinSubnet { key })?;
+        }
+
+        // 4. Boot the child chain.
+        let sca_config = ScaConfig {
+            checkpoint_period,
+            ..self.config.sca.clone()
+        };
+        let tree = StateTree::genesis(child_id.clone(), sca_config, []);
+        let subscription = self.network.subscribe(&child_id.topic());
+        // Child nodes also run full nodes on the parent (paper §II): they
+        // follow the parent's topic for resolution traffic.
+        self.network.join(subscription, &parent.topic());
+        let engine = make_engine(consensus, engine_params.clone());
+        let node = SubnetNode {
+            subnet_id: child_id.clone(),
+            tree,
+            chain: ChainStore::new(child_id.clone()),
+            mempool: Mempool::new(),
+            cross_pool: CrossMsgPool::new(),
+            engine,
+            validators: ValidatorSet::default(),
+            validator_keys: Vec::new(),
+            resolver: Resolver::new(),
+            subscription,
+            next_block_at_ms: self.now_ms + engine_params.block_time_ms,
+            next_epoch: ChainEpoch::new(1),
+            pending_checkpoints: Vec::new(),
+            pending_turnarounds: Vec::new(),
+            unresolved_turnarounds: Vec::new(),
+            last_receipts: BTreeMap::new(),
+            tentative: BTreeMap::new(),
+            stats: NodeStats::default(),
+        };
+        self.nodes.insert(child_id.clone(), node);
+        self.refresh_validators(&child_id);
+        Ok(child_id)
+    }
+
+    /// Refreshes a child node's validator set and keys from the parent's
+    /// Subnet Actor (membership changes take effect as the child syncs the
+    /// parent chain).
+    fn refresh_validators(&mut self, subnet: &SubnetId) {
+        let Some(parent) = subnet.parent() else {
+            return;
+        };
+        let Some(sa_addr) = subnet.actor() else {
+            return;
+        };
+        let Some(parent_node) = self.nodes.get(&parent) else {
+            return;
+        };
+        let Some(sa) = parent_node.tree.sa(sa_addr) else {
+            return;
+        };
+        let set = ValidatorSet::from_sa(sa);
+        let keys: Vec<Keypair> = set
+            .validators()
+            .iter()
+            .filter_map(|v| {
+                self.wallets
+                    .get(&(parent.clone(), v.addr))
+                    .map(|w| w.key.clone())
+            })
+            .collect();
+        if let Some(node) = self.nodes.get_mut(subnet) {
+            node.validators = set;
+            node.validator_keys = keys;
+        }
+    }
+
+    /// Registers a subnet user's identity on the *parent* chain so it can
+    /// act there — most importantly to claim recovered funds after its
+    /// subnet was killed (paper §III-C). The parent account reuses the
+    /// same address and signing key, starting with zero balance.
+    ///
+    /// # Errors
+    ///
+    /// Fails for root users (no parent) or unmanaged users.
+    pub fn create_claimant(&mut self, user: &UserHandle) -> Result<UserHandle, RuntimeError> {
+        let parent = user
+            .subnet
+            .parent()
+            .ok_or_else(|| RuntimeError::Execution("root users have no parent chain".into()))?;
+        let key = self
+            .wallets
+            .get(&(user.subnet.clone(), user.addr))
+            .ok_or_else(|| RuntimeError::UnknownUser(user.clone()))?
+            .key
+            .clone();
+        let node = Self::get_node_mut(&mut self.nodes, &parent)?;
+        let acc = node.tree.accounts_mut().get_or_create(user.addr);
+        if acc.key.is_none() {
+            acc.key = Some(key.public());
+        }
+        self.wallets
+            .entry((parent.clone(), user.addr))
+            .or_insert(Wallet {
+                key,
+                next_nonce: Nonce::ZERO,
+            });
+        Ok(UserHandle {
+            subnet: parent,
+            addr: user.addr,
+        })
+    }
+
+    /// Builds a balance snapshot of `subnet` from its current state, signs
+    /// it with the subnet's validators, and persists it in the parent's
+    /// SCA through `submitter` (a funded parent-chain user). Returns the
+    /// prover-side [`hc_actors::SnapshotTree`] from which users mint
+    /// recovery proofs (paper §III-C).
+    ///
+    /// # Errors
+    ///
+    /// Fails for root/unknown subnets or if the persist message fails.
+    pub fn save_snapshot(
+        &mut self,
+        submitter: &UserHandle,
+        subnet: &SubnetId,
+    ) -> Result<hc_actors::SnapshotTree, RuntimeError> {
+        let Some(parent) = subnet.parent() else {
+            return Err(RuntimeError::Execution(
+                "the rootnet has no parent to persist snapshots in".into(),
+            ));
+        };
+        if submitter.subnet != parent {
+            return Err(RuntimeError::Execution(format!(
+                "snapshots of {subnet} are persisted in {parent}; the submitter lives in {}",
+                submitter.subnet
+            )));
+        }
+        let (snapshot, tree, signatures) = {
+            let node = self
+                .nodes
+                .get(subnet)
+                .ok_or_else(|| RuntimeError::UnknownSubnet(subnet.clone()))?;
+            // Snapshot user balances only: system-actor balances (escrow,
+            // burnt funds, rewards) are protocol bookkeeping, not
+            // user-recoverable value.
+            let balances = node
+                .tree
+                .accounts()
+                .iter()
+                .filter(|(addr, acc)| !addr.is_system() && !acc.balance.is_zero())
+                .map(|(addr, acc)| (*addr, acc.balance));
+            let (snapshot, tree) = hc_actors::StateSnapshot::build(
+                subnet.clone(),
+                node.chain.head_epoch(),
+                balances,
+            );
+            let mut signatures = hc_types::crypto::AggregateSignature::new();
+            let bytes = snapshot.cid();
+            for key in &node.validator_keys {
+                signatures.add(key.sign(bytes.as_bytes()));
+            }
+            (snapshot, tree, signatures)
+        };
+        self.execute(
+            submitter,
+            Address::SCA,
+            TokenAmount::ZERO,
+            Method::SaveSnapshot {
+                snapshot,
+                signatures,
+            },
+        )?;
+        Ok(tree)
+    }
+
+    // ------------------------------------------------------------------
+    // Cross-net messages (paper §IV)
+    // ------------------------------------------------------------------
+
+    /// Sends a cross-net token transfer from one user to an address in
+    /// another subnet and commits it in the source chain (one block is
+    /// produced there). Propagation to the destination happens as the
+    /// hierarchy advances ([`HierarchyRuntime::step`] /
+    /// [`HierarchyRuntime::run_until_quiescent`]).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the source-side commit fails (insufficient funds, inactive
+    /// subnet, …).
+    pub fn cross_transfer(
+        &mut self,
+        from: &UserHandle,
+        to: &UserHandle,
+        amount: TokenAmount,
+    ) -> Result<(), RuntimeError> {
+        let msg = CrossMsg::transfer(from.hc_address(), to.hc_address(), amount);
+        self.send_cross_msg(from, msg)
+    }
+
+    /// Queues a cross-net transfer in the source mempool without forcing a
+    /// block — the batching-friendly variant of
+    /// [`HierarchyRuntime::cross_transfer`] used by workload generators.
+    /// Failures surface in the block receipt rather than here.
+    ///
+    /// # Errors
+    ///
+    /// Fails for unknown users/subnets.
+    pub fn cross_transfer_lazy(
+        &mut self,
+        from: &UserHandle,
+        to: &UserHandle,
+        amount: TokenAmount,
+    ) -> Result<Cid, RuntimeError> {
+        let fee = self
+            .nodes
+            .get(&from.subnet)
+            .ok_or_else(|| RuntimeError::UnknownSubnet(from.subnet.clone()))?
+            .tree
+            .sca()
+            .config()
+            .cross_msg_fee;
+        let msg = CrossMsg::transfer(from.hc_address(), to.hc_address(), amount);
+        let value = msg.value + fee;
+        self.submit(from, Address::SCA, value, Method::SendCrossMsg { msg })
+    }
+
+    /// Sends an arbitrary cross-net message originated by `from`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the source-side commit fails.
+    pub fn send_cross_msg(&mut self, from: &UserHandle, msg: CrossMsg) -> Result<(), RuntimeError> {
+        let fee = self
+            .nodes
+            .get(&from.subnet)
+            .ok_or_else(|| RuntimeError::UnknownSubnet(from.subnet.clone()))?
+            .tree
+            .sca()
+            .config()
+            .cross_msg_fee;
+        let value = msg.value + fee;
+        self.execute(from, Address::SCA, value, Method::SendCrossMsg { msg })?;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // The event loop
+    // ------------------------------------------------------------------
+
+    /// Advances the hierarchy by one block: the subnet with the earliest
+    /// scheduled block produces it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates internal failures (which indicate bugs, not user error).
+    pub fn step(&mut self) -> Result<StepReport, RuntimeError> {
+        let subnet = self
+            .nodes
+            .values()
+            .min_by(|a, b| {
+                a.next_block_at_ms
+                    .cmp(&b.next_block_at_ms)
+                    .then_with(|| a.subnet_id.cmp(&b.subnet_id))
+            })
+            .map(|n| n.subnet_id.clone())
+            .expect("hierarchy always has the root");
+        self.tick_subnet(&subnet)
+    }
+
+    /// Steps until every node is quiescent (no cross-net work in flight)
+    /// or `max_blocks` have been produced. Returns the number of blocks
+    /// produced.
+    ///
+    /// # Errors
+    ///
+    /// Propagates step failures.
+    pub fn run_until_quiescent(&mut self, max_blocks: usize) -> Result<usize, RuntimeError> {
+        for produced in 0..max_blocks {
+            if self.all_quiescent() {
+                return Ok(produced);
+            }
+            self.step()?;
+        }
+        Ok(max_blocks)
+    }
+
+    /// Produces `n` blocks (hierarchy-wide, earliest-deadline order).
+    ///
+    /// # Errors
+    ///
+    /// Propagates step failures.
+    pub fn run_blocks(&mut self, n: usize) -> Result<(), RuntimeError> {
+        for _ in 0..n {
+            self.step()?;
+        }
+        Ok(())
+    }
+
+    /// Returns `true` when no node has cross-net work in flight, locally
+    /// or waiting in its parent's SCA top-down queue.
+    pub fn all_quiescent(&self) -> bool {
+        self.nodes.values().all(|n| {
+            if !n.is_quiescent() {
+                return false;
+            }
+            let Some(parent) = n.subnet_id.parent() else {
+                return true;
+            };
+            self.nodes.get(&parent).is_none_or(|p| {
+                p.tree
+                    .sca()
+                    .top_down_msgs(&n.subnet_id, n.cross_pool.next_top_down_nonce())
+                    .is_empty()
+            })
+        })
+    }
+
+    /// Produces one block on `subnet` (at its scheduled time), running the
+    /// full per-block pipeline: network poll, parent sync, content
+    /// resolution, proposal, execution, and post-block event routing.
+    ///
+    /// # Errors
+    ///
+    /// Fails for unknown subnets or internal consensus/chain errors.
+    pub fn tick_subnet(&mut self, subnet: &SubnetId) -> Result<StepReport, RuntimeError> {
+        self.refresh_validators(subnet);
+        // Blocks form a total order on the global virtual clock: each block
+        // lands strictly after every previously produced block (causal
+        // consistency for cross-chain reads), and never before the node's
+        // own schedule.
+        let at_ms = {
+            let node = Self::get_node_mut(&mut self.nodes, subnet)?;
+            node.next_block_at_ms.max(self.now_ms + 1)
+        };
+        self.now_ms = at_ms;
+
+        self.poll_network(subnet, at_ms)?;
+        self.sync_parent(subnet)?;
+        self.resolve_pending(subnet, at_ms)?;
+        let report = self.produce(subnet, at_ms)?;
+        self.prune_parent_registry(subnet);
+        Ok(report)
+    }
+
+    /// Garbage-collects acknowledged top-down messages from the parent's
+    /// registry: everything below the nonce this child has already pulled
+    /// is settled history. The registry is transport bookkeeping outside
+    /// the state root, so pruning never perturbs consensus.
+    fn prune_parent_registry(&mut self, subnet: &SubnetId) {
+        let Some(parent) = subnet.parent() else {
+            return;
+        };
+        let Some(next) = self
+            .nodes
+            .get(subnet)
+            .map(|n| n.cross_pool.next_top_down_nonce())
+        else {
+            return;
+        };
+        if let Some(parent_node) = self.nodes.get_mut(&parent) {
+            parent_node.tree.sca_mut().prune_top_down(subnet, next);
+        }
+    }
+
+    /// Ingests pub-sub traffic for the node and answers pull requests.
+    fn poll_network(&mut self, subnet: &SubnetId, now_ms: u64) -> Result<(), RuntimeError> {
+        let sub = self
+            .nodes
+            .get(subnet)
+            .ok_or_else(|| RuntimeError::UnknownSubnet(subnet.clone()))?
+            .subscription;
+        let incoming = self.network.poll(sub, now_ms);
+        let mut replies: Vec<(String, ResolutionMsg)> = Vec::new();
+        let mut certs = Vec::new();
+        {
+            let node = Self::get_node_mut(&mut self.nodes, subnet)?;
+            for msg in incoming {
+                if let ResolutionMsg::Certificate(cert) = msg {
+                    certs.push(*cert);
+                    continue;
+                }
+                if let Some(reply) = node.resolver.handle(msg) {
+                    replies.push(reply);
+                }
+            }
+        }
+        for cert in certs {
+            self.ingest_certificate(subnet, cert);
+        }
+        for (topic, msg) in replies {
+            self.network.publish(&topic, msg, now_ms, None);
+        }
+        Ok(())
+    }
+
+    /// Validates a received fund certificate against the *source's* Subnet
+    /// Actor (read from the chain that hosts it — in this in-process
+    /// simulation that mirrors the light-client read a real node performs
+    /// on the ancestor chains it tracks) and records it as a pending
+    /// payment. Invalid or unverifiable certificates are dropped.
+    fn ingest_certificate(&mut self, subnet: &SubnetId, cert: hc_actors::FundCertificate) {
+        if cert.body.msg.to.subnet != *subnet {
+            return;
+        }
+        let source = &cert.body.msg.from.subnet;
+        let Some(parent) = source.parent() else {
+            return; // the rootnet needs no certificates
+        };
+        let Some(sa_addr) = source.actor() else {
+            return;
+        };
+        let Some(sa) = self.nodes.get(&parent).and_then(|n| n.tree.sa(sa_addr)) else {
+            return;
+        };
+        if cert.verify(sa).is_err() {
+            return;
+        }
+        let key = cert.body.msg.cid();
+        if let Some(node) = self.nodes.get_mut(subnet) {
+            node.tentative.entry(key).or_insert(cert);
+        }
+    }
+
+    /// Child-side sync with the parent chain: pulls newly committed
+    /// top-down messages (paper Fig. 3, left).
+    fn sync_parent(&mut self, subnet: &SubnetId) -> Result<(), RuntimeError> {
+        let Some(parent) = subnet.parent() else {
+            return Ok(());
+        };
+        let from_nonce = self
+            .nodes
+            .get(subnet)
+            .ok_or_else(|| RuntimeError::UnknownSubnet(subnet.clone()))?
+            .cross_pool
+            .next_top_down_nonce();
+        let msgs = self
+            .nodes
+            .get(&parent)
+            .map(|p| p.tree.sca().top_down_msgs(subnet, from_nonce))
+            .unwrap_or_default();
+        if !msgs.is_empty() {
+            Self::get_node_mut(&mut self.nodes, subnet)?
+                .cross_pool
+                .ingest_top_down(msgs);
+        }
+        Ok(())
+    }
+
+    /// Attempts to resolve pending bottom-up metas and turnaround metas;
+    /// publishes pull requests for misses (paper §IV-C).
+    fn resolve_pending(&mut self, subnet: &SubnetId, now_ms: u64) -> Result<(), RuntimeError> {
+        let own_topic = subnet.topic();
+        let mut pulls: Vec<(String, ResolutionMsg)> = Vec::new();
+        {
+            let node = Self::get_node_mut(&mut self.nodes, subnet)?;
+            for meta in node.cross_pool.unresolved_metas() {
+                match node.resolver.lookup_or_pull(meta.msgs_cid, &own_topic) {
+                    Ok(msgs) => {
+                        node.cross_pool.resolve(meta.msgs_cid, msgs);
+                    }
+                    Err(pull) => pulls.push((meta.from.topic(), pull)),
+                }
+            }
+            let unresolved = std::mem::take(&mut node.unresolved_turnarounds);
+            let mut still_unresolved = Vec::new();
+            for meta in unresolved {
+                match node.resolver.lookup_or_pull(meta.msgs_cid, &own_topic) {
+                    Ok(msgs) => node.pending_turnarounds.push((meta, msgs)),
+                    Err(pull) => {
+                        pulls.push((meta.from.topic(), pull));
+                        still_unresolved.push(meta);
+                    }
+                }
+            }
+            node.unresolved_turnarounds = still_unresolved;
+        }
+        for (topic, pull) in pulls {
+            self.network.publish(&topic, pull, now_ms, None);
+        }
+        Ok(())
+    }
+
+    /// Builds, executes, and commits the next block of `subnet`, then
+    /// routes the resulting events through the hierarchy.
+    fn produce(&mut self, subnet: &SubnetId, at_ms: u64) -> Result<StepReport, RuntimeError> {
+        let is_root = subnet.is_root();
+        let node = Self::get_node_mut(&mut self.nodes, subnet)?;
+        let epoch = node.next_epoch;
+
+        let opportunity = node
+            .engine
+            .next_block(epoch, &node.validators, &mut self.rng)
+            .map_err(|e| RuntimeError::Execution(format!("consensus: {e}")))?;
+
+        // Assemble implicit messages: child checkpoints, turnarounds,
+        // cross-net applications, and the checkpoint cut.
+        let mut implicit: Vec<ImplicitMsg> = Vec::new();
+        for signed in node.pending_checkpoints.drain(..) {
+            implicit.push(ImplicitMsg::CommitChildCheckpoint { signed });
+        }
+        for (meta, msgs) in node.pending_turnarounds.drain(..) {
+            implicit.push(ImplicitMsg::CommitTurnaround { meta, msgs });
+        }
+        let (tds, bus) = node.cross_pool.take_proposable(opportunity.capacity);
+        for m in tds {
+            implicit.push(ImplicitMsg::ApplyTopDown(m));
+        }
+        for (meta, msgs) in bus {
+            implicit.push(ImplicitMsg::ApplyBottomUp { meta, msgs });
+        }
+        if !is_root && node.tree.sca().is_checkpoint_epoch(epoch) {
+            implicit.push(ImplicitMsg::CutCheckpoint {
+                proof: node.chain.head(),
+            });
+        }
+        if node.tree.atomic().has_pending() {
+            implicit.push(ImplicitMsg::SweepAtomicTimeouts {
+                timeout: self.config.atomic_timeout_epochs,
+            });
+        }
+
+        let budget = opportunity.capacity.saturating_sub(implicit.len());
+        let signed_msgs = node.mempool.select(budget);
+
+        let proposer_key = node
+            .validator_keys
+            .get(opportunity.proposer)
+            .or_else(|| node.validator_keys.first())
+            .cloned()
+            .expect("subnet has at least one managed validator key");
+
+        let parent_cid = node.chain.head();
+        let executed = produce_block(
+            &mut node.tree,
+            subnet.clone(),
+            epoch,
+            parent_cid,
+            implicit,
+            signed_msgs,
+            &proposer_key,
+            at_ms,
+        );
+
+        let mut block = executed.block;
+        if node.engine.requires_justification() {
+            let cid = block.cid();
+            let quorum = node.validators.quorum_threshold();
+            for key in node.validator_keys.iter().take(quorum.max(1)) {
+                block.justification.add(key.sign(cid.as_bytes()));
+            }
+        }
+        node.engine
+            .validate_block(&block, &node.validators)
+            .map_err(|e| RuntimeError::Execution(format!("block validation: {e}")))?;
+        node.mempool.remove_included(block.signed_msgs.iter());
+        node.chain
+            .append(block.clone())
+            .map_err(|e| RuntimeError::Execution(format!("chain append: {e}")))?;
+
+        // Update stats and schedule the next block.
+        let gas_used: u64 = executed.receipts.iter().map(|r| r.gas_used).sum();
+        node.stats.blocks += 1;
+        node.stats.gas_used += gas_used;
+        node.stats.total_interval_ms += opportunity.interval_ms;
+        node.stats.orphaned += u64::from(opportunity.orphaned);
+        node.stats.extra_rounds += u64::from(opportunity.rounds.saturating_sub(1));
+        node.next_block_at_ms = at_ms + opportunity.interval_ms;
+        node.next_epoch = epoch.next();
+        for (i, r) in executed.receipts.iter().enumerate() {
+            if i >= block.implicit_msgs.len() {
+                if r.exit.is_ok() {
+                    node.stats.user_msgs_ok += 1;
+                } else {
+                    node.stats.user_msgs_failed += 1;
+                }
+            }
+        }
+
+        // Remember receipts by message CID (for `execute`) and account
+        // committed checkpoint bytes (parent-chain load, experiment E3).
+        node.last_receipts.clear();
+        let mut committed_checkpoints = Vec::new();
+        for (i, m) in block.implicit_msgs.iter().enumerate() {
+            if let ImplicitMsg::CommitChildCheckpoint { signed } = m {
+                node.stats.checkpoint_bytes += signed.checkpoint.encoded_size() as u64;
+                if executed.receipts[i].exit.is_ok() {
+                    committed_checkpoints.push(signed.clone());
+                }
+            }
+            node.last_receipts.insert(m.cid(), executed.receipts[i].clone());
+        }
+        for (i, m) in block.signed_msgs.iter().enumerate() {
+            node.last_receipts.insert(
+                m.message.cid(),
+                executed.receipts[block.implicit_msgs.len() + i].clone(),
+            );
+        }
+
+        for signed in committed_checkpoints {
+            // Snapshot the signature policy in force at commit time so the
+            // archive stays verifiable across validator churn.
+            let policy = signed
+                .checkpoint
+                .source
+                .actor()
+                .and_then(|a| {
+                    self.nodes
+                        .get(subnet)
+                        .and_then(|n| n.tree.sa(a))
+                        .map(hc_actors::SaState::signature_policy)
+                });
+            if let Some(policy) = policy {
+                self.archive.record(signed, policy);
+            }
+        }
+
+        // Route the block's events through the hierarchy.
+        let events: Vec<VmEvent> = executed
+            .receipts
+            .into_iter()
+            .flat_map(|r| r.events)
+            .collect();
+        let msg_count = block.msg_count();
+        for ev in &events {
+            self.events.push_back((subnet.clone(), ev.clone()));
+        }
+        for ev in events {
+            self.route_event(subnet, ev, at_ms)?;
+        }
+
+        Ok(StepReport {
+            subnet: subnet.clone(),
+            epoch,
+            at_ms,
+            msgs: msg_count,
+            gas_used,
+        })
+    }
+
+    /// Reacts to a VM event emitted by a block of `subnet`.
+    fn route_event(
+        &mut self,
+        subnet: &SubnetId,
+        event: VmEvent,
+        now_ms: u64,
+    ) -> Result<(), RuntimeError> {
+        match event {
+            VmEvent::CheckpointCut { checkpoint } => {
+                let push_enabled = self.config.push_enabled;
+                let node = Self::get_node_mut(&mut self.nodes, subnet)?;
+                node.stats.checkpoints_cut += 1;
+
+                // The subnet's validators sign the cut checkpoint; it then
+                // travels to the parent chain (paper §III-B, Fig. 2).
+                let mut signed = SignedCheckpoint::new(checkpoint.clone());
+                let bytes = signed.signing_bytes();
+                for key in &node.validator_keys {
+                    signed.signatures.add(key.sign(&bytes));
+                }
+
+                // Content resolution (paper §IV-C): the SCA registry is
+                // this subnet's authoritative content store, so its
+                // resolver always serves pulls for the carried groups;
+                // with the *push* path enabled, the groups are also
+                // announced proactively on their destinations' topics.
+                let mut pushes = Vec::new();
+                for meta in &checkpoint.cross_msgs {
+                    let content = node
+                        .tree
+                        .sca()
+                        .resolve_content(&meta.msgs_cid)
+                        .map(<[CrossMsg]>::to_vec)
+                        .or_else(|| {
+                            node.resolver.cache().get(&meta.msgs_cid).map(<[CrossMsg]>::to_vec)
+                        });
+                    if let Some(msgs) = content {
+                        node.resolver.seed(meta.msgs_cid, msgs.clone());
+                        if push_enabled {
+                            pushes.push((
+                                meta.to.topic(),
+                                ResolutionMsg::Push {
+                                    cid: meta.msgs_cid,
+                                    msgs,
+                                },
+                            ));
+                        }
+                    }
+                }
+                for (topic, push) in pushes {
+                    self.network.publish(&topic, push, now_ms, None);
+                }
+
+                if let Some(parent) = subnet.parent() {
+                    Self::get_node_mut(&mut self.nodes, &parent)?
+                        .pending_checkpoints
+                        .push(signed);
+                }
+            }
+
+            VmEvent::CheckpointCommitted { outcome, .. } => {
+                let node = Self::get_node_mut(&mut self.nodes, subnet)?;
+                node.stats.checkpoints_committed += 1;
+                for meta in outcome.applied_here {
+                    node.cross_pool.ingest_meta(meta);
+                }
+                node.unresolved_turnarounds.extend(outcome.turnaround);
+            }
+
+            VmEvent::CrossMsgQueued { msg } if self.config.certificates_enabled
+                // Accelerate the slow routes: certify bottom-up and path
+                // messages directly to their destination (paper §IV-A).
+                // Top-down messages settle within a couple of blocks and
+                // need no certificate.
+                && !msg.is_top_down() && msg.from.subnet == *subnet => {
+                    let node = Self::get_node_mut(&mut self.nodes, subnet)?;
+                    let mut cert = hc_actors::FundCertificate::new(
+                        msg.clone(),
+                        node.chain.head_epoch(),
+                    );
+                    let cid = cert.signing_cid();
+                    for key in &node.validator_keys {
+                        cert.signatures.add(key.sign(cid.as_bytes()));
+                    }
+                    self.network.publish(
+                        &msg.to.subnet.topic(),
+                        ResolutionMsg::Certificate(Box::new(cert)),
+                        now_ms,
+                        None,
+                    );
+                }
+
+            VmEvent::CrossMsgApplied { msg } => {
+                let node = Self::get_node_mut(&mut self.nodes, subnet)?;
+                node.stats.cross_applied += 1;
+                // A settled payment is no longer tentative.
+                node.tentative.remove(&msg.cid());
+            }
+
+            // Remaining events are informational; reverts ride the normal
+            // cross-net flow and need no extra routing.
+            _ => {}
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,95 @@
+//! Light-client verification of archived checkpoint chains (paper §II:
+//! "any client receiving it is able to verify the correctness of the
+//! subnet consensus").
+
+use hc_actors::sa::SaConfig;
+use hc_core::{HierarchyRuntime, RuntimeConfig};
+use hc_types::{SubnetId, TokenAmount};
+
+fn whole(n: u64) -> TokenAmount {
+    TokenAmount::from_whole(n)
+}
+
+fn world() -> (HierarchyRuntime, SubnetId) {
+    let mut rt = HierarchyRuntime::new(RuntimeConfig::default());
+    let root = SubnetId::root();
+    let alice = rt.create_user(&root, whole(100_000)).unwrap();
+    let validator = rt.create_user(&root, whole(100)).unwrap();
+    let subnet = rt
+        .spawn_subnet(
+            &alice,
+            SaConfig {
+                checkpoint_period: 5,
+                ..SaConfig::default()
+            },
+            whole(10),
+            &[(validator, whole(5))],
+        )
+        .unwrap();
+    (rt, subnet)
+}
+
+#[test]
+fn archived_chain_verifies_end_to_end() {
+    let (mut rt, subnet) = world();
+    // Produce several checkpoint windows with some traffic.
+    let bob = rt.create_user(&subnet, TokenAmount::ZERO).unwrap();
+    let alice = hc_core::UserHandle {
+        subnet: SubnetId::root(),
+        addr: hc_types::Address::new(100),
+    };
+    rt.cross_transfer(&alice, &bob, whole(10)).unwrap();
+    for _ in 0..40 {
+        rt.tick_subnet(&subnet).unwrap();
+    }
+    rt.run_until_quiescent(10_000).unwrap();
+
+    let verified = rt.verify_checkpoint_chain(&subnet).unwrap();
+    assert!(verified >= 7, "expected several checkpoints, got {verified}");
+    assert_eq!(
+        rt.checkpoint_archive().history(&subnet).len() as u64,
+        verified
+    );
+    // The archive head equals the SCA's recorded head (checked inside
+    // verify, but assert the count is consistent with the SCA too).
+    let committed = rt
+        .node(&SubnetId::root())
+        .unwrap()
+        .state()
+        .sca()
+        .subnet(&subnet)
+        .unwrap()
+        .committed_checkpoints;
+    assert_eq!(committed, verified);
+}
+
+#[test]
+fn rootnet_has_no_checkpoint_chain() {
+    let (rt, _) = world();
+    assert!(rt.verify_checkpoint_chain(&SubnetId::root()).is_err());
+}
+
+#[test]
+fn unregistered_subnet_fails_verification() {
+    let (rt, _) = world();
+    let ghost = SubnetId::root().child(hc_types::Address::new(12345));
+    assert!(rt.verify_checkpoint_chain(&ghost).is_err());
+}
+
+#[test]
+fn rejected_forgeries_never_enter_the_archive() {
+    let (mut rt, subnet) = world();
+    for _ in 0..20 {
+        rt.tick_subnet(&subnet).unwrap();
+    }
+    rt.run_until_quiescent(10_000).unwrap();
+    let before = rt.checkpoint_archive().history(&subnet).len();
+
+    // A forged over-withdrawal checkpoint is rejected by the firewall and
+    // must not pollute the archive; the chain still verifies.
+    rt.forge_withdrawal(&subnet, hc_types::Address::new(666), whole(10_000))
+        .unwrap();
+    let after = rt.checkpoint_archive().history(&subnet).len();
+    assert_eq!(before, after);
+    rt.verify_checkpoint_chain(&subnet).unwrap();
+}

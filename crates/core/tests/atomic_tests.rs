@@ -1,0 +1,289 @@
+//! End-to-end tests of cross-net atomic execution (paper §IV-D): the
+//! two-phase commit across subnets, with honest and Byzantine parties.
+
+use hc_actors::sa::SaConfig;
+use hc_actors::AtomicExecStatus;
+use hc_core::{
+    audit_quiescent, AtomicOrchestrator, AtomicParty, HierarchyRuntime, PartyBehavior,
+    RuntimeConfig, UserHandle,
+};
+use hc_state::Method;
+use hc_types::{SubnetId, TokenAmount};
+
+fn whole(n: u64) -> TokenAmount {
+    TokenAmount::from_whole(n)
+}
+
+/// Two sibling subnets with one user each, both holding an asset record
+/// under the key `"asset"`.
+fn two_subnet_world() -> (HierarchyRuntime, UserHandle, UserHandle) {
+    let mut rt = HierarchyRuntime::new(RuntimeConfig::default());
+    let root = SubnetId::root();
+    let funder = rt.create_user(&root, whole(1_000_000)).unwrap();
+
+    let mut users = Vec::new();
+    for asset in [b"100 gold".to_vec(), b"7 silver".to_vec()] {
+        let validator = rt.create_user(&root, whole(100)).unwrap();
+        let subnet = rt
+            .spawn_subnet(
+                &funder,
+                SaConfig::default(),
+                whole(10),
+                &[(validator, whole(5))],
+            )
+            .unwrap();
+        let user = rt.create_user(&subnet, TokenAmount::ZERO).unwrap();
+        rt.cross_transfer(&funder, &user, whole(50)).unwrap();
+        rt.run_until_quiescent(1_000).unwrap();
+        rt.execute(
+            &user,
+            user.addr,
+            TokenAmount::ZERO,
+            Method::PutData {
+                key: b"asset".to_vec(),
+                data: asset,
+            },
+        )
+        .unwrap();
+        users.push(user);
+    }
+    let b = users.pop().unwrap();
+    let a = users.pop().unwrap();
+    (rt, a, b)
+}
+
+fn storage_of(rt: &HierarchyRuntime, user: &UserHandle, key: &[u8]) -> Option<Vec<u8>> {
+    rt.node(&user.subnet)?
+        .state()
+        .accounts()
+        .get(user.addr)?
+        .storage
+        .get(key)
+        .cloned()
+}
+
+fn is_locked(rt: &HierarchyRuntime, user: &UserHandle, key: &[u8]) -> bool {
+    rt.node(&user.subnet)
+        .and_then(|n| n.state().accounts().get(user.addr))
+        .map(|a| a.locked.contains(key))
+        .unwrap_or(false)
+}
+
+#[test]
+fn honest_swap_commits_and_swaps_state() {
+    let (mut rt, a, b) = two_subnet_world();
+    let parties = [
+        AtomicParty::honest(a.clone(), b"asset"),
+        AtomicParty::honest(b.clone(), b"asset"),
+    ];
+    let outcome = AtomicOrchestrator::run(
+        &mut rt,
+        &parties,
+        |inputs| vec![inputs[1].clone(), inputs[0].clone()], // swap
+        5_000,
+    )
+    .unwrap();
+
+    assert_eq!(outcome.status, AtomicExecStatus::Committed);
+    assert_eq!(outcome.coordinator, SubnetId::root());
+    // The assets swapped across subnets.
+    assert_eq!(storage_of(&rt, &a, b"asset").unwrap(), b"7 silver");
+    assert_eq!(storage_of(&rt, &b, b"asset").unwrap(), b"100 gold");
+    // Inputs are unlocked again.
+    assert!(!is_locked(&rt, &a, b"asset"));
+    assert!(!is_locked(&rt, &b, b"asset"));
+    rt.run_until_quiescent(1_000).unwrap();
+    audit_quiescent(&rt).unwrap();
+}
+
+#[test]
+fn divergent_output_aborts_and_preserves_state() {
+    let (mut rt, a, b) = two_subnet_world();
+    let parties = [
+        AtomicParty::honest(a.clone(), b"asset"),
+        AtomicParty::honest(b.clone(), b"asset").with_behavior(PartyBehavior::Divergent),
+    ];
+    let outcome = AtomicOrchestrator::run(
+        &mut rt,
+        &parties,
+        |inputs| vec![inputs[1].clone(), inputs[0].clone()],
+        5_000,
+    )
+    .unwrap();
+
+    assert_eq!(outcome.status, AtomicExecStatus::Aborted);
+    assert!(outcome.outputs.is_none());
+    // Atomicity: both subnets keep their original state.
+    assert_eq!(storage_of(&rt, &a, b"asset").unwrap(), b"100 gold");
+    assert_eq!(storage_of(&rt, &b, b"asset").unwrap(), b"7 silver");
+    assert!(!is_locked(&rt, &a, b"asset"));
+    assert!(!is_locked(&rt, &b, b"asset"));
+}
+
+#[test]
+fn explicit_abort_wins_over_commit() {
+    let (mut rt, a, b) = two_subnet_world();
+    let parties = [
+        AtomicParty::honest(a.clone(), b"asset"),
+        AtomicParty::honest(b.clone(), b"asset").with_behavior(PartyBehavior::Abort),
+    ];
+    let outcome = AtomicOrchestrator::run(
+        &mut rt,
+        &parties,
+        |inputs| vec![inputs[1].clone(), inputs[0].clone()],
+        5_000,
+    )
+    .unwrap();
+    assert_eq!(outcome.status, AtomicExecStatus::Aborted);
+    assert_eq!(storage_of(&rt, &a, b"asset").unwrap(), b"100 gold");
+}
+
+#[test]
+fn crashed_party_times_out_via_coordinator_sweep() {
+    let (mut rt, a, b) = two_subnet_world();
+    let parties = [
+        AtomicParty::honest(a.clone(), b"asset"),
+        AtomicParty::honest(b.clone(), b"asset").with_behavior(PartyBehavior::Crash),
+    ];
+    let outcome = AtomicOrchestrator::run(
+        &mut rt,
+        &parties,
+        |inputs| vec![inputs[1].clone(), inputs[0].clone()],
+        10_000,
+    )
+    .unwrap();
+    // Timeliness: the execution terminates (aborted) even though one party
+    // disappeared, and the honest party's state is unlocked unchanged.
+    assert_eq!(outcome.status, AtomicExecStatus::Aborted);
+    assert_eq!(storage_of(&rt, &a, b"asset").unwrap(), b"100 gold");
+    assert!(!is_locked(&rt, &a, b"asset"));
+}
+
+#[test]
+fn three_party_execution_commits() {
+    let mut rt = HierarchyRuntime::new(RuntimeConfig::default());
+    let root = SubnetId::root();
+    let funder = rt.create_user(&root, whole(1_000_000)).unwrap();
+
+    let mut parties = Vec::new();
+    for i in 0..3u64 {
+        let validator = rt.create_user(&root, whole(100)).unwrap();
+        let subnet = rt
+            .spawn_subnet(
+                &funder,
+                SaConfig::default(),
+                whole(10),
+                &[(validator, whole(5))],
+            )
+            .unwrap();
+        let user = rt.create_user(&subnet, TokenAmount::ZERO).unwrap();
+        rt.execute(
+            &user,
+            user.addr,
+            TokenAmount::ZERO,
+            Method::PutData {
+                key: b"v".to_vec(),
+                data: vec![i as u8],
+            },
+        )
+        .unwrap();
+        parties.push(AtomicParty::honest(user, b"v"));
+    }
+
+    // Rotate the three values.
+    let outcome = AtomicOrchestrator::run(
+        &mut rt,
+        &parties,
+        |inputs| vec![inputs[2].clone(), inputs[0].clone(), inputs[1].clone()],
+        10_000,
+    )
+    .unwrap();
+    assert_eq!(outcome.status, AtomicExecStatus::Committed);
+    assert_eq!(storage_of(&rt, &parties[0].user, b"v").unwrap(), vec![2]);
+    assert_eq!(storage_of(&rt, &parties[1].user, b"v").unwrap(), vec![0]);
+    assert_eq!(storage_of(&rt, &parties[2].user, b"v").unwrap(), vec![1]);
+}
+
+#[test]
+fn locked_input_rejects_writes_during_execution() {
+    let (mut rt, a, _b) = two_subnet_world();
+    rt.execute(
+        &a,
+        a.addr,
+        TokenAmount::ZERO,
+        Method::LockState {
+            key: b"asset".to_vec(),
+        },
+    )
+    .unwrap();
+    // Consistency: no message may affect the locked input state.
+    let err = rt
+        .execute(
+            &a,
+            a.addr,
+            TokenAmount::ZERO,
+            Method::PutData {
+                key: b"asset".to_vec(),
+                data: b"stolen".to_vec(),
+            },
+        )
+        .unwrap_err();
+    assert!(err.to_string().contains("locked"), "{err}");
+    assert_eq!(storage_of(&rt, &a, b"asset").unwrap(), b"100 gold");
+}
+
+#[test]
+fn party_in_coordinator_subnet_submits_locally() {
+    // One party at the root (the coordinator), one in a child subnet.
+    let mut rt = HierarchyRuntime::new(RuntimeConfig::default());
+    let root = SubnetId::root();
+    let funder = rt.create_user(&root, whole(1_000_000)).unwrap();
+    let root_user = rt.create_user(&root, whole(100)).unwrap();
+    rt.execute(
+        &root_user,
+        root_user.addr,
+        TokenAmount::ZERO,
+        Method::PutData {
+            key: b"x".to_vec(),
+            data: b"root-asset".to_vec(),
+        },
+    )
+    .unwrap();
+
+    let validator = rt.create_user(&root, whole(100)).unwrap();
+    let subnet = rt
+        .spawn_subnet(
+            &funder,
+            SaConfig::default(),
+            whole(10),
+            &[(validator, whole(5))],
+        )
+        .unwrap();
+    let child_user = rt.create_user(&subnet, TokenAmount::ZERO).unwrap();
+    rt.execute(
+        &child_user,
+        child_user.addr,
+        TokenAmount::ZERO,
+        Method::PutData {
+            key: b"x".to_vec(),
+            data: b"child-asset".to_vec(),
+        },
+    )
+    .unwrap();
+
+    let parties = [
+        AtomicParty::honest(root_user.clone(), b"x"),
+        AtomicParty::honest(child_user.clone(), b"x"),
+    ];
+    let outcome = AtomicOrchestrator::run(
+        &mut rt,
+        &parties,
+        |inputs| vec![inputs[1].clone(), inputs[0].clone()],
+        5_000,
+    )
+    .unwrap();
+    assert_eq!(outcome.status, AtomicExecStatus::Committed);
+    assert_eq!(outcome.coordinator, root);
+    assert_eq!(storage_of(&rt, &root_user, b"x").unwrap(), b"child-asset");
+    assert_eq!(storage_of(&rt, &child_user, b"x").unwrap(), b"root-asset");
+}

@@ -1,0 +1,163 @@
+//! Property-based whole-hierarchy tests: under *randomized* topologies and
+//! cross-net traffic, the supply invariants always hold and the hierarchy
+//! always converges.
+
+use proptest::prelude::*;
+
+use hc_actors::sa::SaConfig;
+use hc_core::{audit_escrow, audit_quiescent, HierarchyRuntime, RuntimeConfig, UserHandle};
+use hc_types::{SubnetId, TokenAmount};
+
+fn whole(n: u64) -> TokenAmount {
+    TokenAmount::from_whole(n)
+}
+
+/// A randomized scenario: a hierarchy shape and a transfer schedule over
+/// abstract endpoint indices.
+#[derive(Debug, Clone)]
+struct Scenario {
+    /// Number of sibling subnets under the root (1..=3), each optionally
+    /// with one nested child.
+    siblings: usize,
+    nested: bool,
+    /// Transfers: (from_endpoint, to_endpoint, whole tokens). Endpoints
+    /// index into [root_user, subnet users…].
+    transfers: Vec<(usize, usize, u64)>,
+    seed: u64,
+}
+
+fn arb_scenario() -> impl Strategy<Value = Scenario> {
+    (
+        1usize..=3,
+        any::<bool>(),
+        prop::collection::vec((0usize..8, 0usize..8, 1u64..20), 1..25),
+        0u64..1_000,
+    )
+        .prop_map(|(siblings, nested, transfers, seed)| Scenario {
+            siblings,
+            nested,
+            transfers,
+            seed,
+        })
+}
+
+fn build(scenario: &Scenario) -> (HierarchyRuntime, Vec<UserHandle>) {
+    let mut rt = HierarchyRuntime::new(RuntimeConfig {
+        seed: scenario.seed,
+        ..RuntimeConfig::default()
+    });
+    let root = SubnetId::root();
+    let banker = rt.create_user(&root, whole(1_000_000)).unwrap();
+    let root_user = rt.create_user(&root, whole(10_000)).unwrap();
+    let mut endpoints = vec![root_user];
+
+    for _ in 0..scenario.siblings {
+        let v = rt.create_user(&root, whole(100)).unwrap();
+        let subnet = rt
+            .spawn_subnet(&banker, SaConfig::default(), whole(10), &[(v, whole(5))])
+            .unwrap();
+        let u = rt.create_user(&subnet, TokenAmount::ZERO).unwrap();
+        rt.cross_transfer(&banker, &u, whole(500)).unwrap();
+        endpoints.push(u);
+
+        if scenario.nested {
+            let creator = rt.create_user(&subnet, TokenAmount::ZERO).unwrap();
+            rt.cross_transfer(&banker, &creator, whole(100)).unwrap();
+            rt.run_until_quiescent(50_000).unwrap();
+            let deep = rt
+                .spawn_subnet(&creator, SaConfig::default(), whole(10), &[(creator.clone(), whole(5))])
+                .unwrap();
+            let du = rt.create_user(&deep, TokenAmount::ZERO).unwrap();
+            rt.cross_transfer(&banker, &du, whole(200)).unwrap();
+            endpoints.push(du);
+        }
+    }
+    rt.run_until_quiescent(50_000).unwrap();
+    (rt, endpoints)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 12, // whole-hierarchy runs are heavy; a dozen random shapes
+        ..ProptestConfig::default()
+    })]
+
+    /// Random transfer schedules over random topologies: every run drains,
+    /// conserves supply globally, and balances per-edge.
+    #[test]
+    fn random_traffic_conserves_supply(scenario in arb_scenario()) {
+        let (mut rt, endpoints) = build(&scenario);
+        let minted = rt.root_minted();
+
+        for &(from_i, to_i, amount) in &scenario.transfers {
+            let from = &endpoints[from_i % endpoints.len()];
+            let to = &endpoints[to_i % endpoints.len()];
+            if from == to {
+                continue;
+            }
+            let amount = whole(amount);
+            if from.subnet == to.subnet {
+                // Intra-subnet transfer.
+                let _ = rt.submit(from, to.addr, amount, hc_state::Method::Send);
+            } else if rt.balance(from) >= amount {
+                rt.cross_transfer_lazy(from, to, amount).unwrap();
+            }
+        }
+
+        let blocks = rt.run_until_quiescent(200_000).unwrap();
+        prop_assert!(blocks < 200_000, "hierarchy failed to drain");
+        prop_assert!(rt.all_quiescent());
+
+        // Global conservation: minted at root never changes.
+        audit_escrow(&rt).map_err(TestCaseError::fail)?;
+        audit_quiescent(&rt).map_err(TestCaseError::fail)?;
+        prop_assert_eq!(rt.root_minted(), minted);
+
+        // Deterministic replay: the same scenario reproduces the same
+        // chain heads.
+        let (mut rt2, endpoints2) = build(&scenario);
+        for &(from_i, to_i, amount) in &scenario.transfers {
+            let from = &endpoints2[from_i % endpoints2.len()];
+            let to = &endpoints2[to_i % endpoints2.len()];
+            if from == to {
+                continue;
+            }
+            let amount = whole(amount);
+            if from.subnet == to.subnet {
+                let _ = rt2.submit(from, to.addr, amount, hc_state::Method::Send);
+            } else if rt2.balance(from) >= amount {
+                rt2.cross_transfer_lazy(from, to, amount).unwrap();
+            }
+        }
+        rt2.run_until_quiescent(200_000).unwrap();
+        for e in &endpoints {
+            let e2 = endpoints2.iter().find(|x| x.addr == e.addr).unwrap();
+            prop_assert_eq!(rt.balance(e), rt2.balance(e2), "replay diverged at {}", e);
+        }
+    }
+
+    /// Every committed checkpoint chain stays light-client verifiable
+    /// under random traffic.
+    #[test]
+    fn checkpoint_chains_always_verify(scenario in arb_scenario()) {
+        let (mut rt, endpoints) = build(&scenario);
+        for &(from_i, to_i, amount) in &scenario.transfers {
+            let from = &endpoints[from_i % endpoints.len()];
+            let to = &endpoints[to_i % endpoints.len()];
+            if from == to || from.subnet == to.subnet {
+                continue;
+            }
+            if rt.balance(from) >= whole(amount) {
+                rt.cross_transfer_lazy(from, to, whole(amount)).unwrap();
+            }
+        }
+        rt.run_until_quiescent(200_000).unwrap();
+        for subnet in rt.subnets().cloned().collect::<Vec<_>>() {
+            if subnet.is_root() {
+                continue;
+            }
+            rt.verify_checkpoint_chain(&subnet)
+                .map_err(|e| TestCaseError::fail(format!("{subnet}: {e}")))?;
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! API-surface tests of the runtime: per-subnet engine parameters, queue
+//! pruning, tentative balances, error paths, and determinism guarantees.
+
+use hc_actors::sa::{ConsensusKind, SaConfig};
+use hc_consensus::EngineParams;
+use hc_core::{HierarchyRuntime, RuntimeConfig, RuntimeError, UserHandle};
+use hc_types::{Address, Nonce, SubnetId, TokenAmount};
+
+fn whole(n: u64) -> TokenAmount {
+    TokenAmount::from_whole(n)
+}
+
+fn base() -> (HierarchyRuntime, UserHandle) {
+    let mut rt = HierarchyRuntime::new(RuntimeConfig::default());
+    let alice = rt
+        .create_user(&SubnetId::root(), whole(1_000_000))
+        .unwrap();
+    (rt, alice)
+}
+
+#[test]
+fn per_subnet_engine_parameters_take_effect() {
+    let (mut rt, alice) = base();
+    let v1 = rt.create_user(&SubnetId::root(), whole(100)).unwrap();
+    let v2 = rt.create_user(&SubnetId::root(), whole(100)).unwrap();
+
+    // A fast 100 ms subnet and a slow 5 s subnet.
+    let fast = rt
+        .spawn_subnet_with_params(
+            &alice,
+            SaConfig::default(),
+            whole(10),
+            &[(v1, whole(5))],
+            EngineParams {
+                block_time_ms: 100,
+                ..EngineParams::default()
+            },
+        )
+        .unwrap();
+    let slow = rt
+        .spawn_subnet_with_params(
+            &alice,
+            SaConfig::default(),
+            whole(10),
+            &[(v2, whole(5))],
+            EngineParams {
+                block_time_ms: 5_000,
+                ..EngineParams::default()
+            },
+        )
+        .unwrap();
+
+    rt.run_blocks(200).unwrap();
+    let fast_blocks = rt.node(&fast).unwrap().stats().blocks;
+    let slow_blocks = rt.node(&slow).unwrap().stats().blocks;
+    assert!(
+        fast_blocks > 10 * slow_blocks,
+        "fast {fast_blocks} vs slow {slow_blocks}"
+    );
+    assert!((90.0..300.0).contains(&rt.node(&fast).unwrap().mean_block_interval_ms()));
+}
+
+#[test]
+fn topdown_registry_is_pruned_after_sync() {
+    let (mut rt, alice) = base();
+    let v = rt.create_user(&SubnetId::root(), whole(100)).unwrap();
+    let subnet = rt
+        .spawn_subnet(&alice, SaConfig::default(), whole(10), &[(v, whole(5))])
+        .unwrap();
+    let bob = rt.create_user(&subnet, TokenAmount::ZERO).unwrap();
+    for _ in 0..10 {
+        rt.cross_transfer(&alice, &bob, whole(1)).unwrap();
+    }
+    rt.run_until_quiescent(10_000).unwrap();
+    assert_eq!(rt.balance(&bob), whole(10));
+    // After the child pulled and applied everything, the parent registry
+    // holds nothing below the child's next nonce.
+    let remaining = rt
+        .node(&SubnetId::root())
+        .unwrap()
+        .state()
+        .sca()
+        .top_down_msgs(&subnet, Nonce::ZERO);
+    assert!(
+        remaining.is_empty(),
+        "registry should be pruned, found {} msgs",
+        remaining.len()
+    );
+}
+
+#[test]
+fn error_paths_are_descriptive() {
+    let (mut rt, alice) = base();
+    // Unknown subnet.
+    let ghost = SubnetId::root().child(Address::new(404));
+    assert!(matches!(
+        rt.create_user(&ghost, TokenAmount::ZERO),
+        Err(RuntimeError::UnknownSubnet(_))
+    ));
+    // Minting off-root is refused.
+    let v = rt.create_user(&SubnetId::root(), whole(100)).unwrap();
+    let subnet = rt
+        .spawn_subnet(&alice, SaConfig::default(), whole(10), &[(v, whole(5))])
+        .unwrap();
+    assert!(matches!(
+        rt.create_user(&subnet, whole(1)),
+        Err(RuntimeError::NonRootMint)
+    ));
+    // Unknown user.
+    let stranger = UserHandle {
+        subnet: SubnetId::root(),
+        addr: Address::new(99_999),
+    };
+    assert!(matches!(
+        rt.submit(&stranger, alice.addr, whole(1), hc_state::Method::Send),
+        Err(RuntimeError::UnknownUser(_))
+    ));
+    // Under-collateralized spawn.
+    let err = rt
+        .spawn_subnet(&alice, SaConfig::default(), whole(1), &[])
+        .unwrap_err();
+    assert!(err.to_string().contains("collateral"), "{err}");
+}
+
+#[test]
+fn mixed_block_times_still_converge_and_audit() {
+    let (mut rt, alice) = base();
+    let mut subnets = Vec::new();
+    for (i, ms) in [100u64, 1_000, 3_000].iter().enumerate() {
+        let v = rt.create_user(&SubnetId::root(), whole(100)).unwrap();
+        let s = rt
+            .spawn_subnet_with_params(
+                &alice,
+                SaConfig {
+                    consensus: if i == 0 {
+                        ConsensusKind::Tendermint
+                    } else {
+                        ConsensusKind::RoundRobin
+                    },
+                    ..SaConfig::default()
+                },
+                whole(10),
+                &[(v, whole(5))],
+                EngineParams {
+                    block_time_ms: *ms,
+                    ..EngineParams::default()
+                },
+            )
+            .unwrap();
+        subnets.push(s);
+    }
+    // Cross transfers between the fastest and slowest subnets.
+    let fast_user = rt.create_user(&subnets[0], TokenAmount::ZERO).unwrap();
+    let slow_user = rt.create_user(&subnets[2], TokenAmount::ZERO).unwrap();
+    rt.cross_transfer(&alice, &fast_user, whole(50)).unwrap();
+    rt.cross_transfer(&alice, &slow_user, whole(50)).unwrap();
+    rt.run_until_quiescent(100_000).unwrap();
+    rt.cross_transfer(&fast_user, &slow_user, whole(20)).unwrap();
+    rt.cross_transfer(&slow_user, &fast_user, whole(10)).unwrap();
+    let blocks = rt.run_until_quiescent(100_000).unwrap();
+    assert!(blocks < 100_000);
+    assert_eq!(rt.balance(&fast_user), whole(40));
+    assert_eq!(rt.balance(&slow_user), whole(60));
+    hc_core::audit_quiescent(&rt).unwrap();
+}

@@ -1,0 +1,29 @@
+//! # hc-net — the P2P substrate: topic pub-sub and content resolution
+//!
+//! Each subnet owns "a new attack-resilient pubsub topic that peers use as
+//! the transport layer to exchange chain-specific messages" (paper §III-A),
+//! with topic names derived deterministically from subnet IDs so no
+//! discovery service is needed.
+//!
+//! * [`pubsub`] — a simulated GossipSub: topic-addressed broadcast with a
+//!   configurable latency/jitter/loss model, deterministic under a seed.
+//! * [`resolver`] — the cross-net content-resolution protocol
+//!   (paper §IV-C): *push* announcements as checkpoints travel upward,
+//!   *pull* requests against the source subnet's topic, and *resolve*
+//!   replies, backed by a validated per-node [`ContentCache`].
+//!
+//! # Substitution note (DESIGN.md)
+//!
+//! The paper's transport is libp2p GossipSub (its reference \[11\]); the
+//! protocol logic only relies on topic broadcast with eventual delivery,
+//! which is what this simulation provides (plus loss, for the
+//! resolution-retry experiments).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod pubsub;
+pub mod resolver;
+
+pub use pubsub::{NetConfig, NetStats, Network, SubscriberId};
+pub use resolver::{ContentCache, ResolutionMsg, Resolver, ResolverStats};

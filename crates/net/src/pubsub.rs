@@ -1,0 +1,291 @@
+//! Simulated topic pub-sub.
+//!
+//! A [`Network`] carries opaque payloads between subscribers of named
+//! topics under a configurable delay/loss model. Delivery is pull-based
+//! against virtual time: `publish` schedules deliveries, `poll` returns the
+//! messages whose delivery time has passed — which makes the network
+//! composable with the discrete-event simulator and fully deterministic
+//! under a seed.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Delay and loss model of the simulated network.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetConfig {
+    /// Base one-way propagation delay in virtual milliseconds.
+    pub base_delay_ms: u64,
+    /// Uniform jitter added on top of the base delay, `[0, jitter_ms]`.
+    pub jitter_ms: u64,
+    /// Probability that a given delivery is dropped (per subscriber).
+    pub drop_rate: f64,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            base_delay_ms: 50,
+            jitter_ms: 20,
+            drop_rate: 0.0,
+        }
+    }
+}
+
+/// Handle identifying one subscription of one node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SubscriberId(u64);
+
+/// Aggregate traffic statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Messages published.
+    pub published: u64,
+    /// Per-subscriber deliveries scheduled.
+    pub scheduled: u64,
+    /// Deliveries dropped by the loss model.
+    pub dropped: u64,
+    /// Deliveries actually polled by subscribers.
+    pub delivered: u64,
+}
+
+#[derive(Debug)]
+struct Pending<P> {
+    deliver_at_ms: u64,
+    payload: P,
+}
+
+#[derive(Debug)]
+struct Inner<P> {
+    config: NetConfig,
+    rng: StdRng,
+    next_id: u64,
+    /// topic -> subscriber ids.
+    topics: HashMap<String, Vec<SubscriberId>>,
+    /// subscriber -> pending deliveries ordered by delivery time.
+    inboxes: BTreeMap<SubscriberId, VecDeque<Pending<P>>>,
+    stats: NetStats,
+}
+
+/// A simulated pub-sub network. Cloning yields another handle to the same
+/// network (nodes share it).
+#[derive(Debug, Clone)]
+pub struct Network<P> {
+    inner: Arc<Mutex<Inner<P>>>,
+}
+
+impl<P: Clone> Network<P> {
+    /// Creates a network with the given delay/loss model and RNG seed.
+    pub fn new(config: NetConfig, seed: u64) -> Self {
+        Network {
+            inner: Arc::new(Mutex::new(Inner {
+                config,
+                rng: StdRng::seed_from_u64(seed),
+                next_id: 0,
+                topics: HashMap::new(),
+                inboxes: BTreeMap::new(),
+                stats: NetStats::default(),
+            })),
+        }
+    }
+
+    /// Subscribes a new endpoint to `topic`, returning its handle.
+    pub fn subscribe(&self, topic: &str) -> SubscriberId {
+        let mut inner = self.inner.lock();
+        let id = SubscriberId(inner.next_id);
+        inner.next_id += 1;
+        inner.topics.entry(topic.to_owned()).or_default().push(id);
+        inner.inboxes.insert(id, VecDeque::new());
+        id
+    }
+
+    /// Adds an existing subscriber to another topic (nodes of a child
+    /// subnet also follow their parent's topic, paper §II).
+    pub fn join(&self, sub: SubscriberId, topic: &str) {
+        let mut inner = self.inner.lock();
+        let subs = inner.topics.entry(topic.to_owned()).or_default();
+        if !subs.contains(&sub) {
+            subs.push(sub);
+        }
+    }
+
+    /// Publishes `payload` on `topic` at virtual time `now_ms`, scheduling
+    /// a delivery per subscriber (minus losses). `exclude` suppresses the
+    /// publisher's own copy. Returns the number of deliveries scheduled.
+    pub fn publish(
+        &self,
+        topic: &str,
+        payload: P,
+        now_ms: u64,
+        exclude: Option<SubscriberId>,
+    ) -> usize {
+        let mut inner = self.inner.lock();
+        inner.stats.published += 1;
+        let subs = inner.topics.get(topic).cloned().unwrap_or_default();
+        let mut scheduled = 0;
+        for sub in subs {
+            if Some(sub) == exclude {
+                continue;
+            }
+            let drop_rate = inner.config.drop_rate;
+            if drop_rate > 0.0 && inner.rng.gen_bool(drop_rate.clamp(0.0, 1.0)) {
+                inner.stats.dropped += 1;
+                continue;
+            }
+            let jitter_ms = inner.config.jitter_ms;
+            let jitter = if jitter_ms > 0 {
+                inner.rng.gen_range(0..=jitter_ms)
+            } else {
+                0
+            };
+            let deliver_at_ms = now_ms + inner.config.base_delay_ms + jitter;
+            inner
+                .inboxes
+                .get_mut(&sub)
+                .expect("subscriber has inbox")
+                .push_back(Pending {
+                    deliver_at_ms,
+                    payload: payload.clone(),
+                });
+            inner.stats.scheduled += 1;
+            scheduled += 1;
+        }
+        scheduled
+    }
+
+    /// Returns the messages for `sub` whose delivery time has passed.
+    pub fn poll(&self, sub: SubscriberId, now_ms: u64) -> Vec<P> {
+        let mut inner = self.inner.lock();
+        let Some(inbox) = inner.inboxes.get_mut(&sub) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        let mut remaining = VecDeque::with_capacity(inbox.len());
+        while let Some(p) = inbox.pop_front() {
+            if p.deliver_at_ms <= now_ms {
+                out.push(p.payload);
+            } else {
+                remaining.push_back(p);
+            }
+        }
+        *inbox = remaining;
+        inner.stats.delivered += out.len() as u64;
+        out
+    }
+
+    /// Earliest pending delivery time across all subscribers, if any — the
+    /// simulator uses this to advance virtual time without busy-waiting.
+    pub fn next_delivery_ms(&self) -> Option<u64> {
+        let inner = self.inner.lock();
+        inner
+            .inboxes
+            .values()
+            .flat_map(|q| q.iter().map(|p| p.deliver_at_ms))
+            .min()
+    }
+
+    /// Traffic statistics so far.
+    pub fn stats(&self) -> NetStats {
+        self.inner.lock().stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net(drop_rate: f64) -> Network<&'static str> {
+        Network::new(
+            NetConfig {
+                base_delay_ms: 100,
+                jitter_ms: 0,
+                drop_rate,
+            },
+            7,
+        )
+    }
+
+    #[test]
+    fn delivery_respects_virtual_time() {
+        let n = net(0.0);
+        let a = n.subscribe("/root/msgs");
+        assert_eq!(n.publish("/root/msgs", "hello", 0, None), 1);
+        // Too early.
+        assert!(n.poll(a, 99).is_empty());
+        assert_eq!(n.poll(a, 100), vec!["hello"]);
+        // Consumed.
+        assert!(n.poll(a, 200).is_empty());
+    }
+
+    #[test]
+    fn all_topic_subscribers_receive_except_excluded() {
+        let n = net(0.0);
+        let a = n.subscribe("t");
+        let b = n.subscribe("t");
+        let c = n.subscribe("other");
+        assert_eq!(n.publish("t", "x", 0, Some(a)), 1);
+        assert!(n.poll(a, 1_000).is_empty());
+        assert_eq!(n.poll(b, 1_000), vec!["x"]);
+        assert!(n.poll(c, 1_000).is_empty());
+    }
+
+    #[test]
+    fn join_adds_existing_subscriber_to_topic() {
+        let n = net(0.0);
+        let a = n.subscribe("child");
+        n.join(a, "parent");
+        n.join(a, "parent"); // idempotent
+        n.publish("parent", "p", 0, None);
+        assert_eq!(n.poll(a, 1_000), vec!["p"]);
+    }
+
+    #[test]
+    fn losses_are_counted() {
+        let n = net(1.0);
+        let a = n.subscribe("t");
+        assert_eq!(n.publish("t", "x", 0, None), 0);
+        assert!(n.poll(a, 10_000).is_empty());
+        let stats = n.stats();
+        assert_eq!(stats.dropped, 1);
+        assert_eq!(stats.delivered, 0);
+    }
+
+    #[test]
+    fn publishing_to_unknown_topic_is_a_noop() {
+        let n = net(0.0);
+        assert_eq!(n.publish("nobody", "x", 0, None), 0);
+    }
+
+    #[test]
+    fn next_delivery_tracks_earliest_pending() {
+        let n = net(0.0);
+        let _a = n.subscribe("t");
+        assert_eq!(n.next_delivery_ms(), None);
+        n.publish("t", "x", 500, None);
+        n.publish("t", "y", 0, None);
+        assert_eq!(n.next_delivery_ms(), Some(100));
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mk = || {
+            let n: Network<u32> = Network::new(
+                NetConfig {
+                    base_delay_ms: 10,
+                    jitter_ms: 50,
+                    drop_rate: 0.3,
+                },
+                1234,
+            );
+            let a = n.subscribe("t");
+            for i in 0..50 {
+                n.publish("t", i, i as u64 * 10, None);
+            }
+            n.poll(a, 10_000)
+        };
+        assert_eq!(mk(), mk());
+    }
+}

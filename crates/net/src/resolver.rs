@@ -1,0 +1,314 @@
+//! The cross-net content-resolution protocol (paper §IV-C).
+//!
+//! Checkpoints carry only the *CIDs* of cross-message groups
+//! (`CrossMsgMeta`), so a destination subnet must fetch the raw messages
+//! before it can apply them. Two paths exist:
+//!
+//! * **push** — "as the checkpoints and CrossMsgMetas move up the
+//!   hierarchy, miners publish to the pubsub topic of the corresponding
+//!   subnet the whole DAG belonging to the CID". Peers may cache or
+//!   discard pushed content.
+//! * **pull** — a destination that cannot resolve a CID locally "can
+//!   resolve the messages behind the CID by sending a pull request to the
+//!   originating subnet"; any peer holding the content answers with a
+//!   *resolve* message on the requester's topic, giving every other pool
+//!   a chance to cache it too.
+//!
+//! [`Resolver`] implements the per-node state machine over these three
+//! message kinds, backed by a validated [`ContentCache`].
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use hc_actors::{CrossMsg, FundCertificate};
+use hc_types::merkle::merkle_root;
+use hc_types::Cid;
+
+/// Protocol messages exchanged on subnet topics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ResolutionMsg {
+    /// Proactive announcement of a message group (sent towards the
+    /// destination subnet's topic as a checkpoint is signed).
+    Push {
+        /// The group's committed CID.
+        cid: Cid,
+        /// The raw messages.
+        msgs: Vec<CrossMsg>,
+    },
+    /// Request for the content behind `cid`, published on the *source*
+    /// subnet's topic; answers go to `reply_topic`.
+    Pull {
+        /// The CID to resolve.
+        cid: Cid,
+        /// Topic of the requesting subnet.
+        reply_topic: String,
+    },
+    /// Answer to a pull, published on the requesting subnet's topic.
+    Resolve {
+        /// The resolved CID.
+        cid: Cid,
+        /// The raw messages.
+        msgs: Vec<CrossMsg>,
+    },
+    /// A fund certificate riding the same topics: the direct-message
+    /// acceleration for slow cross-net routes (paper §IV-A). Handled by
+    /// the node runtime, not the resolver cache.
+    Certificate(Box<FundCertificate>),
+}
+
+/// A validated content-addressable cache of cross-message groups.
+///
+/// Inserts are only accepted when the messages actually hash to the CID,
+/// so cache poisoning is impossible.
+#[derive(Debug, Clone, Default)]
+pub struct ContentCache {
+    entries: BTreeMap<Cid, Vec<CrossMsg>>,
+}
+
+impl ContentCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts a group if it matches `cid`. Returns `true` on acceptance
+    /// (idempotent: re-inserting known content also returns `true`).
+    pub fn insert(&mut self, cid: Cid, msgs: Vec<CrossMsg>) -> bool {
+        if merkle_root(&msgs) != cid {
+            return false;
+        }
+        self.entries.entry(cid).or_insert(msgs);
+        true
+    }
+
+    /// Looks up a group.
+    pub fn get(&self, cid: &Cid) -> Option<&[CrossMsg]> {
+        self.entries.get(cid).map(Vec::as_slice)
+    }
+
+    /// Returns `true` if the CID is cached.
+    pub fn contains(&self, cid: &Cid) -> bool {
+        self.entries.contains_key(cid)
+    }
+
+    /// Number of cached groups.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Counters of one node's resolution activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResolverStats {
+    /// Push announcements accepted into the cache.
+    pub pushes_cached: u64,
+    /// Push/resolve payloads rejected for CID mismatch.
+    pub rejected: u64,
+    /// Pull requests answered from the cache.
+    pub pulls_served: u64,
+    /// Pull requests received for unknown content (ignored; another peer
+    /// may serve them).
+    pub pulls_missed: u64,
+    /// Resolve replies accepted into the cache.
+    pub resolves_cached: u64,
+    /// Local lookups answered from cache.
+    pub cache_hits: u64,
+    /// Local lookups that required a pull request.
+    pub cache_misses: u64,
+}
+
+/// The per-node content-resolution state machine.
+///
+/// `handle` consumes an incoming [`ResolutionMsg`] and optionally produces
+/// a reply `(topic, message)` the caller publishes; `lookup_or_pull`
+/// serves local consumers (the cross-msg pool).
+#[derive(Debug, Clone, Default)]
+pub struct Resolver {
+    cache: ContentCache,
+    stats: ResolverStats,
+}
+
+impl Resolver {
+    /// Creates a resolver with an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Read access to the cache.
+    pub fn cache(&self) -> &ContentCache {
+        &self.cache
+    }
+
+    /// Activity counters.
+    pub fn stats(&self) -> ResolverStats {
+        self.stats
+    }
+
+    /// Seeds the cache with locally produced content (the SCA registers
+    /// every group it creates).
+    pub fn seed(&mut self, cid: Cid, msgs: Vec<CrossMsg>) -> bool {
+        self.cache.insert(cid, msgs)
+    }
+
+    /// Processes an incoming protocol message. Returns an optional reply
+    /// to publish as `(topic, message)`.
+    pub fn handle(&mut self, msg: ResolutionMsg) -> Option<(String, ResolutionMsg)> {
+        match msg {
+            ResolutionMsg::Push { cid, msgs } => {
+                if self.cache.insert(cid, msgs) {
+                    self.stats.pushes_cached += 1;
+                } else {
+                    self.stats.rejected += 1;
+                }
+                None
+            }
+            ResolutionMsg::Pull { cid, reply_topic } => match self.cache.get(&cid) {
+                Some(msgs) => {
+                    self.stats.pulls_served += 1;
+                    Some((
+                        reply_topic,
+                        ResolutionMsg::Resolve {
+                            cid,
+                            msgs: msgs.to_vec(),
+                        },
+                    ))
+                }
+                None => {
+                    self.stats.pulls_missed += 1;
+                    None
+                }
+            },
+            ResolutionMsg::Resolve { cid, msgs } => {
+                if self.cache.insert(cid, msgs) {
+                    self.stats.resolves_cached += 1;
+                } else {
+                    self.stats.rejected += 1;
+                }
+                None
+            }
+            // Certificates are consumed by the node runtime before the
+            // resolver sees traffic; a stray one is ignored here.
+            ResolutionMsg::Certificate(_) => None,
+        }
+    }
+
+    /// Local lookup for the cross-msg pool: returns the cached content, or
+    /// the [`ResolutionMsg::Pull`] to publish on `source_topic`.
+    pub fn lookup_or_pull(
+        &mut self,
+        cid: Cid,
+        reply_topic: &str,
+    ) -> Result<Vec<CrossMsg>, ResolutionMsg> {
+        match self.cache.get(&cid) {
+            Some(msgs) => {
+                self.stats.cache_hits += 1;
+                Ok(msgs.to_vec())
+            }
+            None => {
+                self.stats.cache_misses += 1;
+                Err(ResolutionMsg::Pull {
+                    cid,
+                    reply_topic: reply_topic.to_owned(),
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hc_actors::HcAddress;
+    use hc_types::{Address, SubnetId, TokenAmount};
+
+    fn group(n: u64) -> (Cid, Vec<CrossMsg>) {
+        let msgs: Vec<CrossMsg> = (0..n)
+            .map(|i| {
+                CrossMsg::transfer(
+                    HcAddress::new(
+                        SubnetId::root().child(Address::new(9)),
+                        Address::new(100 + i),
+                    ),
+                    HcAddress::new(SubnetId::root(), Address::new(200 + i)),
+                    TokenAmount::from_atto(i as u128 + 1),
+                )
+            })
+            .collect();
+        (merkle_root(&msgs), msgs)
+    }
+
+    #[test]
+    fn cache_rejects_mismatched_content() {
+        let mut cache = ContentCache::new();
+        let (cid, msgs) = group(3);
+        let (_, other) = group(2);
+        assert!(!cache.insert(cid, other));
+        assert!(cache.insert(cid, msgs.clone()));
+        assert_eq!(cache.get(&cid).unwrap(), msgs.as_slice());
+        // Idempotent re-insert.
+        assert!(cache.insert(cid, msgs));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn push_then_local_hit() {
+        let mut r = Resolver::new();
+        let (cid, msgs) = group(2);
+        assert!(r.handle(ResolutionMsg::Push { cid, msgs: msgs.clone() }).is_none());
+        assert_eq!(r.lookup_or_pull(cid, "/root/msgs").unwrap(), msgs);
+        let stats = r.stats();
+        assert_eq!(stats.pushes_cached, 1);
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.cache_misses, 0);
+    }
+
+    #[test]
+    fn miss_produces_pull_and_resolve_round_trip() {
+        let mut requester = Resolver::new();
+        let mut source = Resolver::new();
+        let (cid, msgs) = group(4);
+        source.seed(cid, msgs.clone());
+
+        // Requester misses locally → emits a pull.
+        let pull = requester.lookup_or_pull(cid, "/root/a5/msgs").unwrap_err();
+        assert!(matches!(pull, ResolutionMsg::Pull { .. }));
+
+        // Source answers on the reply topic.
+        let (topic, resolve) = source.handle(pull).expect("source serves the pull");
+        assert_eq!(topic, "/root/a5/msgs");
+
+        // Requester ingests the resolve; the content is now local.
+        assert!(requester.handle(resolve).is_none());
+        assert_eq!(requester.lookup_or_pull(cid, "x").unwrap(), msgs);
+        assert_eq!(source.stats().pulls_served, 1);
+        assert_eq!(requester.stats().resolves_cached, 1);
+    }
+
+    #[test]
+    fn pull_for_unknown_content_is_ignored() {
+        let mut r = Resolver::new();
+        let (cid, _) = group(1);
+        let reply = r.handle(ResolutionMsg::Pull {
+            cid,
+            reply_topic: "t".into(),
+        });
+        assert!(reply.is_none());
+        assert_eq!(r.stats().pulls_missed, 1);
+    }
+
+    #[test]
+    fn poisoned_push_is_rejected() {
+        let mut r = Resolver::new();
+        let (cid, _) = group(2);
+        let (_, wrong) = group(3);
+        r.handle(ResolutionMsg::Push { cid, msgs: wrong });
+        assert!(!r.cache().contains(&cid));
+        assert_eq!(r.stats().rejected, 1);
+    }
+}

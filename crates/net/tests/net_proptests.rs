@@ -1,0 +1,105 @@
+//! Property-based tests of the pub-sub network and content resolution.
+
+use proptest::prelude::*;
+
+use hc_actors::{CrossMsg, HcAddress};
+use hc_net::{ContentCache, NetConfig, Network, ResolutionMsg, Resolver};
+use hc_types::merkle::merkle_root;
+use hc_types::{Address, SubnetId, TokenAmount};
+
+fn group(id: u64, n: u64) -> (hc_types::Cid, Vec<CrossMsg>) {
+    let msgs: Vec<CrossMsg> = (0..n.max(1))
+        .map(|i| {
+            CrossMsg::transfer(
+                HcAddress::new(
+                    SubnetId::root().child(Address::new(200 + id)),
+                    Address::new(100 + i),
+                ),
+                HcAddress::new(SubnetId::root(), Address::new(300 + i)),
+                TokenAmount::from_atto(u128::from(id) * 1_000 + u128::from(i) + 1),
+            )
+        })
+        .collect();
+    (merkle_root(&msgs), msgs)
+}
+
+proptest! {
+    /// Without loss, every published message is delivered to every other
+    /// subscriber exactly once, after at least the base delay.
+    #[test]
+    fn lossless_delivery_is_exactly_once(
+        subscribers in 1usize..6,
+        publishes in prop::collection::vec((0u64..10_000, 0u32..1_000), 1..30),
+        base_delay in 1u64..200,
+        jitter in 0u64..100,
+    ) {
+        let net: Network<u32> = Network::new(
+            NetConfig { base_delay_ms: base_delay, jitter_ms: jitter, drop_rate: 0.0 },
+            99,
+        );
+        let subs: Vec<_> = (0..subscribers).map(|_| net.subscribe("t")).collect();
+        for (at, payload) in &publishes {
+            net.publish("t", *payload, *at, None);
+        }
+        let horizon = 10_000 + base_delay + jitter + 1;
+        let mut expected: Vec<u32> = publishes.iter().map(|(_, p)| *p).collect();
+        expected.sort_unstable();
+        for sub in subs {
+            // Nothing arrives before the base delay of the earliest publish.
+            let earliest = publishes.iter().map(|(at, _)| *at).min().unwrap();
+            if base_delay > 0 {
+                prop_assert!(net.poll(sub, earliest + base_delay - 1).len() <= publishes.len());
+            }
+            let mut got = net.poll(sub, horizon);
+            // Plus anything already polled above.
+            got.extend(net.poll(sub, horizon));
+            let mut all = got;
+            all.sort_unstable();
+            // Between the two polls everything must have arrived once.
+            prop_assert_eq!(all.len(), expected.len());
+        }
+    }
+
+    /// The content cache never stores content under the wrong CID,
+    /// whatever insertion order is attempted.
+    #[test]
+    fn cache_is_poison_proof(inserts in prop::collection::vec((0u64..6, 0u64..6, 1u64..4), 1..30)) {
+        let mut cache = ContentCache::new();
+        for (claimed_id, actual_id, n) in inserts {
+            let (claimed_cid, _) = group(claimed_id, n);
+            let (_, actual_msgs) = group(actual_id, n);
+            let accepted = cache.insert(claimed_cid, actual_msgs.clone());
+            prop_assert_eq!(accepted, claimed_id == actual_id);
+            if let Some(stored) = cache.get(&claimed_cid) {
+                prop_assert_eq!(merkle_root(stored), claimed_cid);
+            }
+        }
+    }
+
+    /// Pull → resolve round trips always converge for any partition of
+    /// content between two resolvers.
+    #[test]
+    fn pull_resolve_always_converges(ids in prop::collection::vec(0u64..20, 1..10)) {
+        let mut source = Resolver::new();
+        let mut dest = Resolver::new();
+        let mut want = Vec::new();
+        for id in &ids {
+            let (cid, msgs) = group(*id, 2);
+            source.seed(cid, msgs.clone());
+            want.push((cid, msgs));
+        }
+        for (cid, msgs) in &want {
+            match dest.lookup_or_pull(*cid, "dest/topic") {
+                Ok(got) => prop_assert_eq!(&got, msgs),
+                Err(pull) => {
+                    let (topic, resolve) = source.handle(pull).expect("source has content");
+                    prop_assert_eq!(topic.as_str(), "dest/topic");
+                    dest.handle(resolve);
+                    let got = dest.lookup_or_pull(*cid, "dest/topic")
+                        .expect("resolved content is cached");
+                    prop_assert_eq!(&got, msgs);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! E2 — cross-net message latency per class (paper §IV-A).
+//!
+//! Top-down messages apply as soon as the child syncs and proposes;
+//! bottom-up messages wait for a checkpoint window per hop; path messages
+//! combine both legs via the LCA. Expected shape: top-down ≪ bottom-up,
+//! bottom-up ∝ depth × checkpoint period, path ≈ up + down.
+
+use hc_core::RuntimeError;
+use hc_types::{SubnetId, TokenAmount};
+
+use crate::metrics::measure_delivery;
+use crate::table::Table;
+use crate::topology::TopologyBuilder;
+
+/// E2 parameters.
+#[derive(Debug, Clone)]
+pub struct E2Params {
+    /// Hierarchy depths to sweep (distance of the deep endpoint from
+    /// the root).
+    pub depths: Vec<usize>,
+    /// Checkpoint periods (epochs) to sweep.
+    pub periods: Vec<u64>,
+    /// Transfers averaged per point.
+    pub samples: usize,
+}
+
+impl Default for E2Params {
+    fn default() -> Self {
+        E2Params {
+            depths: vec![1, 2, 3, 4],
+            periods: vec![5, 10, 20],
+            samples: 3,
+        }
+    }
+}
+
+/// One measured point of E2.
+#[derive(Debug, Clone, PartialEq)]
+pub struct E2Row {
+    /// Message class: `top-down`, `bottom-up`, or `path`.
+    pub class: &'static str,
+    /// Depth of the non-root endpoint(s).
+    pub depth: usize,
+    /// Checkpoint period of every subnet, epochs.
+    pub period: u64,
+    /// Mean delivery latency, virtual ms.
+    pub latency_ms: f64,
+    /// Mean blocks produced hierarchy-wide while in flight.
+    pub blocks: f64,
+}
+
+/// Runs the E2 sweep.
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn e2_run(params: &E2Params) -> Result<Vec<E2Row>, RuntimeError> {
+    let mut rows = Vec::new();
+    for &period in &params.periods {
+        for &depth in &params.depths {
+            // A chain root -> s1 -> … -> s_depth plus one sibling branch of
+            // the same depth for path messages.
+            let mut topo = TopologyBuilder::new()
+                .users_per_subnet(1)
+                .checkpoint_period(period)
+                .deep(depth)?;
+            // Sibling branch under the root for path traffic.
+            let mut sibling_parent = SubnetId::root();
+            let mut sibling_leaf = None;
+            for _ in 0..depth {
+                let s = topo.spawn_under(
+                    &sibling_parent,
+                    hc_actors::sa::SaConfig {
+                        checkpoint_period: period,
+                        ..hc_actors::sa::SaConfig::default()
+                    },
+                    TokenAmount::from_whole(10),
+                    TokenAmount::from_whole(5),
+                )?;
+                topo.add_users(&s, 1, TokenAmount::from_whole(1_000))?;
+                sibling_parent = s.clone();
+                sibling_leaf = Some(s);
+            }
+            topo.rt.run_until_quiescent(100_000)?;
+
+            let root_user = topo.users[&SubnetId::root()][0].clone();
+            let deep_subnet = topo.subnets[depth - 1].clone();
+            let deep_user = topo.users[&deep_subnet][0].clone();
+            let sibling_user =
+                topo.users[&sibling_leaf.expect("depth >= 1")][0].clone();
+
+            let sample = |class: &'static str,
+                              from: &hc_core::UserHandle,
+                              to: &hc_core::UserHandle,
+                              topo: &mut crate::topology::FlatTopology|
+             -> Result<E2Row, RuntimeError> {
+                let mut total_ms = 0u64;
+                let mut total_blocks = 0u64;
+                for i in 0..params.samples {
+                    let m = measure_delivery(
+                        &mut topo.rt,
+                        from,
+                        to,
+                        TokenAmount::from_atto(1_000 + i as u128),
+                        200_000,
+                    )?;
+                    total_ms += m.latency_ms;
+                    total_blocks += m.blocks;
+                    topo.rt.run_until_quiescent(100_000)?;
+                }
+                Ok(E2Row {
+                    class,
+                    depth,
+                    period,
+                    latency_ms: total_ms as f64 / params.samples as f64,
+                    blocks: total_blocks as f64 / params.samples as f64,
+                })
+            };
+
+            rows.push(sample("top-down", &root_user, &deep_user, &mut topo)?);
+            rows.push(sample("bottom-up", &deep_user, &root_user, &mut topo)?);
+            rows.push(sample("path", &deep_user, &sibling_user, &mut topo)?);
+        }
+    }
+    Ok(rows)
+}
+
+/// Renders E2 rows.
+pub fn table(rows: &[E2Row]) -> Table {
+    let mut t = Table::new(
+        "E2: cross-net latency by class, depth, checkpoint period",
+        &["class", "depth", "period", "latency ms", "blocks"],
+    );
+    for r in rows {
+        t.row(&[
+            r.class.to_string(),
+            r.depth.to_string(),
+            r.period.to_string(),
+            format!("{:.0}", r.latency_ms),
+            format!("{:.1}", r.blocks),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_shape_matches_paper_expectations() {
+        let rows = e2_run(&E2Params {
+            depths: vec![1, 2],
+            periods: vec![5],
+            samples: 1,
+        })
+        .unwrap();
+        let get = |class: &str, depth: usize| {
+            rows.iter()
+                .find(|r| r.class == class && r.depth == depth)
+                .unwrap()
+                .latency_ms
+        };
+        // Bottom-up pays the checkpoint wait; top-down does not.
+        assert!(get("bottom-up", 1) > get("top-down", 1));
+        // Deeper bottom-up costs more (one checkpoint per hop).
+        assert!(get("bottom-up", 2) > get("bottom-up", 1));
+        // Path ≈ bottom-up leg + top-down leg: at least the bottom-up leg.
+        assert!(get("path", 1) >= get("bottom-up", 1));
+    }
+}

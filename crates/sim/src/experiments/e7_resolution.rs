@@ -1,0 +1,164 @@
+//! E7 — push vs pull content resolution (paper §IV-C).
+//!
+//! Bottom-up message payloads travel by CID; destinations resolve them
+//! either from proactive *push* announcements or by *pull* requests to the
+//! source subnet. Expected shape: with push enabled, most lookups hit the
+//! local cache and delivery is faster; pull-only trades latency (an extra
+//! request/response round per miss) for less proactive bandwidth.
+
+use hc_core::{RuntimeConfig, RuntimeError};
+use hc_types::{SubnetId, TokenAmount};
+
+use crate::metrics::measure_delivery;
+use crate::table::{f2, Table};
+use crate::topology::TopologyBuilder;
+
+/// E7 parameters.
+#[derive(Debug, Clone)]
+pub struct E7Params {
+    /// Network drop rates to sweep.
+    pub drop_rates: Vec<f64>,
+    /// Bottom-up transfers measured per point.
+    pub transfers: usize,
+}
+
+impl Default for E7Params {
+    fn default() -> Self {
+        E7Params {
+            drop_rates: vec![0.0, 0.2],
+            transfers: 6,
+        }
+    }
+}
+
+/// One configuration's measurements.
+#[derive(Debug, Clone, PartialEq)]
+pub struct E7Row {
+    /// `push+pull` or `pull-only`.
+    pub mode: &'static str,
+    /// Network drop rate.
+    pub drop_rate: f64,
+    /// Mean bottom-up delivery latency, virtual ms.
+    pub latency_ms: f64,
+    /// Cache hits at the destination (push worked).
+    pub cache_hits: u64,
+    /// Cache misses (a pull was needed).
+    pub cache_misses: u64,
+    /// Pull requests served by source subnets.
+    pub pulls_served: u64,
+    /// Push payloads accepted into destination caches.
+    pub pushes_cached: u64,
+}
+
+/// Runs the E7 comparison.
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn e7_run(params: &E7Params) -> Result<Vec<E7Row>, RuntimeError> {
+    let mut rows = Vec::new();
+    for &drop_rate in &params.drop_rates {
+        for (mode, push_enabled) in [("push+pull", true), ("pull-only", false)] {
+            let config = RuntimeConfig {
+                push_enabled,
+                net: hc_net::NetConfig {
+                    drop_rate,
+                    ..hc_net::NetConfig::default()
+                },
+                ..RuntimeConfig::default()
+            };
+            let mut builder = TopologyBuilder::new();
+            builder.users_per_subnet(1).runtime_config(config);
+            let mut topo = builder.flat(1)?;
+            let child_user = topo.users[&topo.subnets[0]][0].clone();
+            let root_user = topo.users[&SubnetId::root()][0].clone();
+
+            let mut total_ms = 0u64;
+            for i in 0..params.transfers {
+                let m = measure_delivery(
+                    &mut topo.rt,
+                    &child_user,
+                    &root_user,
+                    TokenAmount::from_atto(100 + i as u128),
+                    500_000,
+                )?;
+                total_ms += m.latency_ms;
+                topo.rt.run_until_quiescent(100_000)?;
+            }
+
+            let root_stats = topo
+                .rt
+                .node(&SubnetId::root())
+                .unwrap()
+                .resolver()
+                .stats();
+            let child_stats = topo
+                .rt
+                .node(&topo.subnets[0])
+                .unwrap()
+                .resolver()
+                .stats();
+            rows.push(E7Row {
+                mode,
+                drop_rate,
+                latency_ms: total_ms as f64 / params.transfers as f64,
+                cache_hits: root_stats.cache_hits,
+                cache_misses: root_stats.cache_misses,
+                pulls_served: child_stats.pulls_served,
+                pushes_cached: root_stats.pushes_cached,
+            });
+        }
+    }
+    Ok(rows)
+}
+
+/// Renders E7 rows.
+pub fn table(rows: &[E7Row]) -> Table {
+    let mut t = Table::new(
+        "E7: content resolution — push vs pull",
+        &[
+            "mode",
+            "drop rate",
+            "latency ms",
+            "cache hits",
+            "misses",
+            "pulls served",
+            "pushes cached",
+        ],
+    );
+    for r in rows {
+        t.row(&[
+            r.mode.to_string(),
+            f2(r.drop_rate),
+            f2(r.latency_ms),
+            r.cache_hits.to_string(),
+            r.cache_misses.to_string(),
+            r.pulls_served.to_string(),
+            r.pushes_cached.to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_reduces_misses_and_pull_still_converges() {
+        let rows = e7_run(&E7Params {
+            drop_rates: vec![0.0],
+            transfers: 3,
+        })
+        .unwrap();
+        let push = rows.iter().find(|r| r.mode == "push+pull").unwrap();
+        let pull = rows.iter().find(|r| r.mode == "pull-only").unwrap();
+        // Push mode caches content proactively.
+        assert!(push.pushes_cached > 0);
+        assert!(pull.pushes_cached == 0);
+        // Pull-only resolves every meta by request.
+        assert!(pull.pulls_served > 0);
+        // Both deliver; pull-only is not faster.
+        assert!(pull.latency_ms >= push.latency_ms * 0.9);
+    }
+}

@@ -1,0 +1,185 @@
+//! Seeded traffic generators.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use hc_core::RuntimeError;
+use hc_state::Method;
+use hc_types::TokenAmount;
+
+use crate::topology::FlatTopology;
+
+/// A traffic mix: every generated message is an intra-subnet transfer with
+/// probability `1 - cross_ratio`, otherwise a cross-net transfer to a user
+/// in a uniformly chosen other subnet.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Messages to submit per subnet.
+    pub msgs_per_subnet: usize,
+    /// Fraction of cross-net messages, `0.0..=1.0`.
+    pub cross_ratio: f64,
+    /// Transfer amount (atto) per message.
+    pub amount: TokenAmount,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+impl Default for Workload {
+    fn default() -> Self {
+        Workload {
+            msgs_per_subnet: 200,
+            cross_ratio: 0.0,
+            amount: TokenAmount::from_atto(1_000),
+            seed: 7,
+        }
+    }
+}
+
+/// What a workload run measured, all in virtual time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadReport {
+    /// Messages submitted.
+    pub submitted: usize,
+    /// User messages executed successfully (across the hierarchy).
+    pub executed_ok: u64,
+    /// User messages that failed.
+    pub failed: u64,
+    /// Cross-net messages applied at their destinations.
+    pub cross_applied: u64,
+    /// Virtual milliseconds elapsed during the run.
+    pub elapsed_ms: u64,
+    /// Blocks produced during the run.
+    pub blocks: u64,
+    /// Aggregate throughput: successful user messages per virtual second,
+    /// summed over subnets (subnets run in parallel).
+    pub aggregate_tps: f64,
+}
+
+impl Workload {
+    /// Submits the workload into every subnet's mempool and drives the
+    /// hierarchy until it drains, returning virtual-time measurements.
+    ///
+    /// # Errors
+    ///
+    /// Propagates submission/step failures.
+    pub fn run(&self, topo: &mut FlatTopology) -> Result<WorkloadReport, RuntimeError> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let subnets = topo.all_subnets();
+
+        let stats_before: Vec<_> = subnets
+            .iter()
+            .map(|s| topo.rt.node(s).unwrap().stats())
+            .collect();
+        let t0 = topo.rt.now_ms();
+
+        // Submit the full workload up front (closed-loop batch).
+        let mut submitted = 0usize;
+        for subnet in &subnets {
+            let locals = topo.users.get(subnet).cloned().unwrap_or_default();
+            if locals.is_empty() {
+                continue;
+            }
+            for i in 0..self.msgs_per_subnet {
+                let from = &locals[i % locals.len()];
+                let cross = self.cross_ratio > 0.0 && rng.gen_bool(self.cross_ratio.min(1.0));
+                // Cross targets must live in a *different* subnet that has
+                // users (the root may carry none in subnet-only sweeps).
+                let candidates: Vec<&hc_types::SubnetId> = subnets
+                    .iter()
+                    .filter(|s| {
+                        *s != subnet && topo.users.get(s).is_some_and(|u| !u.is_empty())
+                    })
+                    .collect();
+                if cross && !candidates.is_empty() {
+                    let other = candidates[rng.gen_range(0..candidates.len())];
+                    let peers = &topo.users[other];
+                    let to = &peers[rng.gen_range(0..peers.len())];
+                    topo.rt.cross_transfer_lazy(from, to, self.amount)?;
+                } else {
+                    let to = &locals[rng.gen_range(0..locals.len())];
+                    if to.addr != from.addr {
+                        topo.rt
+                            .submit(from, to.addr, self.amount, Method::Send)?;
+                    } else {
+                        topo.rt.submit(
+                            from,
+                            from.addr,
+                            TokenAmount::ZERO,
+                            Method::PutData {
+                                key: b"ping".to_vec(),
+                                data: i.to_le_bytes().to_vec(),
+                            },
+                        )?;
+                    }
+                }
+                submitted += 1;
+            }
+        }
+
+        topo.rt.run_until_quiescent(1_000_000)?;
+
+        let mut executed_ok = 0;
+        let mut failed = 0;
+        let mut cross_applied = 0;
+        let mut blocks = 0;
+        let mut aggregate_tps = 0.0;
+        for (s, before) in subnets.iter().zip(stats_before) {
+            let node = topo.rt.node(s).unwrap();
+            let after = node.stats();
+            executed_ok += after.user_msgs_ok - before.user_msgs_ok;
+            failed += after.user_msgs_failed - before.user_msgs_failed;
+            cross_applied += after.cross_applied - before.cross_applied;
+            blocks += after.blocks - before.blocks;
+            let interval = after.total_interval_ms - before.total_interval_ms;
+            if interval > 0 {
+                aggregate_tps +=
+                    (after.user_msgs_ok - before.user_msgs_ok) as f64 * 1_000.0 / interval as f64;
+            }
+        }
+        Ok(WorkloadReport {
+            submitted,
+            executed_ok,
+            failed,
+            cross_applied,
+            elapsed_ms: topo.rt.now_ms() - t0,
+            blocks,
+            aggregate_tps,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::TopologyBuilder;
+
+    #[test]
+    fn local_workload_drains_and_counts() {
+        let mut topo = TopologyBuilder::new().users_per_subnet(3).flat(2).unwrap();
+        let report = Workload {
+            msgs_per_subnet: 50,
+            ..Workload::default()
+        }
+        .run(&mut topo)
+        .unwrap();
+        assert_eq!(report.submitted, 150); // root + 2 subnets
+        assert_eq!(report.executed_ok, 150);
+        assert_eq!(report.failed, 0);
+        assert!(report.aggregate_tps > 0.0);
+        hc_core::audit_quiescent(&topo.rt).unwrap();
+    }
+
+    #[test]
+    fn cross_workload_delivers_and_conserves() {
+        let mut topo = TopologyBuilder::new().users_per_subnet(2).flat(2).unwrap();
+        let report = Workload {
+            msgs_per_subnet: 20,
+            cross_ratio: 0.5,
+            ..Workload::default()
+        }
+        .run(&mut topo)
+        .unwrap();
+        assert!(report.cross_applied > 0, "some cross traffic must flow");
+        hc_core::audit_quiescent(&topo.rt).unwrap();
+    }
+}

@@ -1,0 +1,34 @@
+//! # hc-state — per-subnet state tree and execution (the "VM" substrate)
+//!
+//! Every subnet chain owns one [`StateTree`]: user accounts (balance, nonce,
+//! signing key, key-value contract storage) plus the embedded system actors
+//! of hierarchical consensus — the Subnet Coordinator Actor, the Subnet
+//! Actors deployed for child subnets, and the atomic-execution coordinator.
+//!
+//! The [`vm`] module applies messages to the tree: signed user messages
+//! ([`SignedMessage`]) and implicit consensus messages ([`ImplicitMsg`],
+//! e.g. cross-net messages committed by a block). Execution produces
+//! [`Receipt`]s carrying [`VmEvent`]s that the runtime (`hc-core`) reacts to
+//! — committed checkpoints, cross-messages to propagate, atomic-execution
+//! transitions.
+//!
+//! # Substitution note (DESIGN.md)
+//!
+//! This plays the role the Filecoin VM (FVM) plays for the paper's
+//! prototype: actor state, nonces, balances, receipts, and a deterministic
+//! state root. The actor set is closed (the system actors plus simple
+//! key-value user storage), which is all the paper's protocol requires.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod message;
+pub mod params;
+pub mod store;
+pub mod tree;
+pub mod vm;
+
+pub use message::{ImplicitMsg, Message, Method, SignedMessage};
+pub use store::CidStore;
+pub use tree::{AccountState, StateTree};
+pub use vm::{apply_implicit, apply_signed, ExitCode, Receipt, VmEvent};

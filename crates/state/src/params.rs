@@ -1,0 +1,271 @@
+//! Parameter codec for cross-net actor calls.
+//!
+//! Cross-net messages carry opaque call data (`CrossMsgKind::Call { method,
+//! params }`). This module defines the method selectors understood by the
+//! system actors and a small, canonical, self-contained binary codec for
+//! their parameters — the piece a real deployment would get from its VM ABI.
+
+use hc_actors::HcAddress;
+use hc_types::{Address, CanonicalEncode, Cid, SubnetId};
+
+/// Method selector: initialize an atomic execution at the coordinator.
+pub const METHOD_ATOMIC_INIT: u64 = 1;
+/// Method selector: submit an atomic-execution output to the coordinator.
+pub const METHOD_ATOMIC_SUBMIT: u64 = 2;
+/// Method selector: abort an atomic execution.
+pub const METHOD_ATOMIC_ABORT: u64 = 3;
+
+/// Errors produced when decoding call parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError(pub &'static str);
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "parameter decode error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// A cursor over canonical parameter bytes.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Cursor { bytes, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or(DecodeError("unexpected end of input"))?;
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn read_u64(&mut self) -> Result<u64, DecodeError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    fn read_cid(&mut self) -> Result<Cid, DecodeError> {
+        let b = self.take(32)?;
+        Ok(Cid::from_bytes(b.try_into().expect("32 bytes")))
+    }
+
+    fn read_subnet(&mut self) -> Result<SubnetId, DecodeError> {
+        let len = self.read_u64()? as usize;
+        if len > hc_types::subnet_id::MAX_DEPTH {
+            return Err(DecodeError("subnet route too deep"));
+        }
+        let mut route = Vec::with_capacity(len);
+        for _ in 0..len {
+            route.push(Address::new(self.read_u64()?));
+        }
+        Ok(SubnetId::from_route(route))
+    }
+
+    fn read_haddr(&mut self) -> Result<HcAddress, DecodeError> {
+        let subnet = self.read_subnet()?;
+        let raw = Address::new(self.read_u64()?);
+        Ok(HcAddress::new(subnet, raw))
+    }
+
+    fn finish(&self) -> Result<(), DecodeError> {
+        if self.pos == self.bytes.len() {
+            Ok(())
+        } else {
+            Err(DecodeError("trailing bytes after parameters"))
+        }
+    }
+}
+
+/// Parameters of [`METHOD_ATOMIC_SUBMIT`]: `(exec_id, output)`.
+///
+/// The submitting party is the cross-message's `from` address, so it does
+/// not appear in the parameters — a subnet cannot impersonate another
+/// party's submission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AtomicSubmitParams {
+    /// The execution being committed to.
+    pub exec: Cid,
+    /// CID of the computed output state.
+    pub output: Cid,
+}
+
+impl AtomicSubmitParams {
+    /// Encodes the parameters canonically.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64);
+        self.exec.write_bytes(&mut out);
+        self.output.write_bytes(&mut out);
+        out
+    }
+
+    /// Decodes parameters produced by [`AtomicSubmitParams::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Fails on truncated or oversized input.
+    pub fn decode(bytes: &[u8]) -> Result<Self, DecodeError> {
+        let mut c = Cursor::new(bytes);
+        let exec = c.read_cid()?;
+        let output = c.read_cid()?;
+        c.finish()?;
+        Ok(AtomicSubmitParams { exec, output })
+    }
+}
+
+/// Parameters of [`METHOD_ATOMIC_ABORT`]: the execution ID.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AtomicAbortParams {
+    /// The execution being aborted.
+    pub exec: Cid,
+}
+
+impl AtomicAbortParams {
+    /// Encodes the parameters canonically.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(32);
+        self.exec.write_bytes(&mut out);
+        out
+    }
+
+    /// Decodes parameters produced by [`AtomicAbortParams::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Fails on truncated or oversized input.
+    pub fn decode(bytes: &[u8]) -> Result<Self, DecodeError> {
+        let mut c = Cursor::new(bytes);
+        let exec = c.read_cid()?;
+        c.finish()?;
+        Ok(AtomicAbortParams { exec })
+    }
+}
+
+/// Parameters of [`METHOD_ATOMIC_INIT`]: the parties and their locked
+/// input-state CIDs (one per party, same order).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AtomicInitParams {
+    /// The involved parties.
+    pub parties: Vec<HcAddress>,
+    /// CIDs of each party's locked input.
+    pub inputs: Vec<Cid>,
+}
+
+impl AtomicInitParams {
+    /// Encodes the parameters canonically.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        (self.parties.len() as u64).write_bytes(&mut out);
+        for p in &self.parties {
+            p.write_bytes(&mut out);
+        }
+        (self.inputs.len() as u64).write_bytes(&mut out);
+        for i in &self.inputs {
+            i.write_bytes(&mut out);
+        }
+        out
+    }
+
+    /// Decodes parameters produced by [`AtomicInitParams::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Fails on truncated, oversized, or over-deep input.
+    pub fn decode(bytes: &[u8]) -> Result<Self, DecodeError> {
+        let mut c = Cursor::new(bytes);
+        let n = c.read_u64()? as usize;
+        if n > 1_024 {
+            return Err(DecodeError("too many parties"));
+        }
+        let mut parties = Vec::with_capacity(n);
+        for _ in 0..n {
+            parties.push(c.read_haddr()?);
+        }
+        let m = c.read_u64()? as usize;
+        if m > 1_024 {
+            return Err(DecodeError("too many inputs"));
+        }
+        let mut inputs = Vec::with_capacity(m);
+        for _ in 0..m {
+            inputs.push(c.read_cid()?);
+        }
+        c.finish()?;
+        Ok(AtomicInitParams { parties, inputs })
+    }
+}
+
+// The HcAddress reader is used by tests and future cross-net call params.
+#[allow(dead_code)]
+fn read_party(bytes: &[u8]) -> Result<HcAddress, DecodeError> {
+    let mut c = Cursor::new(bytes);
+    let p = c.read_haddr()?;
+    c.finish()?;
+    Ok(p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn submit_params_round_trip() {
+        let p = AtomicSubmitParams {
+            exec: Cid::digest(b"exec"),
+            output: Cid::digest(b"out"),
+        };
+        assert_eq!(AtomicSubmitParams::decode(&p.encode()).unwrap(), p);
+    }
+
+    #[test]
+    fn abort_params_round_trip() {
+        let p = AtomicAbortParams {
+            exec: Cid::digest(b"exec"),
+        };
+        assert_eq!(AtomicAbortParams::decode(&p.encode()).unwrap(), p);
+    }
+
+    #[test]
+    fn decode_rejects_truncated_and_oversized() {
+        let p = AtomicSubmitParams {
+            exec: Cid::digest(b"exec"),
+            output: Cid::digest(b"out"),
+        };
+        let bytes = p.encode();
+        assert!(AtomicSubmitParams::decode(&bytes[..bytes.len() - 1]).is_err());
+        let mut longer = bytes.clone();
+        longer.push(0);
+        assert!(AtomicSubmitParams::decode(&longer).is_err());
+        assert!(AtomicSubmitParams::decode(&[]).is_err());
+    }
+
+    #[test]
+    fn haddr_round_trip_through_cursor() {
+        let addr = HcAddress::new(
+            SubnetId::from_route([Address::new(100), Address::new(101)]),
+            Address::new(7),
+        );
+        let bytes = addr.canonical_bytes();
+        assert_eq!(read_party(&bytes).unwrap(), addr);
+    }
+
+    #[test]
+    fn subnet_depth_is_bounded() {
+        // 33 segments exceeds MAX_DEPTH.
+        let mut bytes = Vec::new();
+        (33u64).write_bytes(&mut bytes);
+        for i in 0..33u64 {
+            i.write_bytes(&mut bytes);
+        }
+        (7u64).write_bytes(&mut bytes);
+        assert!(read_party(&bytes).is_err());
+    }
+}

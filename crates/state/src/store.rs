@@ -1,0 +1,112 @@
+//! Content-addressed storage.
+//!
+//! A [`CidStore`] maps CIDs to raw byte blobs. Each subnet node keeps one to
+//! cache checkpoint payloads, cross-message groups learned through the
+//! content-resolution protocol, and saved state snapshots. The store is
+//! append-only and self-verifying: a blob can only ever be stored under the
+//! CID of its own bytes.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use hc_types::Cid;
+
+/// A thread-safe, append-only, content-addressed blob store.
+///
+/// Cloning a `CidStore` produces a handle to the *same* underlying store
+/// (it is internally an [`Arc`]), which is how multiple components of one
+/// node share a cache.
+///
+/// # Example
+///
+/// ```
+/// use hc_state::CidStore;
+///
+/// let store = CidStore::new();
+/// let cid = store.put(b"hello".to_vec());
+/// assert_eq!(store.get(&cid).unwrap().as_slice(), b"hello");
+/// assert!(store.contains(&cid));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CidStore {
+    blobs: Arc<RwLock<HashMap<Cid, Arc<Vec<u8>>>>>,
+}
+
+impl CidStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stores `bytes` under their digest CID and returns it. Idempotent.
+    pub fn put(&self, bytes: Vec<u8>) -> Cid {
+        let cid = Cid::digest(&bytes);
+        self.blobs.write().entry(cid).or_insert_with(|| Arc::new(bytes));
+        cid
+    }
+
+    /// Fetches the blob behind `cid`, if present.
+    pub fn get(&self, cid: &Cid) -> Option<Arc<Vec<u8>>> {
+        self.blobs.read().get(cid).cloned()
+    }
+
+    /// Returns `true` if `cid` is present.
+    pub fn contains(&self, cid: &Cid) -> bool {
+        self.blobs.read().contains_key(cid)
+    }
+
+    /// Number of blobs stored.
+    pub fn len(&self) -> usize {
+        self.blobs.read().len()
+    }
+
+    /// Returns `true` if the store holds no blobs.
+    pub fn is_empty(&self) -> bool {
+        self.blobs.read().is_empty()
+    }
+
+    /// Total bytes stored (for cache-size experiments).
+    pub fn total_bytes(&self) -> usize {
+        self.blobs.read().values().map(|b| b.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_round_trip() {
+        let store = CidStore::new();
+        let cid = store.put(vec![1, 2, 3]);
+        assert_eq!(store.get(&cid).unwrap().as_slice(), &[1, 2, 3]);
+        assert!(store.get(&Cid::digest(b"missing")).is_none());
+    }
+
+    #[test]
+    fn put_is_idempotent() {
+        let store = CidStore::new();
+        let a = store.put(vec![7; 10]);
+        let b = store.put(vec![7; 10]);
+        assert_eq!(a, b);
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.total_bytes(), 10);
+    }
+
+    #[test]
+    fn clones_share_contents() {
+        let store = CidStore::new();
+        let handle = store.clone();
+        let cid = store.put(vec![9]);
+        assert!(handle.contains(&cid));
+    }
+
+    #[test]
+    fn cid_matches_content_digest() {
+        let store = CidStore::new();
+        let cid = store.put(b"abc".to_vec());
+        assert_eq!(cid, Cid::digest(b"abc"));
+    }
+}

@@ -1,0 +1,346 @@
+//! The per-subnet state tree.
+//!
+//! A [`StateTree`] holds everything a subnet's chain state contains:
+//!
+//! * the account table ([`Accounts`]): balance, nonce, registered signing
+//!   key, key-value contract storage with atomic-execution locks;
+//! * the embedded system actors: the subnet's own SCA
+//!   ([`hc_actors::ScaState`]), the Subnet Actors deployed for children
+//!   ([`hc_actors::SaState`]), and the atomic-execution coordinator
+//!   ([`hc_actors::AtomicExecRegistry`]).
+//!
+//! The tree is deterministic: [`StateTree::flush`] hashes the canonical
+//! encoding of the full state into a state-root CID, which blocks commit to.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use serde::{Deserialize, Serialize};
+
+use hc_actors::ledger::LedgerError;
+use hc_actors::sa::SaState;
+use hc_actors::{AtomicExecRegistry, Ledger, ScaConfig, ScaState};
+use hc_types::{
+    Address, CanonicalEncode, Cid, Nonce, PublicKey, SubnetId, TokenAmount,
+};
+
+/// First address handed out to deployed actors (Subnet Actors).
+const FIRST_DEPLOYED_ACTOR: u64 = 1_000_000;
+
+/// One account's state.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct AccountState {
+    /// Spendable balance.
+    pub balance: TokenAmount,
+    /// Next expected message nonce.
+    pub nonce: Nonce,
+    /// Registered signing key (absent for actors that never sign).
+    pub key: Option<PublicKey>,
+    /// Key-value contract storage.
+    pub storage: BTreeMap<Vec<u8>, Vec<u8>>,
+    /// Storage keys locked as inputs of in-flight atomic executions.
+    pub locked: BTreeSet<Vec<u8>>,
+}
+
+impl CanonicalEncode for AccountState {
+    fn write_bytes(&self, out: &mut Vec<u8>) {
+        self.balance.write_bytes(out);
+        self.nonce.write_bytes(out);
+        self.key.write_bytes(out);
+        (self.storage.len() as u64).write_bytes(out);
+        for (k, v) in &self.storage {
+            k.write_bytes(out);
+            v.write_bytes(out);
+        }
+        (self.locked.len() as u64).write_bytes(out);
+        for k in &self.locked {
+            k.write_bytes(out);
+        }
+    }
+}
+
+/// The account table: the [`Ledger`] implementation system actors operate
+/// on.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Accounts {
+    map: BTreeMap<Address, AccountState>,
+}
+
+impl Accounts {
+    /// Read-only view of an account (`None` if it never existed).
+    pub fn get(&self, addr: Address) -> Option<&AccountState> {
+        self.map.get(&addr)
+    }
+
+    /// Mutable access, creating the account if absent.
+    pub fn get_or_create(&mut self, addr: Address) -> &mut AccountState {
+        self.map.entry(addr).or_default()
+    }
+
+    /// Iterates over `(address, state)` pairs in address order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Address, &AccountState)> {
+        self.map.iter()
+    }
+
+    /// Total token value across all accounts (including system actors and
+    /// burnt funds) — the subnet's gross supply, used in conservation
+    /// audits.
+    pub fn total(&self) -> TokenAmount {
+        self.map.values().map(|a| a.balance).sum()
+    }
+}
+
+impl Ledger for Accounts {
+    fn balance(&self, account: Address) -> TokenAmount {
+        self.map
+            .get(&account)
+            .map_or(TokenAmount::ZERO, |a| a.balance)
+    }
+
+    fn credit(&mut self, account: Address, amount: TokenAmount) {
+        let acc = self.get_or_create(account);
+        acc.balance += amount;
+    }
+
+    fn debit(&mut self, account: Address, amount: TokenAmount) -> Result<(), LedgerError> {
+        let available = self.balance(account);
+        let new = available
+            .checked_sub(amount)
+            .ok_or(LedgerError::InsufficientFunds {
+                account,
+                needed: amount,
+                available,
+            })?;
+        self.get_or_create(account).balance = new;
+        Ok(())
+    }
+}
+
+impl CanonicalEncode for Accounts {
+    fn write_bytes(&self, out: &mut Vec<u8>) {
+        (self.map.len() as u64).write_bytes(out);
+        for (addr, acc) in &self.map {
+            addr.write_bytes(out);
+            acc.write_bytes(out);
+        }
+    }
+}
+
+/// The full state of one subnet chain.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StateTree {
+    subnet_id: SubnetId,
+    accounts: Accounts,
+    sca: ScaState,
+    sas: BTreeMap<Address, SaState>,
+    atomic: AtomicExecRegistry,
+    next_actor_id: u64,
+}
+
+impl StateTree {
+    /// Creates the genesis state of a subnet: funded accounts with
+    /// registered keys and a fresh SCA.
+    pub fn genesis<I>(subnet_id: SubnetId, sca_config: ScaConfig, accounts: I) -> Self
+    where
+        I: IntoIterator<Item = (Address, PublicKey, TokenAmount)>,
+    {
+        let mut table = Accounts::default();
+        for (addr, key, balance) in accounts {
+            let acc = table.get_or_create(addr);
+            acc.balance = balance;
+            acc.key = Some(key);
+        }
+        StateTree {
+            sca: ScaState::new(subnet_id.clone(), sca_config),
+            subnet_id,
+            accounts: table,
+            sas: BTreeMap::new(),
+            atomic: AtomicExecRegistry::new(),
+            next_actor_id: FIRST_DEPLOYED_ACTOR,
+        }
+    }
+
+    /// The subnet this state belongs to.
+    pub fn subnet_id(&self) -> &SubnetId {
+        &self.subnet_id
+    }
+
+    /// Read-only account table.
+    pub fn accounts(&self) -> &Accounts {
+        &self.accounts
+    }
+
+    /// Mutable account table (the subnet's [`Ledger`]).
+    pub fn accounts_mut(&mut self) -> &mut Accounts {
+        &mut self.accounts
+    }
+
+    /// The subnet's own SCA.
+    pub fn sca(&self) -> &ScaState {
+        &self.sca
+    }
+
+    /// Mutable SCA access.
+    pub fn sca_mut(&mut self) -> &mut ScaState {
+        &mut self.sca
+    }
+
+    /// Simultaneous mutable access to the account ledger and the SCA —
+    /// the borrow shape every SCA fund operation needs.
+    pub fn ledger_and_sca_mut(&mut self) -> (&mut Accounts, &mut ScaState) {
+        (&mut self.accounts, &mut self.sca)
+    }
+
+    /// The Subnet Actor deployed at `addr`, if any.
+    pub fn sa(&self, addr: Address) -> Option<&SaState> {
+        self.sas.get(&addr)
+    }
+
+    /// Mutable Subnet Actor access.
+    pub fn sa_mut(&mut self, addr: Address) -> Option<&mut SaState> {
+        self.sas.get_mut(&addr)
+    }
+
+    /// Simultaneous mutable access to ledger, SCA, and one SA.
+    pub fn ledger_sca_sa_mut(
+        &mut self,
+        sa: Address,
+    ) -> (&mut Accounts, &mut ScaState, Option<&mut SaState>) {
+        (&mut self.accounts, &mut self.sca, self.sas.get_mut(&sa))
+    }
+
+    /// Iterates over deployed Subnet Actors.
+    pub fn sas(&self) -> impl Iterator<Item = (&Address, &SaState)> {
+        self.sas.iter()
+    }
+
+    /// Deploys a new Subnet Actor, allocating its address.
+    pub fn deploy_sa(&mut self, sa: SaState) -> Address {
+        let addr = Address::new(self.next_actor_id);
+        self.next_actor_id += 1;
+        self.sas.insert(addr, sa);
+        addr
+    }
+
+    /// The atomic-execution coordinator.
+    pub fn atomic(&self) -> &AtomicExecRegistry {
+        &self.atomic
+    }
+
+    /// Mutable coordinator access.
+    pub fn atomic_mut(&mut self) -> &mut AtomicExecRegistry {
+        &mut self.atomic
+    }
+
+    /// Computes the state root: the CID of the canonical encoding of the
+    /// whole tree.
+    pub fn flush(&self) -> Cid {
+        self.cid()
+    }
+
+    /// Gross token supply of the subnet (every account, including escrow
+    /// and burnt funds).
+    pub fn total_supply(&self) -> TokenAmount {
+        self.accounts.total()
+    }
+}
+
+impl CanonicalEncode for StateTree {
+    fn write_bytes(&self, out: &mut Vec<u8>) {
+        self.subnet_id.write_bytes(out);
+        self.accounts.write_bytes(out);
+        self.sca.write_bytes(out);
+        (self.sas.len() as u64).write_bytes(out);
+        for (addr, sa) in &self.sas {
+            addr.write_bytes(out);
+            sa.write_bytes(out);
+        }
+        (self.atomic.len() as u64).write_bytes(out);
+        self.next_actor_id.write_bytes(out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hc_actors::sa::SaConfig;
+    use hc_types::Keypair;
+
+    fn tree() -> StateTree {
+        let kp = Keypair::from_seed([0x21; 32]);
+        StateTree::genesis(
+            SubnetId::root(),
+            ScaConfig::default(),
+            [(Address::new(100), kp.public(), TokenAmount::from_whole(50))],
+        )
+    }
+
+    #[test]
+    fn genesis_funds_accounts_with_keys() {
+        let t = tree();
+        let acc = t.accounts().get(Address::new(100)).unwrap();
+        assert_eq!(acc.balance, TokenAmount::from_whole(50));
+        assert!(acc.key.is_some());
+        assert_eq!(acc.nonce, Nonce::ZERO);
+        assert_eq!(t.total_supply(), TokenAmount::from_whole(50));
+    }
+
+    #[test]
+    fn ledger_operations_respect_balances() {
+        let mut t = tree();
+        let l = t.accounts_mut();
+        l.transfer(Address::new(100), Address::new(101), TokenAmount::from_whole(20))
+            .unwrap();
+        assert_eq!(l.balance(Address::new(101)), TokenAmount::from_whole(20));
+        assert!(l
+            .transfer(Address::new(101), Address::new(102), TokenAmount::from_whole(21))
+            .is_err());
+        // Totals conserved by transfer.
+        assert_eq!(t.total_supply(), TokenAmount::from_whole(50));
+    }
+
+    #[test]
+    fn deploy_sa_allocates_fresh_addresses() {
+        let mut t = tree();
+        let a = t.deploy_sa(SaState::new(SaConfig::default()));
+        let b = t.deploy_sa(SaState::new(SaConfig::default()));
+        assert_ne!(a, b);
+        assert!(t.sa(a).is_some());
+        assert!(t.sa(b).is_some());
+        assert!(t.sa(Address::new(42)).is_none());
+    }
+
+    #[test]
+    fn flush_changes_with_state() {
+        let mut t = tree();
+        let r0 = t.flush();
+        assert_eq!(t.flush(), r0, "flush is deterministic");
+        t.accounts_mut().credit(Address::new(200), TokenAmount::from_atto(1));
+        let r1 = t.flush();
+        assert_ne!(r0, r1);
+        // Storage changes also show up in the root.
+        t.accounts_mut()
+            .get_or_create(Address::new(200))
+            .storage
+            .insert(b"k".to_vec(), b"v".to_vec());
+        assert_ne!(t.flush(), r1);
+    }
+
+    #[test]
+    fn split_borrows_allow_sca_fund_flows() {
+        let mut t = tree();
+        let (ledger, sca) = t.ledger_and_sca_mut();
+        sca.register_subnet(
+            ledger,
+            Address::new(100),
+            Address::new(900),
+            TokenAmount::from_whole(10),
+            hc_types::ChainEpoch::GENESIS,
+        )
+        .unwrap();
+        assert_eq!(t.sca().child_count(), 1);
+        assert_eq!(
+            t.accounts().balance(Address::SCA),
+            TokenAmount::from_whole(10)
+        );
+    }
+}

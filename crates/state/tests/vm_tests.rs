@@ -1,0 +1,474 @@
+//! End-to-end tests of the VM: authentication, actor lifecycle, cross-net
+//! flows, and atomic executions, all driven through real signed messages.
+
+use hc_actors::sa::SaConfig;
+use hc_actors::{AtomicExecStatus, CrossMsg, CrossMsgKind, HcAddress, Ledger, ScaConfig};
+use hc_state::params::{AtomicSubmitParams, METHOD_ATOMIC_SUBMIT};
+use hc_state::{apply_implicit, apply_signed, ImplicitMsg, Message, Method, StateTree, VmEvent};
+use hc_types::{Address, ChainEpoch, Cid, Keypair, Nonce, SubnetId, TokenAmount};
+
+struct User {
+    addr: Address,
+    kp: Keypair,
+    nonce: Nonce,
+}
+
+impl User {
+    fn new(id: u64, seed: u8) -> Self {
+        let mut s = [0u8; 32];
+        s[0] = seed;
+        s[1] = 0xee;
+        User {
+            addr: Address::new(id),
+            kp: Keypair::from_seed(s),
+            nonce: Nonce::ZERO,
+        }
+    }
+
+    fn send(
+        &mut self,
+        tree: &mut StateTree,
+        to: Address,
+        value: TokenAmount,
+        method: Method,
+    ) -> hc_state::Receipt {
+        let msg = Message {
+            from: self.addr,
+            to,
+            value,
+            nonce: self.nonce,
+            method,
+        };
+        self.nonce = self.nonce.next();
+        apply_signed(tree, ChainEpoch::new(1), &msg.sign(&self.kp))
+    }
+}
+
+fn setup() -> (StateTree, User, User) {
+    let alice = User::new(100, 1);
+    let bob = User::new(101, 2);
+    let tree = StateTree::genesis(
+        SubnetId::root(),
+        ScaConfig::default(),
+        [
+            (alice.addr, alice.kp.public(), TokenAmount::from_whole(1000)),
+            (bob.addr, bob.kp.public(), TokenAmount::from_whole(1000)),
+        ],
+    );
+    (tree, alice, bob)
+}
+
+#[test]
+fn transfer_between_accounts() {
+    let (mut tree, mut alice, bob) = setup();
+    let r = alice.send(&mut tree, bob.addr, TokenAmount::from_whole(10), Method::Send);
+    assert!(r.exit.is_ok(), "{:?}", r.exit);
+    assert_eq!(
+        tree.accounts().balance(bob.addr),
+        TokenAmount::from_whole(1010)
+    );
+}
+
+#[test]
+fn rejects_bad_signature_wrong_nonce_and_unknown_sender() {
+    let (mut tree, alice, bob) = setup();
+
+    // Wrong signer.
+    let msg = Message::transfer(alice.addr, bob.addr, TokenAmount::from_whole(1), Nonce::ZERO);
+    let forged = msg.clone().sign(&bob.kp);
+    let r = apply_signed(&mut tree, ChainEpoch::new(1), &forged);
+    assert!(matches!(r.exit, hc_state::ExitCode::Rejected(_)));
+
+    // Wrong nonce.
+    let msg = Message::transfer(alice.addr, bob.addr, TokenAmount::from_whole(1), Nonce::new(5));
+    let r = apply_signed(&mut tree, ChainEpoch::new(1), &msg.sign(&alice.kp));
+    assert!(matches!(r.exit, hc_state::ExitCode::Rejected(_)));
+
+    // Unknown sender.
+    let ghost = User::new(999, 9);
+    let msg = Message::transfer(ghost.addr, bob.addr, TokenAmount::ZERO, Nonce::ZERO);
+    let r = apply_signed(&mut tree, ChainEpoch::new(1), &msg.sign(&ghost.kp));
+    assert!(matches!(r.exit, hc_state::ExitCode::Rejected(_)));
+
+    // No state changed, nonces intact.
+    assert_eq!(
+        tree.accounts().get(alice.addr).unwrap().nonce,
+        Nonce::ZERO
+    );
+    assert_eq!(
+        tree.accounts().balance(bob.addr),
+        TokenAmount::from_whole(1000)
+    );
+}
+
+#[test]
+fn failed_execution_still_bumps_nonce() {
+    let (mut tree, mut alice, bob) = setup();
+    let r = alice.send(
+        &mut tree,
+        bob.addr,
+        TokenAmount::from_whole(100_000), // more than the balance
+        Method::Send,
+    );
+    assert!(matches!(r.exit, hc_state::ExitCode::Failed(_)));
+    assert_eq!(
+        tree.accounts().get(alice.addr).unwrap().nonce,
+        Nonce::new(1)
+    );
+    // A replay of the same (now stale) nonce is rejected.
+    let msg = Message::transfer(alice.addr, bob.addr, TokenAmount::from_whole(1), Nonce::ZERO);
+    let r = apply_signed(&mut tree, ChainEpoch::new(1), &msg.sign(&alice.kp));
+    assert!(matches!(r.exit, hc_state::ExitCode::Rejected(_)));
+}
+
+/// Deploy SA → register subnet → join validators: the full spawning flow of
+/// paper §III-A.
+fn spawn_subnet(tree: &mut StateTree, creator: &mut User) -> (SubnetId, Address) {
+    let r = creator.send(
+        tree,
+        Address::SYSTEM,
+        TokenAmount::ZERO,
+        Method::DeploySubnetActor {
+            config: SaConfig::default(),
+        },
+    );
+    assert!(r.exit.is_ok(), "{:?}", r.exit);
+    let sa = Address::new(u64::from_le_bytes(r.ret.clone().try_into().unwrap()));
+
+    let r = creator.send(
+        tree,
+        Address::SCA,
+        TokenAmount::from_whole(10),
+        Method::RegisterSubnet { sa },
+    );
+    assert!(r.exit.is_ok(), "{:?}", r.exit);
+    let id = match &r.events[0] {
+        VmEvent::SubnetRegistered { id } => id.clone(),
+        other => panic!("unexpected event {other:?}"),
+    };
+    (id, sa)
+}
+
+#[test]
+fn subnet_lifecycle_spawn_join_leave_kill() {
+    let (mut tree, mut alice, mut bob) = setup();
+    let (subnet, sa) = spawn_subnet(&mut tree, &mut alice);
+    assert_eq!(subnet, SubnetId::root().child(sa));
+
+    // Bob joins as a validator with 5 HC stake.
+    let r = bob.send(
+        &mut tree,
+        sa,
+        TokenAmount::from_whole(5),
+        Method::JoinSubnet {
+            key: bob.kp.public(),
+        },
+    );
+    assert!(r.exit.is_ok(), "{:?}", r.exit);
+    assert_eq!(tree.sa(sa).unwrap().validators().len(), 1);
+    assert_eq!(
+        tree.sca().subnet(&subnet).unwrap().collateral,
+        TokenAmount::from_whole(15)
+    );
+
+    // Bob leaves; stake returns, collateral drops to 10 (still active).
+    let bal_before = tree.accounts().balance(bob.addr);
+    let r = bob.send(&mut tree, sa, TokenAmount::ZERO, Method::LeaveSubnet);
+    assert!(r.exit.is_ok(), "{:?}", r.exit);
+    assert_eq!(
+        tree.accounts().balance(bob.addr),
+        bal_before + TokenAmount::from_whole(5)
+    );
+    assert_eq!(
+        tree.sca().subnet(&subnet).unwrap().status,
+        hc_actors::SubnetStatus::Active
+    );
+
+    // Alice (no validators left → anyone may kill) kills the subnet.
+    let bal_before = tree.accounts().balance(alice.addr);
+    let r = alice.send(&mut tree, sa, TokenAmount::ZERO, Method::KillSubnet);
+    assert!(r.exit.is_ok(), "{:?}", r.exit);
+    assert_eq!(
+        tree.accounts().balance(alice.addr),
+        bal_before + TokenAmount::from_whole(10)
+    );
+    assert_eq!(
+        tree.sca().subnet(&subnet).unwrap().status,
+        hc_actors::SubnetStatus::Killed
+    );
+}
+
+#[test]
+fn cross_msg_send_and_checkpoint_cut() {
+    let (mut tree, mut alice, _bob) = setup();
+    let (subnet, _sa) = spawn_subnet(&mut tree, &mut alice);
+
+    // Top-down funding of an address in the child.
+    let cross = CrossMsg::transfer(
+        HcAddress::new(SubnetId::root(), alice.addr),
+        HcAddress::new(subnet.clone(), Address::new(300)),
+        TokenAmount::from_whole(7),
+    );
+    let r = alice.send(
+        &mut tree,
+        Address::SCA,
+        TokenAmount::from_whole(7),
+        Method::SendCrossMsg { msg: cross },
+    );
+    assert!(r.exit.is_ok(), "{:?}", r.exit);
+    assert_eq!(
+        tree.sca().subnet(&subnet).unwrap().circ_supply,
+        TokenAmount::from_whole(7)
+    );
+    assert_eq!(tree.sca().top_down_msgs(&subnet, Nonce::ZERO).len(), 1);
+
+    // Checkpoint cutting via implicit message (root never submits it
+    // anywhere, but cutting still drains windows deterministically).
+    let r = apply_implicit(
+        &mut tree,
+        ChainEpoch::new(10),
+        &ImplicitMsg::CutCheckpoint {
+            proof: Cid::digest(b"head"),
+        },
+    );
+    assert!(r.exit.is_ok());
+    assert!(matches!(r.events[0], VmEvent::CheckpointCut { .. }));
+}
+
+#[test]
+fn storage_lock_cycle_guards_atomic_inputs() {
+    let (mut tree, mut alice, _) = setup();
+    let put = |k: &[u8], v: &[u8]| Method::PutData {
+        key: k.to_vec(),
+        data: v.to_vec(),
+    };
+
+    let r = alice.send(&mut tree, alice.addr, TokenAmount::ZERO, put(b"k", b"v1"));
+    assert!(r.exit.is_ok());
+    // Locking a missing key fails.
+    let r = alice.send(
+        &mut tree,
+        alice.addr,
+        TokenAmount::ZERO,
+        Method::LockState { key: b"nope".to_vec() },
+    );
+    assert!(matches!(r.exit, hc_state::ExitCode::Failed(_)));
+
+    let r = alice.send(
+        &mut tree,
+        alice.addr,
+        TokenAmount::ZERO,
+        Method::LockState { key: b"k".to_vec() },
+    );
+    assert!(r.exit.is_ok());
+    // Writes to a locked key are refused ("prevents new messages from
+    // affecting the state", paper §IV-D).
+    let r = alice.send(&mut tree, alice.addr, TokenAmount::ZERO, put(b"k", b"v2"));
+    assert!(matches!(r.exit, hc_state::ExitCode::Failed(_)));
+    // Double lock fails.
+    let r = alice.send(
+        &mut tree,
+        alice.addr,
+        TokenAmount::ZERO,
+        Method::LockState { key: b"k".to_vec() },
+    );
+    assert!(matches!(r.exit, hc_state::ExitCode::Failed(_)));
+
+    let r = alice.send(
+        &mut tree,
+        alice.addr,
+        TokenAmount::ZERO,
+        Method::UnlockState { key: b"k".to_vec() },
+    );
+    assert!(r.exit.is_ok());
+    let r = alice.send(&mut tree, alice.addr, TokenAmount::ZERO, put(b"k", b"v2"));
+    assert!(r.exit.is_ok());
+    assert_eq!(
+        tree.accounts().get(alice.addr).unwrap().storage[b"k".as_slice()],
+        b"v2".to_vec()
+    );
+}
+
+#[test]
+fn atomic_execution_via_local_and_cross_net_submissions() {
+    let (mut tree, mut alice, _) = setup();
+    // Parties: alice locally in /root, and a remote party in /root/a9.
+    let remote_subnet = SubnetId::root().child(Address::new(9));
+    let local = HcAddress::new(SubnetId::root(), alice.addr);
+    let remote = HcAddress::new(remote_subnet.clone(), Address::new(500));
+
+    let r = alice.send(
+        &mut tree,
+        Address::ATOMIC_EXEC,
+        TokenAmount::ZERO,
+        Method::AtomicInit {
+            parties: vec![local.clone(), remote.clone()],
+            inputs: vec![Cid::digest(b"in-a"), Cid::digest(b"in-b")],
+        },
+    );
+    assert!(r.exit.is_ok(), "{:?}", r.exit);
+    let exec = Cid::from_bytes(r.ret.clone().try_into().unwrap());
+
+    // Alice submits locally.
+    let out = Cid::digest(b"joint output");
+    let r = alice.send(
+        &mut tree,
+        Address::ATOMIC_EXEC,
+        TokenAmount::ZERO,
+        Method::AtomicSubmit {
+            exec,
+            party: local,
+            output: out,
+        },
+    );
+    assert!(r.exit.is_ok(), "{:?}", r.exit);
+    assert_eq!(
+        tree.atomic().get(&exec).unwrap().status,
+        AtomicExecStatus::Pending
+    );
+
+    // The remote party's submission arrives as a top-down... actually as a
+    // bottom-up cross-net call committed by consensus. Simulate the
+    // implicit application directly.
+    let params = AtomicSubmitParams { exec, output: out }.encode();
+    let mut cross = CrossMsg::call(
+        remote,
+        HcAddress::new(SubnetId::root(), Address::ATOMIC_EXEC),
+        TokenAmount::ZERO,
+        METHOD_ATOMIC_SUBMIT,
+        params,
+    );
+    cross.nonce = Nonce::ZERO;
+    // Use the bottom-up path: metas arrive through a checkpoint; here we
+    // apply the resolved group directly.
+    let meta = {
+        let msgs = vec![cross.clone()];
+        let mut m = hc_actors::CrossMsgMeta::for_group(
+            remote_subnet.clone(),
+            SubnetId::root(),
+            &msgs,
+        );
+        m.nonce = Nonce::ZERO;
+        m
+    };
+    let r = apply_implicit(
+        &mut tree,
+        ChainEpoch::new(2),
+        &ImplicitMsg::ApplyBottomUp {
+            meta,
+            msgs: vec![cross],
+        },
+    );
+    assert!(r.exit.is_ok(), "{:?}", r.exit);
+    assert_eq!(
+        tree.atomic().get(&exec).unwrap().status,
+        AtomicExecStatus::Committed
+    );
+}
+
+#[test]
+fn impersonated_local_atomic_submission_fails() {
+    let (mut tree, mut alice, bob) = setup();
+    let local_bob = HcAddress::new(SubnetId::root(), bob.addr);
+    let r = alice.send(
+        &mut tree,
+        Address::ATOMIC_EXEC,
+        TokenAmount::ZERO,
+        Method::AtomicSubmit {
+            exec: Cid::digest(b"whatever"),
+            party: local_bob,
+            output: Cid::NIL,
+        },
+    );
+    assert!(matches!(r.exit, hc_state::ExitCode::Failed(_)));
+}
+
+#[test]
+fn unknown_cross_net_call_is_reverted() {
+    let (tree, _, _) = setup();
+    // A top-down message into /root carrying a bogus method: since /root
+    // has no parent this is synthetic, but exercises the revert path the
+    // same way a child subnet would.
+    let child = SubnetId::root().child(Address::new(9));
+    let mut tree_child = StateTree::genesis(child.clone(), ScaConfig::default(), []);
+    let mut cross = CrossMsg::call(
+        HcAddress::new(SubnetId::root(), Address::new(100)),
+        HcAddress::new(child.clone(), Address::new(777)),
+        TokenAmount::from_whole(3),
+        999, // unknown method
+        vec![],
+    );
+    cross.nonce = Nonce::ZERO;
+    let r = apply_implicit(
+        &mut tree_child,
+        ChainEpoch::new(1),
+        &ImplicitMsg::ApplyTopDown(cross.clone()),
+    );
+    assert!(matches!(r.exit, hc_state::ExitCode::Failed(_)));
+    let revert = r
+        .events
+        .iter()
+        .find_map(|e| match e {
+            VmEvent::CrossMsgReverted { revert, .. } => Some(revert.clone()),
+            _ => None,
+        })
+        .expect("revert event");
+    assert_eq!(revert.to, cross.from);
+    assert_eq!(revert.value, cross.value);
+    assert!(matches!(revert.kind, CrossMsgKind::Revert { .. }));
+    // The minted value was clawed back: recipient has nothing.
+    assert_eq!(
+        tree_child.accounts().balance(Address::new(777)),
+        TokenAmount::ZERO
+    );
+    let _ = tree; // silence unused in this scenario
+}
+
+#[test]
+fn fraud_report_slashes_collateral() {
+    let (mut tree, mut alice, mut bob) = setup();
+    let (subnet, sa) = spawn_subnet(&mut tree, &mut alice);
+    // Bob is the child's only validator, so his key signs checkpoints.
+    let r = bob.send(
+        &mut tree,
+        sa,
+        TokenAmount::from_whole(5),
+        Method::JoinSubnet {
+            key: bob.kp.public(),
+        },
+    );
+    assert!(r.exit.is_ok());
+
+    // Bob equivocates: two different checkpoints extending the same prev.
+    let mut c1 = hc_actors::Checkpoint::template(subnet.clone(), ChainEpoch::new(10), Cid::NIL);
+    c1.proof = Cid::digest(b"fork-a");
+    let mut c2 = hc_actors::Checkpoint::template(subnet.clone(), ChainEpoch::new(10), Cid::NIL);
+    c2.proof = Cid::digest(b"fork-b");
+    let sign = |c: hc_actors::Checkpoint, kp: &Keypair| {
+        let mut sc = hc_actors::SignedCheckpoint::new(c);
+        let bytes = sc.signing_bytes();
+        sc.signatures.add(kp.sign(&bytes));
+        sc
+    };
+    let proof = hc_actors::sa::FraudProof {
+        a: sign(c1, &bob.kp),
+        b: sign(c2, &bob.kp),
+    };
+
+    let collateral_before = tree.sca().subnet(&subnet).unwrap().collateral;
+    assert_eq!(collateral_before, TokenAmount::from_whole(15));
+    let r = alice.send(
+        &mut tree,
+        Address::SCA,
+        TokenAmount::ZERO,
+        Method::ReportFraud {
+            subnet: subnet.clone(),
+            proof: Box::new(proof),
+        },
+    );
+    assert!(r.exit.is_ok(), "{:?}", r.exit);
+    assert!(matches!(r.events[0], VmEvent::FraudSlashed { .. }));
+    let info = tree.sca().subnet(&subnet).unwrap();
+    assert_eq!(info.collateral, TokenAmount::ZERO);
+    assert_eq!(info.status, hc_actors::SubnetStatus::Inactive);
+}

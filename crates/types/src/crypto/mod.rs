@@ -1,0 +1,17 @@
+//! Cryptographic primitives.
+//!
+//! * [`sha256`] — a from-scratch, pure-Rust SHA-256 (FIPS 180-4), the hash
+//!   underlying all content addressing in the system.
+//! * [`Keypair`], [`PublicKey`], [`Signature`] — a simulation-grade
+//!   signature scheme (see the type docs for the substitution rationale).
+//! * [`SignaturePolicy`], [`AggregateSignature`] — the checkpoint signature
+//!   policies from the paper (§III-B): single signer, m-of-n multi-sig, and
+//!   threshold signatures over a validator set.
+
+mod multisig;
+mod sha2;
+mod sig;
+
+pub use multisig::{AggregateSignature, PolicyError, SignaturePolicy};
+pub use sha2::sha256;
+pub use sig::{Keypair, PublicKey, SigError, Signature};

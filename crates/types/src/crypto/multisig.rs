@@ -1,0 +1,338 @@
+//! Checkpoint signature policies.
+//!
+//! The paper (§III-B) leaves the checkpoint signature scheme to each Subnet
+//! Actor: "this can be the signature of an individual miner, a
+//! multi-signature, or a threshold signature, depending on the SA policy".
+//! This module models all three as a [`SignaturePolicy`] evaluated over an
+//! [`AggregateSignature`] — a set of individual signatures from a known
+//! validator set.
+
+use std::collections::HashSet;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use super::sig::{PublicKey, Signature};
+use crate::encode::CanonicalEncode;
+
+/// The policy a Subnet Actor enforces before accepting a checkpoint.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SignaturePolicy {
+    /// A single designated signer must sign (e.g. a delegated sequencer).
+    Single(PublicKey),
+    /// At least `threshold` distinct members of `signers` must sign
+    /// (an m-of-n multi-signature).
+    MultiSig {
+        /// The eligible signer set.
+        signers: Vec<PublicKey>,
+        /// Minimum number of distinct valid signatures required.
+        threshold: usize,
+    },
+    /// A quorum threshold expressed as a fraction of the signer set; the
+    /// classic BFT choice is 2/3 (`num = 2, den = 3`), requiring strictly
+    /// more than `num/den` of the signers.
+    Threshold {
+        /// The eligible signer set.
+        signers: Vec<PublicKey>,
+        /// Numerator of the quorum fraction.
+        num: usize,
+        /// Denominator of the quorum fraction.
+        den: usize,
+    },
+}
+
+impl SignaturePolicy {
+    /// A convenience constructor for the canonical BFT 2/3 quorum policy.
+    pub fn two_thirds(signers: Vec<PublicKey>) -> Self {
+        SignaturePolicy::Threshold {
+            signers,
+            num: 2,
+            den: 3,
+        }
+    }
+
+    /// Returns the minimum number of distinct valid signatures the policy
+    /// requires.
+    pub fn required_signatures(&self) -> usize {
+        match self {
+            SignaturePolicy::Single(_) => 1,
+            SignaturePolicy::MultiSig { threshold, .. } => *threshold,
+            SignaturePolicy::Threshold { signers, num, den } => {
+                // Strictly more than num/den of n: floor(n * num / den) + 1.
+                signers.len() * num / den + 1
+            }
+        }
+    }
+
+    /// Returns the eligible signer set.
+    pub fn signers(&self) -> &[PublicKey] {
+        match self {
+            SignaturePolicy::Single(pk) => std::slice::from_ref(pk),
+            SignaturePolicy::MultiSig { signers, .. } => signers,
+            SignaturePolicy::Threshold { signers, .. } => signers,
+        }
+    }
+
+    /// Checks `agg` against the policy for message `msg`.
+    ///
+    /// Signatures from non-members, duplicate signers, and signatures that
+    /// fail verification are ignored rather than treated as fatal — a
+    /// checkpoint with enough honest signatures is accepted even if it also
+    /// carries junk (this mirrors how on-chain multisig checks behave).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PolicyError::QuorumNotReached`] if fewer than
+    /// [`required_signatures`](Self::required_signatures) distinct eligible
+    /// signers produced valid signatures, or [`PolicyError::InvalidPolicy`]
+    /// if the policy itself is malformed (zero threshold, threshold larger
+    /// than the signer set, or zero denominator).
+    pub fn check(&self, msg: &[u8], agg: &AggregateSignature) -> Result<(), PolicyError> {
+        self.validate()?;
+        let eligible: HashSet<&PublicKey> = self.signers().iter().collect();
+        let mut seen = HashSet::new();
+        let mut valid = 0usize;
+        for sig in &agg.signatures {
+            if !eligible.contains(&sig.signer()) {
+                continue;
+            }
+            if !seen.insert(sig.signer()) {
+                continue; // duplicate signer
+            }
+            if sig.verify(msg).is_ok() {
+                valid += 1;
+            }
+        }
+        let need = self.required_signatures();
+        if valid >= need {
+            Ok(())
+        } else {
+            Err(PolicyError::QuorumNotReached { got: valid, need })
+        }
+    }
+
+    /// Validates internal consistency of the policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PolicyError::InvalidPolicy`] for empty signer sets, zero or
+    /// unsatisfiable thresholds, and zero denominators.
+    pub fn validate(&self) -> Result<(), PolicyError> {
+        let ok = match self {
+            SignaturePolicy::Single(_) => true,
+            SignaturePolicy::MultiSig { signers, threshold } => {
+                *threshold > 0 && *threshold <= signers.len()
+            }
+            SignaturePolicy::Threshold { signers, num, den } => {
+                *den > 0 && num < den && !signers.is_empty()
+            }
+        };
+        if ok {
+            Ok(())
+        } else {
+            Err(PolicyError::InvalidPolicy)
+        }
+    }
+}
+
+/// A bag of individual signatures submitted towards a policy check.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct AggregateSignature {
+    signatures: Vec<Signature>,
+}
+
+impl AggregateSignature {
+    /// Creates an empty aggregate.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a signature to the aggregate.
+    pub fn add(&mut self, sig: Signature) -> &mut Self {
+        self.signatures.push(sig);
+        self
+    }
+
+    /// Returns the number of signatures carried (including any invalid or
+    /// duplicate ones).
+    pub fn len(&self) -> usize {
+        self.signatures.len()
+    }
+
+    /// Returns `true` if the aggregate carries no signatures.
+    pub fn is_empty(&self) -> bool {
+        self.signatures.is_empty()
+    }
+
+    /// Iterates over the carried signatures.
+    pub fn iter(&self) -> impl Iterator<Item = &Signature> {
+        self.signatures.iter()
+    }
+}
+
+impl FromIterator<Signature> for AggregateSignature {
+    fn from_iter<I: IntoIterator<Item = Signature>>(iter: I) -> Self {
+        AggregateSignature {
+            signatures: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<Signature> for AggregateSignature {
+    fn extend<I: IntoIterator<Item = Signature>>(&mut self, iter: I) {
+        self.signatures.extend(iter);
+    }
+}
+
+impl CanonicalEncode for AggregateSignature {
+    fn write_bytes(&self, out: &mut Vec<u8>) {
+        self.signatures.write_bytes(out);
+    }
+}
+
+/// Error produced by [`SignaturePolicy::check`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyError {
+    /// Not enough distinct, eligible, valid signatures.
+    QuorumNotReached {
+        /// Valid signatures counted.
+        got: usize,
+        /// Signatures required by the policy.
+        need: usize,
+    },
+    /// The policy itself is malformed.
+    InvalidPolicy,
+}
+
+impl fmt::Display for PolicyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PolicyError::QuorumNotReached { got, need } => {
+                write!(f, "signature quorum not reached: got {got}, need {need}")
+            }
+            PolicyError::InvalidPolicy => f.write_str("malformed signature policy"),
+        }
+    }
+}
+
+impl std::error::Error for PolicyError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::crypto::Keypair;
+
+    fn validators(n: usize) -> Vec<Keypair> {
+        (0..n)
+            .map(|i| {
+                let mut seed = [0u8; 32];
+                seed[0] = i as u8;
+                seed[1] = 0xa5;
+                Keypair::from_seed(seed)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn single_policy_accepts_the_designated_signer_only() {
+        let kps = validators(2);
+        let policy = SignaturePolicy::Single(kps[0].public());
+        let msg = b"ckpt";
+
+        let mut agg = AggregateSignature::new();
+        agg.add(kps[1].sign(msg));
+        assert!(policy.check(msg, &agg).is_err());
+
+        agg.add(kps[0].sign(msg));
+        assert!(policy.check(msg, &agg).is_ok());
+    }
+
+    #[test]
+    fn multisig_threshold_counts_distinct_valid_signers() {
+        let kps = validators(4);
+        let policy = SignaturePolicy::MultiSig {
+            signers: kps.iter().map(|k| k.public()).collect(),
+            threshold: 3,
+        };
+        let msg = b"ckpt";
+
+        // Two signatures + a duplicate of one of them: still only 2 distinct.
+        let agg: AggregateSignature = [kps[0].sign(msg), kps[1].sign(msg), kps[0].sign(msg)]
+            .into_iter()
+            .collect();
+        assert_eq!(
+            policy.check(msg, &agg),
+            Err(PolicyError::QuorumNotReached { got: 2, need: 3 })
+        );
+
+        let agg: AggregateSignature = kps[..3].iter().map(|k| k.sign(msg)).collect();
+        assert!(policy.check(msg, &agg).is_ok());
+    }
+
+    #[test]
+    fn two_thirds_requires_strict_majority_of_two_thirds() {
+        let kps = validators(4); // need floor(4*2/3)+1 = 3
+        let policy = SignaturePolicy::two_thirds(kps.iter().map(|k| k.public()).collect());
+        assert_eq!(policy.required_signatures(), 3);
+        let msg = b"m";
+        let agg: AggregateSignature = kps[..2].iter().map(|k| k.sign(msg)).collect();
+        assert!(policy.check(msg, &agg).is_err());
+        let agg: AggregateSignature = kps[..3].iter().map(|k| k.sign(msg)).collect();
+        assert!(policy.check(msg, &agg).is_ok());
+    }
+
+    #[test]
+    fn invalid_and_foreign_signatures_do_not_count() {
+        let kps = validators(3);
+        let outsider = Keypair::from_seed([0xffu8; 32]);
+        let policy = SignaturePolicy::MultiSig {
+            signers: kps.iter().map(|k| k.public()).collect(),
+            threshold: 2,
+        };
+        let msg = b"ckpt";
+        let agg: AggregateSignature = [
+            kps[0].sign(msg),
+            kps[1].sign(b"WRONG MESSAGE"), // invalid
+            outsider.sign(msg),            // not a member
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(
+            policy.check(msg, &agg),
+            Err(PolicyError::QuorumNotReached { got: 1, need: 2 })
+        );
+    }
+
+    #[test]
+    fn malformed_policies_are_rejected() {
+        let kps = validators(2);
+        let pks: Vec<_> = kps.iter().map(|k| k.public()).collect();
+        for bad in [
+            SignaturePolicy::MultiSig {
+                signers: pks.clone(),
+                threshold: 0,
+            },
+            SignaturePolicy::MultiSig {
+                signers: pks.clone(),
+                threshold: 3,
+            },
+            SignaturePolicy::Threshold {
+                signers: pks.clone(),
+                num: 1,
+                den: 0,
+            },
+            SignaturePolicy::Threshold {
+                signers: vec![],
+                num: 2,
+                den: 3,
+            },
+            SignaturePolicy::Threshold {
+                signers: pks,
+                num: 3,
+                den: 3,
+            },
+        ] {
+            assert_eq!(bad.validate(), Err(PolicyError::InvalidPolicy));
+        }
+    }
+}

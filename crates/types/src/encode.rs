@@ -1,0 +1,204 @@
+//! Deterministic canonical binary encoding.
+//!
+//! Content addressing (see [`crate::cid`]) requires that logically equal
+//! values always serialize to identical bytes. Rather than depending on a
+//! particular serde data format, this module defines a minimal canonical
+//! encoding with fixed rules:
+//!
+//! * integers are little-endian fixed width;
+//! * `bool` is one byte (`0`/`1`);
+//! * variable-length sequences (byte strings, `Vec`, strings) are prefixed
+//!   with their `u64` length;
+//! * `Option<T>` is a presence byte followed by the value;
+//! * composite types concatenate the canonical encodings of their fields in
+//!   declaration order.
+//!
+//! Types participate by implementing [`CanonicalEncode`]; the blanket
+//! [`CanonicalEncode::canonical_bytes`] and [`CanonicalEncode::cid`] helpers
+//! then derive stable byte strings and content identifiers.
+
+use crate::cid::Cid;
+
+/// Deterministic binary encoding used for hashing and content addressing.
+///
+/// Implementations must be *canonical*: equal values produce equal bytes and
+/// the encoding never depends on runtime state (hash map iteration order,
+/// pointer values, …).
+///
+/// # Example
+///
+/// ```
+/// use hc_types::CanonicalEncode;
+///
+/// let a = (1u64, "hello".to_owned()).canonical_bytes();
+/// let b = (1u64, "hello".to_owned()).canonical_bytes();
+/// assert_eq!(a, b);
+/// ```
+pub trait CanonicalEncode {
+    /// Appends the canonical encoding of `self` to `out`.
+    fn write_bytes(&self, out: &mut Vec<u8>);
+
+    /// Returns the canonical encoding as an owned byte vector.
+    fn canonical_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.write_bytes(&mut out);
+        out
+    }
+
+    /// Returns the content identifier (SHA-256 digest) of the canonical
+    /// encoding.
+    fn cid(&self) -> Cid {
+        Cid::digest(&self.canonical_bytes())
+    }
+}
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl CanonicalEncode for $t {
+            fn write_bytes(&self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&self.to_le_bytes());
+            }
+        }
+    )*};
+}
+
+impl_int!(u8, u16, u32, u64, u128, i64);
+
+impl CanonicalEncode for bool {
+    fn write_bytes(&self, out: &mut Vec<u8>) {
+        out.push(u8::from(*self));
+    }
+}
+
+impl CanonicalEncode for [u8; 32] {
+    fn write_bytes(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(self);
+    }
+}
+
+impl CanonicalEncode for String {
+    fn write_bytes(&self, out: &mut Vec<u8>) {
+        self.as_bytes().write_bytes(out);
+    }
+}
+
+impl CanonicalEncode for &str {
+    fn write_bytes(&self, out: &mut Vec<u8>) {
+        self.as_bytes().write_bytes(out);
+    }
+}
+
+impl<T: CanonicalEncode> CanonicalEncode for Option<T> {
+    fn write_bytes(&self, out: &mut Vec<u8>) {
+        match self {
+            None => out.push(0),
+            Some(v) => {
+                out.push(1);
+                v.write_bytes(out);
+            }
+        }
+    }
+}
+
+impl<T: CanonicalEncode> CanonicalEncode for [T] {
+    fn write_bytes(&self, out: &mut Vec<u8>) {
+        (self.len() as u64).write_bytes(out);
+        for item in self {
+            item.write_bytes(out);
+        }
+    }
+}
+
+impl<T: CanonicalEncode> CanonicalEncode for Vec<T> {
+    fn write_bytes(&self, out: &mut Vec<u8>) {
+        self.as_slice().write_bytes(out);
+    }
+}
+
+impl<T: CanonicalEncode + ?Sized> CanonicalEncode for &T {
+    fn write_bytes(&self, out: &mut Vec<u8>) {
+        (*self).write_bytes(out);
+    }
+}
+
+impl<A: CanonicalEncode, B: CanonicalEncode> CanonicalEncode for (A, B) {
+    fn write_bytes(&self, out: &mut Vec<u8>) {
+        self.0.write_bytes(out);
+        self.1.write_bytes(out);
+    }
+}
+
+impl<A: CanonicalEncode, B: CanonicalEncode, C: CanonicalEncode> CanonicalEncode for (A, B, C) {
+    fn write_bytes(&self, out: &mut Vec<u8>) {
+        self.0.write_bytes(out);
+        self.1.write_bytes(out);
+        self.2.write_bytes(out);
+    }
+}
+
+/// Implements [`CanonicalEncode`] for a struct by concatenating the listed
+/// fields in order.
+///
+/// ```
+/// use hc_types::{encode_fields, CanonicalEncode};
+///
+/// struct Point { x: u64, y: u64 }
+/// encode_fields!(Point { x, y });
+///
+/// let p = Point { x: 1, y: 2 };
+/// assert_eq!(p.canonical_bytes().len(), 16);
+/// ```
+#[macro_export]
+macro_rules! encode_fields {
+    ($ty:ty { $($field:ident),+ $(,)? }) => {
+        impl $crate::encode::CanonicalEncode for $ty {
+            fn write_bytes(&self, out: &mut Vec<u8>) {
+                $( self.$field.write_bytes(out); )+
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integers_are_little_endian_fixed_width() {
+        assert_eq!(0x0102_0304u32.canonical_bytes(), vec![4, 3, 2, 1]);
+        assert_eq!(1u64.canonical_bytes().len(), 8);
+        assert_eq!(1u128.canonical_bytes().len(), 16);
+    }
+
+    #[test]
+    fn sequences_are_length_prefixed() {
+        let v = vec![1u8, 2, 3];
+        let bytes = v.canonical_bytes();
+        assert_eq!(&bytes[..8], &3u64.to_le_bytes());
+        assert_eq!(&bytes[8..], &[1, 2, 3]);
+    }
+
+    #[test]
+    fn length_prefix_prevents_concatenation_ambiguity() {
+        // ("ab", "c") must not encode the same as ("a", "bc").
+        let x = ("ab", "c").canonical_bytes();
+        let y = ("a", "bc").canonical_bytes();
+        assert_ne!(x, y);
+    }
+
+    #[test]
+    fn option_is_tagged() {
+        assert_eq!(None::<u8>.canonical_bytes(), vec![0]);
+        assert_eq!(Some(7u8).canonical_bytes(), vec![1, 7]);
+    }
+
+    #[test]
+    fn macro_encodes_fields_in_order() {
+        struct Pair {
+            a: u8,
+            b: u8,
+        }
+        encode_fields!(Pair { a, b });
+        assert_eq!(Pair { a: 1, b: 2 }.canonical_bytes(), vec![1, 2]);
+    }
+}
