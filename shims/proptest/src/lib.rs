@@ -1,0 +1,597 @@
+//! Offline shim for `proptest`.
+//!
+//! The hermetic build environment has no crates.io access, so this crate
+//! reimplements the proptest API subset the workspace's property tests
+//! use: the `proptest!` / `prop_assert*!` / `prop_oneof!` macros, the
+//! [`Strategy`] trait with `prop_map`, range / tuple / `prop::collection::vec`
+//! strategies, `any::<T>()` for primitives, and `prop::sample::Index`.
+//!
+//! Differences from upstream, by design:
+//! - No shrinking. A failing case panics with the test's deterministic
+//!   seed; re-running reproduces the same inputs.
+//! - Input generation is seeded from the test's module path and name, so
+//!   every run of a given test sees the same case sequence.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The RNG handed to strategies while generating a case.
+pub type TestRng = StdRng;
+
+/// A generator of random values of type `Value`.
+///
+/// Unlike upstream proptest there is no value tree: strategies produce
+/// final values directly and nothing shrinks.
+pub trait Strategy {
+    /// The type of value this strategy generates.
+    type Value;
+
+    /// Generates one value.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Erases the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy, as produced by [`Strategy::boxed`].
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        (**self).new_value(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn new_value(&self, rng: &mut TestRng) -> S::Value {
+        (**self).new_value(rng)
+    }
+}
+
+/// Strategy adapter returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn new_value(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.new_value(rng))
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn new_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice between boxed alternatives; built by `prop_oneof!`.
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Builds a union over `options` (must be non-empty).
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        let pick = rng.gen_range(0..self.options.len());
+        self.options[pick].new_value(rng)
+    }
+}
+
+macro_rules! impl_int_range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+
+        impl Strategy for std::ops::RangeFrom<$t> {
+            type Value = $t;
+
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.start..=<$t>::MAX)
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategies!(u8, u16, u32, u64, u128, usize);
+
+macro_rules! impl_tuple_strategies {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.new_value(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategies! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+/// Types with a canonical default strategy, used by [`any`].
+pub trait Arbitrary: Sized {
+    /// The strategy [`any`] returns for this type.
+    type Strategy: Strategy<Value = Self>;
+
+    /// Builds the canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// Strategy yielding uniformly random values of a primitive type.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AnyPrimitive<T>(std::marker::PhantomData<T>);
+
+macro_rules! impl_arbitrary_uint {
+    ($($t:ty),*) => {$(
+        impl Strategy for AnyPrimitive<$t> {
+            type Value = $t;
+
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(<$t>::MIN..=<$t>::MAX)
+            }
+        }
+
+        impl Arbitrary for $t {
+            type Strategy = AnyPrimitive<$t>;
+
+            fn arbitrary() -> Self::Strategy {
+                AnyPrimitive(std::marker::PhantomData)
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_uint!(u8, u16, u32, u64, u128, usize);
+
+impl Strategy for AnyPrimitive<bool> {
+    type Value = bool;
+
+    fn new_value(&self, rng: &mut TestRng) -> bool {
+        rng.gen_bool(0.5)
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = AnyPrimitive<bool>;
+
+    fn arbitrary() -> Self::Strategy {
+        AnyPrimitive(std::marker::PhantomData)
+    }
+}
+
+impl Strategy for AnyPrimitive<Vec<u8>> {
+    type Value = Vec<u8>;
+
+    fn new_value(&self, rng: &mut TestRng) -> Vec<u8> {
+        let len = rng.gen_range(0usize..=64);
+        (0..len).map(|_| rng.gen_range(0u8..=u8::MAX)).collect()
+    }
+}
+
+impl Arbitrary for Vec<u8> {
+    type Strategy = AnyPrimitive<Vec<u8>>;
+
+    fn arbitrary() -> Self::Strategy {
+        AnyPrimitive(std::marker::PhantomData)
+    }
+}
+
+/// Returns the canonical strategy for `A`.
+pub fn any<A: Arbitrary>() -> A::Strategy {
+    A::arbitrary()
+}
+
+/// Strategy modules mirroring `proptest::prelude::prop`.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::{Strategy, TestRng};
+        use rand::Rng;
+
+        /// Permitted lengths for a generated collection.
+        #[derive(Clone, Debug)]
+        pub struct SizeRange {
+            min: usize,
+            max_inclusive: usize,
+        }
+
+        impl From<usize> for SizeRange {
+            fn from(n: usize) -> Self {
+                SizeRange {
+                    min: n,
+                    max_inclusive: n,
+                }
+            }
+        }
+
+        impl From<std::ops::Range<usize>> for SizeRange {
+            fn from(r: std::ops::Range<usize>) -> Self {
+                assert!(r.start < r.end, "empty collection size range");
+                SizeRange {
+                    min: r.start,
+                    max_inclusive: r.end - 1,
+                }
+            }
+        }
+
+        impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+            fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+                SizeRange {
+                    min: *r.start(),
+                    max_inclusive: *r.end(),
+                }
+            }
+        }
+
+        /// Strategy for `Vec<S::Value>` with a length drawn from a
+        /// [`SizeRange`].
+        pub struct VecStrategy<S> {
+            element: S,
+            size: SizeRange,
+        }
+
+        /// Generates vectors whose elements come from `element`.
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy {
+                element,
+                size: size.into(),
+            }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+
+            fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let len = rng.gen_range(self.size.min..=self.size.max_inclusive);
+                (0..len).map(|_| self.element.new_value(rng)).collect()
+            }
+        }
+    }
+
+    /// Sampling helpers.
+    pub mod sample {
+        use super::super::{AnyPrimitive, Arbitrary, Strategy, TestRng};
+        use rand::Rng;
+
+        /// An abstract index resolved against a collection length at use
+        /// time, mirroring `proptest::sample::Index`.
+        #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+        pub struct Index(usize);
+
+        impl Index {
+            /// Projects this index into `0..len` (`len` must be non-zero).
+            pub fn index(&self, len: usize) -> usize {
+                assert!(len > 0, "Index::index on empty collection");
+                self.0 % len
+            }
+        }
+
+        impl Strategy for AnyPrimitive<Index> {
+            type Value = Index;
+
+            fn new_value(&self, rng: &mut TestRng) -> Index {
+                Index(rng.gen_range(0usize..=usize::MAX))
+            }
+        }
+
+        impl Arbitrary for Index {
+            type Strategy = AnyPrimitive<Index>;
+
+            fn arbitrary() -> Self::Strategy {
+                AnyPrimitive(std::marker::PhantomData)
+            }
+        }
+    }
+}
+
+/// Runner configuration accepted by `#![proptest_config(..)]`.
+pub mod test_runner {
+    /// Failure raised from a property-test body (e.g. via `?`).
+    #[derive(Clone, Debug)]
+    pub struct TestCaseError(String);
+
+    impl TestCaseError {
+        /// Marks the current case as failed with `reason`.
+        pub fn fail(reason: impl Into<String>) -> Self {
+            TestCaseError(reason.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    /// Subset of proptest's config: only `cases` changes behaviour here.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of random cases to run per test.
+        pub cases: u32,
+        /// Accepted for API parity; shrinking is not implemented.
+        pub max_shrink_iters: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig {
+                cases: 256,
+                max_shrink_iters: 0,
+            }
+        }
+    }
+}
+
+/// Builds the deterministic per-test RNG used by the `proptest!` macro.
+pub fn rng_for_seed(seed: u64) -> TestRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Stable seed for a test, derived from its fully-qualified name (FNV-1a).
+pub fn seed_for_test(qualified_name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in qualified_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// One-stop imports mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{any, Arbitrary, BoxedStrategy, Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Asserts a condition inside a property test, reporting the failure.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            panic!($($fmt)*);
+        }
+    };
+}
+
+/// Asserts two expressions are equal inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            panic!(
+                "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+                l, r
+            );
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            panic!(
+                "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`: {}",
+                l, r, format_args!($($fmt)*)
+            );
+        }
+    }};
+}
+
+/// Asserts two expressions are unequal inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            panic!(
+                "assertion failed: `(left != right)`\n  both: `{:?}`",
+                l
+            );
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            panic!(
+                "assertion failed: `(left != right)`\n  both: `{:?}`: {}",
+                l, format_args!($($fmt)*)
+            );
+        }
+    }};
+}
+
+/// Uniform choice over strategy arms that share a value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strategy)),+])
+    };
+}
+
+/// Declares property tests: each `fn name(pat in strategy, ..) { body }`
+/// becomes a `#[test]` running `cases` random inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            config = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = ($config:expr);) => {};
+    (
+        config = ($config:expr);
+        $(#[$attr:meta])*
+        fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$attr])*
+        fn $name() {
+            let config = $config;
+            let seed = $crate::seed_for_test(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            let mut rng = $crate::rng_for_seed(seed);
+            for case in 0..config.cases {
+                let run = |rng: &mut $crate::TestRng|
+                    -> ::std::result::Result<(), $crate::test_runner::TestCaseError>
+                {
+                    $(let $pat = $crate::Strategy::new_value(&($strategy), rng);)+
+                    $body
+                    Ok(())
+                };
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                    || run(&mut rng),
+                ));
+                match result {
+                    Ok(Ok(())) => {}
+                    Ok(Err(err)) => panic!(
+                        "proptest {}: failed at case {}/{} (seed {:#x}): {}",
+                        stringify!($name), case + 1, config.cases, seed, err
+                    ),
+                    Err(payload) => {
+                        eprintln!(
+                            "proptest {}: failed at case {}/{} (seed {:#x}); \
+                             re-run reproduces the same inputs",
+                            stringify!($name), case + 1, config.cases, seed
+                        );
+                        std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+        }
+        $crate::__proptest_impl! { config = ($config); $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn arb_even() -> impl Strategy<Value = u64> {
+        (0u64..1000).prop_map(|n| n * 2)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+        #[test]
+        fn ranges_stay_in_bounds(a in 5u64..10, b in 1usize..=3, mut c in 100u64..) {
+            prop_assert!((5..10).contains(&a));
+            prop_assert!((1..=3).contains(&b));
+            prop_assert!(c >= 100);
+            c += 1;
+            prop_assert_ne!(c, 0);
+        }
+
+        #[test]
+        fn tuples_and_maps_compose((x, y) in (0u8..4, 0u8..4), e in arb_even()) {
+            prop_assert!(x < 4 && y < 4);
+            prop_assert_eq!(e % 2, 0);
+        }
+
+        #[test]
+        fn collections_and_samples(
+            items in prop::collection::vec(any::<u64>(), 1..40),
+            ix in any::<prop::sample::Index>(),
+            flag in any::<bool>(),
+        ) {
+            prop_assert!(!items.is_empty() && items.len() < 40);
+            prop_assert!(ix.index(items.len()) < items.len());
+            let _ = flag;
+        }
+
+        #[test]
+        fn oneof_draws_every_arm(picks in prop::collection::vec(
+            prop_oneof![(0u8..1).prop_map(|_| 1u8), (0u8..1).prop_map(|_| 2u8)],
+            64..65,
+        )) {
+            prop_assert!(picks.iter().any(|&p| p == 1));
+            prop_assert!(picks.iter().any(|&p| p == 2));
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let seed = crate::seed_for_test("a::b::c");
+        let mut r1 = crate::rng_for_seed(seed);
+        let mut r2 = crate::rng_for_seed(seed);
+        let s = 0u64..1_000_000;
+        for _ in 0..32 {
+            assert_eq!(s.new_value(&mut r1), s.new_value(&mut r2));
+        }
+    }
+}

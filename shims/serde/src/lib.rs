@@ -1,0 +1,17 @@
+//! Offline shim for `serde`.
+//!
+//! Provides the `Serialize`/`Deserialize` names (trait + derive macro) so
+//! the workspace's `#[derive(Serialize, Deserialize)]` annotations compile
+//! in the hermetic build environment. The workspace's canonical encoding
+//! lives in `hc_types::encode` and does not go through serde, so no trait
+//! methods are required here.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize` (no methods required by this
+/// workspace).
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize` (no methods required by
+/// this workspace).
+pub trait Deserialize<'de> {}

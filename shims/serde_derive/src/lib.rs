@@ -1,0 +1,21 @@
+//! Offline shim for `serde_derive`.
+//!
+//! The workspace builds in a hermetic environment without crates.io
+//! access, so the real `serde` cannot be vendored. Nothing in this
+//! workspace serializes through serde at runtime — types derive
+//! `Serialize`/`Deserialize` only to keep the public API source-compatible
+//! with downstream users — so the derives expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
