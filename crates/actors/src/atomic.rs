@@ -422,7 +422,8 @@ mod tests {
     #[test]
     fn double_submission_is_rejected() {
         let (mut reg, id, a, _) = two_party_exec();
-        reg.submit_output(&id, a.clone(), Cid::digest(b"o")).unwrap();
+        reg.submit_output(&id, a.clone(), Cid::digest(b"o"))
+            .unwrap();
         assert!(matches!(
             reg.submit_output(&id, a, Cid::digest(b"o")),
             Err(AtomicError::AlreadySubmitted(_))

@@ -202,7 +202,8 @@ mod tests {
     #[test]
     fn burn_preserves_total_but_moves_to_burn_actor() {
         let mut l = MapLedger::with_balances([(Address::new(100), TokenAmount::from_atto(9))]);
-        l.burn(Address::new(100), TokenAmount::from_atto(4)).unwrap();
+        l.burn(Address::new(100), TokenAmount::from_atto(4))
+            .unwrap();
         assert_eq!(l.balance(Address::BURNT_FUNDS), TokenAmount::from_atto(4));
         assert_eq!(l.total(), TokenAmount::from_atto(9));
     }

@@ -403,18 +403,30 @@ mod tests {
             ..SaConfig::default()
         });
         assert!(matches!(
-            sa.join(Address::new(999), kp(2).public(), TokenAmount::from_whole(5)),
+            sa.join(
+                Address::new(999),
+                kp(2).public(),
+                TokenAmount::from_whole(5)
+            ),
             Err(SaError::NotAllowed(_))
         ));
-        sa.join(Address::new(100), kp(3).public(), TokenAmount::from_whole(5))
-            .unwrap();
+        sa.join(
+            Address::new(100),
+            kp(3).public(),
+            TokenAmount::from_whole(5),
+        )
+        .unwrap();
     }
 
     #[test]
     fn leave_returns_stake() {
         let mut sa = open_sa();
-        sa.join(Address::new(100), kp(4).public(), TokenAmount::from_whole(3))
-            .unwrap();
+        sa.join(
+            Address::new(100),
+            kp(4).public(),
+            TokenAmount::from_whole(3),
+        )
+        .unwrap();
         assert_eq!(
             sa.leave(Address::new(100)).unwrap(),
             TokenAmount::from_whole(3)

@@ -36,9 +36,7 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
-use hc_types::{
-    Address, CanonicalEncode, ChainEpoch, Cid, Nonce, SubnetId, TokenAmount,
-};
+use hc_types::{Address, CanonicalEncode, ChainEpoch, Cid, Nonce, SubnetId, TokenAmount};
 
 use crate::checkpoint::Checkpoint;
 use crate::ledger::{Ledger, LedgerError};
@@ -448,13 +446,13 @@ impl ScaState {
         if info.status == SubnetStatus::Killed {
             return Err(ScaError::SubnetNotActive(id.clone(), info.status));
         }
-        let remaining = info
-            .collateral
-            .checked_sub(amount)
-            .ok_or(ScaError::InsufficientCollateral {
-                got: info.collateral,
-                need: amount,
-            })?;
+        let remaining =
+            info.collateral
+                .checked_sub(amount)
+                .ok_or(ScaError::InsufficientCollateral {
+                    got: info.collateral,
+                    need: amount,
+                })?;
         ledger.transfer(Address::SCA, recipient, amount)?;
         info.collateral = remaining;
         if info.collateral < min {
@@ -978,7 +976,8 @@ impl ScaState {
                 )));
             }
         }
-        self.child_snapshots.insert(snapshot.subnet.clone(), snapshot);
+        self.child_snapshots
+            .insert(snapshot.subnet.clone(), snapshot);
         Ok(())
     }
 
@@ -1188,11 +1187,7 @@ mod tests {
         let (mut sca, mut ledger, child) = root_sca_with_child();
         let to = HcAddress::new(child.clone(), Address::new(300));
         for i in 0..3u64 {
-            let msg = CrossMsg::transfer(
-                haddr(&[], 100),
-                to.clone(),
-                TokenAmount::from_whole(1),
-            );
+            let msg = CrossMsg::transfer(haddr(&[], 100), to.clone(), TokenAmount::from_whole(1));
             sca.send_cross_msg(&mut ledger, Address::new(100), msg)
                 .unwrap();
             let queued = sca.top_down_msgs(&child, Nonce::ZERO);
@@ -1634,7 +1629,9 @@ mod tests {
             TokenAmount::from_whole(1),
         )];
         let cid = hc_types::merkle::merkle_root(&msgs);
-        assert!(sca.register_content(Cid::digest(b"bogus"), msgs.clone()).is_err());
+        assert!(sca
+            .register_content(Cid::digest(b"bogus"), msgs.clone())
+            .is_err());
         sca.register_content(cid, msgs.clone()).unwrap();
         assert_eq!(sca.resolve_content(&cid).unwrap(), msgs.as_slice());
     }

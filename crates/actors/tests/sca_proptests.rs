@@ -3,9 +3,9 @@
 
 use proptest::prelude::*;
 
+use hc_actors::checkpoint::Checkpoint;
 use hc_actors::ledger::MapLedger;
 use hc_actors::{CrossMsg, CrossMsgMeta, HcAddress, Ledger, ScaConfig, ScaState};
-use hc_actors::checkpoint::Checkpoint;
 use hc_types::{Address, CanonicalEncode, ChainEpoch, Cid, SubnetId, TokenAmount};
 
 /// A randomized parent-side scenario: fund the child with a sequence of

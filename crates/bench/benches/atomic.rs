@@ -11,19 +11,15 @@ fn bench_atomic(c: &mut Criterion) {
     group.warm_up_time(Duration::from_millis(500));
     group.measurement_time(Duration::from_secs(3));
     for parties in [2usize, 3] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(parties),
-            &parties,
-            |b, &n| {
-                b.iter(|| {
-                    e5_atomic::e5_run(&E5Params {
-                        party_counts: vec![n],
-                        fault_scenarios: false,
-                    })
-                    .unwrap()
+        group.bench_with_input(BenchmarkId::from_parameter(parties), &parties, |b, &n| {
+            b.iter(|| {
+                e5_atomic::e5_run(&E5Params {
+                    party_counts: vec![n],
+                    fault_scenarios: false,
                 })
-            },
-        );
+                .unwrap()
+            })
+        });
     }
     group.finish();
 }

@@ -11,21 +11,17 @@ fn bench_checkpointing(c: &mut Criterion) {
     group.warm_up_time(Duration::from_millis(500));
     group.measurement_time(Duration::from_secs(3));
     for children in [1usize, 8] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(children),
-            &children,
-            |b, &n| {
-                b.iter(|| {
-                    e3_checkpoints::e3_run(&E3Params {
-                        child_counts: vec![n],
-                        periods: vec![5],
-                        child_blocks: 20,
-                        internal_msgs: 20,
-                    })
-                    .unwrap()
+        group.bench_with_input(BenchmarkId::from_parameter(children), &children, |b, &n| {
+            b.iter(|| {
+                e3_checkpoints::e3_run(&E3Params {
+                    child_counts: vec![n],
+                    periods: vec![5],
+                    child_blocks: 20,
+                    internal_msgs: 20,
                 })
-            },
-        );
+                .unwrap()
+            })
+        });
     }
     group.finish();
 }

@@ -16,21 +16,17 @@ fn bench_consensus(c: &mut Criterion) {
         ConsensusKind::Tendermint,
         ConsensusKind::Mir,
     ] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(kind),
-            &kind,
-            |b, &k| {
-                b.iter(|| {
-                    e6_consensus::e6_run(&E6Params {
-                        engines: vec![k],
-                        validators: 4,
-                        msgs: 200,
-                        block_capacity: 50,
-                    })
-                    .unwrap()
+        group.bench_with_input(BenchmarkId::from_parameter(kind), &kind, |b, &k| {
+            b.iter(|| {
+                e6_consensus::e6_run(&E6Params {
+                    engines: vec![k],
+                    validators: 4,
+                    msgs: 200,
+                    block_capacity: 50,
                 })
-            },
-        );
+                .unwrap()
+            })
+        });
     }
     group.finish();
 }

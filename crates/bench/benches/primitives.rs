@@ -30,7 +30,11 @@ fn bench_primitives(c: &mut Criterion) {
     let tree = StateTree::genesis(
         SubnetId::root(),
         ScaConfig::default(),
-        [(Address::new(100), user.public(), TokenAmount::from_whole(1_000_000))],
+        [(
+            Address::new(100),
+            user.public(),
+            TokenAmount::from_whole(1_000_000),
+        )],
     );
     group.bench_function("state_flush", |b| b.iter(|| tree.flush()));
 

@@ -1,4 +1,5 @@
-//! E1 benchmark: simulating the throughput scale-out sweep.
+//! E1 benchmark: simulating the throughput scale-out sweep, across
+//! subnet counts and wave-execution thread counts.
 
 use std::time::Duration;
 
@@ -11,22 +12,43 @@ fn bench_scaling(c: &mut Criterion) {
     group.warm_up_time(Duration::from_millis(500));
     group.measurement_time(Duration::from_secs(3));
     for subnets in [1usize, 4, 8] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(subnets),
-            &subnets,
-            |b, &n| {
-                b.iter(|| {
-                    e1_scaling::e1_run(&E1Params {
-                        subnet_counts: vec![n],
-                        msgs_per_subnet: 100,
-                        users_per_subnet: 2,
-                        block_capacity: 50,
-                        seed: 11,
-                    })
-                    .unwrap()
+        group.bench_with_input(BenchmarkId::from_parameter(subnets), &subnets, |b, &n| {
+            b.iter(|| {
+                e1_scaling::e1_run(&E1Params {
+                    subnet_counts: vec![n],
+                    msgs_per_subnet: 100,
+                    users_per_subnet: 2,
+                    block_capacity: 50,
+                    seed: 11,
+                    parallelism: 1,
                 })
-            },
-        );
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+
+    // Host-side wall-clock speedup of the wave engine: the same 8-subnet
+    // sweep point at increasing thread counts (virtual-time results are
+    // identical at every setting ≥ 2; 1 runs the sequential stepper).
+    let mut group = c.benchmark_group("e1_wave_threads");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(3));
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            b.iter(|| {
+                e1_scaling::e1_run(&E1Params {
+                    subnet_counts: vec![8],
+                    msgs_per_subnet: 100,
+                    users_per_subnet: 2,
+                    block_capacity: 50,
+                    seed: 11,
+                    parallelism: t,
+                })
+                .unwrap()
+            })
+        });
     }
     group.finish();
 }

@@ -8,8 +8,8 @@
 //! ```
 
 use hc_sim::experiments::{
-    e1_scaling, e2_latency, e3_checkpoints, e4_firewall, e5_atomic, e6_consensus, e7_resolution,
-    e10_cross_ratio, e8_collateral, e9_certificates, E10Params, E1Params, E2Params, E3Params,
+    e10_cross_ratio, e1_scaling, e2_latency, e3_checkpoints, e4_firewall, e5_atomic, e6_consensus,
+    e7_resolution, e8_collateral, e9_certificates, E10Params, E1Params, E2Params, E3Params,
     E4Params, E5Params, E6Params, E7Params, E8Params, E9Params,
 };
 
@@ -82,7 +82,10 @@ fn main() {
         e3_checkpoints::e3_run(&params).map(|rows| e3_checkpoints::table(&rows))
     });
 
-    run!("e4", e4_firewall::e4_run(&E4Params::default()).map(|r| e4_firewall::table(&r)));
+    run!(
+        "e4",
+        e4_firewall::e4_run(&E4Params::default()).map(|r| e4_firewall::table(&r))
+    );
 
     run!("e5", {
         let params = if quick {
@@ -109,9 +112,15 @@ fn main() {
         e6_consensus::e6_run(&params).map(|rows| e6_consensus::table(&rows))
     });
 
-    run!("e7", e7_resolution::e7_run(&E7Params::default()).map(|r| e7_resolution::table(&r)));
+    run!(
+        "e7",
+        e7_resolution::e7_run(&E7Params::default()).map(|r| e7_resolution::table(&r))
+    );
 
-    run!("e8", e8_collateral::e8_run(&E8Params::default()).map(|r| e8_collateral::table(&r)));
+    run!(
+        "e8",
+        e8_collateral::e8_run(&E8Params::default()).map(|r| e8_collateral::table(&r))
+    );
 
     run!("e9", {
         let params = if quick {

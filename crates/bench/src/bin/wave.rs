@@ -1,0 +1,103 @@
+//! Wave-engine wall-clock probe: drains the same heavily loaded flat
+//! hierarchy at several `parallelism` settings and reports host-side
+//! speed. Virtual-time results are identical across rows (the wave
+//! scheduler is a function of virtual time only); only wall clock moves.
+
+use std::time::Instant;
+
+use hc_consensus::EngineParams;
+use hc_core::RuntimeConfig;
+use hc_net::NetConfig;
+use hc_sim::TopologyBuilder;
+use hc_state::Method;
+use hc_types::TokenAmount;
+
+const SUBNETS: usize = 8;
+const USERS_PER_SUBNET: usize = 4;
+const MSGS_PER_USER: usize = 250;
+const BLOCK_CAPACITY: usize = 100;
+
+struct Drain {
+    ms: f64,
+    blocks: usize,
+    waves: usize,
+    widest: usize,
+    virtual_ms: u64,
+}
+
+fn drain(parallelism: usize) -> Drain {
+    let config = RuntimeConfig {
+        engine_params: EngineParams {
+            block_capacity: BLOCK_CAPACITY,
+            ..EngineParams::default()
+        },
+        net: NetConfig {
+            jitter_ms: 0,
+            drop_rate: 0.0,
+            ..NetConfig::default()
+        },
+        parallelism,
+        ..RuntimeConfig::default()
+    };
+    let mut topo = TopologyBuilder::new()
+        .users_per_subnet(USERS_PER_SUBNET)
+        .runtime_config(config)
+        .flat(SUBNETS)
+        .expect("topology");
+    for subnet in topo.subnets.clone() {
+        let users = topo.users[&subnet].clone();
+        for (i, user) in users.iter().enumerate() {
+            let peer = users[(i + 1) % users.len()].clone();
+            for _ in 0..MSGS_PER_USER {
+                topo.rt
+                    .submit(user, peer.addr, TokenAmount::from_atto(1), Method::Send)
+                    .expect("submit");
+            }
+        }
+    }
+    let start = Instant::now();
+    let mut blocks = 0usize;
+    let mut waves = 0usize;
+    let mut widest = 0usize;
+    while !topo.rt.all_quiescent() {
+        let n = topo.rt.step_wave().expect("drain").len();
+        blocks += n;
+        waves += 1;
+        widest = widest.max(n);
+        if blocks > 1_000_000 {
+            panic!("drain did not quiesce");
+        }
+    }
+    Drain {
+        ms: start.elapsed().as_secs_f64() * 1_000.0,
+        blocks,
+        waves,
+        widest,
+        virtual_ms: topo.rt.now_ms(),
+    }
+}
+
+fn main() {
+    println!(
+        "wave drain: {SUBNETS} subnets x {USERS_PER_SUBNET} users x \
+         {MSGS_PER_USER} msgs, capacity {BLOCK_CAPACITY}"
+    );
+    println!(
+        "{:>8} {:>12} {:>8} {:>8} {:>8} {:>12} {:>8}",
+        "threads", "drain ms", "blocks", "waves", "widest", "virtual ms", "speedup"
+    );
+    let mut baseline = None;
+    for threads in [1usize, 2, 4, 8] {
+        let d = drain(threads);
+        let base = *baseline.get_or_insert(d.ms);
+        println!(
+            "{threads:>8} {:>12.1} {:>8} {:>8} {:>8} {:>12} {:>8.2}",
+            d.ms,
+            d.blocks,
+            d.waves,
+            d.widest,
+            d.virtual_ms,
+            base / d.ms
+        );
+    }
+}

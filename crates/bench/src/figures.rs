@@ -4,9 +4,7 @@
 //! protocol through it, and renders the observed behaviour as a table.
 
 use hc_actors::sa::{ConsensusKind, SaConfig};
-use hc_core::{
-    AtomicOrchestrator, AtomicParty, HierarchyRuntime, RuntimeConfig, RuntimeError,
-};
+use hc_core::{AtomicOrchestrator, AtomicParty, HierarchyRuntime, RuntimeConfig, RuntimeError};
 use hc_sim::Table;
 use hc_state::{Method, VmEvent};
 use hc_types::{SubnetId, TokenAmount};
@@ -51,7 +49,13 @@ pub fn f1_overview() -> Result<Table, RuntimeError> {
     rt.run_blocks(60)?;
     let mut t = Table::new(
         "F1: hierarchy overview — independent subnets, independent chains",
-        &["subnet", "consensus", "height", "blocks", "mean interval ms"],
+        &[
+            "subnet",
+            "consensus",
+            "height",
+            "blocks",
+            "mean interval ms",
+        ],
     );
     for subnet in [&root, &a, &b, &c] {
         let node = rt.node(subnet).unwrap();
@@ -162,7 +166,10 @@ pub fn f3_commitment() -> Result<Table, RuntimeError> {
     for (s, ev) in rt.drain_events() {
         let text = match ev {
             VmEvent::CrossMsgQueued { msg } => {
-                format!("committed {} -> {} with nonce {}", msg.from, msg.to, msg.nonce)
+                format!(
+                    "committed {} -> {} with nonce {}",
+                    msg.from, msg.to, msg.nonce
+                )
             }
             VmEvent::CrossMsgApplied { msg } => {
                 format!("applied {} -> {} ({})", msg.from, msg.to, msg.value)
@@ -197,7 +204,14 @@ pub fn f3_commitment() -> Result<Table, RuntimeError> {
 pub fn f4_resolution() -> Result<Table, RuntimeError> {
     let mut t = Table::new(
         "F4: content resolution — push vs miss-then-pull",
-        &["mode", "pushes cached", "cache hits", "misses", "pulls served", "resolves"],
+        &[
+            "mode",
+            "pushes cached",
+            "cache hits",
+            "misses",
+            "pulls served",
+            "resolves",
+        ],
     );
     for (mode, push_enabled) in [("push", true), ("pull", false)] {
         let mut rt = HierarchyRuntime::new(RuntimeConfig {
@@ -207,8 +221,7 @@ pub fn f4_resolution() -> Result<Table, RuntimeError> {
         let root = SubnetId::root();
         let alice = rt.create_user(&root, whole(10_000))?;
         let v = rt.create_user(&root, whole(100))?;
-        let subnet =
-            rt.spawn_subnet(&alice, SaConfig::default(), whole(10), &[(v, whole(5))])?;
+        let subnet = rt.spawn_subnet(&alice, SaConfig::default(), whole(10), &[(v, whole(5))])?;
         let bob = rt.create_user(&subnet, TokenAmount::ZERO)?;
         rt.cross_transfer(&alice, &bob, whole(100))?;
         rt.run_until_quiescent(10_000)?;
@@ -243,8 +256,7 @@ pub fn f5_atomic() -> Result<Table, RuntimeError> {
     let mut parties = Vec::new();
     for asset in [b"A".to_vec(), b"B".to_vec()] {
         let v = rt.create_user(&root, whole(100))?;
-        let subnet =
-            rt.spawn_subnet(&funder, SaConfig::default(), whole(10), &[(v, whole(5))])?;
+        let subnet = rt.spawn_subnet(&funder, SaConfig::default(), whole(10), &[(v, whole(5))])?;
         let user = rt.create_user(&subnet, TokenAmount::ZERO)?;
         rt.execute(
             &user,
@@ -304,7 +316,12 @@ mod tests {
             .lines()
             .filter(|l| {
                 let cols: Vec<&str> = l.split('|').collect();
-                cols.len() > 2 && cols[2].trim().parse::<u64>().map(|v| v > 0).unwrap_or(false)
+                cols.len() > 2
+                    && cols[2]
+                        .trim()
+                        .parse::<u64>()
+                        .map(|v| v > 0)
+                        .unwrap_or(false)
             })
             .count();
         assert!(carrying >= 2, "{text}");

@@ -60,10 +60,7 @@ pub struct Block {
 
 impl Block {
     /// Computes the Merkle root over the payload's message CIDs.
-    pub fn compute_msgs_root(
-        signed: &[SignedMessage],
-        implicit: &[ImplicitMsg],
-    ) -> Cid {
+    pub fn compute_msgs_root(signed: &[SignedMessage], implicit: &[ImplicitMsg]) -> Cid {
         let mut cids: Vec<Cid> = signed.iter().map(|m| m.cid()).collect();
         cids.extend(implicit.iter().map(|m| m.cid()));
         merkle_root(&cids)

@@ -48,7 +48,10 @@ impl std::fmt::Display for BlockError {
         match self {
             BlockError::Invalid(why) => write!(f, "invalid block: {why}"),
             BlockError::StateRootMismatch { claimed, computed } => {
-                write!(f, "state root mismatch: header {claimed}, computed {computed}")
+                write!(
+                    f,
+                    "state root mismatch: header {claimed}, computed {computed}"
+                )
             }
             BlockError::WrongContext(why) => write!(f, "wrong context: {why}"),
         }
@@ -115,9 +118,7 @@ pub fn produce_block(
 ///
 /// Fails on structural violations, wrong subnet, or a state-root mismatch.
 pub fn execute_block(tree: &mut StateTree, block: &Block) -> Result<Vec<Receipt>, BlockError> {
-    block
-        .validate_structure()
-        .map_err(BlockError::Invalid)?;
+    block.validate_structure().map_err(BlockError::Invalid)?;
     if block.header.subnet != *tree.subnet_id() {
         return Err(BlockError::WrongContext(format!(
             "block for {} executed on {}",

@@ -11,25 +11,56 @@
 //!   the parent SCA (applied in nonce order), and bottom-up metas awaiting
 //!   content resolution before they can be proposed.
 
-use std::collections::{BTreeMap, HashSet};
+use std::collections::{BTreeMap, HashMap};
 
 use hc_actors::{CrossMsg, CrossMsgMeta};
 use hc_state::SignedMessage;
-use hc_types::{Address, CanonicalEncode, Cid, Nonce};
+use hc_types::{Address, CanonicalEncode, ChainEpoch, Cid, Nonce};
+
+/// How many epochs an admitted CID stays in the dedup set after its
+/// admission epoch. Replays older than this are caught by account-nonce
+/// validation at execution time, so the set can forget them.
+pub const DEFAULT_SEEN_HORIZON_EPOCHS: u64 = 256;
 
 /// The internal pool of pending signed user messages.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct Mempool {
     /// Per-sender queues ordered by nonce.
     by_sender: BTreeMap<Address, BTreeMap<Nonce, SignedMessage>>,
-    /// CIDs already admitted (dedup).
-    seen: HashSet<Cid>,
+    /// CIDs already admitted, tagged with the chain epoch current at
+    /// admission (dedup with bounded memory — see
+    /// [`Mempool::advance_epoch`]).
+    seen: HashMap<Cid, ChainEpoch>,
+    /// Epochs a CID stays in `seen` past its admission epoch.
+    seen_horizon_epochs: u64,
+    /// The chain epoch the pool currently considers "now".
+    current_epoch: ChainEpoch,
+}
+
+impl Default for Mempool {
+    fn default() -> Self {
+        Mempool {
+            by_sender: BTreeMap::new(),
+            seen: HashMap::new(),
+            seen_horizon_epochs: DEFAULT_SEEN_HORIZON_EPOCHS,
+            current_epoch: ChainEpoch::GENESIS,
+        }
+    }
 }
 
 impl Mempool {
-    /// Creates an empty pool.
+    /// Creates an empty pool with the default dedup horizon.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an empty pool that remembers admitted CIDs for `horizon`
+    /// epochs past their admission epoch.
+    pub fn with_seen_horizon(horizon: u64) -> Self {
+        Mempool {
+            seen_horizon_epochs: horizon,
+            ..Self::default()
+        }
     }
 
     /// Admits a message after signature pre-validation. Duplicates and
@@ -41,14 +72,36 @@ impl Mempool {
             return false;
         }
         let cid = msg.cid();
-        if !self.seen.insert(cid) {
+        if self.seen.contains_key(&cid) {
             return false;
         }
+        self.seen.insert(cid, self.current_epoch);
         self.by_sender
             .entry(msg.message.from)
             .or_default()
             .insert(msg.message.nonce, msg);
         true
+    }
+
+    /// Advances the pool's notion of the current chain epoch and prunes
+    /// dedup entries admitted more than the horizon ago. Without this the
+    /// `seen` set grows without bound for the lifetime of the node; with
+    /// it, replays inside the horizon are still refused here while older
+    /// replays fall through to the account-nonce check at execution time
+    /// (stale nonces never execute).
+    pub fn advance_epoch(&mut self, epoch: ChainEpoch) {
+        if epoch <= self.current_epoch {
+            return;
+        }
+        self.current_epoch = epoch;
+        let horizon = self.seen_horizon_epochs;
+        self.seen
+            .retain(|_, admitted| epoch.since(*admitted) <= horizon);
+    }
+
+    /// Number of CIDs currently held for dedup (testing/diagnostics).
+    pub fn seen_len(&self) -> usize {
+        self.seen.len()
     }
 
     /// Number of pending messages.
@@ -64,33 +117,32 @@ impl Mempool {
     /// Selects up to `max` messages for a block proposal: round-robin over
     /// senders, each sender's messages in nonce order, so no sender can
     /// starve the pool.
+    ///
+    /// Runs in `O(selected + senders)` per call: each cursor is peekable,
+    /// so exhausted senders are dropped without cloning and re-walking
+    /// iterators (the previous implementation re-peeked every cursor by
+    /// clone-and-advance on every round, which was quadratic in the pool
+    /// depth).
     pub fn select(&self, max: usize) -> Vec<SignedMessage> {
         let mut cursors: Vec<_> = self
             .by_sender
             .values()
-            .filter(|q| !q.is_empty())
-            .map(|q| q.values())
+            .map(|q| q.values().peekable())
             .collect();
+        cursors.retain_mut(|c| c.peek().is_some());
         let mut out = Vec::new();
         while out.len() < max && !cursors.is_empty() {
-            let mut exhausted = Vec::new();
-            for (i, cursor) in cursors.iter_mut().enumerate() {
+            for cursor in cursors.iter_mut() {
                 if out.len() >= max {
                     break;
                 }
-                match cursor.next() {
-                    Some(m) => out.push(m.clone()),
-                    None => exhausted.push(i),
+                if let Some(m) = cursor.next() {
+                    out.push(m.clone());
                 }
             }
-            for i in exhausted.into_iter().rev() {
-                let _ = cursors.remove(i);
-            }
-            if out.len() >= max {
-                break;
-            }
-            // All cursors advanced; loop again until everything is drained.
-            cursors.retain(|c| c.clone().next().is_some());
+            // Drop drained senders; the survivors keep their round-robin
+            // order for the next pass.
+            cursors.retain_mut(|c| c.peek().is_some());
         }
         out
     }
@@ -101,7 +153,8 @@ impl Mempool {
             if let Some(q) = self.by_sender.get_mut(&m.message.from) {
                 q.remove(&m.message.nonce);
             }
-            // Keep `seen` so replays of the same CID stay excluded.
+            // Keep `seen` so replays of the same CID stay excluded until
+            // the dedup horizon passes (see `advance_epoch`).
         }
         self.by_sender.retain(|_, q| !q.is_empty());
     }
@@ -283,6 +336,57 @@ mod tests {
         assert_eq!(pool.len(), 2);
         // Replays of included messages stay excluded.
         assert!(!pool.push(selected[0].clone()));
+    }
+
+    #[test]
+    fn mempool_select_round_robin_survives_uneven_queues() {
+        // Senders with different queue depths: the rotation must keep
+        // visiting the surviving senders in order after short queues
+        // drain (regression test for the cursor rewrite in `select`).
+        let mut pool = Mempool::new();
+        let ka = kp(4);
+        let kb = kp(5);
+        let kc = kp(6);
+        pool.push(signed(100, 0, &ka));
+        for n in 0..3 {
+            pool.push(signed(200, n, &kb));
+        }
+        for n in 0..2 {
+            pool.push(signed(300, n, &kc));
+        }
+        let picked: Vec<(u64, u64)> = pool
+            .select(6)
+            .iter()
+            .map(|m| (m.message.from.id(), m.message.nonce.value()))
+            .collect();
+        assert_eq!(
+            picked,
+            vec![(100, 0), (200, 0), (300, 0), (200, 1), (300, 1), (200, 2)]
+        );
+        // A capped selection stops mid-rotation without skipping anyone.
+        let capped: Vec<u64> = pool.select(2).iter().map(|m| m.message.from.id()).collect();
+        assert_eq!(capped, vec![100, 200]);
+    }
+
+    #[test]
+    fn mempool_seen_set_prunes_beyond_horizon() {
+        let mut pool = Mempool::with_seen_horizon(2);
+        let k = kp(7);
+        let m = signed(100, 0, &k);
+        assert!(pool.push(m.clone()));
+        pool.remove_included([&m]);
+        // Replays within the horizon are still refused and remembered.
+        pool.advance_epoch(ChainEpoch::new(2));
+        assert!(!pool.push(m.clone()));
+        assert_eq!(pool.seen_len(), 1);
+        // Epoch regressions never resurrect or prune anything.
+        pool.advance_epoch(ChainEpoch::new(1));
+        assert_eq!(pool.seen_len(), 1);
+        // Beyond the horizon the CID is forgotten — bounded memory; the
+        // stale account nonce catches any replay at execution time.
+        pool.advance_epoch(ChainEpoch::new(3));
+        assert_eq!(pool.seen_len(), 0);
+        assert!(pool.push(m));
     }
 
     fn td(nonce: u64) -> CrossMsg {

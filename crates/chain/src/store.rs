@@ -125,9 +125,7 @@ impl ChainStore {
         if block.header.subnet != self.subnet {
             return Err(StoreError::WrongSubnet(block.header.subnet.clone()));
         }
-        block
-            .validate_structure()
-            .map_err(StoreError::BadBlock)?;
+        block.validate_structure().map_err(StoreError::BadBlock)?;
         if block.header.parent != self.head {
             return Err(StoreError::ParentMismatch {
                 expected: self.head,

@@ -184,8 +184,14 @@ mod tests {
     #[test]
     fn finality_profile_matches_paper_expectations() {
         let p = EngineParams::default();
-        assert_eq!(make_engine(ConsensusKind::Tendermint, p.clone()).finality_depth(), 0);
-        assert_eq!(make_engine(ConsensusKind::Mir, p.clone()).finality_depth(), 0);
+        assert_eq!(
+            make_engine(ConsensusKind::Tendermint, p.clone()).finality_depth(),
+            0
+        );
+        assert_eq!(
+            make_engine(ConsensusKind::Mir, p.clone()).finality_depth(),
+            0
+        );
         assert!(make_engine(ConsensusKind::ProofOfWork, p.clone()).finality_depth() > 0);
         assert!(make_engine(ConsensusKind::ProofOfStake, p).finality_depth() > 0);
     }

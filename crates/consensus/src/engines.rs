@@ -418,10 +418,7 @@ mod tests {
                 saw_view_change = true;
             }
             // The proposer is the primary rotated by the failed rounds.
-            assert_eq!(
-                opp.proposer,
-                (i as usize + opp.rounds as usize - 1) % 4
-            );
+            assert_eq!(opp.proposer, (i as usize + opp.rounds as usize - 1) % 4);
         }
         assert!(saw_view_change);
     }

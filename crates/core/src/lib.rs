@@ -62,8 +62,8 @@ pub mod audit;
 pub mod node;
 pub mod runtime;
 
-pub use atomic::{AtomicOrchestrator, AtomicOutcome, AtomicParty, PartyBehavior};
 pub use archive::CheckpointArchive;
+pub use atomic::{AtomicOrchestrator, AtomicOutcome, AtomicParty, PartyBehavior};
 pub use attack::AttackReport;
 pub use audit::{audit_escrow, audit_quiescent, SupplyReport};
 pub use node::{NodeStats, SubnetNode};

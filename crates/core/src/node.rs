@@ -9,6 +9,8 @@
 
 use std::collections::BTreeMap;
 
+use rand::rngs::StdRng;
+
 use hc_actors::checkpoint::SignedCheckpoint;
 use hc_actors::{CrossMsg, CrossMsgMeta, FundCertificate};
 use hc_chain::{ChainStore, CrossMsgPool, Mempool};
@@ -88,6 +90,12 @@ pub struct SubnetNode {
     pub(crate) tentative: BTreeMap<Cid, FundCertificate>,
     /// Counters.
     pub(crate) stats: NodeStats,
+    /// This node's private randomness stream, seeded from the runtime
+    /// seed and the subnet id. Keeping the stream per-node (instead of
+    /// one runtime-wide RNG) makes block production a pure function of
+    /// the node, so a wave of due subnets can produce concurrently and
+    /// still replay bit-identically at any parallelism.
+    pub(crate) rng: StdRng,
 }
 
 impl std::fmt::Debug for SubnetNode {

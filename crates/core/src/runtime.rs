@@ -13,9 +13,7 @@ use hc_chain::{produce_block, ChainStore, CrossMsgPool, Mempool};
 use hc_consensus::{make_engine, EngineParams, ValidatorSet};
 use hc_net::{NetConfig, Network, ResolutionMsg, Resolver};
 use hc_state::{ImplicitMsg, Message, Method, Receipt, SignedMessage, StateTree, VmEvent};
-use hc_types::{
-    Address, CanonicalEncode, ChainEpoch, Cid, Keypair, Nonce, SubnetId, TokenAmount,
-};
+use hc_types::{Address, CanonicalEncode, ChainEpoch, Cid, Keypair, Nonce, SubnetId, TokenAmount};
 
 use crate::node::{NodeStats, SubnetNode};
 
@@ -47,6 +45,11 @@ pub struct RuntimeConfig {
     /// so destinations learn of pending payments immediately
     /// (the §IV-A acceleration).
     pub certificates_enabled: bool,
+    /// Worker threads for [`HierarchyRuntime::step_wave`]: subnets due in
+    /// the same wave produce their blocks concurrently on up to this many
+    /// threads. `1` (the default) keeps everything on the caller's thread;
+    /// results are bit-identical at every setting.
+    pub parallelism: usize,
 }
 
 impl Default for RuntimeConfig {
@@ -60,6 +63,7 @@ impl Default for RuntimeConfig {
             push_enabled: true,
             atomic_timeout_epochs: 50,
             certificates_enabled: true,
+            parallelism: 1,
         }
     }
 }
@@ -139,13 +143,32 @@ struct Wallet {
     next_nonce: Nonce,
 }
 
+/// Derives a subnet node's private randomness stream from the runtime
+/// seed and the subnet's identity (domain-separated through the content
+/// hash, so sibling subnets get unrelated streams).
+fn node_rng(seed: u64, subnet: &SubnetId) -> StdRng {
+    let mut bytes = seed.to_le_bytes().to_vec();
+    bytes.extend_from_slice(&subnet.canonical_bytes());
+    StdRng::from_seed(*Cid::digest(&bytes).as_bytes())
+}
+
+/// What phase (a) of a tick — the pure per-subnet part — computed, to be
+/// applied to shared runtime state by phase (b).
+struct LocalOutcome {
+    report: StepReport,
+    /// Committed child checkpoints paired with the signature policy in
+    /// force at commit time, destined for the global archive.
+    archived: Vec<(SignedCheckpoint, hc_types::crypto::SignaturePolicy)>,
+    /// VM events of the block, to be routed through the hierarchy.
+    events: Vec<VmEvent>,
+}
+
 /// The hierarchical consensus runtime: one node per subnet plus the shared
 /// pub-sub network, advanced by a deterministic discrete-event loop.
 pub struct HierarchyRuntime {
     config: RuntimeConfig,
     nodes: BTreeMap<SubnetId, SubnetNode>,
     network: Network<ResolutionMsg>,
-    rng: StdRng,
     now_ms: u64,
     next_user_id: u64,
     wallets: BTreeMap<(SubnetId, Address), Wallet>,
@@ -171,7 +194,6 @@ impl HierarchyRuntime {
     /// `config.root_validators` authority validators.
     pub fn new(config: RuntimeConfig) -> Self {
         let network = Network::new(config.net.clone(), config.seed);
-        let rng = StdRng::seed_from_u64(config.seed ^ 0x5eed);
         let root = SubnetId::root();
 
         // Root validators: deterministic authority identities.
@@ -216,6 +238,7 @@ impl HierarchyRuntime {
             last_receipts: BTreeMap::new(),
             tentative: BTreeMap::new(),
             stats: NodeStats::default(),
+            rng: node_rng(config.seed, &root),
         };
 
         let mut nodes = BTreeMap::new();
@@ -224,7 +247,6 @@ impl HierarchyRuntime {
             config,
             nodes,
             network,
-            rng,
             now_ms: 0,
             next_user_id: 100,
             wallets: BTreeMap::new(),
@@ -555,6 +577,7 @@ impl HierarchyRuntime {
             last_receipts: BTreeMap::new(),
             tentative: BTreeMap::new(),
             stats: NodeStats::default(),
+            rng: node_rng(self.config.seed, &child_id),
         };
         self.nodes.insert(child_id.clone(), node);
         self.refresh_validators(&child_id);
@@ -668,11 +691,8 @@ impl HierarchyRuntime {
                 .iter()
                 .filter(|(addr, acc)| !addr.is_system() && !acc.balance.is_zero())
                 .map(|(addr, acc)| (*addr, acc.balance));
-            let (snapshot, tree) = hc_actors::StateSnapshot::build(
-                subnet.clone(),
-                node.chain.head_epoch(),
-                balances,
-            );
+            let (snapshot, tree) =
+                hc_actors::StateSnapshot::build(subnet.clone(), node.chain.head_epoch(), balances);
             let mut signatures = hc_types::crypto::AggregateSignature::new();
             let bytes = snapshot.cid();
             for key in &node.validator_keys {
@@ -786,14 +806,158 @@ impl HierarchyRuntime {
         self.tick_subnet(&subnet)
     }
 
+    /// The subnets forming the next *wave*: the longest prefix of the
+    /// earliest-deadline order whose members (i) are due back-to-back on
+    /// the virtual clock and (ii) are pairwise hierarchy-independent.
+    ///
+    /// Taking a strict prefix (stopping at the first violation instead of
+    /// skipping past it) keeps the wave identical to the run of blocks a
+    /// sequential [`HierarchyRuntime::step`] loop would produce next. The
+    /// ancestor/descendant exclusion keeps checkpoint submission and
+    /// top-down sync — the flows that couple a parent and its children —
+    /// strictly across waves, never within one.
+    fn wave_members(&self) -> Vec<SubnetId> {
+        let mut order: Vec<&SubnetNode> = self.nodes.values().collect();
+        order.sort_by(|a, b| {
+            a.next_block_at_ms
+                .cmp(&b.next_block_at_ms)
+                .then_with(|| a.subnet_id.cmp(&b.subnet_id))
+        });
+        let mut members: Vec<SubnetId> = Vec::new();
+        let mut sim_now = self.now_ms;
+        for node in order {
+            if !members.is_empty() {
+                if node.next_block_at_ms > sim_now + 1 {
+                    break; // the first schedule gap ends the wave
+                }
+                let related = members
+                    .iter()
+                    .any(|m| m.is_ancestor_of(&node.subnet_id) || node.subnet_id.is_ancestor_of(m));
+                if related {
+                    break;
+                }
+            }
+            sim_now = node.next_block_at_ms.max(sim_now + 1);
+            members.push(node.subnet_id.clone());
+        }
+        members
+    }
+
+    /// Advances the hierarchy by one *wave* of blocks: every subnet due
+    /// back-to-back at the minimum scheduled time (see
+    /// [`HierarchyRuntime::wave_members`]) produces its next block, with
+    /// the pure per-subnet phase running concurrently on up to
+    /// [`RuntimeConfig::parallelism`] threads.
+    ///
+    /// A wave runs in three phases:
+    ///
+    /// 1. *pre* — sequential, canonical order: validator refresh, clock
+    ///    advance, network poll, parent sync, content resolution.
+    /// 2. *(a)* — concurrent: block assembly, consensus, execution, and
+    ///    commit against each subnet's own node only.
+    /// 3. *(b)* — sequential, canonical order: checkpoint archiving, event
+    ///    routing, registry pruning.
+    ///
+    /// Phase (a) touches no shared state (each node owns its randomness —
+    /// [`SubnetNode::rng`]), so the result is bit-identical at every
+    /// `parallelism` setting, including `1`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates internal failures (which indicate bugs, not user error).
+    pub fn step_wave(&mut self) -> Result<Vec<StepReport>, RuntimeError> {
+        let members = self.wave_members();
+
+        // Phase pre: sequential cross-net intake, advancing the clock.
+        let mut waved: Vec<(SubnetId, u64)> = Vec::with_capacity(members.len());
+        for subnet in members {
+            let at_ms = self.pre_tick(&subnet)?;
+            waved.push((subnet, at_ms));
+        }
+
+        // Phase (a): pure per-subnet block production, concurrent. The
+        // nodes are moved out of the map so each worker owns its slice.
+        let mut entries: Vec<(SubnetNode, u64)> = Vec::with_capacity(waved.len());
+        for (subnet, at_ms) in &waved {
+            let node = self
+                .nodes
+                .remove(subnet)
+                .ok_or_else(|| RuntimeError::UnknownSubnet(subnet.clone()))?;
+            entries.push((node, *at_ms));
+        }
+        let workers = self.config.parallelism.max(1).min(entries.len().max(1));
+        let config = &self.config;
+        let outcomes: Vec<Result<LocalOutcome, RuntimeError>> = if workers > 1 {
+            let chunk_len = entries.len().div_ceil(workers);
+            let mut collected = Vec::with_capacity(entries.len());
+            std::thread::scope(|scope| {
+                // The first chunk runs on the calling thread — one fewer
+                // spawn per wave, and at `workers == 2` half the overhead.
+                let mut chunks = entries.chunks_mut(chunk_len);
+                let inline = chunks.next();
+                let handles: Vec<_> = chunks
+                    .map(|chunk| {
+                        scope.spawn(move || {
+                            chunk
+                                .iter_mut()
+                                .map(|(node, at_ms)| Self::produce_local(node, config, *at_ms))
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                if let Some(chunk) = inline {
+                    collected.extend(
+                        chunk
+                            .iter_mut()
+                            .map(|(node, at_ms)| Self::produce_local(node, config, *at_ms)),
+                    );
+                }
+                for handle in handles {
+                    collected.extend(handle.join().expect("wave worker panicked"));
+                }
+            });
+            collected
+        } else {
+            entries
+                .iter_mut()
+                .map(|(node, at_ms)| Self::produce_local(node, config, *at_ms))
+                .collect()
+        };
+        // Reinsert every node before surfacing any error so a failed wave
+        // never loses subnets from the hierarchy.
+        for (node, _) in entries {
+            self.nodes.insert(node.subnet_id.clone(), node);
+        }
+
+        // Phase (b): sequential application of outward effects, in the
+        // same canonical order.
+        let mut reports = Vec::with_capacity(waved.len());
+        for ((subnet, at_ms), outcome) in waved.into_iter().zip(outcomes) {
+            reports.push(self.post_tick(&subnet, outcome?, at_ms)?);
+        }
+        Ok(reports)
+    }
+
     /// Steps until every node is quiescent (no cross-net work in flight)
-    /// or `max_blocks` have been produced. Returns the number of blocks
-    /// produced.
+    /// or at least `max_blocks` have been produced. Returns the number of
+    /// blocks produced. With [`RuntimeConfig::parallelism`] above `1` the
+    /// hierarchy advances wave-by-wave ([`HierarchyRuntime::step_wave`])
+    /// and may overshoot `max_blocks` by at most one wave.
     ///
     /// # Errors
     ///
     /// Propagates step failures.
     pub fn run_until_quiescent(&mut self, max_blocks: usize) -> Result<usize, RuntimeError> {
+        if self.config.parallelism > 1 {
+            let mut produced = 0;
+            while produced < max_blocks {
+                if self.all_quiescent() {
+                    break;
+                }
+                produced += self.step_wave()?.len();
+            }
+            return Ok(produced);
+        }
         for produced in 0..max_blocks {
             if self.all_quiescent() {
                 return Ok(produced);
@@ -842,6 +1006,17 @@ impl HierarchyRuntime {
     ///
     /// Fails for unknown subnets or internal consensus/chain errors.
     pub fn tick_subnet(&mut self, subnet: &SubnetId) -> Result<StepReport, RuntimeError> {
+        let at_ms = self.pre_tick(subnet)?;
+        let node = Self::get_node_mut(&mut self.nodes, subnet)?;
+        let outcome = Self::produce_local(node, &self.config, at_ms)?;
+        self.post_tick(subnet, outcome, at_ms)
+    }
+
+    /// Phase *pre* of a tick: cross-net intake against shared state —
+    /// validator refresh from the parent SA, clock advance, network poll,
+    /// parent-chain sync, and content resolution. Returns the block's
+    /// virtual time.
+    fn pre_tick(&mut self, subnet: &SubnetId) -> Result<u64, RuntimeError> {
         self.refresh_validators(subnet);
         // Blocks form a total order on the global virtual clock: each block
         // lands strictly after every previously produced block (causal
@@ -856,9 +1031,7 @@ impl HierarchyRuntime {
         self.poll_network(subnet, at_ms)?;
         self.sync_parent(subnet)?;
         self.resolve_pending(subnet, at_ms)?;
-        let report = self.produce(subnet, at_ms)?;
-        self.prune_parent_registry(subnet);
-        Ok(report)
+        Ok(at_ms)
     }
 
     /// Garbage-collects acknowledged top-down messages from the parent's
@@ -999,16 +1172,23 @@ impl HierarchyRuntime {
         Ok(())
     }
 
-    /// Builds, executes, and commits the next block of `subnet`, then
-    /// routes the resulting events through the hierarchy.
-    fn produce(&mut self, subnet: &SubnetId, at_ms: u64) -> Result<StepReport, RuntimeError> {
+    /// Phase (a) of a tick: builds, executes, and commits the next block
+    /// of `node`'s subnet, touching nothing but the node itself. Being a
+    /// pure function of the node (randomness included — see
+    /// [`SubnetNode::rng`]) is what lets [`HierarchyRuntime::step_wave`]
+    /// run this concurrently across the subnets of a wave.
+    fn produce_local(
+        node: &mut SubnetNode,
+        config: &RuntimeConfig,
+        at_ms: u64,
+    ) -> Result<LocalOutcome, RuntimeError> {
+        let subnet = node.subnet_id.clone();
         let is_root = subnet.is_root();
-        let node = Self::get_node_mut(&mut self.nodes, subnet)?;
         let epoch = node.next_epoch;
 
         let opportunity = node
             .engine
-            .next_block(epoch, &node.validators, &mut self.rng)
+            .next_block(epoch, &node.validators, &mut node.rng)
             .map_err(|e| RuntimeError::Execution(format!("consensus: {e}")))?;
 
         // Assemble implicit messages: child checkpoints, turnarounds,
@@ -1034,7 +1214,7 @@ impl HierarchyRuntime {
         }
         if node.tree.atomic().has_pending() {
             implicit.push(ImplicitMsg::SweepAtomicTimeouts {
-                timeout: self.config.atomic_timeout_epochs,
+                timeout: config.atomic_timeout_epochs,
             });
         }
 
@@ -1075,6 +1255,7 @@ impl HierarchyRuntime {
         node.chain
             .append(block.clone())
             .map_err(|e| RuntimeError::Execution(format!("chain append: {e}")))?;
+        node.mempool.advance_epoch(epoch);
 
         // Update stats and schedule the next block.
         let gas_used: u64 = executed.receipts.iter().map(|r| r.gas_used).sum();
@@ -1106,7 +1287,8 @@ impl HierarchyRuntime {
                     committed_checkpoints.push(signed.clone());
                 }
             }
-            node.last_receipts.insert(m.cid(), executed.receipts[i].clone());
+            node.last_receipts
+                .insert(m.cid(), executed.receipts[i].clone());
         }
         for (i, m) in block.signed_msgs.iter().enumerate() {
             node.last_receipts.insert(
@@ -1115,45 +1297,68 @@ impl HierarchyRuntime {
             );
         }
 
+        let mut archived = Vec::new();
         for signed in committed_checkpoints {
             // Snapshot the signature policy in force at commit time so the
-            // archive stays verifiable across validator churn.
+            // archive stays verifiable across validator churn. The policy
+            // lives in this node's own copy of the child's Subnet Actor.
             let policy = signed
                 .checkpoint
                 .source
                 .actor()
-                .and_then(|a| {
-                    self.nodes
-                        .get(subnet)
-                        .and_then(|n| n.tree.sa(a))
-                        .map(hc_actors::SaState::signature_policy)
-                });
+                .and_then(|a| node.tree.sa(a).map(hc_actors::SaState::signature_policy));
             if let Some(policy) = policy {
-                self.archive.record(signed, policy);
+                archived.push((signed, policy));
             }
         }
 
-        // Route the block's events through the hierarchy.
+        // Collect the block's events for phase (b) to route.
         let events: Vec<VmEvent> = executed
             .receipts
             .into_iter()
             .flat_map(|r| r.events)
             .collect();
         let msg_count = block.msg_count();
+
+        Ok(LocalOutcome {
+            report: StepReport {
+                subnet,
+                epoch,
+                at_ms,
+                msgs: msg_count,
+                gas_used,
+            },
+            archived,
+            events,
+        })
+    }
+
+    /// Phase (b) of a tick: applies a block's outward effects to shared
+    /// state — archives committed checkpoints, routes the block's events
+    /// through the hierarchy, and prunes the parent's settled top-down
+    /// registry.
+    fn post_tick(
+        &mut self,
+        subnet: &SubnetId,
+        outcome: LocalOutcome,
+        at_ms: u64,
+    ) -> Result<StepReport, RuntimeError> {
+        let LocalOutcome {
+            report,
+            archived,
+            events,
+        } = outcome;
+        for (signed, policy) in archived {
+            self.archive.record(signed, policy);
+        }
         for ev in &events {
             self.events.push_back((subnet.clone(), ev.clone()));
         }
         for ev in events {
             self.route_event(subnet, ev, at_ms)?;
         }
-
-        Ok(StepReport {
-            subnet: subnet.clone(),
-            epoch,
-            at_ms,
-            msgs: msg_count,
-            gas_used,
-        })
+        self.prune_parent_registry(subnet);
+        Ok(report)
     }
 
     /// Reacts to a VM event emitted by a block of `subnet`.
@@ -1190,7 +1395,10 @@ impl HierarchyRuntime {
                         .resolve_content(&meta.msgs_cid)
                         .map(<[CrossMsg]>::to_vec)
                         .or_else(|| {
-                            node.resolver.cache().get(&meta.msgs_cid).map(<[CrossMsg]>::to_vec)
+                            node.resolver
+                                .cache()
+                                .get(&meta.msgs_cid)
+                                .map(<[CrossMsg]>::to_vec)
                         });
                     if let Some(msgs) = content {
                         node.resolver.seed(meta.msgs_cid, msgs.clone());
@@ -1225,28 +1433,28 @@ impl HierarchyRuntime {
                 node.unresolved_turnarounds.extend(outcome.turnaround);
             }
 
-            VmEvent::CrossMsgQueued { msg } if self.config.certificates_enabled
+            VmEvent::CrossMsgQueued { msg }
+                if self.config.certificates_enabled
                 // Accelerate the slow routes: certify bottom-up and path
                 // messages directly to their destination (paper §IV-A).
                 // Top-down messages settle within a couple of blocks and
                 // need no certificate.
-                && !msg.is_top_down() && msg.from.subnet == *subnet => {
-                    let node = Self::get_node_mut(&mut self.nodes, subnet)?;
-                    let mut cert = hc_actors::FundCertificate::new(
-                        msg.clone(),
-                        node.chain.head_epoch(),
-                    );
-                    let cid = cert.signing_cid();
-                    for key in &node.validator_keys {
-                        cert.signatures.add(key.sign(cid.as_bytes()));
-                    }
-                    self.network.publish(
-                        &msg.to.subnet.topic(),
-                        ResolutionMsg::Certificate(Box::new(cert)),
-                        now_ms,
-                        None,
-                    );
+                && !msg.is_top_down() && msg.from.subnet == *subnet =>
+            {
+                let node = Self::get_node_mut(&mut self.nodes, subnet)?;
+                let mut cert =
+                    hc_actors::FundCertificate::new(msg.clone(), node.chain.head_epoch());
+                let cid = cert.signing_cid();
+                for key in &node.validator_keys {
+                    cert.signatures.add(key.sign(cid.as_bytes()));
                 }
+                self.network.publish(
+                    &msg.to.subnet.topic(),
+                    ResolutionMsg::Certificate(Box::new(cert)),
+                    now_ms,
+                    None,
+                );
+            }
 
             VmEvent::CrossMsgApplied { msg } => {
                 let node = Self::get_node_mut(&mut self.nodes, subnet)?;

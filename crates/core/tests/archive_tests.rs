@@ -45,7 +45,10 @@ fn archived_chain_verifies_end_to_end() {
     rt.run_until_quiescent(10_000).unwrap();
 
     let verified = rt.verify_checkpoint_chain(&subnet).unwrap();
-    assert!(verified >= 7, "expected several checkpoints, got {verified}");
+    assert!(
+        verified >= 7,
+        "expected several checkpoints, got {verified}"
+    );
     assert_eq!(
         rt.checkpoint_archive().history(&subnet).len() as u64,
         verified

@@ -47,10 +47,7 @@ fn certificate_arrives_long_before_settlement() {
     let mut settled_at = None;
     for i in 0..400 {
         rt.step().unwrap();
-        let tentative = rt
-            .node(&root)
-            .unwrap()
-            .tentative_value_for(alice.addr);
+        let tentative = rt.node(&root).unwrap().tentative_value_for(alice.addr);
         if cert_seen_at.is_none() && tentative == whole(7) {
             cert_seen_at = Some(i);
         }
@@ -96,11 +93,8 @@ fn forged_certificates_are_rejected() {
     // An attacker fabricates a certificate for a payment that was never
     // committed, signed by a key outside the subnet's validator set.
     let outsider = hc_types::Keypair::from_seed([0xbd; 32]);
-    let fake_msg = hc_actors::CrossMsg::transfer(
-        bob.hc_address(),
-        alice.hc_address(),
-        whole(1_000_000),
-    );
+    let fake_msg =
+        hc_actors::CrossMsg::transfer(bob.hc_address(), alice.hc_address(), whole(1_000_000));
     let mut cert = hc_actors::FundCertificate::new(fake_msg, hc_types::ChainEpoch::new(1));
     let cid = cert.signing_cid();
     cert.signatures.add(outsider.sign(cid.as_bytes()));

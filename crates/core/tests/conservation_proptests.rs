@@ -65,7 +65,12 @@ fn build(scenario: &Scenario) -> (HierarchyRuntime, Vec<UserHandle>) {
             rt.cross_transfer(&banker, &creator, whole(100)).unwrap();
             rt.run_until_quiescent(50_000).unwrap();
             let deep = rt
-                .spawn_subnet(&creator, SaConfig::default(), whole(10), &[(creator.clone(), whole(5))])
+                .spawn_subnet(
+                    &creator,
+                    SaConfig::default(),
+                    whole(10),
+                    &[(creator.clone(), whole(5))],
+                )
                 .unwrap();
             let du = rt.create_user(&deep, TokenAmount::ZERO).unwrap();
             rt.cross_transfer(&banker, &du, whole(200)).unwrap();

@@ -23,9 +23,7 @@ impl World {
 
     fn with_config(config: RuntimeConfig) -> Self {
         let mut rt = HierarchyRuntime::new(config);
-        let alice = rt
-            .create_user(&SubnetId::root(), whole(1_000_000))
-            .unwrap();
+        let alice = rt.create_user(&SubnetId::root(), whole(1_000_000)).unwrap();
         World { rt, alice }
     }
 
@@ -33,9 +31,7 @@ impl World {
     /// (funded at the root and required to live in the parent).
     fn spawn(&mut self, creator: &UserHandle, sa_config: SaConfig) -> SubnetId {
         let validator = if creator.subnet.is_root() {
-            self.rt
-                .create_user(&SubnetId::root(), whole(100))
-                .unwrap()
+            self.rt.create_user(&SubnetId::root(), whole(100)).unwrap()
         } else {
             // Validators of nested subnets live in the parent subnet and
             // are funded there cross-net first.
@@ -56,19 +52,19 @@ fn top_down_transfer_reaches_child_and_audits_pass() {
     let subnet = w.spawn(&w.alice.clone(), SaConfig::default());
     let bob = w.rt.create_user(&subnet, TokenAmount::ZERO).unwrap();
 
-    w.rt.cross_transfer(&w.alice.clone(), &bob, whole(20)).unwrap();
+    w.rt.cross_transfer(&w.alice.clone(), &bob, whole(20))
+        .unwrap();
     w.rt.run_until_quiescent(1_000).unwrap();
 
     assert_eq!(w.rt.balance(&bob), whole(20));
-    let info = w
-        .rt
-        .node(&SubnetId::root())
-        .unwrap()
-        .state()
-        .sca()
-        .subnet(&subnet)
-        .unwrap()
-        .clone();
+    let info =
+        w.rt.node(&SubnetId::root())
+            .unwrap()
+            .state()
+            .sca()
+            .subnet(&subnet)
+            .unwrap()
+            .clone();
     assert_eq!(info.circ_supply, whole(20));
     audit_escrow(&w.rt).unwrap();
     audit_quiescent(&w.rt).unwrap();
@@ -79,10 +75,13 @@ fn bottom_up_transfer_returns_to_root_via_checkpoints() {
     let mut w = World::new();
     let subnet = w.spawn(&w.alice.clone(), SaConfig::default());
     let bob = w.rt.create_user(&subnet, TokenAmount::ZERO).unwrap();
-    let carol = w.rt.create_user(&SubnetId::root(), TokenAmount::ZERO).unwrap();
+    let carol =
+        w.rt.create_user(&SubnetId::root(), TokenAmount::ZERO)
+            .unwrap();
 
     // Fund bob in the child, then bob sends 8 back up to carol at root.
-    w.rt.cross_transfer(&w.alice.clone(), &bob, whole(20)).unwrap();
+    w.rt.cross_transfer(&w.alice.clone(), &bob, whole(20))
+        .unwrap();
     w.rt.run_until_quiescent(1_000).unwrap();
     w.rt.cross_transfer(&bob, &carol, whole(8)).unwrap();
     let blocks = w.rt.run_until_quiescent(1_000).unwrap();
@@ -91,15 +90,14 @@ fn bottom_up_transfer_returns_to_root_via_checkpoints() {
     assert_eq!(w.rt.balance(&carol), whole(8));
     assert_eq!(w.rt.balance(&bob), whole(12));
     // Circulating supply shrank by the returned value.
-    let info = w
-        .rt
-        .node(&SubnetId::root())
-        .unwrap()
-        .state()
-        .sca()
-        .subnet(&subnet)
-        .unwrap()
-        .clone();
+    let info =
+        w.rt.node(&SubnetId::root())
+            .unwrap()
+            .state()
+            .sca()
+            .subnet(&subnet)
+            .unwrap()
+            .clone();
     assert_eq!(info.circ_supply, whole(12));
     audit_quiescent(&w.rt).unwrap();
     // The child cut checkpoints and the root committed them.
@@ -154,7 +152,8 @@ fn three_level_hierarchy_routes_in_both_directions() {
     // A user in `mid` spawns the grandchild (subnets spawn from any point
     // in the hierarchy, paper §II).
     let mid_creator = w.rt.create_user(&mid, TokenAmount::ZERO).unwrap();
-    w.rt.cross_transfer(&alice, &mid_creator, whole(200)).unwrap();
+    w.rt.cross_transfer(&alice, &mid_creator, whole(200))
+        .unwrap();
     w.rt.run_until_quiescent(1_000).unwrap();
     let deep = w.spawn(&mid_creator, SaConfig::default());
     assert_eq!(deep.depth(), 2);
@@ -167,8 +166,11 @@ fn three_level_hierarchy_routes_in_both_directions() {
     assert_eq!(w.rt.balance(&deep_user), whole(40));
 
     // Grandchild -> root (two bottom-up hops through two checkpoints).
-    let root_receiver = w.rt.create_user(&SubnetId::root(), TokenAmount::ZERO).unwrap();
-    w.rt.cross_transfer(&deep_user, &root_receiver, whole(15)).unwrap();
+    let root_receiver =
+        w.rt.create_user(&SubnetId::root(), TokenAmount::ZERO)
+            .unwrap();
+    w.rt.cross_transfer(&deep_user, &root_receiver, whole(15))
+        .unwrap();
     let blocks = w.rt.run_until_quiescent(3_000).unwrap();
     assert!(blocks < 3_000, "two-level bottom-up must converge");
     assert_eq!(w.rt.balance(&root_receiver), whole(15));
@@ -231,7 +233,8 @@ fn intra_subnet_transfers_do_not_touch_the_hierarchy() {
 
     let root_blocks_before = w.rt.node(&SubnetId::root()).unwrap().stats().blocks;
     // Plain transfer inside the subnet.
-    w.rt.execute(&a, b.addr, whole(4), hc_state::Method::Send).unwrap();
+    w.rt.execute(&a, b.addr, whole(4), hc_state::Method::Send)
+        .unwrap();
     assert_eq!(w.rt.balance(&b), whole(4));
     // Only the subnet produced a block for it.
     assert_eq!(
@@ -249,7 +252,9 @@ fn many_transfers_in_both_directions_conserve_supply() {
     let right = w.spawn(&alice, SaConfig::default());
     let lu = w.rt.create_user(&left, TokenAmount::ZERO).unwrap();
     let ru = w.rt.create_user(&right, TokenAmount::ZERO).unwrap();
-    let root_sink = w.rt.create_user(&SubnetId::root(), TokenAmount::ZERO).unwrap();
+    let root_sink =
+        w.rt.create_user(&SubnetId::root(), TokenAmount::ZERO)
+            .unwrap();
 
     w.rt.cross_transfer(&alice, &lu, whole(100)).unwrap();
     w.rt.cross_transfer(&alice, &ru, whole(100)).unwrap();
@@ -339,29 +344,31 @@ fn fees_go_to_source_subnet_miners() {
     let subnet = w.spawn(&alice, SaConfig::default());
     let bob = w.rt.create_user(&subnet, TokenAmount::ZERO).unwrap();
 
-    let reward_before = w
-        .rt
-        .node(&SubnetId::root())
-        .unwrap()
-        .state()
-        .accounts()
-        .get(hc_types::Address::REWARD)
-        .map(|a| a.balance)
-        .unwrap_or(TokenAmount::ZERO);
+    let reward_before =
+        w.rt.node(&SubnetId::root())
+            .unwrap()
+            .state()
+            .accounts()
+            .get(hc_types::Address::REWARD)
+            .map(|a| a.balance)
+            .unwrap_or(TokenAmount::ZERO);
 
     w.rt.cross_transfer(&alice, &bob, whole(20)).unwrap();
     w.rt.run_until_quiescent(1_000).unwrap();
 
-    assert_eq!(w.rt.balance(&bob), whole(20), "fee is not deducted from value");
-    let reward_after = w
-        .rt
-        .node(&SubnetId::root())
-        .unwrap()
-        .state()
-        .accounts()
-        .get(hc_types::Address::REWARD)
-        .unwrap()
-        .balance;
+    assert_eq!(
+        w.rt.balance(&bob),
+        whole(20),
+        "fee is not deducted from value"
+    );
+    let reward_after =
+        w.rt.node(&SubnetId::root())
+            .unwrap()
+            .state()
+            .accounts()
+            .get(hc_types::Address::REWARD)
+            .unwrap()
+            .balance;
     assert_eq!(reward_after - reward_before, whole(1));
     audit_quiescent(&w.rt).unwrap();
 }

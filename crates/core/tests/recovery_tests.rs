@@ -11,7 +11,13 @@ fn whole(n: u64) -> TokenAmount {
 }
 
 /// Root user, a child subnet, and two funded insiders.
-fn setup() -> (HierarchyRuntime, UserHandle, SubnetId, UserHandle, UserHandle) {
+fn setup() -> (
+    HierarchyRuntime,
+    UserHandle,
+    SubnetId,
+    UserHandle,
+    UserHandle,
+) {
     let mut rt = HierarchyRuntime::new(RuntimeConfig::default());
     let root = SubnetId::root();
     let alice = rt.create_user(&root, whole(1_000_000)).unwrap();
@@ -199,11 +205,8 @@ fn snapshot_requires_validator_signatures_and_monotone_epochs() {
         .filter(|(a, acc)| !a.is_system() && !acc.balance.is_zero())
         .map(|(a, acc)| (*a, acc.balance))
         .collect();
-    let (snapshot, _) = hc_actors::StateSnapshot::build(
-        subnet.clone(),
-        node.chain().head_epoch(),
-        balances,
-    );
+    let (snapshot, _) =
+        hc_actors::StateSnapshot::build(subnet.clone(), node.chain().head_epoch(), balances);
     let err = rt
         .execute(
             &alice,

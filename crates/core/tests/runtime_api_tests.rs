@@ -12,9 +12,7 @@ fn whole(n: u64) -> TokenAmount {
 
 fn base() -> (HierarchyRuntime, UserHandle) {
     let mut rt = HierarchyRuntime::new(RuntimeConfig::default());
-    let alice = rt
-        .create_user(&SubnetId::root(), whole(1_000_000))
-        .unwrap();
+    let alice = rt.create_user(&SubnetId::root(), whole(1_000_000)).unwrap();
     (rt, alice)
 }
 
@@ -155,8 +153,10 @@ fn mixed_block_times_still_converge_and_audit() {
     rt.cross_transfer(&alice, &fast_user, whole(50)).unwrap();
     rt.cross_transfer(&alice, &slow_user, whole(50)).unwrap();
     rt.run_until_quiescent(100_000).unwrap();
-    rt.cross_transfer(&fast_user, &slow_user, whole(20)).unwrap();
-    rt.cross_transfer(&slow_user, &fast_user, whole(10)).unwrap();
+    rt.cross_transfer(&fast_user, &slow_user, whole(20))
+        .unwrap();
+    rt.cross_transfer(&slow_user, &fast_user, whole(10))
+        .unwrap();
     let blocks = rt.run_until_quiescent(100_000).unwrap();
     assert!(blocks < 100_000);
     assert_eq!(rt.balance(&fast_user), whole(40));

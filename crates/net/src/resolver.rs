@@ -260,7 +260,12 @@ mod tests {
     fn push_then_local_hit() {
         let mut r = Resolver::new();
         let (cid, msgs) = group(2);
-        assert!(r.handle(ResolutionMsg::Push { cid, msgs: msgs.clone() }).is_none());
+        assert!(r
+            .handle(ResolutionMsg::Push {
+                cid,
+                msgs: msgs.clone()
+            })
+            .is_none());
         assert_eq!(r.lookup_or_pull(cid, "/root/msgs").unwrap(), msgs);
         let stats = r.stats();
         assert_eq!(stats.pushes_cached, 1);

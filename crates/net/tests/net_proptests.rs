@@ -3,7 +3,7 @@
 use proptest::prelude::*;
 
 use hc_actors::{CrossMsg, HcAddress};
-use hc_net::{ContentCache, NetConfig, Network, ResolutionMsg, Resolver};
+use hc_net::{ContentCache, NetConfig, Network, Resolver};
 use hc_types::merkle::merkle_root;
 use hc_types::{Address, SubnetId, TokenAmount};
 

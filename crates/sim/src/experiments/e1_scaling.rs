@@ -26,6 +26,9 @@ pub struct E1Params {
     pub block_capacity: usize,
     /// Seed.
     pub seed: u64,
+    /// Worker threads for wave-parallel block production (host-side
+    /// speed only — virtual-time results are identical at any setting).
+    pub parallelism: usize,
 }
 
 impl Default for E1Params {
@@ -36,6 +39,7 @@ impl Default for E1Params {
             users_per_subnet: 4,
             block_capacity: 100,
             seed: 11,
+            parallelism: 1,
         }
     }
 }
@@ -78,6 +82,7 @@ pub fn e1_run(params: &E1Params) -> Result<Vec<E1Row>, RuntimeError> {
         let mut topo = TopologyBuilder::new()
             .users_per_subnet(params.users_per_subnet)
             .runtime_config(config.clone())
+            .parallelism(params.parallelism)
             .flat(n)?;
         // Remove the root's users from the load by zeroing its user list.
         topo.users.remove(&hc_types::SubnetId::root());
@@ -154,6 +159,7 @@ mod tests {
             users_per_subnet: 2,
             block_capacity: 30,
             seed: 3,
+            parallelism: 1,
         })
         .unwrap();
         assert_eq!(rows.len(), 2);
@@ -166,5 +172,26 @@ mod tests {
         );
         // …and beat the single-chain baseline handling the same load.
         assert!(rows[1].speedup > 2.0, "speedup {}", rows[1].speedup);
+    }
+
+    #[test]
+    fn results_are_invariant_under_thread_count() {
+        let base = E1Params {
+            subnet_counts: vec![4],
+            msgs_per_subnet: 60,
+            users_per_subnet: 2,
+            block_capacity: 30,
+            seed: 3,
+            parallelism: 2,
+        };
+        let two_threads = e1_run(&base).unwrap();
+        let eight_threads = e1_run(&E1Params {
+            parallelism: 8,
+            ..base
+        })
+        .unwrap();
+        // The wave schedule is a function of virtual time only, so thread
+        // count changes host-side wall clock and nothing else.
+        assert_eq!(two_threads, eight_threads);
     }
 }

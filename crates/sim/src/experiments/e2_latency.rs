@@ -86,13 +86,12 @@ pub fn e2_run(params: &E2Params) -> Result<Vec<E2Row>, RuntimeError> {
             let root_user = topo.users[&SubnetId::root()][0].clone();
             let deep_subnet = topo.subnets[depth - 1].clone();
             let deep_user = topo.users[&deep_subnet][0].clone();
-            let sibling_user =
-                topo.users[&sibling_leaf.expect("depth >= 1")][0].clone();
+            let sibling_user = topo.users[&sibling_leaf.expect("depth >= 1")][0].clone();
 
             let sample = |class: &'static str,
-                              from: &hc_core::UserHandle,
-                              to: &hc_core::UserHandle,
-                              topo: &mut crate::topology::FlatTopology|
+                          from: &hc_core::UserHandle,
+                          to: &hc_core::UserHandle,
+                          topo: &mut crate::topology::FlatTopology|
              -> Result<E2Row, RuntimeError> {
                 let mut total_ms = 0u64;
                 let mut total_blocks = 0u64;

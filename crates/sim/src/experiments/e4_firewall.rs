@@ -68,11 +68,9 @@ pub fn e4_run(params: &E4Params) -> Result<Vec<E4Row>, RuntimeError> {
     let mut rows = Vec::new();
     let mut cumulative = TokenAmount::ZERO;
     for &claim in &params.claims {
-        let report = topo.rt.forge_withdrawal(
-            &victim_subnet,
-            thief,
-            TokenAmount::from_whole(claim),
-        )?;
+        let report =
+            topo.rt
+                .forge_withdrawal(&victim_subnet, thief, TokenAmount::from_whole(claim))?;
         cumulative += report.extracted;
         rows.push(E4Row {
             attempted: claim,

@@ -87,7 +87,9 @@ pub fn e6_run(params: &E6Params) -> Result<Vec<E6Row>, RuntimeError> {
         let mut topo = builder.flat(1)?;
         // Extra validators so quorum sizes are meaningful.
         for _ in 1..params.validators {
-            let v = topo.rt.create_user(&SubnetId::root(), hc_types::TokenAmount::from_whole(50))?;
+            let v = topo
+                .rt
+                .create_user(&SubnetId::root(), hc_types::TokenAmount::from_whole(50))?;
             let key_user = v.clone();
             let sa = topo.subnets[0].actor().expect("child has an SA");
             topo.rt.execute(
@@ -186,7 +188,8 @@ mod tests {
         );
         // Instant finality beats PoW's 6-deep probabilistic finality.
         assert!(
-            get(ConsensusKind::Tendermint).finality_ms < get(ConsensusKind::ProofOfWork).finality_ms
+            get(ConsensusKind::Tendermint).finality_ms
+                < get(ConsensusKind::ProofOfWork).finality_ms
         );
         // Mir's throughput is at least Tendermint's (parallel leaders).
         assert!(get(ConsensusKind::Mir).tps >= get(ConsensusKind::Tendermint).tps * 0.9);

@@ -86,18 +86,8 @@ pub fn e7_run(params: &E7Params) -> Result<Vec<E7Row>, RuntimeError> {
                 topo.rt.run_until_quiescent(100_000)?;
             }
 
-            let root_stats = topo
-                .rt
-                .node(&SubnetId::root())
-                .unwrap()
-                .resolver()
-                .stats();
-            let child_stats = topo
-                .rt
-                .node(&topo.subnets[0])
-                .unwrap()
-                .resolver()
-                .stats();
+            let root_stats = topo.rt.node(&SubnetId::root()).unwrap().resolver().stats();
+            let child_stats = topo.rt.node(&topo.subnets[0]).unwrap().resolver().stats();
             rows.push(E7Row {
                 mode,
                 drop_rate,

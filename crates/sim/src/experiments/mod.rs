@@ -18,6 +18,7 @@
 //! | E9 | fund-certificate acceleration | [`e9_certificates`] |
 //! | E10 | cross-traffic sensitivity ablation | [`e10_cross_ratio`] |
 
+pub mod e10_cross_ratio;
 pub mod e1_scaling;
 pub mod e2_latency;
 pub mod e3_checkpoints;
@@ -27,8 +28,8 @@ pub mod e6_consensus;
 pub mod e7_resolution;
 pub mod e8_collateral;
 pub mod e9_certificates;
-pub mod e10_cross_ratio;
 
+pub use e10_cross_ratio::{e10_run, E10Params, E10Row};
 pub use e1_scaling::{e1_run, E1Params, E1Row};
 pub use e2_latency::{e2_run, E2Params, E2Row};
 pub use e3_checkpoints::{e3_run, E3Params, E3Row};
@@ -38,4 +39,3 @@ pub use e6_consensus::{e6_run, E6Params, E6Row};
 pub use e7_resolution::{e7_run, E7Params, E7Row};
 pub use e8_collateral::{e8_run, E8Params, E8Row};
 pub use e9_certificates::{e9_run, E9Params, E9Row};
-pub use e10_cross_ratio::{e10_run, E10Params, E10Row};

@@ -87,7 +87,11 @@ pub fn f2(v: f64) -> String {
 
 /// Formats a boolean as a check/cross for table cells.
 pub fn yes_no(v: bool) -> String {
-    if v { "yes".into() } else { "NO".into() }
+    if v {
+        "yes".into()
+    } else {
+        "NO".into()
+    }
 }
 
 #[cfg(test)]

@@ -69,6 +69,14 @@ impl TopologyBuilder {
         self
     }
 
+    /// Worker threads for wave-parallel block production
+    /// ([`HierarchyRuntime::step_wave`]); `1` keeps the runtime fully
+    /// sequential.
+    pub fn parallelism(&mut self, threads: usize) -> &mut Self {
+        self.config.parallelism = threads.max(1);
+        self
+    }
+
     /// Sets the checkpoint period of every spawned subnet.
     pub fn checkpoint_period(&mut self, period: u64) -> &mut Self {
         self.sa_config.checkpoint_period = period;
@@ -235,10 +243,7 @@ mod tests {
 
     #[test]
     fn flat_topology_spawns_siblings_with_funded_users() {
-        let topo = TopologyBuilder::new()
-            .users_per_subnet(2)
-            .flat(3)
-            .unwrap();
+        let topo = TopologyBuilder::new().users_per_subnet(2).flat(3).unwrap();
         assert_eq!(topo.subnets.len(), 3);
         for s in &topo.subnets {
             assert_eq!(s.depth(), 1);
@@ -260,12 +265,12 @@ mod tests {
 
     #[test]
     fn tree_topology_has_fanout_times_levels() {
-        let topo = TopologyBuilder::new().users_per_subnet(1).tree(2, 2).unwrap();
+        let topo = TopologyBuilder::new()
+            .users_per_subnet(1)
+            .tree(2, 2)
+            .unwrap();
         // 2 children + 4 grandchildren.
         assert_eq!(topo.subnets.len(), 6);
-        assert_eq!(
-            topo.subnets.iter().filter(|s| s.depth() == 2).count(),
-            4
-        );
+        assert_eq!(topo.subnets.iter().filter(|s| s.depth() == 2).count(), 4);
     }
 }

@@ -86,9 +86,7 @@ impl Workload {
                 // users (the root may carry none in subnet-only sweeps).
                 let candidates: Vec<&hc_types::SubnetId> = subnets
                     .iter()
-                    .filter(|s| {
-                        *s != subnet && topo.users.get(s).is_some_and(|u| !u.is_empty())
-                    })
+                    .filter(|s| *s != subnet && topo.users.get(s).is_some_and(|u| !u.is_empty()))
                     .collect();
                 if cross && !candidates.is_empty() {
                     let other = candidates[rng.gen_range(0..candidates.len())];
@@ -98,8 +96,7 @@ impl Workload {
                 } else {
                     let to = &locals[rng.gen_range(0..locals.len())];
                     if to.addr != from.addr {
-                        topo.rt
-                            .submit(from, to.addr, self.amount, Method::Send)?;
+                        topo.rt.submit(from, to.addr, self.amount, Method::Send)?;
                     } else {
                         topo.rt.submit(
                             from,

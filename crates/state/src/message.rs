@@ -300,9 +300,7 @@ impl SignedMessage {
     /// Verifies the signature against the message CID. Key *ownership*
     /// (signature.signer == account key) is checked by the VM.
     pub fn verify_signature(&self) -> bool {
-        self.signature
-            .verify(self.message.cid().as_bytes())
-            .is_ok()
+        self.signature.verify(self.message.cid().as_bytes()).is_ok()
     }
 }
 

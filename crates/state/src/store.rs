@@ -43,7 +43,10 @@ impl CidStore {
     /// Stores `bytes` under their digest CID and returns it. Idempotent.
     pub fn put(&self, bytes: Vec<u8>) -> Cid {
         let cid = Cid::digest(&bytes);
-        self.blobs.write().entry(cid).or_insert_with(|| Arc::new(bytes));
+        self.blobs
+            .write()
+            .entry(cid)
+            .or_insert_with(|| Arc::new(bytes));
         cid
     }
 

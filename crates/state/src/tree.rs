@@ -19,9 +19,7 @@ use serde::{Deserialize, Serialize};
 use hc_actors::ledger::LedgerError;
 use hc_actors::sa::SaState;
 use hc_actors::{AtomicExecRegistry, Ledger, ScaConfig, ScaState};
-use hc_types::{
-    Address, CanonicalEncode, Cid, Nonce, PublicKey, SubnetId, TokenAmount,
-};
+use hc_types::{Address, CanonicalEncode, Cid, Nonce, PublicKey, SubnetId, TokenAmount};
 
 /// First address handed out to deployed actors (Subnet Actors).
 const FIRST_DEPLOYED_ACTOR: u64 = 1_000_000;
@@ -288,11 +286,19 @@ mod tests {
     fn ledger_operations_respect_balances() {
         let mut t = tree();
         let l = t.accounts_mut();
-        l.transfer(Address::new(100), Address::new(101), TokenAmount::from_whole(20))
-            .unwrap();
+        l.transfer(
+            Address::new(100),
+            Address::new(101),
+            TokenAmount::from_whole(20),
+        )
+        .unwrap();
         assert_eq!(l.balance(Address::new(101)), TokenAmount::from_whole(20));
         assert!(l
-            .transfer(Address::new(101), Address::new(102), TokenAmount::from_whole(21))
+            .transfer(
+                Address::new(101),
+                Address::new(102),
+                TokenAmount::from_whole(21)
+            )
             .is_err());
         // Totals conserved by transfer.
         assert_eq!(t.total_supply(), TokenAmount::from_whole(50));
@@ -314,7 +320,8 @@ mod tests {
         let mut t = tree();
         let r0 = t.flush();
         assert_eq!(t.flush(), r0, "flush is deterministic");
-        t.accounts_mut().credit(Address::new(200), TokenAmount::from_atto(1));
+        t.accounts_mut()
+            .credit(Address::new(200), TokenAmount::from_atto(1));
         let r1 = t.flush();
         assert_ne!(r0, r1);
         // Storage changes also show up in the root.

@@ -267,10 +267,7 @@ fn execute(tree: &mut StateTree, epoch: ChainEpoch, msg: &Message) -> Receipt {
             }
             let acc = tree.accounts_mut().get_or_create(msg.from);
             if acc.locked.contains(key) {
-                return Receipt::failed(
-                    "storage key is locked for an atomic execution",
-                    gas::BASE,
-                );
+                return Receipt::failed("storage key is locked for an atomic execution", gas::BASE);
             }
             let cost = gas::BASE + gas::STORAGE_BYTE * (key.len() + data.len()) as u64;
             acc.storage.insert(key.clone(), data.clone());
@@ -364,11 +361,8 @@ fn execute(tree: &mut StateTree, epoch: ChainEpoch, msg: &Message) -> Receipt {
             // Release every validator's stake — capped at what is left,
             // since slashing consumes collateral regardless of who staked
             // it — then the remaining collateral to the caller.
-            let validators: Vec<(Address, TokenAmount)> = sa
-                .validators()
-                .iter()
-                .map(|v| (v.addr, v.stake))
-                .collect();
+            let validators: Vec<(Address, TokenAmount)> =
+                sa.validators().iter().map(|v| (v.addr, v.stake)).collect();
             for (addr, stake) in &validators {
                 let available = sca
                     .subnet(&subnet)
@@ -400,12 +394,10 @@ fn execute(tree: &mut StateTree, epoch: ChainEpoch, msg: &Message) -> Receipt {
             let gas_used =
                 gas::CHECKPOINT + gas::PER_META * signed.checkpoint.cross_msgs.len() as u64;
             match sca.commit_child_checkpoint(ledger, &signed.checkpoint) {
-                Ok(outcome) => {
-                    Receipt::ok(gas_used).with_event(VmEvent::CheckpointCommitted {
-                        source: signed.checkpoint.source.clone(),
-                        outcome,
-                    })
-                }
+                Ok(outcome) => Receipt::ok(gas_used).with_event(VmEvent::CheckpointCommitted {
+                    source: signed.checkpoint.source.clone(),
+                    outcome,
+                }),
                 Err(e) => Receipt::failed(e, gas_used),
             }
         }
@@ -436,8 +428,9 @@ fn execute(tree: &mut StateTree, epoch: ChainEpoch, msg: &Message) -> Receipt {
         Method::SendCrossMsg { msg: cross } => {
             let (ledger, sca) = tree.ledger_and_sca_mut();
             match sca.send_cross_msg(ledger, msg.from, cross.clone()) {
-                Ok(stamped) => Receipt::ok(gas::CROSS_MSG)
-                    .with_event(VmEvent::CrossMsgQueued { msg: stamped }),
+                Ok(stamped) => {
+                    Receipt::ok(gas::CROSS_MSG).with_event(VmEvent::CrossMsgQueued { msg: stamped })
+                }
                 Err(e) => Receipt::failed(e, gas::BASE),
             }
         }
@@ -533,9 +526,14 @@ fn execute(tree: &mut StateTree, epoch: ChainEpoch, msg: &Message) -> Receipt {
                     gas::BASE,
                 );
             }
-            match tree.atomic_mut().submit_output(exec, party.clone(), *output) {
-                Ok(status) => Receipt::ok(gas::ATOMIC)
-                    .with_event(VmEvent::AtomicTransition { exec: *exec, status }),
+            match tree
+                .atomic_mut()
+                .submit_output(exec, party.clone(), *output)
+            {
+                Ok(status) => Receipt::ok(gas::ATOMIC).with_event(VmEvent::AtomicTransition {
+                    exec: *exec,
+                    status,
+                }),
                 Err(e) => Receipt::failed(e, gas::BASE),
             }
         }
@@ -593,7 +591,9 @@ pub fn apply_implicit(tree: &mut StateTree, epoch: ChainEpoch, msg: &ImplicitMsg
                     receipt.events.extend(rc.events);
                     continue;
                 }
-                receipt.events.push(VmEvent::CrossMsgApplied { msg: m.clone() });
+                receipt
+                    .events
+                    .push(VmEvent::CrossMsgApplied { msg: m.clone() });
             }
             receipt
         }
@@ -653,7 +653,9 @@ pub fn apply_implicit(tree: &mut StateTree, epoch: ChainEpoch, msg: &ImplicitMsg
                 let mut down = m.clone();
                 down.nonce = hc_types::Nonce::ZERO;
                 match tree.sca_mut().commit_top_down(down.clone()) {
-                    Ok(stamped) => receipt.events.push(VmEvent::CrossMsgQueued { msg: stamped }),
+                    Ok(stamped) => receipt
+                        .events
+                        .push(VmEvent::CrossMsgQueued { msg: stamped }),
                     Err(_) => {
                         // Unroutable (e.g. destination subnet killed):
                         // revert towards the sender. The value is already
@@ -668,11 +670,8 @@ pub fn apply_implicit(tree: &mut StateTree, epoch: ChainEpoch, msg: &ImplicitMsg
                             }),
                             Err(_) => {
                                 let ledger = tree.accounts_mut();
-                                let _ = ledger.transfer(
-                                    Address::SCA,
-                                    Address::BURNT_FUNDS,
-                                    m.value,
-                                );
+                                let _ =
+                                    ledger.transfer(Address::SCA, Address::BURNT_FUNDS, m.value);
                             }
                         }
                     }

@@ -61,7 +61,12 @@ fn setup() -> (StateTree, User, User) {
 #[test]
 fn transfer_between_accounts() {
     let (mut tree, mut alice, bob) = setup();
-    let r = alice.send(&mut tree, bob.addr, TokenAmount::from_whole(10), Method::Send);
+    let r = alice.send(
+        &mut tree,
+        bob.addr,
+        TokenAmount::from_whole(10),
+        Method::Send,
+    );
     assert!(r.exit.is_ok(), "{:?}", r.exit);
     assert_eq!(
         tree.accounts().balance(bob.addr),
@@ -74,13 +79,23 @@ fn rejects_bad_signature_wrong_nonce_and_unknown_sender() {
     let (mut tree, alice, bob) = setup();
 
     // Wrong signer.
-    let msg = Message::transfer(alice.addr, bob.addr, TokenAmount::from_whole(1), Nonce::ZERO);
+    let msg = Message::transfer(
+        alice.addr,
+        bob.addr,
+        TokenAmount::from_whole(1),
+        Nonce::ZERO,
+    );
     let forged = msg.clone().sign(&bob.kp);
     let r = apply_signed(&mut tree, ChainEpoch::new(1), &forged);
     assert!(matches!(r.exit, hc_state::ExitCode::Rejected(_)));
 
     // Wrong nonce.
-    let msg = Message::transfer(alice.addr, bob.addr, TokenAmount::from_whole(1), Nonce::new(5));
+    let msg = Message::transfer(
+        alice.addr,
+        bob.addr,
+        TokenAmount::from_whole(1),
+        Nonce::new(5),
+    );
     let r = apply_signed(&mut tree, ChainEpoch::new(1), &msg.sign(&alice.kp));
     assert!(matches!(r.exit, hc_state::ExitCode::Rejected(_)));
 
@@ -91,10 +106,7 @@ fn rejects_bad_signature_wrong_nonce_and_unknown_sender() {
     assert!(matches!(r.exit, hc_state::ExitCode::Rejected(_)));
 
     // No state changed, nonces intact.
-    assert_eq!(
-        tree.accounts().get(alice.addr).unwrap().nonce,
-        Nonce::ZERO
-    );
+    assert_eq!(tree.accounts().get(alice.addr).unwrap().nonce, Nonce::ZERO);
     assert_eq!(
         tree.accounts().balance(bob.addr),
         TokenAmount::from_whole(1000)
@@ -116,7 +128,12 @@ fn failed_execution_still_bumps_nonce() {
         Nonce::new(1)
     );
     // A replay of the same (now stale) nonce is rejected.
-    let msg = Message::transfer(alice.addr, bob.addr, TokenAmount::from_whole(1), Nonce::ZERO);
+    let msg = Message::transfer(
+        alice.addr,
+        bob.addr,
+        TokenAmount::from_whole(1),
+        Nonce::ZERO,
+    );
     let r = apply_signed(&mut tree, ChainEpoch::new(1), &msg.sign(&alice.kp));
     assert!(matches!(r.exit, hc_state::ExitCode::Rejected(_)));
 }
@@ -250,7 +267,9 @@ fn storage_lock_cycle_guards_atomic_inputs() {
         &mut tree,
         alice.addr,
         TokenAmount::ZERO,
-        Method::LockState { key: b"nope".to_vec() },
+        Method::LockState {
+            key: b"nope".to_vec(),
+        },
     );
     assert!(matches!(r.exit, hc_state::ExitCode::Failed(_)));
 
@@ -343,11 +362,8 @@ fn atomic_execution_via_local_and_cross_net_submissions() {
     // apply the resolved group directly.
     let meta = {
         let msgs = vec![cross.clone()];
-        let mut m = hc_actors::CrossMsgMeta::for_group(
-            remote_subnet.clone(),
-            SubnetId::root(),
-            &msgs,
-        );
+        let mut m =
+            hc_actors::CrossMsgMeta::for_group(remote_subnet.clone(), SubnetId::root(), &msgs);
         m.nonce = Nonce::ZERO;
         m
     };

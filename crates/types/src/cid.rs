@@ -26,9 +26,7 @@ use crate::encode::CanonicalEncode;
 /// assert_eq!(cid, Cid::digest(&"hello".canonical_bytes()));
 /// assert_ne!(cid, Cid::default());
 /// ```
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default)]
 pub struct Cid([u8; 32]);
 
 impl Cid {

@@ -22,17 +22,7 @@ use crate::encode::CanonicalEncode;
 /// assert!(e.is_multiple_of(5));
 /// ```
 #[derive(
-    Debug,
-    Clone,
-    Copy,
-    PartialEq,
-    Eq,
-    PartialOrd,
-    Ord,
-    Hash,
-    Default,
-    Serialize,
-    Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
 )]
 pub struct ChainEpoch(u64);
 
@@ -118,17 +108,7 @@ impl CanonicalEncode for ChainEpoch {
 /// nonces assigned by the SCA (paper §IV-A: "These nonces determine the
 /// total order of arrival of cross-msgs to the subnet").
 #[derive(
-    Debug,
-    Clone,
-    Copy,
-    PartialEq,
-    Eq,
-    PartialOrd,
-    Ord,
-    Hash,
-    Default,
-    Serialize,
-    Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
 )]
 pub struct Nonce(u64);
 

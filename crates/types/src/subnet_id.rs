@@ -271,7 +271,15 @@ mod tests {
 
     #[test]
     fn parse_rejects_malformed() {
-        for bad in ["", "root", "/rootx", "/root/", "/root//a1", "/root/b1", "/root/a1/"] {
+        for bad in [
+            "",
+            "root",
+            "/rootx",
+            "/root/",
+            "/root//a1",
+            "/root/b1",
+            "/root/a1/",
+        ] {
             assert!(bad.parse::<SubnetId>().is_err(), "{bad:?}");
         }
     }

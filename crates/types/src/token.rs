@@ -33,17 +33,7 @@ pub const ATTO_PER_TOKEN: u128 = 1_000_000_000_000_000_000;
 /// assert_eq!(b.checked_sub(a), None); // would go negative
 /// ```
 #[derive(
-    Debug,
-    Clone,
-    Copy,
-    PartialEq,
-    Eq,
-    PartialOrd,
-    Ord,
-    Hash,
-    Default,
-    Serialize,
-    Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
 )]
 pub struct TokenAmount(u128);
 
@@ -215,7 +205,10 @@ mod tests {
             "1.5 HC"
         );
         assert_eq!(TokenAmount::ZERO.to_string(), "0 HC");
-        assert_eq!(TokenAmount::from_atto(1).to_string(), "0.000000000000000001 HC");
+        assert_eq!(
+            TokenAmount::from_atto(1).to_string(),
+            "0.000000000000000001 HC"
+        );
     }
 
     #[test]

@@ -67,7 +67,10 @@ fn main() -> Result<(), RuntimeError> {
         |inputs| vec![inputs[1].clone(), inputs[0].clone()],
         100_000,
     )?;
-    println!("status={} — outputs did not match, both subnets reverted", outcome.status);
+    println!(
+        "status={} — outputs did not match, both subnets reverted",
+        outcome.status
+    );
     print_vaults(&rt, &gold_trader, &silver_trader);
 
     // ---- A party crashes mid-protocol: the timeout sweep guarantees
@@ -83,7 +86,10 @@ fn main() -> Result<(), RuntimeError> {
         |inputs| vec![inputs[1].clone(), inputs[0].clone()],
         200_000,
     )?;
-    println!("status={} — coordinator sweep aborted the stale execution", outcome.status);
+    println!(
+        "status={} — coordinator sweep aborted the stale execution",
+        outcome.status
+    );
     print_vaults(&rt, &gold_trader, &silver_trader);
 
     Ok(())

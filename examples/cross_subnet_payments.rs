@@ -52,7 +52,10 @@ fn main() -> Result<(), RuntimeError> {
         rt.step()?;
     }
     print_events(&mut rt);
-    println!("delivered in {} virtual ms (includes the checkpoint wait)\n", rt.now_ms() - t0);
+    println!(
+        "delivered in {} virtual ms (includes the checkpoint wait)\n",
+        rt.now_ms() - t0
+    );
 
     // ---- Path: up to the LCA (the root), then down the other branch ----
     println!("== path: {lu} -> {ru} (5 HC), LCA = {root} ==");
@@ -62,11 +65,19 @@ fn main() -> Result<(), RuntimeError> {
         rt.step()?;
     }
     print_events(&mut rt);
-    println!("delivered in {} virtual ms (up + turnaround + down)\n", rt.now_ms() - t0);
+    println!(
+        "delivered in {} virtual ms (up + turnaround + down)\n",
+        rt.now_ms() - t0
+    );
 
     // Final balances and supply audit.
     rt.run_until_quiescent(10_000)?;
-    println!("final balances: alice={} lu={} ru={}", rt.balance(&alice), rt.balance(&lu), rt.balance(&ru));
+    println!(
+        "final balances: alice={} lu={} ru={}",
+        rt.balance(&alice),
+        rt.balance(&lu),
+        rt.balance(&ru)
+    );
     audit_quiescent(&rt).map_err(RuntimeError::Execution)?;
     println!("supply audits: ok");
     Ok(())
@@ -77,7 +88,10 @@ fn print_events(rt: &mut HierarchyRuntime) {
     for (subnet, ev) in rt.drain_events() {
         match ev {
             VmEvent::CrossMsgQueued { msg } => {
-                println!("  [{subnet}] queued {} -> {} nonce={}", msg.from, msg.to, msg.nonce);
+                println!(
+                    "  [{subnet}] queued {} -> {} nonce={}",
+                    msg.from, msg.to, msg.nonce
+                );
             }
             VmEvent::CheckpointCut { checkpoint } => {
                 println!(
@@ -95,7 +109,10 @@ fn print_events(rt: &mut HierarchyRuntime) {
                 );
             }
             VmEvent::CrossMsgApplied { msg } => {
-                println!("  [{subnet}] applied {} -> {} ({})", msg.from, msg.to, msg.value);
+                println!(
+                    "  [{subnet}] applied {} -> {} ({})",
+                    msg.from, msg.to, msg.value
+                );
             }
             _ => {}
         }

@@ -48,7 +48,9 @@ fn main() -> Result<(), RuntimeError> {
     // Every user migrates their balance back to the parent with a proof.
     for (insider, amount) in &insiders {
         let claimant = rt.create_claimant(insider)?;
-        let proof = tree.prove(insider.addr).expect("insider is in the snapshot");
+        let proof = tree
+            .prove(insider.addr)
+            .expect("insider is in the snapshot");
         rt.execute(
             &claimant,
             Address::SCA,

@@ -579,8 +579,8 @@ mod tests {
             prop_oneof![(0u8..1).prop_map(|_| 1u8), (0u8..1).prop_map(|_| 2u8)],
             64..65,
         )) {
-            prop_assert!(picks.iter().any(|&p| p == 1));
-            prop_assert!(picks.iter().any(|&p| p == 2));
+            prop_assert!(picks.contains(&1));
+            prop_assert!(picks.contains(&2));
         }
     }
 

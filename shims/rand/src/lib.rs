@@ -244,7 +244,7 @@ mod tests {
             let w = rng.gen_range(0usize..=3);
             assert!(w <= 3);
             let f = rng.gen_range(f64::EPSILON..1.0);
-            assert!(f >= f64::EPSILON && f < 1.0);
+            assert!((f64::EPSILON..1.0).contains(&f));
         }
     }
 

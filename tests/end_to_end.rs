@@ -25,7 +25,9 @@ fn prelude_covers_the_full_flow() {
     rt.cross_transfer(&alice, &bob, whole(20)).unwrap();
     rt.run_until_quiescent(10_000).unwrap();
     assert_eq!(rt.balance(&bob), whole(20));
-    audit_quiescent(&rt).map_err(RuntimeError::Execution).unwrap();
+    audit_quiescent(&rt)
+        .map_err(RuntimeError::Execution)
+        .unwrap();
 }
 
 /// A "week in the life" scenario: three branches, nested subnets, heavy
@@ -33,7 +35,10 @@ fn prelude_covers_the_full_flow() {
 /// with fund recovery — all audits green at the end.
 #[test]
 fn grand_tour() {
-    let mut topo = TopologyBuilder::new().users_per_subnet(3).tree(3, 1).unwrap();
+    let mut topo = TopologyBuilder::new()
+        .users_per_subnet(3)
+        .tree(3, 1)
+        .unwrap();
 
     // Phase 1: mixed local + cross traffic.
     let report = Workload {
@@ -208,12 +213,16 @@ fn four_level_round_trip() {
     let leaf_user = topo.users[&leaf][0].clone();
 
     let before = topo.rt.balance(&leaf_user);
-    topo.rt.cross_transfer(&root_user, &leaf_user, whole(9)).unwrap();
+    topo.rt
+        .cross_transfer(&root_user, &leaf_user, whole(9))
+        .unwrap();
     topo.rt.run_until_quiescent(200_000).unwrap();
     assert_eq!(topo.rt.balance(&leaf_user), before + whole(9));
 
     let root_before = topo.rt.balance(&root_user);
-    topo.rt.cross_transfer(&leaf_user, &root_user, whole(4)).unwrap();
+    topo.rt
+        .cross_transfer(&leaf_user, &root_user, whole(4))
+        .unwrap();
     let blocks = topo.rt.run_until_quiescent(300_000).unwrap();
     assert!(blocks < 300_000);
     assert_eq!(topo.rt.balance(&root_user), root_before + whole(4));
