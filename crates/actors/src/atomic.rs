@@ -82,6 +82,31 @@ impl AtomicExecution {
     }
 }
 
+impl CanonicalEncode for AtomicExecStatus {
+    fn write_bytes(&self, out: &mut Vec<u8>) {
+        let tag: u8 = match self {
+            AtomicExecStatus::Pending => 0,
+            AtomicExecStatus::Committed => 1,
+            AtomicExecStatus::Aborted => 2,
+        };
+        tag.write_bytes(out);
+    }
+}
+
+impl CanonicalEncode for AtomicExecution {
+    fn write_bytes(&self, out: &mut Vec<u8>) {
+        self.parties.write_bytes(out);
+        self.inputs.write_bytes(out);
+        (self.submitted.len() as u64).write_bytes(out);
+        for (party, cid) in &self.submitted {
+            party.write_bytes(out);
+            cid.write_bytes(out);
+        }
+        self.status.write_bytes(out);
+        self.initiated_at.write_bytes(out);
+    }
+}
+
 /// Errors returned by the atomic execution coordinator.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum AtomicError {
@@ -285,6 +310,16 @@ impl AtomicExecRegistry {
             }
         }
         aborted
+    }
+}
+
+impl CanonicalEncode for AtomicExecRegistry {
+    fn write_bytes(&self, out: &mut Vec<u8>) {
+        (self.executions.len() as u64).write_bytes(out);
+        for (id, exec) in &self.executions {
+            id.write_bytes(out);
+            exec.write_bytes(out);
+        }
     }
 }
 

@@ -3,7 +3,7 @@
 
 use std::time::Duration;
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use hc_actors::ScaConfig;
 use hc_chain::produce_block;
 use hc_state::{Message, StateTree};
@@ -36,7 +36,7 @@ fn bench_primitives(c: &mut Criterion) {
             TokenAmount::from_whole(1_000_000),
         )],
     );
-    group.bench_function("state_flush", |b| b.iter(|| tree.flush()));
+    group.bench_function("state_recompute_root", |b| b.iter(|| tree.recompute_root()));
 
     group.bench_function("sign_and_verify_message", |b| {
         b.iter(|| {
@@ -92,5 +92,52 @@ fn bench_primitives(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_primitives);
+/// Incremental state-root maintenance vs from-scratch recomputation, over
+/// tree size × number of accounts touched between flushes. The incremental
+/// path re-encodes only the touched chunks and rehashes only their Merkle
+/// paths, so its cost scales with `touched · log n` rather than with the
+/// full state size.
+fn bench_state_root(c: &mut Criterion) {
+    let mut group = c.benchmark_group("state_root");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(100))
+        .measurement_time(Duration::from_secs(1));
+
+    let key = Keypair::from_seed([0xcd; 32]).public();
+    for n in [1_000u64, 10_000, 100_000] {
+        let mut tree = StateTree::genesis(
+            SubnetId::root(),
+            ScaConfig::default(),
+            (0..n).map(|i| (Address::new(100 + i), key, TokenAmount::from_whole(1))),
+        );
+        tree.flush();
+
+        group.bench_function(
+            BenchmarkId::new("full_recompute", format!("{n}_accounts")),
+            |b| b.iter(|| tree.recompute_root()),
+        );
+
+        for touched in [1u64, 10, 100] {
+            let mut stamp: u128 = 0;
+            group.bench_function(
+                BenchmarkId::new("incremental", format!("{n}_accounts_{touched}_touched")),
+                |b| {
+                    b.iter(|| {
+                        stamp += 1;
+                        for t in 0..touched {
+                            tree.accounts_mut()
+                                .get_or_create(Address::new(100 + t))
+                                .balance = TokenAmount::from_atto(stamp);
+                        }
+                        tree.flush()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_primitives, bench_state_root);
 criterion_main!(benches);

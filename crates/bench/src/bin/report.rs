@@ -1,5 +1,5 @@
 //! The experiment report generator: regenerates every figure scenario
-//! (F1–F5) and every quantitative experiment table (E1–E10) from DESIGN.md.
+//! (F1–F6) and every quantitative experiment table (E1–E10) from DESIGN.md.
 //!
 //! ```text
 //! cargo run -p hc-bench --bin report                  # everything
@@ -42,6 +42,7 @@ fn main() {
     run!("f3", hc_bench::f3_commitment());
     run!("f4", hc_bench::f4_resolution());
     run!("f5", hc_bench::f5_atomic());
+    run!("f6", hc_bench::f6_snapshot_sharing());
 
     run!("e1", {
         let params = if quick {

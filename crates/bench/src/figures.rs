@@ -293,6 +293,84 @@ pub fn f5_atomic() -> Result<Table, RuntimeError> {
     Ok(t)
 }
 
+/// F6 — incremental snapshot sharing: every checkpoint cut persists the
+/// child's state as a chunk manifest into the runtime-wide content store.
+/// Because chunks are content-addressed, consecutive snapshots re-use every
+/// chunk that did not change between checkpoints; `put hits` counts exactly
+/// those structurally shared blobs.
+///
+/// # Errors
+///
+/// Propagates runtime failures.
+pub fn f6_snapshot_sharing() -> Result<Table, RuntimeError> {
+    let mut rt = HierarchyRuntime::new(RuntimeConfig::default());
+    let root = SubnetId::root();
+    let alice = rt.create_user(&root, whole(10_000))?;
+    let v = rt.create_user(&root, whole(100))?;
+    let subnet = rt.spawn_subnet(
+        &alice,
+        SaConfig {
+            checkpoint_period: 5,
+            ..SaConfig::default()
+        },
+        whole(10),
+        &[(v, whole(5))],
+    )?;
+    let bob = rt.create_user(&subnet, TokenAmount::ZERO)?;
+    rt.cross_transfer(&alice, &bob, whole(100))?;
+    // A population of idle accounts: their chunks never change, so every
+    // snapshot after the first re-uses them wholesale.
+    for _ in 0..16 {
+        rt.create_user(&subnet, TokenAmount::ZERO)?;
+    }
+    rt.run_until_quiescent(10_000)?;
+
+    let mut t = Table::new(
+        "F6: snapshot sharing — chunk manifests in the content store",
+        &[
+            "after",
+            "persists",
+            "blobs stored",
+            "bytes stored",
+            "put hits (shared)",
+            "put misses (new)",
+        ],
+    );
+    let mut record = |rt: &HierarchyRuntime, label: &str| {
+        let s = rt.store_stats();
+        let persists: u64 = rt
+            .subnets()
+            .filter_map(|id| rt.node(id))
+            .map(|n| n.stats().state_persists)
+            .sum();
+        t.row(&[
+            label.to_string(),
+            persists.to_string(),
+            s.blobs.to_string(),
+            s.total_bytes.to_string(),
+            s.put_hits.to_string(),
+            s.put_misses.to_string(),
+        ]);
+    };
+    record(&rt, "setup + funding");
+
+    // Idle checkpoints: nothing but the SCA window changes between cuts,
+    // so each persist re-puts almost every chunk — hits, not growth.
+    for _ in 0..15 {
+        rt.tick_subnet(&subnet)?;
+    }
+    record(&rt, "3 idle checkpoint periods");
+
+    // One transfer per period: exactly the touched account chunks (plus
+    // the SCA window and the new manifest) are new; the rest are shared.
+    for _ in 0..3 {
+        rt.cross_transfer(&bob, &alice, whole(1))?;
+        rt.run_until_quiescent(10_000)?;
+    }
+    record(&rt, "3 periods with 1 transfer each");
+    Ok(t)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -304,6 +382,27 @@ mod tests {
         assert!(!f3_commitment().unwrap().is_empty());
         assert!(!f4_resolution().unwrap().is_empty());
         assert!(!f5_atomic().unwrap().is_empty());
+        assert!(!f6_snapshot_sharing().unwrap().is_empty());
+    }
+
+    #[test]
+    fn f6_snapshots_share_unchanged_chunks() {
+        let t = f6_snapshot_sharing().unwrap();
+        let text = t.to_string();
+        // By the end the store has seen more shared puts than new ones:
+        // idle checkpoints re-put every chunk of an unchanged state.
+        let last = text
+            .lines()
+            .rev()
+            .find(|l| l.contains("transfer"))
+            .expect("final row present");
+        let cols: Vec<&str> = last.split('|').map(str::trim).collect();
+        let hits: u64 = cols[5].parse().unwrap();
+        let misses: u64 = cols[6].parse().unwrap();
+        assert!(
+            hits > misses,
+            "sharing dominates: {hits} hits vs {misses} misses\n{text}"
+        );
     }
 
     #[test]

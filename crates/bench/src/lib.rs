@@ -1,6 +1,7 @@
 //! # hc-bench — experiment harness
 //!
-//! Scenario drivers for the paper's figures (F1–F5), shared by the
+//! Scenario drivers for the paper's figures (F1–F5) and the snapshot
+//! sharing demonstration (F6), shared by the
 //! `report` binary (which prints every table) and the Criterion benches.
 //! The quantitative experiments E1–E10 live in [`hc_sim::experiments`].
 
@@ -9,4 +10,6 @@
 
 pub mod figures;
 
-pub use figures::{f1_overview, f2_windows, f3_commitment, f4_resolution, f5_atomic};
+pub use figures::{
+    f1_overview, f2_windows, f3_commitment, f4_resolution, f5_atomic, f6_snapshot_sharing,
+};

@@ -5,7 +5,10 @@
 //! state root in the header verifiable: a validator re-executes the payload
 //! and compares roots.
 
-use hc_state::{apply_implicit, apply_signed, ImplicitMsg, Receipt, SignedMessage, StateTree};
+use hc_state::{
+    apply_implicit, apply_signed, ImplicitMsg, Receipt, SignedMessage, StateAccess, StateOverlay,
+    StateTree,
+};
 use hc_types::{ChainEpoch, Cid, Keypair, SubnetId};
 
 use crate::block::{Block, BlockHeader};
@@ -63,8 +66,8 @@ impl std::error::Error for BlockError {}
 /// Executes a block's payload against `tree`, in canonical order: implicit
 /// messages first (cross-net work committed by consensus, paper Fig. 3),
 /// then signed user messages.
-fn run_payload(
-    tree: &mut StateTree,
+fn run_payload<S: StateAccess>(
+    tree: &mut S,
     epoch: ChainEpoch,
     implicit: &[ImplicitMsg],
     signed: &[SignedMessage],
@@ -114,6 +117,12 @@ pub fn produce_block(
 /// On success the tree holds the post-block state and the receipts are
 /// returned. On failure the tree is left at the *pre-block* state.
 ///
+/// Execution runs on a copy-on-write [`StateOverlay`], not a clone of the
+/// tree: only the chunks the payload touches are materialised, and the
+/// candidate state root is derived from the base tree's cached Merkle
+/// commitment patched along the touched paths. A bad block therefore costs
+/// O(touched), and never corrupts the canonical tree.
+///
 /// # Errors
 ///
 /// Fails on structural violations, wrong subnet, or a state-root mismatch.
@@ -126,22 +135,25 @@ pub fn execute_block(tree: &mut StateTree, block: &Block) -> Result<Vec<Receipt>
             tree.subnet_id()
         )));
     }
-    // Execute on a scratch copy so a bad block cannot corrupt the state.
-    let mut scratch = tree.clone();
+    // Ensure the commitment cache is current (no-op when already flushed);
+    // overlays derive candidate roots from it.
+    tree.flush();
+    let mut overlay = StateOverlay::new(tree);
     let receipts = run_payload(
-        &mut scratch,
+        &mut overlay,
         block.header.epoch,
         &block.implicit_msgs,
         &block.signed_msgs,
     );
-    let computed = scratch.flush();
+    let computed = overlay.root();
     if computed != block.header.state_root {
         return Err(BlockError::StateRootMismatch {
             claimed: block.header.state_root,
             computed,
         });
     }
-    *tree = scratch;
+    let changes = overlay.into_changes();
+    tree.apply_changes(changes);
     Ok(receipts)
 }
 

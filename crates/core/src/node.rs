@@ -16,7 +16,7 @@ use hc_actors::{CrossMsg, CrossMsgMeta, FundCertificate};
 use hc_chain::{ChainStore, CrossMsgPool, Mempool};
 use hc_consensus::{Consensus, ValidatorSet};
 use hc_net::{Resolver, SubscriberId};
-use hc_state::{Receipt, StateTree};
+use hc_state::{CidStore, Receipt, StateTree};
 use hc_types::{ChainEpoch, Cid, Keypair, SubnetId};
 
 /// Running counters for one subnet node.
@@ -44,6 +44,9 @@ pub struct NodeStats {
     pub orphaned: u64,
     /// Extra BFT rounds beyond the happy path.
     pub extra_rounds: u64,
+    /// State snapshots persisted as chunk manifests into the node's
+    /// [`CidStore`] (one per checkpoint cut or SCA snapshot save).
+    pub state_persists: u64,
 }
 
 /// One subnet's canonical node. Construction and stepping live in
@@ -88,6 +91,10 @@ pub struct SubnetNode {
     /// Verified fund certificates for payments still in flight towards
     /// this subnet (the §IV-A acceleration): tentative, not spendable.
     pub(crate) tentative: BTreeMap<Cid, FundCertificate>,
+    /// Content-addressed blob store: persisted state chunk manifests
+    /// (snapshots/checkpoints). A handle to the runtime-wide store, so
+    /// identical chunks are shared across snapshots *and* subnets.
+    pub(crate) store: CidStore,
     /// Counters.
     pub(crate) stats: NodeStats,
     /// This node's private randomness stream, seeded from the runtime
@@ -174,6 +181,11 @@ impl SubnetNode {
     /// Node counters.
     pub fn stats(&self) -> NodeStats {
         self.stats
+    }
+
+    /// The node's content-addressed blob store (shared runtime-wide).
+    pub fn cid_store(&self) -> &CidStore {
+        &self.store
     }
 
     /// Pending user messages.

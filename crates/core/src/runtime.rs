@@ -12,7 +12,9 @@ use hc_actors::{CrossMsg, HcAddress, ScaConfig};
 use hc_chain::{produce_block, ChainStore, CrossMsgPool, Mempool};
 use hc_consensus::{make_engine, EngineParams, ValidatorSet};
 use hc_net::{NetConfig, Network, ResolutionMsg, Resolver};
-use hc_state::{ImplicitMsg, Message, Method, Receipt, SignedMessage, StateTree, VmEvent};
+use hc_state::{
+    CidStore, ImplicitMsg, Message, Method, Receipt, SignedMessage, StateTree, VmEvent,
+};
 use hc_types::{Address, CanonicalEncode, ChainEpoch, Cid, Keypair, Nonce, SubnetId, TokenAmount};
 
 use crate::node::{NodeStats, SubnetNode};
@@ -178,6 +180,10 @@ pub struct HierarchyRuntime {
     root_minted: TokenAmount,
     /// Every committed child checkpoint, for light-client audits.
     archive: crate::archive::CheckpointArchive,
+    /// Runtime-wide content-addressed blob store: persisted state chunk
+    /// manifests. Shared by every node (handles clone the same store), so
+    /// unchanged chunks are stored once across snapshots and subnets.
+    store: CidStore,
 }
 
 impl fmt::Debug for HierarchyRuntime {
@@ -213,6 +219,7 @@ impl HierarchyRuntime {
             validator_keys.push(key);
         }
 
+        let store = CidStore::new();
         let tree = StateTree::genesis(root.clone(), config.sca.clone(), []);
         let subscription = network.subscribe(&root.topic());
         let engine = make_engine(
@@ -237,6 +244,7 @@ impl HierarchyRuntime {
             unresolved_turnarounds: Vec::new(),
             last_receipts: BTreeMap::new(),
             tentative: BTreeMap::new(),
+            store: store.clone(),
             stats: NodeStats::default(),
             rng: node_rng(config.seed, &root),
         };
@@ -253,6 +261,7 @@ impl HierarchyRuntime {
             events: VecDeque::new(),
             root_minted: TokenAmount::ZERO,
             archive: crate::archive::CheckpointArchive::default(),
+            store,
         }
     }
 
@@ -279,6 +288,19 @@ impl HierarchyRuntime {
     /// The shared network's traffic statistics.
     pub fn net_stats(&self) -> hc_net::NetStats {
         self.network.stats()
+    }
+
+    /// The runtime-wide content-addressed blob store holding persisted
+    /// state chunks and snapshot manifests (shared by every subnet node).
+    pub fn cid_store(&self) -> &hc_state::CidStore {
+        &self.store
+    }
+
+    /// Snapshot of the blob store's counters. `put_hits` counts blobs that
+    /// were already present when persisted again — i.e. chunks structurally
+    /// shared between consecutive snapshots or across subnets.
+    pub fn store_stats(&self) -> hc_state::CidStoreStats {
+        self.store.stats()
     }
 
     /// Tokens minted at the root (the global conservation baseline).
@@ -576,6 +598,7 @@ impl HierarchyRuntime {
             unresolved_turnarounds: Vec::new(),
             last_receipts: BTreeMap::new(),
             tentative: BTreeMap::new(),
+            store: self.store.clone(),
             stats: NodeStats::default(),
             rng: node_rng(self.config.seed, &child_id),
         };
@@ -709,6 +732,13 @@ impl HierarchyRuntime {
                 signatures,
             },
         )?;
+        // Persist the child's full state alongside the balance snapshot:
+        // the chunk manifest in the shared CidStore structurally shares
+        // every chunk unchanged since the last persist.
+        if let Some(node) = self.nodes.get_mut(subnet) {
+            node.tree.persist(&node.store);
+            node.stats.state_persists += 1;
+        }
         Ok(tree)
     }
 
@@ -1373,6 +1403,14 @@ impl HierarchyRuntime {
                 let push_enabled = self.config.push_enabled;
                 let node = Self::get_node_mut(&mut self.nodes, subnet)?;
                 node.stats.checkpoints_cut += 1;
+
+                // Persist the checkpointed state as a chunk manifest:
+                // unchanged chunks dedupe against the previous persist
+                // (structural sharing, observable via CidStore::stats).
+                // This runs in the sequential routing phase, so store
+                // counters are deterministic at any wave parallelism.
+                node.tree.persist(&node.store);
+                node.stats.state_persists += 1;
 
                 // The subnet's validators sign the cut checkpoint; it then
                 // travels to the parent chain (paper §III-B, Fig. 2).

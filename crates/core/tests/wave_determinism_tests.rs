@@ -104,6 +104,13 @@ fn fingerprint(rt: &HierarchyRuntime) -> Vec<SubnetFingerprint> {
             let node = rt.node(s).unwrap();
             let head = node.chain().head();
             let state_root = node.chain().get(&head).unwrap().header.state_root;
+            // The incrementally maintained root in the header must match a
+            // from-scratch recompute over the canonical chunk blobs.
+            assert_eq!(
+                node.state().recompute_root(),
+                state_root,
+                "incremental root diverged from content for {s}"
+            );
             let checkpoints: Vec<Cid> = rt
                 .checkpoint_archive()
                 .history(s)
@@ -145,6 +152,13 @@ fn step_wave_matches_sequential_at_every_parallelism() {
             "wave drain diverged at parallelism {threads}"
         );
         assert_eq!(rt.now_ms(), reference.now_ms());
+        // Snapshot persistence runs in the sequential routing phase, so
+        // the content store's counters are thread-count invariant too.
+        assert_eq!(
+            rt.store_stats(),
+            reference.store_stats(),
+            "store counters diverged at parallelism {threads}"
+        );
     }
 }
 

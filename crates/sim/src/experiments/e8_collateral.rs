@@ -124,7 +124,7 @@ pub fn e8_run(params: &E8Params) -> Result<Vec<E8Row>, RuntimeError> {
     let snapshot = topo
         .rt
         .node(&subnet)
-        .map(|n| n.state().flush())
+        .map(|n| n.state().recompute_root())
         .unwrap_or(Cid::NIL);
     topo.rt.execute(
         &child_user,

@@ -1,0 +1,262 @@
+//! Chunked state commitment.
+//!
+//! The state root is no longer the hash of one monolithic encoding of the
+//! whole [`crate::StateTree`]. Instead the tree is split into addressable
+//! **chunks** — one per account, plus one each for the SCA, every deployed
+//! Subnet Actor, the atomic-execution registry, and a metadata chunk — and
+//! the root is the Merkle root over the ordered chunk leaf digests
+//! ([`hc_types::merkle`]). Chunk digests are cached and only re-encoded for
+//! chunks marked dirty since the last flush, so root maintenance costs
+//! O(touched chunks · log n) instead of O(state size).
+//!
+//! This mirrors how FVM-family chains commit state through chunked IPLD
+//! structures (HAMTs over a blockstore) rather than serialising the world.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use hc_types::merkle::MerkleTree;
+use hc_types::{Address, CanonicalEncode, Cid};
+
+/// Identifies one chunk of the state tree.
+///
+/// The derived `Ord` fixes the canonical leaf order of the state-root
+/// Merkle tree: metadata, SCA, atomic registry, Subnet Actors by address,
+/// then accounts by address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ChunkKey {
+    /// Subnet identity and actor-address allocator (`subnet_id`,
+    /// `next_actor_id`).
+    Meta,
+    /// The subnet's own SCA state.
+    Sca,
+    /// The atomic-execution coordinator registry.
+    Atomic,
+    /// One deployed Subnet Actor.
+    Sa(Address),
+    /// One account.
+    Account(Address),
+}
+
+impl CanonicalEncode for ChunkKey {
+    fn write_bytes(&self, out: &mut Vec<u8>) {
+        match self {
+            ChunkKey::Meta => 0u8.write_bytes(out),
+            ChunkKey::Sca => 1u8.write_bytes(out),
+            ChunkKey::Atomic => 2u8.write_bytes(out),
+            ChunkKey::Sa(addr) => {
+                3u8.write_bytes(out);
+                addr.write_bytes(out);
+            }
+            ChunkKey::Account(addr) => {
+                4u8.write_bytes(out);
+                addr.write_bytes(out);
+            }
+        }
+    }
+}
+
+/// Cost counters for state-root maintenance, accumulated across flushes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CommitStats {
+    /// Number of [`crate::StateTree::flush`] calls.
+    pub flushes: u64,
+    /// Flushes that rebuilt the commitment from scratch (first flush, or
+    /// after a cache reset).
+    pub full_builds: u64,
+    /// Chunks re-encoded and re-hashed.
+    pub chunks_hashed: u64,
+    /// Total bytes fed to the hash function (leaf encodings plus interior
+    /// Merkle nodes).
+    pub bytes_hashed: u64,
+}
+
+/// The cached commitment of a [`crate::StateTree`]: per-chunk leaf digests,
+/// the Merkle tree over them, and the set of chunks dirtied since the last
+/// flush.
+///
+/// This cache is *derived* state: it never influences the root value, only
+/// how cheaply the root is recomputed. A tree with a reset cache flushes to
+/// the identical root (locked in by the equivalence property tests).
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Commitment {
+    /// Whether a full build has happened (digests/merkle are valid).
+    pub(crate) built: bool,
+    /// Leaf digest per chunk, keyed in canonical order.
+    pub(crate) digests: BTreeMap<ChunkKey, Cid>,
+    /// Ordered mirror of `digests` keys: leaf index = position here.
+    pub(crate) keys: Vec<ChunkKey>,
+    /// Merkle tree over the ordered digests.
+    pub(crate) merkle: MerkleTree,
+    /// Non-account chunks dirtied since the last flush (account dirt is
+    /// tracked at account granularity inside [`crate::tree::Accounts`]).
+    pub(crate) dirty: BTreeSet<ChunkKey>,
+    /// Accumulated cost counters.
+    pub(crate) stats: CommitStats,
+}
+
+impl Commitment {
+    /// Leaf index of `key`, if committed.
+    pub(crate) fn index_of(&self, key: &ChunkKey) -> Option<usize> {
+        self.keys.binary_search(key).ok()
+    }
+}
+
+/// A persisted snapshot of a state tree: the state root plus the content
+/// CID of every chunk blob, in canonical chunk order.
+///
+/// Manifests are what checkpoints and snapshots store in a
+/// [`crate::CidStore`]. Because chunk blobs are content-addressed,
+/// consecutive manifests of a slowly-changing state *structurally share*
+/// all unchanged chunks — only mutated chunk blobs occupy new storage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChunkManifest {
+    /// The state root the chunks commit to.
+    pub root: Cid,
+    /// `(chunk key, blob CID)` pairs in canonical chunk order.
+    pub entries: Vec<(ChunkKey, Cid)>,
+}
+
+impl CanonicalEncode for ChunkManifest {
+    fn write_bytes(&self, out: &mut Vec<u8>) {
+        self.root.write_bytes(out);
+        (self.entries.len() as u64).write_bytes(out);
+        for (key, cid) in &self.entries {
+            key.write_bytes(out);
+            cid.write_bytes(out);
+        }
+    }
+}
+
+impl ChunkManifest {
+    /// Decodes a manifest from its canonical encoding.
+    ///
+    /// Returns `None` on any structural violation (truncation, unknown
+    /// chunk tag, trailing bytes).
+    pub fn decode(bytes: &[u8]) -> Option<Self> {
+        let mut r = Reader { bytes, pos: 0 };
+        let root = r.cid()?;
+        let count = r.u64()?;
+        let mut entries = Vec::with_capacity(count.min(1 << 20) as usize);
+        for _ in 0..count {
+            let key = match r.u8()? {
+                0 => ChunkKey::Meta,
+                1 => ChunkKey::Sca,
+                2 => ChunkKey::Atomic,
+                3 => ChunkKey::Sa(Address::new(r.u64()?)),
+                4 => ChunkKey::Account(Address::new(r.u64()?)),
+                _ => return None,
+            };
+            let cid = r.cid()?;
+            entries.push((key, cid));
+        }
+        if r.pos != bytes.len() {
+            return None;
+        }
+        Some(ChunkManifest { root, entries })
+    }
+
+    /// Recomputes the state root from the chunk blobs in `store` and checks
+    /// it against the recorded root. Returns `false` if any blob is missing
+    /// or the root mismatches.
+    pub fn verify(&self, store: &crate::CidStore) -> bool {
+        let mut blobs = Vec::with_capacity(self.entries.len());
+        for (_, cid) in &self.entries {
+            match store.get(cid) {
+                Some(blob) => blobs.push(blob),
+                None => return false,
+            }
+        }
+        MerkleTree::from_leaf_bytes(blobs.iter().map(|b| b.as_slice())).root() == self.root
+    }
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Reader<'_> {
+    fn take(&mut self, n: usize) -> Option<&[u8]> {
+        let end = self.pos.checked_add(n)?;
+        let slice = self.bytes.get(self.pos..end)?;
+        self.pos = end;
+        Some(slice)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        Some(self.take(1)?[0])
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        Some(u64::from_le_bytes(self.take(8)?.try_into().ok()?))
+    }
+
+    fn cid(&mut self) -> Option<Cid> {
+        Some(Cid::from_bytes(self.take(32)?.try_into().ok()?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_key_order_is_canonical() {
+        let mut keys = vec![
+            ChunkKey::Account(Address::new(1)),
+            ChunkKey::Sa(Address::new(5)),
+            ChunkKey::Atomic,
+            ChunkKey::Meta,
+            ChunkKey::Sca,
+            ChunkKey::Account(Address::new(0)),
+        ];
+        keys.sort();
+        assert_eq!(
+            keys,
+            vec![
+                ChunkKey::Meta,
+                ChunkKey::Sca,
+                ChunkKey::Atomic,
+                ChunkKey::Sa(Address::new(5)),
+                ChunkKey::Account(Address::new(0)),
+                ChunkKey::Account(Address::new(1)),
+            ]
+        );
+    }
+
+    #[test]
+    fn chunk_key_encodings_are_distinct() {
+        let keys = [
+            ChunkKey::Meta,
+            ChunkKey::Sca,
+            ChunkKey::Atomic,
+            ChunkKey::Sa(Address::new(7)),
+            ChunkKey::Account(Address::new(7)),
+        ];
+        for (i, a) in keys.iter().enumerate() {
+            for b in &keys[i + 1..] {
+                assert_ne!(a.canonical_bytes(), b.canonical_bytes());
+            }
+        }
+    }
+
+    #[test]
+    fn manifest_round_trips_through_decode() {
+        let m = ChunkManifest {
+            root: Cid::digest(b"root"),
+            entries: vec![
+                (ChunkKey::Meta, Cid::digest(b"meta")),
+                (ChunkKey::Sa(Address::new(1_000_000)), Cid::digest(b"sa")),
+                (ChunkKey::Account(Address::new(100)), Cid::digest(b"acc")),
+            ],
+        };
+        let bytes = m.canonical_bytes();
+        assert_eq!(ChunkManifest::decode(&bytes), Some(m));
+        // Truncation and trailing garbage are rejected.
+        assert_eq!(ChunkManifest::decode(&bytes[..bytes.len() - 1]), None);
+        let mut extended = bytes.clone();
+        extended.push(0);
+        assert_eq!(ChunkManifest::decode(&extended), None);
+        assert_eq!(ChunkManifest::decode(b""), None);
+    }
+}

@@ -22,13 +22,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod access;
+pub mod chunk;
 pub mod message;
+pub mod overlay;
 pub mod params;
 pub mod store;
 pub mod tree;
 pub mod vm;
 
+pub use access::StateAccess;
+pub use chunk::{ChunkKey, ChunkManifest, CommitStats};
 pub use message::{ImplicitMsg, Message, Method, SignedMessage};
-pub use store::CidStore;
+pub use overlay::{OverlayChanges, StateOverlay};
+pub use store::{CidStore, CidStoreStats};
 pub use tree::{AccountState, StateTree};
 pub use vm::{apply_implicit, apply_signed, ExitCode, Receipt, VmEvent};

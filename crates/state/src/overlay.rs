@@ -1,0 +1,439 @@
+//! Copy-on-write state overlay for block validation.
+//!
+//! Validating a block must execute its messages against the current state
+//! and compare the resulting root with the header's `state_root` — without
+//! corrupting the canonical tree if the block is bad. The seed did this by
+//! cloning the whole [`StateTree`] per block (O(state)). A
+//! [`StateOverlay`] instead borrows the base tree read-only and
+//! materialises only the chunks execution actually touches; the candidate
+//! root is derived from the base's cached Merkle commitment plus the
+//! touched-chunk digests ([`hc_types::merkle::MerkleTree::root_with_patches`]),
+//! so validation costs O(touched · log n).
+//!
+//! On acceptance, [`StateOverlay::into_changes`] yields the touched chunks
+//! and [`StateTree::apply_changes`] folds them into the canonical tree,
+//! marking exactly those chunks dirty for the next flush.
+
+use std::collections::BTreeMap;
+
+use hc_actors::ledger::LedgerError;
+use hc_actors::sa::SaState;
+use hc_actors::{AtomicExecRegistry, Ledger, ScaState};
+use hc_types::merkle::{leaf_digest, MerkleTree};
+use hc_types::{Address, CanonicalEncode, Cid, SubnetId, TokenAmount};
+
+use crate::access::StateAccess;
+use crate::chunk::ChunkKey;
+use crate::tree::{AccountState, Accounts, StateTree};
+
+/// Copy-on-write view of the account table: reads fall through to the base
+/// tree, writes materialise the account into a private map.
+#[derive(Debug)]
+pub struct OverlayAccounts<'a> {
+    base: &'a Accounts,
+    touched: BTreeMap<Address, AccountState>,
+}
+
+impl OverlayAccounts<'_> {
+    /// Read-only view of an account, overlay-first.
+    pub fn get(&self, addr: Address) -> Option<&AccountState> {
+        self.touched.get(&addr).or_else(|| self.base.get(addr))
+    }
+
+    /// Mutable access, copying the account out of the base on first touch.
+    pub fn get_or_create(&mut self, addr: Address) -> &mut AccountState {
+        self.touched
+            .entry(addr)
+            .or_insert_with(|| self.base.get(addr).cloned().unwrap_or_default())
+    }
+
+    /// Number of accounts materialised so far.
+    pub fn touched_len(&self) -> usize {
+        self.touched.len()
+    }
+}
+
+impl Ledger for OverlayAccounts<'_> {
+    fn balance(&self, account: Address) -> TokenAmount {
+        self.get(account).map_or(TokenAmount::ZERO, |a| a.balance)
+    }
+
+    fn credit(&mut self, account: Address, amount: TokenAmount) {
+        self.get_or_create(account).balance += amount;
+    }
+
+    fn debit(&mut self, account: Address, amount: TokenAmount) -> Result<(), LedgerError> {
+        let available = self.balance(account);
+        let new = available
+            .checked_sub(amount)
+            .ok_or(LedgerError::InsufficientFunds {
+                account,
+                needed: amount,
+                available,
+            })?;
+        self.get_or_create(account).balance = new;
+        Ok(())
+    }
+}
+
+/// The chunk-level writes captured by an overlay, ready to fold into the
+/// base tree via [`StateTree::apply_changes`].
+#[derive(Debug)]
+pub struct OverlayChanges {
+    pub(crate) accounts: BTreeMap<Address, AccountState>,
+    pub(crate) sca: Option<ScaState>,
+    pub(crate) sas: BTreeMap<Address, SaState>,
+    pub(crate) atomic: Option<AtomicExecRegistry>,
+    pub(crate) next_actor_id: Option<u64>,
+}
+
+impl OverlayChanges {
+    /// Returns `true` if execution wrote nothing.
+    pub fn is_empty(&self) -> bool {
+        self.accounts.is_empty()
+            && self.sca.is_none()
+            && self.sas.is_empty()
+            && self.atomic.is_none()
+            && self.next_actor_id.is_none()
+    }
+}
+
+/// A copy-on-write execution scratchpad over a flushed [`StateTree`].
+#[derive(Debug)]
+pub struct StateOverlay<'a> {
+    base: &'a StateTree,
+    accounts: OverlayAccounts<'a>,
+    sca: Option<ScaState>,
+    sas: BTreeMap<Address, SaState>,
+    atomic: Option<AtomicExecRegistry>,
+    next_actor_id: u64,
+}
+
+impl<'a> StateOverlay<'a> {
+    /// Creates an overlay over `base`.
+    ///
+    /// # Panics
+    ///
+    /// The base tree's commitment must be flushed
+    /// ([`StateTree::is_committed`]) so the overlay can derive candidate
+    /// roots incrementally; call [`StateTree::flush`] first.
+    pub fn new(base: &'a StateTree) -> Self {
+        assert!(
+            base.is_committed(),
+            "StateOverlay requires a flushed base tree (call flush() first)"
+        );
+        StateOverlay {
+            accounts: OverlayAccounts {
+                base: base.accounts(),
+                touched: BTreeMap::new(),
+            },
+            sca: None,
+            sas: BTreeMap::new(),
+            atomic: None,
+            next_actor_id: base.next_actor_id(),
+            base,
+        }
+    }
+
+    fn ensure_sca(&mut self) -> &mut ScaState {
+        self.sca.get_or_insert_with(|| self.base.sca().clone())
+    }
+
+    fn ensure_atomic(&mut self) -> &mut AtomicExecRegistry {
+        self.atomic
+            .get_or_insert_with(|| self.base.atomic().clone())
+    }
+
+    fn ensure_sa(&mut self, addr: Address) {
+        if !self.sas.contains_key(&addr) {
+            if let Some(sa) = self.base.sa(addr) {
+                self.sas.insert(addr, sa.clone());
+            }
+        }
+    }
+
+    /// The leaf digests of every chunk the overlay rewrote, keyed by chunk,
+    /// excluding chunks whose content is byte-identical to the base.
+    fn changed_digests(&self) -> BTreeMap<ChunkKey, Cid> {
+        fn blob<T: CanonicalEncode + ?Sized>(key: ChunkKey, content: &T) -> Vec<u8> {
+            let mut out = key.canonical_bytes();
+            content.write_bytes(&mut out);
+            out
+        }
+        let mut blobs: Vec<(ChunkKey, Vec<u8>)> = Vec::new();
+        for (addr, state) in &self.accounts.touched {
+            blobs.push((
+                ChunkKey::Account(*addr),
+                blob(ChunkKey::Account(*addr), state),
+            ));
+        }
+        if let Some(sca) = &self.sca {
+            blobs.push((ChunkKey::Sca, blob(ChunkKey::Sca, sca)));
+        }
+        if let Some(atomic) = &self.atomic {
+            blobs.push((ChunkKey::Atomic, blob(ChunkKey::Atomic, atomic)));
+        }
+        for (addr, sa) in &self.sas {
+            blobs.push((ChunkKey::Sa(*addr), blob(ChunkKey::Sa(*addr), sa)));
+        }
+        if self.next_actor_id != self.base.next_actor_id() {
+            blobs.push((
+                ChunkKey::Meta,
+                blob(ChunkKey::Meta, &(self.base.subnet_id(), self.next_actor_id)),
+            ));
+        }
+        let mut changed = BTreeMap::new();
+        for (key, bytes) in blobs {
+            let digest = leaf_digest(&bytes);
+            if self.base.commitment.digests.get(&key) != Some(&digest) {
+                changed.insert(key, digest);
+            }
+        }
+        changed
+    }
+
+    /// The state root the base tree *would* have after folding this
+    /// overlay in — computed without mutating anything.
+    ///
+    /// When the overlay only rewrote existing chunks, this patches the
+    /// base's Merkle tree along the touched root paths (O(touched·log n)).
+    /// New chunks (created accounts, deployed SAs) change the leaf set, so
+    /// the node levels are rebuilt from cached digests — still without
+    /// re-encoding any untouched chunk.
+    pub fn root(&self) -> Cid {
+        let changed = self.changed_digests();
+        if changed.is_empty() {
+            return self.base.commitment.merkle.root();
+        }
+        let structural = changed
+            .keys()
+            .any(|k| !self.base.commitment.digests.contains_key(k));
+        if !structural {
+            let patches: BTreeMap<usize, Cid> = changed
+                .iter()
+                .map(|(k, d)| {
+                    (
+                        self.base
+                            .commitment
+                            .index_of(k)
+                            .expect("non-structural chunk has a leaf index"),
+                        *d,
+                    )
+                })
+                .collect();
+            let (root, _bytes) = self.base.commitment.merkle.root_with_patches(&patches);
+            return root;
+        }
+        let mut digests = self.base.commitment.digests.clone();
+        digests.extend(changed);
+        MerkleTree::from_leaf_hashes(digests.into_values().collect()).root()
+    }
+
+    /// Consumes the overlay, yielding the captured writes.
+    pub fn into_changes(self) -> OverlayChanges {
+        OverlayChanges {
+            accounts: self.accounts.touched,
+            sca: self.sca,
+            sas: self.sas,
+            atomic: self.atomic,
+            next_actor_id: (self.next_actor_id != self.base.next_actor_id())
+                .then_some(self.next_actor_id),
+        }
+    }
+
+    /// Number of account chunks materialised so far (observability hook
+    /// for the no-full-clone guarantee).
+    pub fn touched_accounts(&self) -> usize {
+        self.accounts.touched_len()
+    }
+}
+
+impl<'o> StateAccess for StateOverlay<'o> {
+    type Ledger = OverlayAccounts<'o>;
+
+    fn subnet_id(&self) -> &SubnetId {
+        self.base.subnet_id()
+    }
+
+    fn account(&self, addr: Address) -> Option<&AccountState> {
+        self.accounts.get(addr)
+    }
+
+    fn account_mut(&mut self, addr: Address) -> &mut AccountState {
+        self.accounts.get_or_create(addr)
+    }
+
+    fn ledger_mut(&mut self) -> &mut OverlayAccounts<'o> {
+        &mut self.accounts
+    }
+
+    fn sca(&self) -> &ScaState {
+        self.sca.as_ref().unwrap_or_else(|| self.base.sca())
+    }
+
+    fn sca_mut(&mut self) -> &mut ScaState {
+        self.ensure_sca()
+    }
+
+    fn ledger_and_sca_mut(&mut self) -> (&mut OverlayAccounts<'o>, &mut ScaState) {
+        self.ensure_sca();
+        (
+            &mut self.accounts,
+            self.sca.as_mut().expect("sca materialised"),
+        )
+    }
+
+    fn sa(&self, addr: Address) -> Option<&SaState> {
+        self.sas.get(&addr).or_else(|| self.base.sa(addr))
+    }
+
+    fn ledger_sca_sa_mut(
+        &mut self,
+        sa: Address,
+    ) -> (
+        &mut OverlayAccounts<'o>,
+        &mut ScaState,
+        Option<&mut SaState>,
+    ) {
+        self.ensure_sca();
+        self.ensure_sa(sa);
+        (
+            &mut self.accounts,
+            self.sca.as_mut().expect("sca materialised"),
+            self.sas.get_mut(&sa),
+        )
+    }
+
+    fn deploy_sa(&mut self, sa: SaState) -> Address {
+        let addr = Address::new(self.next_actor_id);
+        self.next_actor_id += 1;
+        self.sas.insert(addr, sa);
+        addr
+    }
+
+    fn atomic_mut(&mut self) -> &mut AtomicExecRegistry {
+        self.ensure_atomic()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hc_actors::sa::SaConfig;
+    use hc_actors::ScaConfig;
+    use hc_types::{Keypair, TokenAmount};
+
+    fn tree() -> StateTree {
+        let kp = Keypair::from_seed([0x42; 32]);
+        let mut t = StateTree::genesis(
+            SubnetId::root(),
+            ScaConfig::default(),
+            (0..8).map(|i| {
+                (
+                    Address::new(100 + i),
+                    kp.public(),
+                    TokenAmount::from_whole(10),
+                )
+            }),
+        );
+        t.flush();
+        t
+    }
+
+    #[test]
+    fn untouched_overlay_root_equals_base_root() {
+        let mut t = tree();
+        let root = t.flush();
+        let overlay = StateOverlay::new(&t);
+        assert_eq!(overlay.root(), root);
+        assert!(overlay.into_changes().is_empty());
+    }
+
+    #[test]
+    fn overlay_writes_do_not_leak_into_base_until_applied() {
+        let mut t = tree();
+        let base_root = t.flush();
+        let mut overlay = StateOverlay::new(&t);
+        overlay
+            .ledger_mut()
+            .transfer(
+                Address::new(100),
+                Address::new(101),
+                TokenAmount::from_whole(3),
+            )
+            .unwrap();
+        let candidate = overlay.root();
+        assert_ne!(candidate, base_root);
+        // Base untouched.
+        assert_eq!(
+            t.accounts().balance(Address::new(100)),
+            TokenAmount::from_whole(10)
+        );
+        assert_eq!(t.flush(), base_root);
+        // Applying reproduces the candidate root exactly.
+        let mut overlay = StateOverlay::new(&t);
+        overlay
+            .ledger_mut()
+            .transfer(
+                Address::new(100),
+                Address::new(101),
+                TokenAmount::from_whole(3),
+            )
+            .unwrap();
+        let changes = overlay.into_changes();
+        t.apply_changes(changes);
+        assert_eq!(t.flush(), candidate);
+        assert_eq!(t.flush(), t.recompute_root());
+    }
+
+    #[test]
+    fn overlay_root_matches_direct_execution_for_structural_changes() {
+        // New account + deployed SA + SCA and atomic writes: the leaf set
+        // changes, exercising the structural path.
+        let mut direct = tree();
+        let mut base = tree();
+        base.flush();
+        let mut overlay = StateOverlay::new(&base);
+
+        fn script<S: StateAccess>(s: &mut S) {
+            s.ledger_mut()
+                .credit(Address::new(999), TokenAmount::from_whole(1));
+            s.deploy_sa(SaState::new(SaConfig::default()));
+            s.sca_mut();
+            s.atomic_mut();
+        }
+        script(&mut direct);
+        script(&mut overlay);
+
+        let candidate = overlay.root();
+        base.apply_changes(overlay.into_changes());
+        assert_eq!(base.flush(), candidate);
+        assert_eq!(direct.flush(), candidate);
+        assert_eq!(base.recompute_root(), candidate);
+    }
+
+    #[test]
+    fn overlay_reads_fall_through_to_base() {
+        let t = tree();
+        let overlay = StateOverlay::new(&t);
+        assert_eq!(
+            overlay.account(Address::new(100)).unwrap().balance,
+            TokenAmount::from_whole(10)
+        );
+        assert!(overlay.account(Address::new(9999)).is_none());
+        assert_eq!(overlay.sca().child_count(), 0);
+        assert_eq!(overlay.touched_accounts(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "flushed base tree")]
+    fn overlay_requires_flushed_base() {
+        let kp = Keypair::from_seed([0x43; 32]);
+        let t = StateTree::genesis(
+            SubnetId::root(),
+            ScaConfig::default(),
+            [(Address::new(100), kp.public(), TokenAmount::from_whole(1))],
+        );
+        let _ = StateOverlay::new(&t);
+    }
+}

@@ -2,9 +2,15 @@
 //!
 //! A [`CidStore`] maps CIDs to raw byte blobs. Each subnet node keeps one to
 //! cache checkpoint payloads, cross-message groups learned through the
-//! content-resolution protocol, and saved state snapshots. The store is
-//! append-only and self-verifying: a blob can only ever be stored under the
-//! CID of its own bytes.
+//! content-resolution protocol, and saved state snapshots (chunk manifests,
+//! see [`crate::chunk::ChunkManifest`]). The store is append-only and
+//! self-verifying: a blob can only ever be stored under the CID of its own
+//! bytes.
+//!
+//! The store counts put/get hits and misses ([`CidStore::stats`]).
+//! Because state persists as content-addressed chunks, the `put_hits`
+//! counter directly measures structural sharing between consecutive
+//! snapshots: an unchanged chunk's put is a hit and stores nothing.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -12,6 +18,34 @@ use std::sync::Arc;
 use parking_lot::RwLock;
 
 use hc_types::Cid;
+
+/// A point-in-time snapshot of a [`CidStore`]'s size and traffic counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CidStoreStats {
+    /// Number of distinct blobs stored.
+    pub blobs: u64,
+    /// Total bytes across all stored blobs.
+    pub total_bytes: u64,
+    /// Puts that found the blob already present (deduplicated writes —
+    /// structural sharing).
+    pub put_hits: u64,
+    /// Puts that stored a new blob.
+    pub put_misses: u64,
+    /// Gets that found their blob.
+    pub get_hits: u64,
+    /// Gets for absent CIDs.
+    pub get_misses: u64,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    blobs: HashMap<Cid, Arc<Vec<u8>>>,
+    total_bytes: u64,
+    put_hits: u64,
+    put_misses: u64,
+    get_hits: u64,
+    get_misses: u64,
+}
 
 /// A thread-safe, append-only, content-addressed blob store.
 ///
@@ -28,10 +62,11 @@ use hc_types::Cid;
 /// let cid = store.put(b"hello".to_vec());
 /// assert_eq!(store.get(&cid).unwrap().as_slice(), b"hello");
 /// assert!(store.contains(&cid));
+/// assert_eq!(store.stats().put_misses, 1);
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct CidStore {
-    blobs: Arc<RwLock<HashMap<Cid, Arc<Vec<u8>>>>>,
+    inner: Arc<RwLock<Inner>>,
 }
 
 impl CidStore {
@@ -40,39 +75,67 @@ impl CidStore {
         Self::default()
     }
 
-    /// Stores `bytes` under their digest CID and returns it. Idempotent.
+    /// Stores `bytes` under their digest CID and returns it. Idempotent:
+    /// re-putting existing content is counted as a hit and stores nothing.
     pub fn put(&self, bytes: Vec<u8>) -> Cid {
         let cid = Cid::digest(&bytes);
-        self.blobs
-            .write()
-            .entry(cid)
-            .or_insert_with(|| Arc::new(bytes));
+        let mut inner = self.inner.write();
+        if inner.blobs.contains_key(&cid) {
+            inner.put_hits += 1;
+        } else {
+            inner.put_misses += 1;
+            inner.total_bytes += bytes.len() as u64;
+            inner.blobs.insert(cid, Arc::new(bytes));
+        }
         cid
     }
 
     /// Fetches the blob behind `cid`, if present.
     pub fn get(&self, cid: &Cid) -> Option<Arc<Vec<u8>>> {
-        self.blobs.read().get(cid).cloned()
+        let mut inner = self.inner.write();
+        match inner.blobs.get(cid).cloned() {
+            Some(blob) => {
+                inner.get_hits += 1;
+                Some(blob)
+            }
+            None => {
+                inner.get_misses += 1;
+                None
+            }
+        }
     }
 
-    /// Returns `true` if `cid` is present.
+    /// Returns `true` if `cid` is present (does not count as a get).
     pub fn contains(&self, cid: &Cid) -> bool {
-        self.blobs.read().contains_key(cid)
+        self.inner.read().blobs.contains_key(cid)
     }
 
     /// Number of blobs stored.
     pub fn len(&self) -> usize {
-        self.blobs.read().len()
+        self.inner.read().blobs.len()
     }
 
     /// Returns `true` if the store holds no blobs.
     pub fn is_empty(&self) -> bool {
-        self.blobs.read().is_empty()
+        self.inner.read().blobs.is_empty()
     }
 
     /// Total bytes stored (for cache-size experiments).
     pub fn total_bytes(&self) -> usize {
-        self.blobs.read().values().map(|b| b.len()).sum()
+        self.inner.read().total_bytes as usize
+    }
+
+    /// Snapshot of size and hit/miss counters.
+    pub fn stats(&self) -> CidStoreStats {
+        let inner = self.inner.read();
+        CidStoreStats {
+            blobs: inner.blobs.len() as u64,
+            total_bytes: inner.total_bytes,
+            put_hits: inner.put_hits,
+            put_misses: inner.put_misses,
+            get_hits: inner.get_hits,
+            get_misses: inner.get_misses,
+        }
     }
 }
 
@@ -111,5 +174,25 @@ mod tests {
         let store = CidStore::new();
         let cid = store.put(b"abc".to_vec());
         assert_eq!(cid, Cid::digest(b"abc"));
+    }
+
+    #[test]
+    fn stats_track_hits_misses_and_sizes() {
+        let store = CidStore::new();
+        store.put(vec![1; 4]);
+        store.put(vec![1; 4]); // dedup hit
+        store.put(vec![2; 6]);
+        let hit = store.put(vec![2; 6]); // dedup hit
+        store.get(&hit);
+        store.get(&Cid::digest(b"nope"));
+        let s = store.stats();
+        assert_eq!(s.blobs, 2);
+        assert_eq!(s.total_bytes, 10);
+        assert_eq!(s.put_hits, 2);
+        assert_eq!(s.put_misses, 2);
+        assert_eq!(s.get_hits, 1);
+        assert_eq!(s.get_misses, 1);
+        // Clones see the same counters.
+        assert_eq!(store.clone().stats(), s);
     }
 }

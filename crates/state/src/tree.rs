@@ -9,8 +9,15 @@
 //!   ([`hc_actors::SaState`]), and the atomic-execution coordinator
 //!   ([`hc_actors::AtomicExecRegistry`]).
 //!
-//! The tree is deterministic: [`StateTree::flush`] hashes the canonical
-//! encoding of the full state into a state-root CID, which blocks commit to.
+//! The tree is deterministic: [`StateTree::flush`] derives a state-root CID
+//! that blocks commit to. The root is the Merkle root over the ordered
+//! per-chunk leaf digests (see [`crate::chunk`]); flushing only re-encodes
+//! chunks dirtied since the last flush, so the per-block cost scales with
+//! the touched state, not the total state. The root is a pure function of
+//! state *content* — independent of mutation order, of the dirty-set shape,
+//! and of whether execution ran directly or through a
+//! [`crate::StateOverlay`] — which [`StateTree::recompute_root`] recomputes
+//! from scratch to prove.
 
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -19,10 +26,15 @@ use serde::{Deserialize, Serialize};
 use hc_actors::ledger::LedgerError;
 use hc_actors::sa::SaState;
 use hc_actors::{AtomicExecRegistry, Ledger, ScaConfig, ScaState};
+use hc_types::merkle::{leaf_digest, MerkleTree};
 use hc_types::{Address, CanonicalEncode, Cid, Nonce, PublicKey, SubnetId, TokenAmount};
 
+use crate::chunk::{ChunkKey, ChunkManifest, CommitStats, Commitment};
+use crate::overlay::OverlayChanges;
+use crate::store::CidStore;
+
 /// First address handed out to deployed actors (Subnet Actors).
-const FIRST_DEPLOYED_ACTOR: u64 = 1_000_000;
+pub(crate) const FIRST_DEPLOYED_ACTOR: u64 = 1_000_000;
 
 /// One account's state.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
@@ -58,9 +70,24 @@ impl CanonicalEncode for AccountState {
 
 /// The account table: the [`Ledger`] implementation system actors operate
 /// on.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+///
+/// Mutable access is tracked per account: any address reached through
+/// [`Accounts::get_or_create`] (and therefore through every [`Ledger`]
+/// operation) is marked dirty so the next [`StateTree::flush`] re-hashes
+/// only those account chunks. Over-marking is harmless — digests are
+/// recomputed from content, and an unchanged chunk keeps its digest.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Accounts {
     map: BTreeMap<Address, AccountState>,
+    dirty: BTreeSet<Address>,
+}
+
+impl PartialEq for Accounts {
+    /// Equality is content equality; the dirty-tracking set is derived
+    /// bookkeeping and never part of the observable state.
+    fn eq(&self, other: &Self) -> bool {
+        self.map == other.map
+    }
 }
 
 impl Accounts {
@@ -69,8 +96,10 @@ impl Accounts {
         self.map.get(&addr)
     }
 
-    /// Mutable access, creating the account if absent.
+    /// Mutable access, creating the account if absent. Marks the account
+    /// dirty for the next flush.
     pub fn get_or_create(&mut self, addr: Address) -> &mut AccountState {
+        self.dirty.insert(addr);
         self.map.entry(addr).or_default()
     }
 
@@ -84,6 +113,16 @@ impl Accounts {
     /// audits.
     pub fn total(&self) -> TokenAmount {
         self.map.values().map(|a| a.balance).sum()
+    }
+
+    /// Takes and clears the set of accounts touched since the last call.
+    pub(crate) fn take_dirty(&mut self) -> BTreeSet<Address> {
+        std::mem::take(&mut self.dirty)
+    }
+
+    /// Returns `true` if no account was touched since the last flush.
+    pub(crate) fn dirty_is_empty(&self) -> bool {
+        self.dirty.is_empty()
     }
 }
 
@@ -126,12 +165,14 @@ impl CanonicalEncode for Accounts {
 /// The full state of one subnet chain.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct StateTree {
-    subnet_id: SubnetId,
-    accounts: Accounts,
-    sca: ScaState,
-    sas: BTreeMap<Address, SaState>,
-    atomic: AtomicExecRegistry,
-    next_actor_id: u64,
+    pub(crate) subnet_id: SubnetId,
+    pub(crate) accounts: Accounts,
+    pub(crate) sca: ScaState,
+    pub(crate) sas: BTreeMap<Address, SaState>,
+    pub(crate) atomic: AtomicExecRegistry,
+    pub(crate) next_actor_id: u64,
+    /// Cached chunk commitment (derived; never affects the root value).
+    pub(crate) commitment: Commitment,
 }
 
 impl StateTree {
@@ -154,6 +195,7 @@ impl StateTree {
             sas: BTreeMap::new(),
             atomic: AtomicExecRegistry::new(),
             next_actor_id: FIRST_DEPLOYED_ACTOR,
+            commitment: Commitment::default(),
         }
     }
 
@@ -167,7 +209,8 @@ impl StateTree {
         &self.accounts
     }
 
-    /// Mutable account table (the subnet's [`Ledger`]).
+    /// Mutable account table (the subnet's [`Ledger`]). Touched accounts
+    /// are dirty-tracked inside [`Accounts`].
     pub fn accounts_mut(&mut self) -> &mut Accounts {
         &mut self.accounts
     }
@@ -177,14 +220,16 @@ impl StateTree {
         &self.sca
     }
 
-    /// Mutable SCA access.
+    /// Mutable SCA access. Marks the SCA chunk dirty.
     pub fn sca_mut(&mut self) -> &mut ScaState {
+        self.commitment.dirty.insert(ChunkKey::Sca);
         &mut self.sca
     }
 
     /// Simultaneous mutable access to the account ledger and the SCA —
     /// the borrow shape every SCA fund operation needs.
     pub fn ledger_and_sca_mut(&mut self) -> (&mut Accounts, &mut ScaState) {
+        self.commitment.dirty.insert(ChunkKey::Sca);
         (&mut self.accounts, &mut self.sca)
     }
 
@@ -193,8 +238,9 @@ impl StateTree {
         self.sas.get(&addr)
     }
 
-    /// Mutable Subnet Actor access.
+    /// Mutable Subnet Actor access. Marks that SA's chunk dirty.
     pub fn sa_mut(&mut self, addr: Address) -> Option<&mut SaState> {
+        self.commitment.dirty.insert(ChunkKey::Sa(addr));
         self.sas.get_mut(&addr)
     }
 
@@ -203,6 +249,8 @@ impl StateTree {
         &mut self,
         sa: Address,
     ) -> (&mut Accounts, &mut ScaState, Option<&mut SaState>) {
+        self.commitment.dirty.insert(ChunkKey::Sca);
+        self.commitment.dirty.insert(ChunkKey::Sa(sa));
         (&mut self.accounts, &mut self.sca, self.sas.get_mut(&sa))
     }
 
@@ -216,6 +264,8 @@ impl StateTree {
         let addr = Address::new(self.next_actor_id);
         self.next_actor_id += 1;
         self.sas.insert(addr, sa);
+        self.commitment.dirty.insert(ChunkKey::Sa(addr));
+        self.commitment.dirty.insert(ChunkKey::Meta);
         addr
     }
 
@@ -224,15 +274,211 @@ impl StateTree {
         &self.atomic
     }
 
-    /// Mutable coordinator access.
+    /// Mutable coordinator access. Marks the atomic chunk dirty.
     pub fn atomic_mut(&mut self) -> &mut AtomicExecRegistry {
+        self.commitment.dirty.insert(ChunkKey::Atomic);
         &mut self.atomic
     }
 
-    /// Computes the state root: the CID of the canonical encoding of the
-    /// whole tree.
-    pub fn flush(&self) -> Cid {
-        self.cid()
+    /// Computes the state root incrementally: only chunks dirtied since the
+    /// last flush are re-encoded and re-hashed, and only their Merkle root
+    /// paths are recombined. The first flush (or the first after
+    /// [`StateTree::rebuilt`]) builds the full commitment.
+    pub fn flush(&mut self) -> Cid {
+        self.commitment.stats.flushes += 1;
+        if !self.commitment.built {
+            return self.rebuild_commitment();
+        }
+        let mut dirty = std::mem::take(&mut self.commitment.dirty);
+        for addr in self.accounts.take_dirty() {
+            dirty.insert(ChunkKey::Account(addr));
+        }
+        if dirty.is_empty() {
+            return self.commitment.merkle.root();
+        }
+        let mut patches: Vec<(usize, Cid)> = Vec::new();
+        let mut structural = false;
+        for key in &dirty {
+            let present = match key {
+                ChunkKey::Sa(a) => self.sas.contains_key(a),
+                ChunkKey::Account(a) => self.accounts.get(*a).is_some(),
+                _ => true,
+            };
+            if !present {
+                // A dirtied chunk that no longer exists: structural change.
+                if self.commitment.digests.remove(key).is_some() {
+                    structural = true;
+                }
+                continue;
+            }
+            let blob = self.chunk_blob(key);
+            self.commitment.stats.chunks_hashed += 1;
+            self.commitment.stats.bytes_hashed += blob.len() as u64 + 1; // + leaf tag
+            let digest = leaf_digest(&blob);
+            match self.commitment.digests.get(key) {
+                // Over-marked: content unchanged, digest stands.
+                Some(old) if *old == digest => {}
+                Some(_) => {
+                    let idx = self
+                        .commitment
+                        .index_of(key)
+                        .expect("committed chunk has a leaf index");
+                    patches.push((idx, digest));
+                    self.commitment.digests.insert(*key, digest);
+                }
+                None => {
+                    self.commitment.digests.insert(*key, digest);
+                    structural = true;
+                }
+            }
+        }
+        if structural {
+            // The leaf set changed: rebuild the Merkle node levels from the
+            // cached digests (no chunk re-encoding).
+            self.commitment.keys = self.commitment.digests.keys().copied().collect();
+            self.commitment.merkle =
+                MerkleTree::from_leaf_hashes(self.commitment.digests.values().copied().collect());
+            self.commitment.stats.bytes_hashed += self.commitment.merkle.interior_hash_bytes();
+        } else if !patches.is_empty() {
+            self.commitment.stats.bytes_hashed += self.commitment.merkle.update_leaves(&patches);
+        }
+        self.commitment.merkle.root()
+    }
+
+    /// Builds the commitment from scratch: every chunk encoded and hashed.
+    fn rebuild_commitment(&mut self) -> Cid {
+        self.accounts.take_dirty();
+        let keys = self.chunk_keys();
+        let mut digests = BTreeMap::new();
+        let mut bytes = 0u64;
+        for key in &keys {
+            let blob = self.chunk_blob(key);
+            bytes += blob.len() as u64 + 1;
+            digests.insert(*key, leaf_digest(&blob));
+        }
+        let merkle = MerkleTree::from_leaf_hashes(digests.values().copied().collect());
+        bytes += merkle.interior_hash_bytes();
+        let c = &mut self.commitment;
+        c.stats.full_builds += 1;
+        c.stats.chunks_hashed += keys.len() as u64;
+        c.stats.bytes_hashed += bytes;
+        c.built = true;
+        c.digests = digests;
+        c.keys = keys;
+        c.merkle = merkle;
+        c.dirty.clear();
+        c.merkle.root()
+    }
+
+    /// Recomputes the state root from scratch, ignoring every cache: pure
+    /// function of the current state content. `flush()` must always agree
+    /// with this (the equivalence property tests enforce it).
+    pub fn recompute_root(&self) -> Cid {
+        let keys = self.chunk_keys();
+        MerkleTree::from_leaf_bytes(keys.iter().map(|k| self.chunk_blob(k))).root()
+    }
+
+    /// Returns a copy of this tree as if freshly decoded from storage:
+    /// identical content, but with the commitment cache and dirty tracking
+    /// reset. Its first `flush()` is a full rebuild.
+    pub fn rebuilt(&self) -> StateTree {
+        let mut t = self.clone();
+        t.commitment = Commitment::default();
+        t.accounts.take_dirty();
+        t
+    }
+
+    /// Returns `true` if the commitment cache is built and no chunk has
+    /// been dirtied since the last [`StateTree::flush`].
+    pub fn is_committed(&self) -> bool {
+        self.commitment.built && self.commitment.dirty.is_empty() && self.accounts.dirty_is_empty()
+    }
+
+    /// Accumulated state-root maintenance cost counters.
+    pub fn commit_stats(&self) -> CommitStats {
+        self.commitment.stats
+    }
+
+    /// The canonical ordered chunk key set of the current content.
+    pub(crate) fn chunk_keys(&self) -> Vec<ChunkKey> {
+        let mut keys = vec![ChunkKey::Meta, ChunkKey::Sca, ChunkKey::Atomic];
+        keys.extend(self.sas.keys().map(|a| ChunkKey::Sa(*a)));
+        keys.extend(self.accounts.iter().map(|(a, _)| ChunkKey::Account(*a)));
+        keys
+    }
+
+    /// The chunk blob for `key`: the key's canonical encoding followed by
+    /// the chunk content's canonical encoding. Panics if the chunk does not
+    /// exist in the current content.
+    pub(crate) fn chunk_blob(&self, key: &ChunkKey) -> Vec<u8> {
+        let mut out = key.canonical_bytes();
+        match key {
+            ChunkKey::Meta => {
+                self.subnet_id.write_bytes(&mut out);
+                self.next_actor_id.write_bytes(&mut out);
+            }
+            ChunkKey::Sca => self.sca.write_bytes(&mut out),
+            ChunkKey::Atomic => self.atomic.write_bytes(&mut out),
+            ChunkKey::Sa(a) => self
+                .sas
+                .get(a)
+                .expect("SA chunk exists")
+                .write_bytes(&mut out),
+            ChunkKey::Account(a) => self
+                .accounts
+                .get(*a)
+                .expect("account chunk exists")
+                .write_bytes(&mut out),
+        }
+        out
+    }
+
+    /// Allocator watermark for deployed actor addresses.
+    pub(crate) fn next_actor_id(&self) -> u64 {
+        self.next_actor_id
+    }
+
+    /// Persists the current state into `store` as content-addressed chunk
+    /// blobs plus a [`ChunkManifest`], returning the manifest's CID.
+    ///
+    /// Because blobs are keyed by content, persisting consecutive states
+    /// that differ in a few chunks stores only the changed blobs — the
+    /// manifests structurally share everything else (observable through
+    /// [`CidStore::stats`]).
+    pub fn persist(&mut self, store: &CidStore) -> Cid {
+        let root = self.flush();
+        let entries = self
+            .commitment
+            .keys
+            .iter()
+            .map(|k| (*k, store.put(self.chunk_blob(k))))
+            .collect();
+        let manifest = ChunkManifest { root, entries };
+        store.put(manifest.canonical_bytes())
+    }
+
+    /// Applies the changes captured by a [`crate::StateOverlay`] built on
+    /// this tree, marking exactly the written chunks dirty.
+    pub fn apply_changes(&mut self, changes: OverlayChanges) {
+        for (addr, state) in changes.accounts {
+            *self.accounts.get_or_create(addr) = state;
+        }
+        if let Some(sca) = changes.sca {
+            self.sca = sca;
+            self.commitment.dirty.insert(ChunkKey::Sca);
+        }
+        for (addr, sa) in changes.sas {
+            self.sas.insert(addr, sa);
+            self.commitment.dirty.insert(ChunkKey::Sa(addr));
+        }
+        if let Some(atomic) = changes.atomic {
+            self.atomic = atomic;
+            self.commitment.dirty.insert(ChunkKey::Atomic);
+        }
+        if let Some(next) = changes.next_actor_id {
+            self.next_actor_id = next;
+            self.commitment.dirty.insert(ChunkKey::Meta);
+        }
     }
 
     /// Gross token supply of the subnet (every account, including escrow
@@ -242,6 +488,10 @@ impl StateTree {
     }
 }
 
+/// The monolithic canonical encoding of the whole tree, kept for
+/// determinism audits (two equal-content trees encode identically). The
+/// state root is *not* derived from this since the chunked commitment —
+/// see [`StateTree::flush`].
 impl CanonicalEncode for StateTree {
     fn write_bytes(&self, out: &mut Vec<u8>) {
         self.subnet_id.write_bytes(out);
@@ -252,7 +502,7 @@ impl CanonicalEncode for StateTree {
             addr.write_bytes(out);
             sa.write_bytes(out);
         }
-        (self.atomic.len() as u64).write_bytes(out);
+        self.atomic.write_bytes(out);
         self.next_actor_id.write_bytes(out);
     }
 }
@@ -330,6 +580,99 @@ mod tests {
             .storage
             .insert(b"k".to_vec(), b"v".to_vec());
         assert_ne!(t.flush(), r1);
+    }
+
+    #[test]
+    fn incremental_flush_equals_recompute_and_rebuilt_flush() {
+        let mut t = tree();
+        t.flush();
+        // Mutate across every chunk kind.
+        t.accounts_mut()
+            .credit(Address::new(300), TokenAmount::from_whole(3));
+        let sa = t.deploy_sa(SaState::new(SaConfig::default()));
+        t.sa_mut(sa).unwrap();
+        t.sca_mut();
+        t.atomic_mut();
+        let incremental = t.flush();
+        assert_eq!(incremental, t.recompute_root());
+        assert_eq!(incremental, t.rebuilt().flush());
+    }
+
+    #[test]
+    fn flush_with_no_changes_hashes_nothing() {
+        let mut t = tree();
+        t.flush();
+        let before = t.commit_stats();
+        assert_eq!(t.flush(), t.flush());
+        let after = t.commit_stats();
+        assert_eq!(after.bytes_hashed, before.bytes_hashed);
+        assert_eq!(after.chunks_hashed, before.chunks_hashed);
+        assert_eq!(after.flushes, before.flushes + 2);
+    }
+
+    #[test]
+    fn over_marking_does_not_change_root_or_rehash_merkle() {
+        let mut t = tree();
+        let r0 = t.flush();
+        // Touch accessors without changing content.
+        t.sca_mut();
+        t.atomic_mut();
+        t.accounts_mut().get_or_create(Address::new(100));
+        let before = t.commit_stats().bytes_hashed;
+        assert_eq!(t.flush(), r0, "unchanged content keeps its root");
+        // Chunks were re-encoded (dirty), but no interior Merkle rehash
+        // happened because every digest was unchanged.
+        let hashed = t.commit_stats().bytes_hashed - before;
+        let chunk_bytes = t.chunk_blob(&ChunkKey::Sca).len() as u64
+            + t.chunk_blob(&ChunkKey::Atomic).len() as u64
+            + t.chunk_blob(&ChunkKey::Account(Address::new(100))).len() as u64
+            + 3;
+        assert_eq!(hashed, chunk_bytes);
+    }
+
+    #[test]
+    fn mutation_order_does_not_affect_root() {
+        let mut a = tree();
+        a.accounts_mut()
+            .credit(Address::new(201), TokenAmount::from_whole(1));
+        a.accounts_mut()
+            .credit(Address::new(202), TokenAmount::from_whole(2));
+        let mut b = tree();
+        b.accounts_mut()
+            .credit(Address::new(202), TokenAmount::from_whole(2));
+        b.accounts_mut()
+            .credit(Address::new(201), TokenAmount::from_whole(1));
+        assert_eq!(a.flush(), b.flush());
+        // Flush cadence doesn't matter either.
+        let mut c = tree();
+        c.accounts_mut()
+            .credit(Address::new(201), TokenAmount::from_whole(1));
+        c.flush();
+        c.accounts_mut()
+            .credit(Address::new(202), TokenAmount::from_whole(2));
+        assert_eq!(c.flush(), b.flush());
+    }
+
+    #[test]
+    fn persist_shares_unchanged_chunks_between_snapshots() {
+        let store = CidStore::new();
+        let mut t = tree();
+        for i in 0..20 {
+            t.accounts_mut()
+                .credit(Address::new(500 + i), TokenAmount::from_whole(1));
+        }
+        let m1 = t.persist(&store);
+        let blobs_after_first = store.len();
+        // Touch a single account and persist again.
+        t.accounts_mut()
+            .credit(Address::new(500), TokenAmount::from_atto(1));
+        let m2 = t.persist(&store);
+        assert_ne!(m1, m2);
+        // Only the changed account blob + the new manifest are new.
+        assert_eq!(store.len(), blobs_after_first + 2);
+        let manifest = ChunkManifest::decode(&store.get(&m2).unwrap()).unwrap();
+        assert_eq!(manifest.root, t.flush());
+        assert!(manifest.verify(&store));
     }
 
     #[test]

@@ -20,12 +20,12 @@ use hc_actors::sca::CheckpointOutcome;
 use hc_actors::{AtomicExecStatus, CrossMsg, CrossMsgKind, ExecId, HcAddress, Ledger};
 use hc_types::{Address, CanonicalEncode, ChainEpoch, Cid, SubnetId, TokenAmount};
 
+use crate::access::StateAccess;
 use crate::message::{ImplicitMsg, Message, Method, SignedMessage};
 use crate::params::{
     AtomicAbortParams, AtomicInitParams, AtomicSubmitParams, METHOD_ATOMIC_ABORT,
     METHOD_ATOMIC_INIT, METHOD_ATOMIC_SUBMIT,
 };
-use crate::tree::StateTree;
 
 /// Outcome class of a message application.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -225,12 +225,17 @@ pub mod gas {
 /// the signature must be by that key over the message CID, and the message
 /// nonce must equal the account nonce. Any violation yields
 /// [`ExitCode::Rejected`] with no state change.
-pub fn apply_signed(tree: &mut StateTree, epoch: ChainEpoch, signed: &SignedMessage) -> Receipt {
+pub fn apply_signed<S: StateAccess>(
+    tree: &mut S,
+    epoch: ChainEpoch,
+    signed: &SignedMessage,
+) -> Receipt {
     let msg = &signed.message;
-    let Some(account) = tree.accounts().get(msg.from) else {
+    let Some(account) = tree.account(msg.from) else {
         return Receipt::rejected(format!("unknown sender {}", msg.from));
     };
-    let Some(key) = account.key else {
+    let (account_key, account_nonce) = (account.key, account.nonce);
+    let Some(key) = account_key else {
         return Receipt::rejected(format!("sender {} has no registered key", msg.from));
     };
     if signed.signature.signer() != key {
@@ -239,22 +244,22 @@ pub fn apply_signed(tree: &mut StateTree, epoch: ChainEpoch, signed: &SignedMess
     if !signed.verify_signature() {
         return Receipt::rejected("invalid signature");
     }
-    if msg.nonce != account.nonce {
+    if msg.nonce != account_nonce {
         return Receipt::rejected(format!(
             "nonce mismatch: account at {}, message has {}",
-            account.nonce, msg.nonce
+            account_nonce, msg.nonce
         ));
     }
     // Authentication passed: the nonce advances regardless of the
     // execution outcome (replay protection).
-    tree.accounts_mut().get_or_create(msg.from).nonce = account.nonce.next();
+    tree.account_mut(msg.from).nonce = account_nonce.next();
     execute(tree, epoch, msg)
 }
 
-fn execute(tree: &mut StateTree, epoch: ChainEpoch, msg: &Message) -> Receipt {
+fn execute<S: StateAccess>(tree: &mut S, epoch: ChainEpoch, msg: &Message) -> Receipt {
     match &msg.method {
         Method::Send => {
-            let ledger = tree.accounts_mut();
+            let ledger = tree.ledger_mut();
             match ledger.transfer(msg.from, msg.to, msg.value) {
                 Ok(()) => Receipt::ok(gas::BASE + gas::TRANSFER),
                 Err(e) => Receipt::failed(e, gas::BASE),
@@ -265,7 +270,7 @@ fn execute(tree: &mut StateTree, epoch: ChainEpoch, msg: &Message) -> Receipt {
             if msg.to != msg.from {
                 return Receipt::failed("storage writes must target the sender", gas::BASE);
             }
-            let acc = tree.accounts_mut().get_or_create(msg.from);
+            let acc = tree.account_mut(msg.from);
             if acc.locked.contains(key) {
                 return Receipt::failed("storage key is locked for an atomic execution", gas::BASE);
             }
@@ -278,7 +283,7 @@ fn execute(tree: &mut StateTree, epoch: ChainEpoch, msg: &Message) -> Receipt {
             if msg.to != msg.from {
                 return Receipt::failed("locks must target the sender", gas::BASE);
             }
-            let acc = tree.accounts_mut().get_or_create(msg.from);
+            let acc = tree.account_mut(msg.from);
             if !acc.storage.contains_key(key) {
                 return Receipt::failed("cannot lock a missing storage key", gas::BASE);
             }
@@ -292,7 +297,7 @@ fn execute(tree: &mut StateTree, epoch: ChainEpoch, msg: &Message) -> Receipt {
             if msg.to != msg.from {
                 return Receipt::failed("unlocks must target the sender", gas::BASE);
             }
-            let acc = tree.accounts_mut().get_or_create(msg.from);
+            let acc = tree.account_mut(msg.from);
             if !acc.locked.remove(key) {
                 return Receipt::failed("storage key is not locked", gas::BASE);
             }
@@ -558,7 +563,11 @@ fn execute(tree: &mut StateTree, epoch: ChainEpoch, msg: &Message) -> Receipt {
 }
 
 /// Applies an implicit (consensus-injected) message.
-pub fn apply_implicit(tree: &mut StateTree, epoch: ChainEpoch, msg: &ImplicitMsg) -> Receipt {
+pub fn apply_implicit<S: StateAccess>(
+    tree: &mut S,
+    epoch: ChainEpoch,
+    msg: &ImplicitMsg,
+) -> Receipt {
     match msg {
         ImplicitMsg::ApplyTopDown(cross) => {
             let (ledger, sca) = tree.ledger_and_sca_mut();
@@ -669,7 +678,7 @@ pub fn apply_implicit(tree: &mut StateTree, epoch: ChainEpoch, msg: &ImplicitMsg
                                 revert,
                             }),
                             Err(_) => {
-                                let ledger = tree.accounts_mut();
+                                let ledger = tree.ledger_mut();
                                 let _ =
                                     ledger.transfer(Address::SCA, Address::BURNT_FUNDS, m.value);
                             }
@@ -685,8 +694,8 @@ pub fn apply_implicit(tree: &mut StateTree, epoch: ChainEpoch, msg: &ImplicitMsg
 /// Dispatches the payload of a cross-message that terminated in this
 /// subnet. Transfers and reverts have no payload; calls route to system
 /// actors by method selector.
-fn dispatch_cross_call(
-    tree: &mut StateTree,
+fn dispatch_cross_call<S: StateAccess>(
+    tree: &mut S,
     epoch: ChainEpoch,
     cross: &CrossMsg,
 ) -> Result<(), String> {
@@ -726,8 +735,8 @@ fn dispatch_cross_call(
 
 /// Claws back the value just credited to a failing cross-message's target
 /// and emits the compensating revert message (paper §IV-B).
-fn revert_cross_msg(
-    tree: &mut StateTree,
+fn revert_cross_msg<S: StateAccess>(
+    tree: &mut S,
     original: &CrossMsg,
     why: String,
     gas_so_far: u64,

@@ -133,8 +133,8 @@ proptest! {
     /// are per-message deterministic.
     #[test]
     fn schedules_replay_deterministically(ops in prop::collection::vec(arb_op(), 1..60)) {
-        let (tree_a, results_a) = run_schedule(&ops);
-        let (tree_b, results_b) = run_schedule(&ops);
+        let (mut tree_a, results_a) = run_schedule(&ops);
+        let (mut tree_b, results_b) = run_schedule(&ops);
         prop_assert_eq!(tree_a.flush(), tree_b.flush());
         prop_assert_eq!(results_a, results_b);
         prop_assert_eq!(tree_a.canonical_bytes(), tree_b.canonical_bytes());
