@@ -65,8 +65,9 @@ fn bench_primitives(c: &mut Criterion) {
                         Nonce::new(i),
                     )
                     .sign(&user)
+                    .into()
                 })
-                .collect();
+                .collect::<Vec<hc_state::SealedMessage>>();
             produce_block(
                 &mut t,
                 SubnetId::root(),

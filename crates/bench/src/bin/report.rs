@@ -1,5 +1,5 @@
 //! The experiment report generator: regenerates every figure scenario
-//! (F1–F6) and every quantitative experiment table (E1–E10) from DESIGN.md.
+//! (F1–F7) and every quantitative experiment table (E1–E10) from DESIGN.md.
 //!
 //! ```text
 //! cargo run -p hc-bench --bin report                  # everything
@@ -43,6 +43,7 @@ fn main() {
     run!("f4", hc_bench::f4_resolution());
     run!("f5", hc_bench::f5_atomic());
     run!("f6", hc_bench::f6_snapshot_sharing());
+    run!("f7", hc_bench::f7_sig_cache());
 
     run!("e1", {
         let params = if quick {

@@ -371,6 +371,59 @@ pub fn f6_snapshot_sharing() -> Result<Table, RuntimeError> {
     Ok(t)
 }
 
+/// F7 — the message-path crypto pipeline: the node-local
+/// verified-signature cache along admission → production. Every submitted
+/// message pays exactly one full verification at mempool admission (a
+/// `miss` + `insert`); block production then consumes the stored verdicts
+/// as `hits`, re-verifying nothing. The content store's counters are shown
+/// alongside: the two caches together describe the node's redundant-work
+/// elision (signatures and state chunks respectively).
+///
+/// # Errors
+///
+/// Propagates runtime failures.
+pub fn f7_sig_cache() -> Result<Table, RuntimeError> {
+    let mut rt = HierarchyRuntime::new(RuntimeConfig::default());
+    let root = SubnetId::root();
+    let alice = rt.create_user(&root, whole(10_000))?;
+    let bob = rt.create_user(&root, whole(10_000))?;
+
+    let mut t = Table::new(
+        "F7: verified-signature cache — one full verification per message",
+        &[
+            "after",
+            "sig hits",
+            "sig misses",
+            "sig inserts",
+            "store put hits",
+            "store put misses",
+        ],
+    );
+    let mut record = |rt: &HierarchyRuntime, label: &str| {
+        let sig = rt.sig_cache_stats();
+        let store = rt.store_stats();
+        t.row(&[
+            label.to_string(),
+            sig.hits.to_string(),
+            sig.misses.to_string(),
+            sig.inserts.to_string(),
+            store.put_hits.to_string(),
+            store.put_misses.to_string(),
+        ]);
+    };
+    record(&rt, "genesis");
+
+    for _ in 0..50 {
+        rt.submit(&alice, bob.addr, whole(1), Method::Send)?;
+        rt.submit(&bob, alice.addr, whole(1), Method::Send)?;
+    }
+    record(&rt, "100 admissions (verify once each)");
+
+    rt.run_until_quiescent(10_000)?;
+    record(&rt, "blocks produced (verdicts consumed)");
+    Ok(t)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -383,6 +436,21 @@ mod tests {
         assert!(!f4_resolution().unwrap().is_empty());
         assert!(!f5_atomic().unwrap().is_empty());
         assert!(!f6_snapshot_sharing().unwrap().is_empty());
+        assert!(!f7_sig_cache().unwrap().is_empty());
+    }
+
+    #[test]
+    fn f7_production_runs_off_the_cache() {
+        let t = f7_sig_cache().unwrap();
+        let text = t.to_string();
+        let last = text
+            .lines()
+            .rev()
+            .find(|l| l.contains("blocks produced"))
+            .unwrap()
+            .to_string();
+        // 100 admissions: 100 misses+inserts; production hits all 100.
+        assert!(last.contains("100"), "unexpected F7 row: {last}");
     }
 
     #[test]

@@ -9,7 +9,9 @@
 #![warn(missing_docs)]
 
 pub mod figures;
+pub mod msg_pipeline;
 
 pub use figures::{
     f1_overview, f2_windows, f3_commitment, f4_resolution, f5_atomic, f6_snapshot_sharing,
+    f7_sig_cache,
 };

@@ -1,0 +1,56 @@
+//! Tier-1 speedup guard for the message-path crypto pipeline.
+//!
+//! The headline acceptance number: over the 10 000-message end-to-end
+//! workload (admission → block production → block validation), the
+//! memoized/cached/batch-verified pipeline must do at least 2× less SHA-256
+//! compression work than the pre-pipeline baseline, while producing
+//! bit-identical receipts and state roots. The assertion runs on
+//! [`hc_types::sha256_block_count`] — a deterministic work proxy counting
+//! every compression-function invocation in the process — so it cannot
+//! flake on machine noise; wall-clock is printed for context.
+//!
+//! This file intentionally holds a single `#[test]`: the block counter is
+//! process-global, and a lone test keeps the two measured regions free of
+//! concurrent hashing from harness siblings.
+
+use std::time::Instant;
+
+use hc_bench::msg_pipeline::{baseline_end_to_end, pipeline_end_to_end_with_stats, workload};
+use hc_types::crypto::sha256_block_count;
+
+const MSGS: usize = 10_000;
+
+#[test]
+fn pipeline_halves_hashing_at_10k_messages() {
+    let msgs = workload(MSGS);
+
+    let blocks_before = sha256_block_count();
+    let wall = Instant::now();
+    let baseline = baseline_end_to_end(&msgs);
+    let baseline_ms = wall.elapsed().as_millis();
+    let baseline_blocks = sha256_block_count() - blocks_before;
+
+    let blocks_before = sha256_block_count();
+    let wall = Instant::now();
+    let (pipeline, stats) = pipeline_end_to_end_with_stats(&msgs, 4);
+    let pipeline_ms = wall.elapsed().as_millis();
+    let pipeline_blocks = sha256_block_count() - blocks_before;
+
+    eprintln!(
+        "msg_pipeline at {MSGS} msgs: baseline {baseline_blocks} sha256 blocks ({baseline_ms} ms), \
+         pipeline {pipeline_blocks} sha256 blocks ({pipeline_ms} ms), \
+         ratio {:.2}x, cache {stats:?}",
+        baseline_blocks as f64 / pipeline_blocks as f64
+    );
+
+    assert_eq!(pipeline, baseline, "pipeline changed observable results");
+    assert_eq!(
+        stats.hits,
+        2 * MSGS as u64,
+        "production and validation must both run entirely off the cache"
+    );
+    assert!(
+        baseline_blocks >= 2 * pipeline_blocks,
+        "expected >=2x hashing reduction: baseline {baseline_blocks} vs pipeline {pipeline_blocks}"
+    );
+}

@@ -1,10 +1,12 @@
 //! Blocks and block headers.
 
+use std::sync::OnceLock;
+
 use serde::{Deserialize, Serialize};
 
-use hc_state::{ImplicitMsg, SignedMessage};
+use hc_state::{ImplicitMsg, SealedMessage};
 use hc_types::crypto::AggregateSignature;
-use hc_types::merkle::merkle_root;
+use hc_types::merkle::MerkleTree;
 use hc_types::{
     encode_fields, CanonicalEncode, ChainEpoch, Cid, Keypair, PublicKey, Signature, SubnetId,
 };
@@ -42,12 +44,19 @@ encode_fields!(BlockHeader {
 
 /// A full block: header, payload, the proposer's signature, and (for BFT
 /// engines) a justification carrying the committing quorum's signatures.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// The header CID — the block's identity, consumed by header signing, chain
+/// indexing, justification signatures, and structural validation — is
+/// derived once per block and memoized (see [`Block::cid`]). The memo is
+/// excluded from serialization and equality, so a block decoded from
+/// untrusted bytes re-derives its CID from content.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Block {
     /// The header committed to by [`Block::cid`].
     pub header: BlockHeader,
-    /// User messages included by the proposer.
-    pub signed_msgs: Vec<SignedMessage>,
+    /// User messages included by the proposer, sealed so their CIDs are
+    /// derived once and shared by assembly, validation, and execution.
+    pub signed_msgs: Vec<SealedMessage>,
     /// Consensus-injected messages (cross-net applications, checkpoint
     /// cuts), in execution order.
     pub implicit_msgs: Vec<ImplicitMsg>,
@@ -56,36 +65,67 @@ pub struct Block {
     /// Quorum signatures for engines with explicit finality (empty for
     /// longest-chain engines).
     pub justification: AggregateSignature,
+    /// Memoized header CID; warm after [`Block::seal`], cold after
+    /// deserialization. Private so it can only ever hold `header.cid()`.
+    #[serde(skip)]
+    cid_memo: OnceLock<Cid>,
+}
+
+impl PartialEq for Block {
+    fn eq(&self, other: &Self) -> bool {
+        // The memo is derived state; equality is content equality.
+        self.header == other.header
+            && self.signed_msgs == other.signed_msgs
+            && self.implicit_msgs == other.implicit_msgs
+            && self.signature == other.signature
+            && self.justification == other.justification
+    }
 }
 
 impl Block {
     /// Computes the Merkle root over the payload's message CIDs.
-    pub fn compute_msgs_root(signed: &[SignedMessage], implicit: &[ImplicitMsg]) -> Cid {
+    ///
+    /// Message CIDs are digests already, so they enter the tree as leaf
+    /// hashes directly (no per-leaf rehash); sealed messages contribute
+    /// their memoized envelope CIDs. Like the PR 2 chunked state root, this
+    /// intentionally changes the root *format* — the root remains a pure
+    /// function of the payload, which is all consensus compares.
+    pub fn compute_msgs_root(signed: &[SealedMessage], implicit: &[ImplicitMsg]) -> Cid {
         let mut cids: Vec<Cid> = signed.iter().map(|m| m.cid()).collect();
         cids.extend(implicit.iter().map(|m| m.cid()));
-        merkle_root(&cids)
+        MerkleTree::from_leaf_hashes(cids).root()
     }
 
     /// Assembles and signs a block.
     pub fn seal(
         header: BlockHeader,
-        signed_msgs: Vec<SignedMessage>,
+        signed_msgs: Vec<SealedMessage>,
         implicit_msgs: Vec<ImplicitMsg>,
         proposer: &Keypair,
     ) -> Block {
-        let signature = proposer.sign(header.cid().as_bytes());
+        let cid = header.cid();
+        let signature = proposer.sign(cid.as_bytes());
+        let cid_memo = OnceLock::new();
+        let _ = cid_memo.set(cid);
         Block {
             header,
             signed_msgs,
             implicit_msgs,
             signature,
             justification: AggregateSignature::new(),
+            cid_memo,
         }
     }
 
-    /// The block's identity: the CID of its header.
+    /// The block's identity: the CID of its header, derived once and
+    /// memoized.
+    ///
+    /// The memo makes a sealed block's header immutable in spirit: code
+    /// that needs a different header must build a new block through
+    /// [`Block::seal`] (mutating `header` in place would also invalidate
+    /// the proposer signature, so no honest path does it).
     pub fn cid(&self) -> Cid {
-        self.header.cid()
+        *self.cid_memo.get_or_init(|| self.header.cid())
     }
 
     /// Total number of messages carried.
@@ -109,7 +149,7 @@ impl Block {
             return Err("block signed by someone other than the proposer".into());
         }
         self.signature
-            .verify(self.header.cid().as_bytes())
+            .verify(self.cid().as_bytes())
             .map_err(|e| format!("invalid proposer signature: {e}"))?;
         Ok(())
     }
@@ -128,7 +168,7 @@ mod tests {
         Keypair::from_seed(s)
     }
 
-    fn sample_block(proposer: &Keypair) -> Block {
+    fn sample_block_at(epoch: u64, proposer: &Keypair) -> Block {
         let user = keypair(99);
         let msg = Message {
             from: Address::new(100),
@@ -138,11 +178,11 @@ mod tests {
             method: Method::Send,
         }
         .sign(&user);
-        let signed = vec![msg];
+        let signed = vec![SealedMessage::new(msg)];
         let implicit = vec![];
         let header = BlockHeader {
             subnet: SubnetId::root(),
-            epoch: ChainEpoch::new(1),
+            epoch: ChainEpoch::new(epoch),
             parent: Cid::digest(b"genesis"),
             state_root: Cid::digest(b"state"),
             msgs_root: Block::compute_msgs_root(&signed, &implicit),
@@ -150,6 +190,10 @@ mod tests {
             timestamp_ms: 1_000,
         };
         Block::seal(header, signed, implicit, proposer)
+    }
+
+    fn sample_block(proposer: &Keypair) -> Block {
+        sample_block_at(1, proposer)
     }
 
     #[test]
@@ -181,10 +225,28 @@ mod tests {
     #[test]
     fn block_cid_is_header_cid_and_unique() {
         let kp = keypair(5);
-        let a = sample_block(&kp);
-        let mut b = a.clone();
-        b.header.epoch = ChainEpoch::new(2);
+        let a = sample_block_at(1, &kp);
+        let b = sample_block_at(2, &kp);
         assert_eq!(a.cid(), a.header.cid());
+        assert_eq!(b.cid(), b.header.cid());
         assert_ne!(a.cid(), b.cid());
+    }
+
+    #[test]
+    fn msgs_root_uses_message_cids_as_leaves() {
+        // The root must be reproducible from the from-scratch message CIDs
+        // alone (validators recompute it from decoded payloads whose memo
+        // cells are cold).
+        let kp = keypair(6);
+        let block = sample_block(&kp);
+        let leaves: Vec<Cid> = block
+            .signed_msgs
+            .iter()
+            .map(|m| CanonicalEncode::cid(m.signed()))
+            .collect();
+        assert_eq!(
+            block.header.msgs_root,
+            MerkleTree::from_leaf_hashes(leaves).root()
+        );
     }
 }

@@ -4,10 +4,18 @@
 //! the same code path over the same [`StateTree`], which is what makes the
 //! state root in the header verifiable: a validator re-executes the payload
 //! and compares roots.
+//!
+//! Both sides accept [`ExecOptions`] wiring in the message crypto pipeline:
+//! a node-local verified-signature cache consulted during sequential
+//! execution, and (validator side) batch pre-verification that fans a
+//! block's signatures across worker threads before execution consumes the
+//! verdicts. Receipts and state roots are bit-identical with the cache
+//! on/off and at any thread count — the cache and the pre-verification pass
+//! return exactly the verdict a full verification would.
 
 use hc_state::{
-    apply_implicit, apply_signed, ImplicitMsg, Receipt, SignedMessage, StateAccess, StateOverlay,
-    StateTree,
+    apply_implicit, apply_sealed, ImplicitMsg, Receipt, SealedMessage, SigCache, SigVerdict,
+    StateAccess, StateOverlay, StateTree,
 };
 use hc_types::{ChainEpoch, Cid, Keypair, SubnetId};
 
@@ -28,6 +36,18 @@ impl ExecutedBlock {
     pub fn gas_used(&self) -> u64 {
         self.receipts.iter().map(|r| r.gas_used).sum()
     }
+}
+
+/// Crypto-pipeline options for block production and validation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExecOptions<'a> {
+    /// Node-local verified-signature cache. `None` means every signature is
+    /// fully verified (the reference path).
+    pub sig_cache: Option<&'a SigCache>,
+    /// Worker threads for batch signature pre-verification during block
+    /// validation. `0`/`1` keep everything on the caller's thread; verdicts
+    /// (and therefore receipts) are identical at every setting.
+    pub parallelism: usize,
 }
 
 /// Errors surfaced by block execution.
@@ -63,28 +83,87 @@ impl std::fmt::Display for BlockError {
 
 impl std::error::Error for BlockError {}
 
+/// Batch signature pre-verification: decides the signature verdict of every
+/// message, fanning the work across up to `parallelism` threads (chunked,
+/// first chunk on the caller's thread — the wave-execution pattern from
+/// `hc-core`). With a cache, warm entries cost a lookup and cold ones a
+/// full verification that populates the cache; verdict *values* are
+/// independent of thread count and cache state.
+///
+/// As a side effect each message's CID memos are warmed off the sequential
+/// execution path.
+pub fn preverify_signatures(
+    msgs: &[SealedMessage],
+    cache: Option<&SigCache>,
+    parallelism: usize,
+) -> Vec<bool> {
+    let verify = |m: &SealedMessage| match cache {
+        Some(c) => c.verify_sealed(m),
+        None => m.verify_signature(),
+    };
+    let workers = parallelism.max(1).min(msgs.len().max(1));
+    if workers <= 1 {
+        return msgs.iter().map(verify).collect();
+    }
+    let chunk_len = msgs.len().div_ceil(workers);
+    let mut verdicts = vec![false; msgs.len()];
+    std::thread::scope(|scope| {
+        let mut pending = Vec::with_capacity(workers);
+        let mut slots = verdicts.chunks_mut(chunk_len);
+        let mut chunks = msgs.chunks(chunk_len);
+        // Keep the first chunk for this thread; spawn the rest.
+        let first = slots.next().zip(chunks.next());
+        for (slot, chunk) in slots.zip(chunks) {
+            pending.push(scope.spawn(move || {
+                for (v, m) in slot.iter_mut().zip(chunk) {
+                    *v = verify(m);
+                }
+            }));
+        }
+        if let Some((slot, chunk)) = first {
+            for (v, m) in slot.iter_mut().zip(chunk) {
+                *v = verify(m);
+            }
+        }
+        for handle in pending {
+            handle.join().expect("pre-verification worker panicked");
+        }
+    });
+    verdicts
+}
+
 /// Executes a block's payload against `tree`, in canonical order: implicit
 /// messages first (cross-net work committed by consensus, paper Fig. 3),
-/// then signed user messages.
+/// then signed user messages. `verdicts`, when present, carries one
+/// pre-verified signature verdict per signed message; otherwise signatures
+/// are decided inline through the cache (or fully, without one).
 fn run_payload<S: StateAccess>(
     tree: &mut S,
     epoch: ChainEpoch,
     implicit: &[ImplicitMsg],
-    signed: &[SignedMessage],
+    signed: &[SealedMessage],
+    cache: Option<&SigCache>,
+    verdicts: Option<&[bool]>,
 ) -> Vec<Receipt> {
     let mut receipts = Vec::with_capacity(implicit.len() + signed.len());
     for m in implicit {
         receipts.push(apply_implicit(tree, epoch, m));
     }
-    for m in signed {
-        receipts.push(apply_signed(tree, epoch, m));
+    for (i, m) in signed.iter().enumerate() {
+        let verdict = match (verdicts, cache) {
+            (Some(v), _) => SigVerdict::Decided(v[i]),
+            (None, Some(c)) => SigVerdict::Cached(c),
+            (None, None) => SigVerdict::Verify,
+        };
+        receipts.push(apply_sealed(tree, epoch, m, verdict));
     }
     receipts
 }
 
 /// Produces a block at `epoch` on top of `parent`, executing the payload
 /// against `tree` (which is left at the post-block state) and sealing the
-/// result with the proposer's key.
+/// result with the proposer's key. Uses the reference crypto path (no
+/// cache); see [`produce_block_with`].
 // The argument list mirrors the block header fields one-to-one; a builder
 // would only obscure that correspondence.
 #[allow(clippy::too_many_arguments)]
@@ -94,11 +173,47 @@ pub fn produce_block(
     epoch: ChainEpoch,
     parent: Cid,
     implicit_msgs: Vec<ImplicitMsg>,
-    signed_msgs: Vec<SignedMessage>,
+    signed_msgs: Vec<SealedMessage>,
     proposer: &Keypair,
     timestamp_ms: u64,
 ) -> ExecutedBlock {
-    let receipts = run_payload(tree, epoch, &implicit_msgs, &signed_msgs);
+    produce_block_with(
+        tree,
+        subnet,
+        epoch,
+        parent,
+        implicit_msgs,
+        signed_msgs,
+        proposer,
+        timestamp_ms,
+        ExecOptions::default(),
+    )
+}
+
+/// [`produce_block`] with crypto-pipeline options. With a signature cache,
+/// messages admitted through a cache-wired mempool execute without a second
+/// full verification (their verdicts were cached at admission), and the
+/// messages root reuses each message's memoized CID.
+#[allow(clippy::too_many_arguments)]
+pub fn produce_block_with(
+    tree: &mut StateTree,
+    subnet: SubnetId,
+    epoch: ChainEpoch,
+    parent: Cid,
+    implicit_msgs: Vec<ImplicitMsg>,
+    signed_msgs: Vec<SealedMessage>,
+    proposer: &Keypair,
+    timestamp_ms: u64,
+    opts: ExecOptions<'_>,
+) -> ExecutedBlock {
+    let receipts = run_payload(
+        tree,
+        epoch,
+        &implicit_msgs,
+        &signed_msgs,
+        opts.sig_cache,
+        None,
+    );
     let header = BlockHeader {
         subnet,
         epoch,
@@ -112,7 +227,9 @@ pub fn produce_block(
     ExecutedBlock { block, receipts }
 }
 
-/// Validates and executes a received block against `tree`.
+/// Validates and executes a received block against `tree`, on the reference
+/// crypto path (no cache, sequential verification); see
+/// [`execute_block_with`].
 ///
 /// On success the tree holds the post-block state and the receipts are
 /// returned. On failure the tree is left at the *pre-block* state.
@@ -127,6 +244,22 @@ pub fn produce_block(
 ///
 /// Fails on structural violations, wrong subnet, or a state-root mismatch.
 pub fn execute_block(tree: &mut StateTree, block: &Block) -> Result<Vec<Receipt>, BlockError> {
+    execute_block_with(tree, block, ExecOptions::default())
+}
+
+/// [`execute_block`] with crypto-pipeline options: the block's signatures
+/// are batch pre-verified (across `opts.parallelism` threads, through the
+/// cache when one is wired) before sequential execution consumes the
+/// verdicts.
+///
+/// # Errors
+///
+/// Fails on structural violations, wrong subnet, or a state-root mismatch.
+pub fn execute_block_with(
+    tree: &mut StateTree,
+    block: &Block,
+    opts: ExecOptions<'_>,
+) -> Result<Vec<Receipt>, BlockError> {
     block.validate_structure().map_err(BlockError::Invalid)?;
     if block.header.subnet != *tree.subnet_id() {
         return Err(BlockError::WrongContext(format!(
@@ -135,6 +268,7 @@ pub fn execute_block(tree: &mut StateTree, block: &Block) -> Result<Vec<Receipt>
             tree.subnet_id()
         )));
     }
+    let verdicts = preverify_signatures(&block.signed_msgs, opts.sig_cache, opts.parallelism);
     // Ensure the commitment cache is current (no-op when already flushed);
     // overlays derive candidate roots from it.
     tree.flush();
@@ -144,6 +278,8 @@ pub fn execute_block(tree: &mut StateTree, block: &Block) -> Result<Vec<Receipt>
         block.header.epoch,
         &block.implicit_msgs,
         &block.signed_msgs,
+        opts.sig_cache,
+        Some(&verdicts),
     );
     let computed = overlay.root();
     if computed != block.header.state_root {
@@ -179,7 +315,7 @@ mod tests {
         (tree, user, proposer)
     }
 
-    fn transfer(user: &Keypair, nonce: u64) -> SignedMessage {
+    fn transfer(user: &Keypair, nonce: u64) -> SealedMessage {
         Message::transfer(
             Address::new(100),
             Address::new(101),
@@ -187,6 +323,7 @@ mod tests {
             Nonce::new(nonce),
         )
         .sign(user)
+        .into()
     }
 
     #[test]
@@ -218,6 +355,68 @@ mod tests {
                 .balance,
             TokenAmount::from_whole(2)
         );
+    }
+
+    #[test]
+    fn cached_and_parallel_paths_match_the_reference_receipts() {
+        let (mut base, user, proposer) = setup();
+        base.flush();
+        let cache = SigCache::new(64);
+        // Admission-time verification populates the cache.
+        let msgs: Vec<SealedMessage> = (0..6).map(|n| transfer(&user, n)).collect();
+        for m in &msgs {
+            assert!(cache.verify_sealed(m));
+        }
+
+        let mut reference_tree = base.clone();
+        let reference = produce_block(
+            &mut reference_tree,
+            SubnetId::root(),
+            ChainEpoch::new(1),
+            Cid::NIL,
+            vec![],
+            msgs.clone(),
+            &proposer,
+            1_000,
+        );
+
+        let mut cached_tree = base.clone();
+        let cached = produce_block_with(
+            &mut cached_tree,
+            SubnetId::root(),
+            ChainEpoch::new(1),
+            Cid::NIL,
+            vec![],
+            msgs.clone(),
+            &proposer,
+            1_000,
+            ExecOptions {
+                sig_cache: Some(&cache),
+                parallelism: 1,
+            },
+        );
+        assert_eq!(reference.receipts, cached.receipts);
+        assert_eq!(reference.block, cached.block);
+        assert_eq!(reference_tree.flush(), cached_tree.flush());
+        assert_eq!(cache.stats().hits, msgs.len() as u64);
+
+        // Validation: every combination of cache and thread count yields
+        // the reference receipts and root.
+        for (sig_cache, parallelism) in [(None, 1), (None, 4), (Some(&cache), 1), (Some(&cache), 4)]
+        {
+            let mut validator = base.clone();
+            let receipts = execute_block_with(
+                &mut validator,
+                &reference.block,
+                ExecOptions {
+                    sig_cache,
+                    parallelism,
+                },
+            )
+            .unwrap();
+            assert_eq!(receipts, reference.receipts);
+            assert_eq!(validator.flush(), reference_tree.flush());
+        }
     }
 
     #[test]

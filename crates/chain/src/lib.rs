@@ -22,6 +22,9 @@ pub mod mempool;
 pub mod store;
 
 pub use block::{Block, BlockHeader};
-pub use executor::{execute_block, produce_block, BlockError, ExecutedBlock};
+pub use executor::{
+    execute_block, execute_block_with, preverify_signatures, produce_block, produce_block_with,
+    BlockError, ExecOptions, ExecutedBlock,
+};
 pub use mempool::{CrossMsgPool, Mempool};
 pub use store::ChainStore;

@@ -14,8 +14,8 @@
 use std::collections::{BTreeMap, HashMap};
 
 use hc_actors::{CrossMsg, CrossMsgMeta};
-use hc_state::SignedMessage;
-use hc_types::{Address, CanonicalEncode, ChainEpoch, Cid, Nonce};
+use hc_state::{SealedMessage, SigCache, SignedMessage};
+use hc_types::{Address, ChainEpoch, Cid, Nonce};
 
 /// How many epochs an admitted CID stays in the dedup set after its
 /// admission epoch. Replays older than this are caught by account-nonce
@@ -25,16 +25,20 @@ pub const DEFAULT_SEEN_HORIZON_EPOCHS: u64 = 256;
 /// The internal pool of pending signed user messages.
 #[derive(Debug, Clone)]
 pub struct Mempool {
-    /// Per-sender queues ordered by nonce.
-    by_sender: BTreeMap<Address, BTreeMap<Nonce, SignedMessage>>,
-    /// CIDs already admitted, tagged with the chain epoch current at
-    /// admission (dedup with bounded memory — see
+    /// Per-sender queues ordered by nonce, holding sealed messages so the
+    /// CIDs derived at admission travel into block assembly and execution.
+    by_sender: BTreeMap<Address, BTreeMap<Nonce, SealedMessage>>,
+    /// Message CIDs already admitted, tagged with the chain epoch current
+    /// at admission (dedup with bounded memory — see
     /// [`Mempool::advance_epoch`]).
     seen: HashMap<Cid, ChainEpoch>,
     /// Epochs a CID stays in `seen` past its admission epoch.
     seen_horizon_epochs: u64,
     /// The chain epoch the pool currently considers "now".
     current_epoch: ChainEpoch,
+    /// Verified-signature cache populated at admission and shared with the
+    /// node's executor; `None` verifies every admission fully.
+    sig_cache: Option<SigCache>,
 }
 
 impl Default for Mempool {
@@ -44,6 +48,7 @@ impl Default for Mempool {
             seen: HashMap::new(),
             seen_horizon_epochs: DEFAULT_SEEN_HORIZON_EPOCHS,
             current_epoch: ChainEpoch::GENESIS,
+            sig_cache: None,
         }
     }
 }
@@ -63,23 +68,51 @@ impl Mempool {
         }
     }
 
+    /// Wires in a verified-signature cache: admission verdicts are cached
+    /// so the executor (sharing the handle) skips re-verification, and
+    /// re-gossiped messages that fell out of the dedup horizon re-admit
+    /// with a lookup instead of a full verification.
+    pub fn with_sig_cache(mut self, cache: SigCache) -> Self {
+        self.sig_cache = Some(cache);
+        self
+    }
+
     /// Admits a message after signature pre-validation. Duplicates and
     /// messages with unverifiable signatures are refused.
     ///
     /// Returns `true` if the message was admitted.
     pub fn push(&mut self, msg: SignedMessage) -> bool {
-        if !msg.verify_signature() {
+        self.push_sealed(SealedMessage::new(msg))
+    }
+
+    /// [`Mempool::push`] for an already-sealed message (keeps CIDs derived
+    /// by the caller, e.g. the submission path that reports the CID back).
+    ///
+    /// The dedup check runs *before* signature verification: a replayed
+    /// duplicate costs one memoized CID read, not a full verification
+    /// (previously the expensive check ran first). Deduplication keys on
+    /// the message CID — what the signature covers and receipts are keyed
+    /// by — so a replay with a mangled signature is refused just like an
+    /// exact duplicate. `seen` is only populated by *verified* admissions:
+    /// an attacker cannot block a valid message by pre-sending a forgery
+    /// of it.
+    pub fn push_sealed(&mut self, msg: SealedMessage) -> bool {
+        let cid = msg.msg_cid();
+        if self.seen.contains_key(&cid) {
             return false;
         }
-        let cid = msg.cid();
-        if self.seen.contains_key(&cid) {
+        let verified = match &self.sig_cache {
+            Some(cache) => cache.verify_sealed(&msg),
+            None => msg.verify_signature(),
+        };
+        if !verified {
             return false;
         }
         self.seen.insert(cid, self.current_epoch);
         self.by_sender
-            .entry(msg.message.from)
+            .entry(msg.message().from)
             .or_default()
-            .insert(msg.message.nonce, msg);
+            .insert(msg.message().nonce, msg);
         true
     }
 
@@ -123,7 +156,7 @@ impl Mempool {
     /// iterators (the previous implementation re-peeked every cursor by
     /// clone-and-advance on every round, which was quadratic in the pool
     /// depth).
-    pub fn select(&self, max: usize) -> Vec<SignedMessage> {
+    pub fn select(&self, max: usize) -> Vec<SealedMessage> {
         let mut cursors: Vec<_> = self
             .by_sender
             .values()
@@ -148,10 +181,10 @@ impl Mempool {
     }
 
     /// Removes messages that were included in a committed block.
-    pub fn remove_included<'a, I: IntoIterator<Item = &'a SignedMessage>>(&mut self, msgs: I) {
+    pub fn remove_included<'a, I: IntoIterator<Item = &'a SealedMessage>>(&mut self, msgs: I) {
         for m in msgs {
-            if let Some(q) = self.by_sender.get_mut(&m.message.from) {
-                q.remove(&m.message.nonce);
+            if let Some(q) = self.by_sender.get_mut(&m.message().from) {
+                q.remove(&m.message().nonce);
             }
             // Keep `seen` so replays of the same CID stay excluded until
             // the dedup horizon passes (see `advance_epoch`).
@@ -314,6 +347,36 @@ mod tests {
     }
 
     #[test]
+    fn duplicates_are_refused_before_verification() {
+        // With a cache wired, admission verdicts are observable: the
+        // duplicate must be refused by dedup without touching the cache
+        // (the admission-order fix), and a replay of a *tampered* copy of
+        // a seen message is refused the same way.
+        let cache = hc_state::SigCache::new(16);
+        let mut pool = Mempool::new().with_sig_cache(cache.clone());
+        let k = kp(8);
+        let m = signed(100, 0, &k);
+        assert!(pool.push(m.clone()));
+        assert_eq!(cache.stats().misses, 1);
+        assert!(!pool.push(m.clone()));
+        let mut tampered_sig = m.clone();
+        tampered_sig.signature = hc_types::Signature::new_unchecked(k.public(), [9u8; 32]);
+        assert!(!pool.push(tampered_sig));
+        let stats = cache.stats();
+        assert_eq!(
+            (stats.hits, stats.misses),
+            (0, 1),
+            "duplicates must not reach the verifier"
+        );
+        // An unrelated forgery still pays (and fails) full verification.
+        let mut forged = signed(100, 1, &k);
+        forged.message.value = TokenAmount::from_whole(7);
+        assert!(!pool.push(forged));
+        assert_eq!(cache.stats().misses, 2);
+        assert_eq!(cache.len(), 1, "failed verdicts are not cached");
+    }
+
+    #[test]
     fn mempool_selects_fairly_across_senders_in_nonce_order() {
         let mut pool = Mempool::new();
         let ka = kp(2);
@@ -325,17 +388,17 @@ mod tests {
         let selected = pool.select(4);
         assert_eq!(selected.len(), 4);
         // Round-robin: a0, b0, a1, b1.
-        assert_eq!(selected[0].message.from, Address::new(100));
-        assert_eq!(selected[1].message.from, Address::new(200));
-        assert_eq!(selected[0].message.nonce, Nonce::new(0));
-        assert_eq!(selected[2].message.nonce, Nonce::new(1));
+        assert_eq!(selected[0].message().from, Address::new(100));
+        assert_eq!(selected[1].message().from, Address::new(200));
+        assert_eq!(selected[0].message().nonce, Nonce::new(0));
+        assert_eq!(selected[2].message().nonce, Nonce::new(1));
         // Selection does not mutate the pool.
         assert_eq!(pool.len(), 6);
         // Removal after inclusion.
         pool.remove_included(selected.iter());
         assert_eq!(pool.len(), 2);
         // Replays of included messages stay excluded.
-        assert!(!pool.push(selected[0].clone()));
+        assert!(!pool.push_sealed(selected[0].clone()));
     }
 
     #[test]
@@ -357,14 +420,18 @@ mod tests {
         let picked: Vec<(u64, u64)> = pool
             .select(6)
             .iter()
-            .map(|m| (m.message.from.id(), m.message.nonce.value()))
+            .map(|m| (m.message().from.id(), m.message().nonce.value()))
             .collect();
         assert_eq!(
             picked,
             vec![(100, 0), (200, 0), (300, 0), (200, 1), (300, 1), (200, 2)]
         );
         // A capped selection stops mid-rotation without skipping anyone.
-        let capped: Vec<u64> = pool.select(2).iter().map(|m| m.message.from.id()).collect();
+        let capped: Vec<u64> = pool
+            .select(2)
+            .iter()
+            .map(|m| m.message().from.id())
+            .collect();
         assert_eq!(capped, vec![100, 200]);
     }
 
@@ -372,12 +439,12 @@ mod tests {
     fn mempool_seen_set_prunes_beyond_horizon() {
         let mut pool = Mempool::with_seen_horizon(2);
         let k = kp(7);
-        let m = signed(100, 0, &k);
-        assert!(pool.push(m.clone()));
+        let m = SealedMessage::new(signed(100, 0, &k));
+        assert!(pool.push_sealed(m.clone()));
         pool.remove_included([&m]);
         // Replays within the horizon are still refused and remembered.
         pool.advance_epoch(ChainEpoch::new(2));
-        assert!(!pool.push(m.clone()));
+        assert!(!pool.push_sealed(m.clone()));
         assert_eq!(pool.seen_len(), 1);
         // Epoch regressions never resurrect or prune anything.
         pool.advance_epoch(ChainEpoch::new(1));
@@ -386,7 +453,7 @@ mod tests {
         // stale account nonce catches any replay at execution time.
         pool.advance_epoch(ChainEpoch::new(3));
         assert_eq!(pool.seen_len(), 0);
-        assert!(pool.push(m));
+        assert!(pool.push_sealed(m));
     }
 
     fn td(nonce: u64) -> CrossMsg {

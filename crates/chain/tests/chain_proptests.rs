@@ -5,7 +5,7 @@ use proptest::prelude::*;
 
 use hc_actors::ScaConfig;
 use hc_chain::{execute_block, produce_block, Block, ChainStore, Mempool};
-use hc_state::{Message, Method, SignedMessage, StateTree};
+use hc_state::{Message, Method, SealedMessage, SignedMessage, StateTree};
 use hc_types::{Address, ChainEpoch, Cid, Keypair, Nonce, SubnetId, TokenAmount};
 
 const USERS: u64 = 3;
@@ -63,8 +63,8 @@ proptest! {
         for u in 0..USERS {
             let nonces: Vec<u64> = selected
                 .iter()
-                .filter(|m| m.message.from == Address::new(100 + u))
-                .map(|m| m.message.nonce.value())
+                .filter(|m| m.message().from == Address::new(100 + u))
+                .map(|m| m.message().nonce.value())
                 .collect();
             for w in nonces.windows(2) {
                 prop_assert!(w[0] < w[1]);
@@ -90,12 +90,12 @@ proptest! {
         let mut validator_tree = producer_tree.clone();
 
         let mut nonces = [0u64; USERS as usize];
-        let msgs: Vec<SignedMessage> = schedule
+        let msgs: Vec<SealedMessage> = schedule
             .iter()
             .map(|(u, atto)| {
                 let m = signed(*u, nonces[*u as usize], *atto);
                 nonces[*u as usize] += 1;
-                m
+                SealedMessage::new(m)
             })
             .collect();
 

@@ -16,7 +16,7 @@ use hc_actors::{CrossMsg, CrossMsgMeta, FundCertificate};
 use hc_chain::{ChainStore, CrossMsgPool, Mempool};
 use hc_consensus::{Consensus, ValidatorSet};
 use hc_net::{Resolver, SubscriberId};
-use hc_state::{CidStore, Receipt, StateTree};
+use hc_state::{CidStore, Receipt, SigCache, SigCacheStats, StateTree};
 use hc_types::{ChainEpoch, Cid, Keypair, SubnetId};
 
 /// Running counters for one subnet node.
@@ -103,6 +103,11 @@ pub struct SubnetNode {
     /// the node, so a wave of due subnets can produce concurrently and
     /// still replay bit-identically at any parallelism.
     pub(crate) rng: StdRng,
+    /// Node-local verified-signature cache: populated at mempool
+    /// admission, consulted by block production and validation. `None`
+    /// when disabled (`RuntimeConfig::sig_cache_capacity` of zero) —
+    /// receipts are bit-identical either way.
+    pub(crate) sig_cache: Option<SigCache>,
 }
 
 impl std::fmt::Debug for SubnetNode {
@@ -191,6 +196,15 @@ impl SubnetNode {
     /// Pending user messages.
     pub fn mempool_len(&self) -> usize {
         self.mempool.len()
+    }
+
+    /// Counters of this node's verified-signature cache (all zeros when
+    /// the cache is disabled).
+    pub fn sig_cache_stats(&self) -> SigCacheStats {
+        self.sig_cache
+            .as_ref()
+            .map(SigCache::stats)
+            .unwrap_or_default()
     }
 
     /// Virtual time of the next scheduled block.

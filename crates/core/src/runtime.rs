@@ -9,11 +9,12 @@ use rand::SeedableRng;
 use hc_actors::checkpoint::SignedCheckpoint;
 use hc_actors::sa::SaConfig;
 use hc_actors::{CrossMsg, HcAddress, ScaConfig};
-use hc_chain::{produce_block, ChainStore, CrossMsgPool, Mempool};
+use hc_chain::{produce_block_with, ChainStore, CrossMsgPool, ExecOptions, Mempool};
 use hc_consensus::{make_engine, EngineParams, ValidatorSet};
 use hc_net::{NetConfig, Network, ResolutionMsg, Resolver};
 use hc_state::{
-    CidStore, ImplicitMsg, Message, Method, Receipt, SignedMessage, StateTree, VmEvent,
+    CidStore, ImplicitMsg, Message, Method, Receipt, SealedMessage, SigCache, SigCacheStats,
+    SignedMessage, StateTree, VmEvent, DEFAULT_SIG_CACHE_CAPACITY,
 };
 use hc_types::{Address, CanonicalEncode, ChainEpoch, Cid, Keypair, Nonce, SubnetId, TokenAmount};
 
@@ -52,6 +53,13 @@ pub struct RuntimeConfig {
     /// threads. `1` (the default) keeps everything on the caller's thread;
     /// results are bit-identical at every setting.
     pub parallelism: usize,
+    /// Capacity of each node's verified-signature cache (entries). The
+    /// cache memoizes `(signer, message CID, signature)` triples whose
+    /// full verification already passed — at mempool admission — so block
+    /// production and validation skip re-verifying them. `0` disables the
+    /// cache entirely; receipts and state roots are bit-identical either
+    /// way (the cache only elides provably redundant work).
+    pub sig_cache_capacity: usize,
 }
 
 impl Default for RuntimeConfig {
@@ -66,6 +74,7 @@ impl Default for RuntimeConfig {
             atomic_timeout_epochs: 50,
             certificates_enabled: true,
             parallelism: 1,
+            sig_cache_capacity: DEFAULT_SIG_CACHE_CAPACITY,
         }
     }
 }
@@ -226,11 +235,15 @@ impl HierarchyRuntime {
             hc_consensus::ConsensusKind::RoundRobin,
             config.engine_params.clone(),
         );
+        let sig_cache = Self::make_sig_cache(config.sig_cache_capacity);
         let node = SubnetNode {
             subnet_id: root.clone(),
             tree,
             chain: ChainStore::new(root.clone()),
-            mempool: Mempool::new(),
+            mempool: match &sig_cache {
+                Some(c) => Mempool::new().with_sig_cache(c.clone()),
+                None => Mempool::new(),
+            },
             cross_pool: CrossMsgPool::new(),
             engine,
             validators: ValidatorSet::new(validators),
@@ -247,6 +260,7 @@ impl HierarchyRuntime {
             store: store.clone(),
             stats: NodeStats::default(),
             rng: node_rng(config.seed, &root),
+            sig_cache,
         };
 
         let mut nodes = BTreeMap::new();
@@ -263,6 +277,12 @@ impl HierarchyRuntime {
             archive: crate::archive::CheckpointArchive::default(),
             store,
         }
+    }
+
+    /// Builds a node-local verified-signature cache, or `None` when the
+    /// configured capacity is zero (cache disabled).
+    fn make_sig_cache(capacity: usize) -> Option<SigCache> {
+        (capacity > 0).then(|| SigCache::new(capacity))
     }
 
     /// Current virtual time in milliseconds.
@@ -301,6 +321,21 @@ impl HierarchyRuntime {
     /// shared between consecutive snapshots or across subnets.
     pub fn store_stats(&self) -> hc_state::CidStoreStats {
         self.store.stats()
+    }
+
+    /// Aggregate verified-signature-cache counters across every subnet
+    /// node. All zeros when the cache is disabled
+    /// (`sig_cache_capacity: 0`). `hits` counts signature verifications
+    /// elided because the exact `(signer, message CID, signature)` triple
+    /// already passed full verification on this node.
+    pub fn sig_cache_stats(&self) -> SigCacheStats {
+        let mut total = SigCacheStats::default();
+        for node in self.nodes.values() {
+            if let Some(cache) = &node.sig_cache {
+                total.merge(cache.stats());
+            }
+        }
+        total
     }
 
     /// Tokens minted at the root (the global conservation baseline).
@@ -426,9 +461,13 @@ impl HierarchyRuntime {
         method: Method,
     ) -> Result<Cid, RuntimeError> {
         let signed = self.sign_message(user, to, value, method)?;
-        let cid = signed.message.cid();
+        // Seal at admission: the message CID computed here is memoized and
+        // reused by dedup, signature verification, block production, and
+        // receipt lookup — it is never recomputed downstream.
+        let sealed = SealedMessage::new(signed);
+        let cid = sealed.msg_cid();
         let node = Self::get_node_mut(&mut self.nodes, &user.subnet)?;
-        node.mempool.push(signed);
+        node.mempool.push_sealed(sealed);
         Ok(cid)
     }
 
@@ -580,11 +619,15 @@ impl HierarchyRuntime {
         // follow the parent's topic for resolution traffic.
         self.network.join(subscription, &parent.topic());
         let engine = make_engine(consensus, engine_params.clone());
+        let sig_cache = Self::make_sig_cache(self.config.sig_cache_capacity);
         let node = SubnetNode {
             subnet_id: child_id.clone(),
             tree,
             chain: ChainStore::new(child_id.clone()),
-            mempool: Mempool::new(),
+            mempool: match &sig_cache {
+                Some(c) => Mempool::new().with_sig_cache(c.clone()),
+                None => Mempool::new(),
+            },
             cross_pool: CrossMsgPool::new(),
             engine,
             validators: ValidatorSet::default(),
@@ -601,6 +644,7 @@ impl HierarchyRuntime {
             store: self.store.clone(),
             stats: NodeStats::default(),
             rng: node_rng(self.config.seed, &child_id),
+            sig_cache,
         };
         self.nodes.insert(child_id.clone(), node);
         self.refresh_validators(&child_id);
@@ -874,9 +918,8 @@ impl HierarchyRuntime {
     }
 
     /// Advances the hierarchy by one *wave* of blocks: every subnet due
-    /// back-to-back at the minimum scheduled time (see
-    /// [`HierarchyRuntime::wave_members`]) produces its next block, with
-    /// the pure per-subnet phase running concurrently on up to
+    /// back-to-back at the minimum scheduled time produces its next block,
+    /// with the pure per-subnet phase running concurrently on up to
     /// [`RuntimeConfig::parallelism`] threads.
     ///
     /// A wave runs in three phases:
@@ -888,8 +931,8 @@ impl HierarchyRuntime {
     /// 3. *(b)* — sequential, canonical order: checkpoint archiving, event
     ///    routing, registry pruning.
     ///
-    /// Phase (a) touches no shared state (each node owns its randomness —
-    /// [`SubnetNode::rng`]), so the result is bit-identical at every
+    /// Phase (a) touches no shared state (each node owns its private
+    /// randomness stream), so the result is bit-identical at every
     /// `parallelism` setting, including `1`.
     ///
     /// # Errors
@@ -1259,7 +1302,7 @@ impl HierarchyRuntime {
             .expect("subnet has at least one managed validator key");
 
         let parent_cid = node.chain.head();
-        let executed = produce_block(
+        let executed = produce_block_with(
             &mut node.tree,
             subnet.clone(),
             epoch,
@@ -1268,6 +1311,10 @@ impl HierarchyRuntime {
             signed_msgs,
             &proposer_key,
             at_ms,
+            ExecOptions {
+                sig_cache: node.sig_cache.as_ref(),
+                parallelism: config.parallelism,
+            },
         );
 
         let mut block = executed.block;
@@ -1322,7 +1369,7 @@ impl HierarchyRuntime {
         }
         for (i, m) in block.signed_msgs.iter().enumerate() {
             node.last_receipts.insert(
-                m.message.cid(),
+                m.msg_cid(),
                 executed.receipts[block.implicit_msgs.len() + i].clone(),
             );
         }

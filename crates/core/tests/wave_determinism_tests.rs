@@ -19,6 +19,13 @@ fn whole(n: u64) -> TokenAmount {
 /// construction and funding are driven sequentially so the runs differ
 /// only in how the final drain is stepped.
 fn build_world(parallelism: usize) -> (HierarchyRuntime, Vec<SubnetId>) {
+    build_world_with_cache(parallelism, hc_state::DEFAULT_SIG_CACHE_CAPACITY)
+}
+
+fn build_world_with_cache(
+    parallelism: usize,
+    sig_cache_capacity: usize,
+) -> (HierarchyRuntime, Vec<SubnetId>) {
     let config = RuntimeConfig {
         net: NetConfig {
             jitter_ms: 0,
@@ -26,6 +33,7 @@ fn build_world(parallelism: usize) -> (HierarchyRuntime, Vec<SubnetId>) {
             ..NetConfig::default()
         },
         parallelism,
+        sig_cache_capacity,
         ..RuntimeConfig::default()
     };
     let mut rt = HierarchyRuntime::new(config);
@@ -158,6 +166,39 @@ fn step_wave_matches_sequential_at_every_parallelism() {
             rt.store_stats(),
             reference.store_stats(),
             "store counters diverged at parallelism {threads}"
+        );
+    }
+}
+
+#[test]
+fn sig_cache_never_changes_results() {
+    // The verified-signature cache elides redundant verifications only;
+    // every consensus-critical output — head CIDs, state roots, stats,
+    // archived checkpoints — must be bit-identical with the cache off and
+    // on, sequentially and under wave parallelism.
+    let (mut reference, _) = build_world_with_cache(1, 0);
+    drive_sequential(&mut reference);
+    let expected = fingerprint(&reference);
+    assert_eq!(
+        reference.sig_cache_stats(),
+        hc_state::SigCacheStats::default(),
+        "a disabled cache must count nothing"
+    );
+
+    for (threads, capacity) in [(1usize, 1024usize), (4, 1024), (4, 1)] {
+        let (mut rt, _) = build_world_with_cache(threads, capacity);
+        drive_waves(&mut rt);
+        assert_eq!(
+            fingerprint(&rt),
+            expected,
+            "sig cache diverged results at parallelism {threads}, capacity {capacity}"
+        );
+        assert_eq!(rt.now_ms(), reference.now_ms());
+        let stats = rt.sig_cache_stats();
+        assert!(
+            stats.hits > 0,
+            "admission-verified messages must hit the cache at block production \
+             (capacity {capacity}): {stats:?}"
         );
     }
 }

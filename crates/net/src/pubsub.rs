@@ -67,7 +67,28 @@ struct Inner<P> {
     topics: HashMap<String, Vec<SubscriberId>>,
     /// subscriber -> pending deliveries ordered by delivery time.
     inboxes: BTreeMap<SubscriberId, VecDeque<Pending<P>>>,
+    /// Multiset of the delivery times of every pending message, maintained
+    /// incrementally on publish/poll so the wave scheduler's
+    /// [`Network::next_delivery_ms`] is an O(1) first-key read instead of
+    /// an O(total-queued) scan over every inbox.
+    pending_times: BTreeMap<u64, usize>,
     stats: NetStats,
+}
+
+impl<P> Inner<P> {
+    fn note_scheduled(&mut self, deliver_at_ms: u64) {
+        *self.pending_times.entry(deliver_at_ms).or_insert(0) += 1;
+    }
+
+    fn note_delivered(&mut self, deliver_at_ms: u64) {
+        match self.pending_times.get_mut(&deliver_at_ms) {
+            Some(count) if *count > 1 => *count -= 1,
+            Some(_) => {
+                self.pending_times.remove(&deliver_at_ms);
+            }
+            None => unreachable!("delivered a message that was never scheduled"),
+        }
+    }
 }
 
 /// A simulated pub-sub network. Cloning yields another handle to the same
@@ -87,6 +108,7 @@ impl<P: Clone> Network<P> {
                 next_id: 0,
                 topics: HashMap::new(),
                 inboxes: BTreeMap::new(),
+                pending_times: BTreeMap::new(),
                 stats: NetStats::default(),
             })),
         }
@@ -150,6 +172,7 @@ impl<P: Clone> Network<P> {
                     deliver_at_ms,
                     payload: payload.clone(),
                 });
+            inner.note_scheduled(deliver_at_ms);
             inner.stats.scheduled += 1;
             scheduled += 1;
         }
@@ -163,28 +186,31 @@ impl<P: Clone> Network<P> {
             return Vec::new();
         };
         let mut out = Vec::new();
+        let mut taken_times = Vec::new();
         let mut remaining = VecDeque::with_capacity(inbox.len());
         while let Some(p) = inbox.pop_front() {
             if p.deliver_at_ms <= now_ms {
+                taken_times.push(p.deliver_at_ms);
                 out.push(p.payload);
             } else {
                 remaining.push_back(p);
             }
         }
         *inbox = remaining;
+        for t in taken_times {
+            inner.note_delivered(t);
+        }
         inner.stats.delivered += out.len() as u64;
         out
     }
 
     /// Earliest pending delivery time across all subscribers, if any — the
     /// simulator uses this to advance virtual time without busy-waiting.
+    /// Reads the incrementally maintained delivery-time multiset, so the
+    /// cost is O(1) rather than a scan of every queued message.
     pub fn next_delivery_ms(&self) -> Option<u64> {
         let inner = self.inner.lock();
-        inner
-            .inboxes
-            .values()
-            .flat_map(|q| q.iter().map(|p| p.deliver_at_ms))
-            .min()
+        inner.pending_times.keys().next().copied()
     }
 
     /// Traffic statistics so far.
@@ -267,6 +293,25 @@ mod tests {
         n.publish("t", "x", 500, None);
         n.publish("t", "y", 0, None);
         assert_eq!(n.next_delivery_ms(), Some(100));
+    }
+
+    #[test]
+    fn next_delivery_stays_consistent_across_poll() {
+        let n = net(0.0);
+        let a = n.subscribe("t");
+        let b = n.subscribe("t");
+        // Same delivery time for two subscribers: polling one of them must
+        // not clear the other's pending slot from the multiset.
+        n.publish("t", "x", 0, None); // due at 100 for both a and b
+        n.publish("t", "y", 400, None); // due at 500 for both
+        assert_eq!(n.next_delivery_ms(), Some(100));
+        assert_eq!(n.poll(a, 100), vec!["x"]);
+        assert_eq!(n.next_delivery_ms(), Some(100)); // b's copy still queued
+        assert_eq!(n.poll(b, 100), vec!["x"]);
+        assert_eq!(n.next_delivery_ms(), Some(500));
+        n.poll(a, 10_000);
+        n.poll(b, 10_000);
+        assert_eq!(n.next_delivery_ms(), None);
     }
 
     #[test]

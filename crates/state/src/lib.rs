@@ -27,6 +27,8 @@ pub mod chunk;
 pub mod message;
 pub mod overlay;
 pub mod params;
+pub mod sealed;
+pub mod sigcache;
 pub mod store;
 pub mod tree;
 pub mod vm;
@@ -35,6 +37,8 @@ pub use access::StateAccess;
 pub use chunk::{ChunkKey, ChunkManifest, CommitStats};
 pub use message::{ImplicitMsg, Message, Method, SignedMessage};
 pub use overlay::{OverlayChanges, StateOverlay};
+pub use sealed::SealedMessage;
+pub use sigcache::{SigCache, SigCacheStats, DEFAULT_SIG_CACHE_CAPACITY};
 pub use store::{CidStore, CidStoreStats};
 pub use tree::{AccountState, StateTree};
-pub use vm::{apply_implicit, apply_signed, ExitCode, Receipt, VmEvent};
+pub use vm::{apply_implicit, apply_sealed, apply_signed, ExitCode, Receipt, SigVerdict, VmEvent};

@@ -1,0 +1,231 @@
+//! A bounded, node-local cache of successfully verified signatures.
+//!
+//! Signature verification is the single most repeated crypto operation on
+//! the message path: a message admitted to the mempool is verified there,
+//! verified again by VM auth when the proposer executes it, and verified a
+//! third time by every validator re-executing the block. All three check the
+//! same `(signer, message CID, signature tag)` triple, so a node can pay for
+//! the full verification once and remember the verdict.
+//!
+//! # Trust model
+//!
+//! The cache stores only triples that *passed* full verification, and a
+//! lookup requires the exact triple — signer, memoized message CID, and raw
+//! signature tag. A hit therefore implies the same signer produced the same
+//! tag over the same content that already verified; a tampered message or
+//! forged tag changes the key and takes the miss path, which is a full
+//! verification. Untrusted inputs are never trusted uncached, and negative
+//! verdicts are never cached (a signer registered later may turn a failure
+//! into a success, and caching failures would let an attacker pin them).
+//!
+//! Bounded FIFO eviction keeps memory O(capacity); an evicted entry simply
+//! re-verifies on next sight. Handles are cheaply cloneable and share one
+//! cache (the [`CidStore`](crate::CidStore) pattern), so a node's mempool
+//! and executor consult the same verdicts.
+
+use std::collections::{HashSet, VecDeque};
+use std::sync::{Arc, Mutex};
+
+use hc_types::{Cid, PublicKey};
+
+use crate::sealed::SealedMessage;
+
+/// Default number of verified signatures a node remembers. At 104 bytes a
+/// key, the default bounds the cache around 6.5 MiB — a few blocks' worth
+/// of distinct messages for the busiest configurations.
+pub const DEFAULT_SIG_CACHE_CAPACITY: usize = 65_536;
+
+/// The exact identity of one verified signature.
+type SigKey = (PublicKey, Cid, [u8; 32]);
+
+/// Running counters of cache effectiveness.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SigCacheStats {
+    /// Lookups answered from the cache (full verification skipped).
+    pub hits: u64,
+    /// Lookups that fell through to full verification.
+    pub misses: u64,
+    /// Verified signatures inserted.
+    pub inserts: u64,
+    /// Entries evicted by the FIFO bound.
+    pub evictions: u64,
+}
+
+impl SigCacheStats {
+    /// Accumulates `other` into `self` (aggregation across nodes).
+    pub fn merge(&mut self, other: SigCacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.inserts += other.inserts;
+        self.evictions += other.evictions;
+    }
+}
+
+#[derive(Debug)]
+struct Inner {
+    set: HashSet<SigKey>,
+    order: VecDeque<SigKey>,
+    capacity: usize,
+    stats: SigCacheStats,
+}
+
+/// A bounded verified-signature cache. Cloning yields another handle to the
+/// same cache.
+#[derive(Debug, Clone)]
+pub struct SigCache {
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl SigCache {
+    /// Creates an empty cache holding at most `capacity` verdicts
+    /// (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        SigCache {
+            inner: Arc::new(Mutex::new(Inner {
+                set: HashSet::new(),
+                order: VecDeque::new(),
+                capacity: capacity.max(1),
+                stats: SigCacheStats::default(),
+            })),
+        }
+    }
+
+    /// Returns the signature verdict for `sealed`: a cached `true` if this
+    /// exact `(signer, msg_cid, tag)` triple already passed verification,
+    /// otherwise the result of a full verification — remembered when it
+    /// succeeds.
+    ///
+    /// By construction this returns exactly what
+    /// [`SealedMessage::verify_signature`] would, so callers may substitute
+    /// it freely without changing receipts.
+    pub fn verify_sealed(&self, sealed: &SealedMessage) -> bool {
+        let key: SigKey = (
+            sealed.signature().signer(),
+            sealed.msg_cid(),
+            *sealed.signature().tag(),
+        );
+        {
+            let mut inner = self.inner.lock().expect("sig cache lock");
+            if inner.set.contains(&key) {
+                inner.stats.hits += 1;
+                return true;
+            }
+            inner.stats.misses += 1;
+        }
+        // Full verification outside the lock: the expensive path must not
+        // serialize concurrent pre-verification workers.
+        let ok = sealed.verify_signature();
+        if ok {
+            let mut inner = self.inner.lock().expect("sig cache lock");
+            if inner.set.insert(key) {
+                inner.stats.inserts += 1;
+                inner.order.push_back(key);
+                if inner.order.len() > inner.capacity {
+                    if let Some(old) = inner.order.pop_front() {
+                        inner.set.remove(&old);
+                        inner.stats.evictions += 1;
+                    }
+                }
+            }
+        }
+        ok
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> SigCacheStats {
+        self.inner.lock().expect("sig cache lock").stats
+    }
+
+    /// Number of verdicts currently held.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("sig cache lock").set.len()
+    }
+
+    /// Returns `true` when no verdicts are held.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The FIFO bound.
+    pub fn capacity(&self) -> usize {
+        self.inner.lock().expect("sig cache lock").capacity
+    }
+}
+
+impl Default for SigCache {
+    fn default() -> Self {
+        SigCache::new(DEFAULT_SIG_CACHE_CAPACITY)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::{Message, Method};
+    use hc_types::{Address, Keypair, Nonce, Signature, TokenAmount};
+
+    fn sealed(nonce: u64, kp: &Keypair) -> SealedMessage {
+        Message {
+            from: Address::new(100),
+            to: Address::new(101),
+            value: TokenAmount::from_whole(1),
+            nonce: Nonce::new(nonce),
+            method: Method::Send,
+        }
+        .sign(kp)
+        .into()
+    }
+
+    #[test]
+    fn second_sight_is_a_hit_and_skips_verification() {
+        let cache = SigCache::new(8);
+        let kp = Keypair::from_seed([0xa0; 32]);
+        let m = sealed(0, &kp);
+        assert!(cache.verify_sealed(&m));
+        assert!(cache.verify_sealed(&m));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.inserts), (1, 1, 1));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn invalid_signatures_are_never_cached() {
+        let cache = SigCache::new(8);
+        let kp = Keypair::from_seed([0xa1; 32]);
+        let mut bad = sealed(0, &kp).into_signed();
+        bad.signature = Signature::new_unchecked(kp.public(), [0u8; 32]);
+        let bad = SealedMessage::new(bad);
+        assert!(!cache.verify_sealed(&bad));
+        assert!(!cache.verify_sealed(&bad), "failure re-verifies every time");
+        assert_eq!(cache.len(), 0);
+        assert_eq!(cache.stats().misses, 2);
+    }
+
+    #[test]
+    fn tampered_tag_misses_even_after_a_valid_entry() {
+        let cache = SigCache::new(8);
+        let kp = Keypair::from_seed([0xa2; 32]);
+        let good = sealed(0, &kp);
+        assert!(cache.verify_sealed(&good));
+        // Same message, forged tag: key differs, miss path, rejected.
+        let mut forged = good.signed().clone();
+        forged.signature = Signature::new_unchecked(kp.public(), [7u8; 32]);
+        assert!(!cache.verify_sealed(&SealedMessage::new(forged)));
+        assert_eq!(cache.stats().hits, 0);
+    }
+
+    #[test]
+    fn fifo_eviction_bounds_the_cache() {
+        let cache = SigCache::new(2);
+        let kp = Keypair::from_seed([0xa3; 32]);
+        let first = sealed(0, &kp);
+        assert!(cache.verify_sealed(&first));
+        assert!(cache.verify_sealed(&sealed(1, &kp)));
+        assert!(cache.verify_sealed(&sealed(2, &kp))); // evicts nonce 0
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().evictions, 1);
+        // The evicted entry still verifies — via the miss path.
+        assert!(cache.verify_sealed(&first));
+        assert_eq!(cache.stats().hits, 0);
+    }
+}

@@ -1,6 +1,7 @@
 //! Message execution.
 //!
-//! The VM applies messages to a [`StateTree`] and produces [`Receipt`]s.
+//! The VM applies messages to a [`StateTree`](crate::StateTree) and
+//! produces [`Receipt`]s.
 //! User messages are authenticated (registered key, signature, account
 //! nonce) before execution; implicit messages are injected by consensus
 //! with system authority (cross-net message application and checkpoint
@@ -26,6 +27,8 @@ use crate::params::{
     AtomicAbortParams, AtomicInitParams, AtomicSubmitParams, METHOD_ATOMIC_ABORT,
     METHOD_ATOMIC_INIT, METHOD_ATOMIC_SUBMIT,
 };
+use crate::sealed::SealedMessage;
+use crate::sigcache::SigCache;
 
 /// Outcome class of a message application.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -219,6 +222,26 @@ pub mod gas {
     pub const ATOMIC: u64 = 1_500;
 }
 
+/// How the signature of a sealed message is decided by
+/// [`apply_sealed`].
+///
+/// Every variant resolves to the same boolean a full verification would
+/// produce — the cache only stores verdicts that passed full verification
+/// on the exact `(signer, msg_cid, tag)` triple, and pre-computed verdicts
+/// come from batch pre-verification of the same messages — so receipts are
+/// bit-identical across variants.
+#[derive(Debug, Clone, Copy)]
+pub enum SigVerdict<'a> {
+    /// Fully verify the signature (the uncached reference path).
+    Verify,
+    /// Consult the verified-signature cache; a miss falls through to full
+    /// verification (and populates the cache on success).
+    Cached(&'a SigCache),
+    /// The caller already decided — e.g. by wave-parallel batch
+    /// pre-verification of a block's messages.
+    Decided(bool),
+}
+
 /// Applies a signed user message to the tree at `epoch`.
 ///
 /// Authentication: the sender account must exist with a registered key,
@@ -230,7 +253,49 @@ pub fn apply_signed<S: StateAccess>(
     epoch: ChainEpoch,
     signed: &SignedMessage,
 ) -> Receipt {
-    let msg = &signed.message;
+    apply_authenticated(
+        tree,
+        epoch,
+        &signed.message,
+        signed.signature.signer(),
+        || signed.verify_signature(),
+    )
+}
+
+/// Applies a sealed user message, with the signature verdict supplied per
+/// `verdict`. Semantically identical to [`apply_signed`] on the underlying
+/// message; the sealed form reuses the memoized message CID and lets the
+/// crypto pipeline skip redundant verifications.
+pub fn apply_sealed<S: StateAccess>(
+    tree: &mut S,
+    epoch: ChainEpoch,
+    sealed: &SealedMessage,
+    verdict: SigVerdict<'_>,
+) -> Receipt {
+    apply_authenticated(
+        tree,
+        epoch,
+        sealed.message(),
+        sealed.signature().signer(),
+        || match verdict {
+            SigVerdict::Verify => sealed.verify_signature(),
+            SigVerdict::Cached(cache) => cache.verify_sealed(sealed),
+            SigVerdict::Decided(ok) => ok,
+        },
+    )
+}
+
+/// The shared authentication + execution path. `verify` is consulted
+/// lazily, only once the cheaper account/key checks have passed, so the
+/// check order (and therefore every receipt) is identical for all entry
+/// points.
+fn apply_authenticated<S: StateAccess>(
+    tree: &mut S,
+    epoch: ChainEpoch,
+    msg: &Message,
+    signer: hc_types::PublicKey,
+    verify: impl FnOnce() -> bool,
+) -> Receipt {
     let Some(account) = tree.account(msg.from) else {
         return Receipt::rejected(format!("unknown sender {}", msg.from));
     };
@@ -238,10 +303,10 @@ pub fn apply_signed<S: StateAccess>(
     let Some(key) = account_key else {
         return Receipt::rejected(format!("sender {} has no registered key", msg.from));
     };
-    if signed.signature.signer() != key {
+    if signer != key {
         return Receipt::rejected("signature key does not match account key");
     }
-    if !signed.verify_signature() {
+    if !verify() {
         return Receipt::rejected("invalid signature");
     }
     if msg.nonce != account_nonce {

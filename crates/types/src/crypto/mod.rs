@@ -13,5 +13,5 @@ mod sha2;
 mod sig;
 
 pub use multisig::{AggregateSignature, PolicyError, SignaturePolicy};
-pub use sha2::sha256;
+pub use sha2::{sha256, sha256_block_count};
 pub use sig::{Keypair, PublicKey, SigError, Signature};

@@ -23,6 +23,21 @@ const H0: [u32; 8] = [
     0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19,
 ];
 
+/// Process-wide count of compression-function invocations (one per 64-byte
+/// block, padding included). The counter is a pure diagnostic — it measures
+/// hashing *work* deterministically, independent of machine speed — used by
+/// the `msg_pipeline` speedup guard the same way the state commitment's
+/// `bytes_hashed` counter backs the `state_root` guard.
+static BLOCKS: core::sync::atomic::AtomicU64 = core::sync::atomic::AtomicU64::new(0);
+
+/// Total SHA-256 blocks compressed by this process so far.
+///
+/// Monotonic and thread-safe; callers measure a region of work by
+/// differencing two readings.
+pub fn sha256_block_count() -> u64 {
+    BLOCKS.load(core::sync::atomic::Ordering::Relaxed)
+}
+
 /// Computes the SHA-256 digest of `data`.
 ///
 /// # Example
@@ -79,6 +94,7 @@ pub(crate) fn sha256_concat(parts: &[&[u8]]) -> [u8; 32] {
 }
 
 fn compress(state: &mut [u32; 8], block: &[u8; 64]) {
+    BLOCKS.fetch_add(1, core::sync::atomic::Ordering::Relaxed);
     let mut w = [0u32; 64];
     for (i, chunk) in block.chunks_exact(4).enumerate() {
         w[i] = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
