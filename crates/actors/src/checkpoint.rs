@@ -15,7 +15,7 @@
 use serde::{Deserialize, Serialize};
 
 use hc_types::crypto::AggregateSignature;
-use hc_types::{encode_fields, CanonicalEncode, ChainEpoch, Cid, SubnetId};
+use hc_types::{decode_fields, encode_fields, CanonicalEncode, ChainEpoch, Cid, SubnetId};
 
 use crate::msg::CrossMsgMeta;
 
@@ -31,6 +31,7 @@ pub struct ChildCheck {
 }
 
 encode_fields!(ChildCheck { source, checks });
+decode_fields!(ChildCheck { source, checks });
 
 /// A subnet checkpoint: `⟨s, proof, prev, children, crossMeta⟩`.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -55,6 +56,14 @@ pub struct Checkpoint {
 }
 
 encode_fields!(Checkpoint {
+    source,
+    proof,
+    epoch,
+    prev,
+    children,
+    cross_msgs
+});
+decode_fields!(Checkpoint {
     source,
     proof,
     epoch,
@@ -123,6 +132,15 @@ pub struct SignedCheckpoint {
     /// Validator signatures over the checkpoint CID.
     pub signatures: AggregateSignature,
 }
+
+encode_fields!(SignedCheckpoint {
+    checkpoint,
+    signatures
+});
+decode_fields!(SignedCheckpoint {
+    checkpoint,
+    signatures
+});
 
 impl SignedCheckpoint {
     /// Wraps a checkpoint with an (initially empty) signature set.

@@ -10,7 +10,10 @@
 use serde::{Deserialize, Serialize};
 
 use hc_types::merkle::merkle_root;
-use hc_types::{encode_fields, Address, CanonicalEncode, Cid, Nonce, SubnetId, TokenAmount};
+use hc_types::{
+    decode_fields, encode_fields, Address, ByteReader, CanonicalDecode, CanonicalEncode, Cid,
+    DecodeError, Nonce, SubnetId, TokenAmount,
+};
 
 /// A hierarchical address: an actor address qualified by the subnet it
 /// lives in. This is how cross-net message endpoints are named.
@@ -46,6 +49,7 @@ impl std::fmt::Display for HcAddress {
 }
 
 encode_fields!(HcAddress { subnet, raw });
+decode_fields!(HcAddress { subnet, raw });
 
 /// What a cross-net message does on arrival.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -88,6 +92,25 @@ impl CanonicalEncode for CrossMsgKind {
     }
 }
 
+impl CanonicalDecode for CrossMsgKind {
+    fn read_bytes(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        match u8::read_bytes(r)? {
+            0 => Ok(CrossMsgKind::Transfer),
+            1 => Ok(CrossMsgKind::Call {
+                method: u64::read_bytes(r)?,
+                params: Vec::<u8>::read_bytes(r)?,
+            }),
+            2 => Ok(CrossMsgKind::Revert {
+                original: Cid::read_bytes(r)?,
+            }),
+            tag => Err(DecodeError::BadTag {
+                what: "CrossMsgKind",
+                tag,
+            }),
+        }
+    }
+}
+
 /// A cross-net message.
 ///
 /// The `nonce` is assigned by the SCA that first commits the message in a
@@ -111,6 +134,14 @@ pub struct CrossMsg {
 }
 
 encode_fields!(CrossMsg {
+    from,
+    to,
+    value,
+    nonce,
+    kind,
+    fee
+});
+decode_fields!(CrossMsg {
     from,
     to,
     value,
@@ -210,6 +241,14 @@ pub struct CrossMsgMeta {
 }
 
 encode_fields!(CrossMsgMeta {
+    from,
+    to,
+    nonce,
+    msgs_cid,
+    count,
+    total_value
+});
+decode_fields!(CrossMsgMeta {
     from,
     to,
     nonce,

@@ -13,7 +13,10 @@ use std::fmt;
 use serde::{Deserialize, Serialize};
 
 use hc_types::crypto::{PolicyError, SignaturePolicy};
-use hc_types::{Address, CanonicalEncode, PublicKey, TokenAmount};
+use hc_types::{
+    decode_fields, encode_fields, Address, ByteReader, CanonicalDecode, CanonicalEncode,
+    DecodeError, PublicKey, TokenAmount,
+};
 
 use crate::checkpoint::SignedCheckpoint;
 
@@ -59,6 +62,22 @@ impl CanonicalEncode for ConsensusKind {
             ConsensusKind::Tendermint => 3,
             ConsensusKind::Mir => 4,
         });
+    }
+}
+
+impl CanonicalDecode for ConsensusKind {
+    fn read_bytes(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        match u8::read_bytes(r)? {
+            0 => Ok(ConsensusKind::RoundRobin),
+            1 => Ok(ConsensusKind::ProofOfWork),
+            2 => Ok(ConsensusKind::ProofOfStake),
+            3 => Ok(ConsensusKind::Tendermint),
+            4 => Ok(ConsensusKind::Mir),
+            tag => Err(DecodeError::BadTag {
+                what: "ConsensusKind",
+                tag,
+            }),
+        }
     }
 }
 
@@ -111,6 +130,24 @@ impl CanonicalEncode for JoinPolicy {
     }
 }
 
+impl CanonicalDecode for JoinPolicy {
+    fn read_bytes(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        match u8::read_bytes(r)? {
+            0 => Ok(JoinPolicy::Open {
+                min_stake: TokenAmount::read_bytes(r)?,
+            }),
+            1 => Ok(JoinPolicy::Allowlist {
+                allowed: Vec::<Address>::read_bytes(r)?,
+                min_stake: TokenAmount::read_bytes(r)?,
+            }),
+            tag => Err(DecodeError::BadTag {
+                what: "JoinPolicy",
+                tag,
+            }),
+        }
+    }
+}
+
 /// Static configuration of a Subnet Actor, fixed at deployment.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SaConfig {
@@ -130,6 +167,22 @@ impl CanonicalEncode for SaConfig {
         self.join_policy.write_bytes(out);
         (self.min_validators as u64).write_bytes(out);
         self.checkpoint_period.write_bytes(out);
+    }
+}
+
+impl CanonicalDecode for SaConfig {
+    fn read_bytes(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        let consensus = ConsensusKind::read_bytes(r)?;
+        let join_policy = JoinPolicy::read_bytes(r)?;
+        // `min_validators` is a usize in memory but canonically a u64.
+        let min_validators = u64::read_bytes(r)? as usize;
+        let checkpoint_period = u64::read_bytes(r)?;
+        Ok(SaConfig {
+            consensus,
+            join_policy,
+            min_validators,
+            checkpoint_period,
+        })
     }
 }
 
@@ -330,6 +383,9 @@ pub struct FraudProof {
     /// Second conflicting signed checkpoint.
     pub b: SignedCheckpoint,
 }
+
+encode_fields!(FraudProof { a, b });
+decode_fields!(FraudProof { a, b });
 
 impl FraudProof {
     /// Validates the proof against the subnet's Subnet Actor: both

@@ -18,7 +18,7 @@
 use serde::{Deserialize, Serialize};
 
 use hc_types::merkle::{MerkleProof, MerkleTree};
-use hc_types::{encode_fields, Address, ChainEpoch, Cid, SubnetId, TokenAmount};
+use hc_types::{decode_fields, encode_fields, Address, ChainEpoch, Cid, SubnetId, TokenAmount};
 
 /// One balance entry committed by a snapshot.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -30,6 +30,7 @@ pub struct BalanceLeaf {
 }
 
 encode_fields!(BalanceLeaf { addr, amount });
+decode_fields!(BalanceLeaf { addr, amount });
 
 /// A committed snapshot of a subnet's balance table.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -47,6 +48,13 @@ pub struct StateSnapshot {
 }
 
 encode_fields!(StateSnapshot {
+    subnet,
+    epoch,
+    balances_root,
+    accounts,
+    total
+});
+decode_fields!(StateSnapshot {
     subnet,
     epoch,
     balances_root,
@@ -111,6 +119,9 @@ pub struct BalanceProof {
     /// Membership proof against [`StateSnapshot::balances_root`].
     pub proof: MerkleProof,
 }
+
+encode_fields!(BalanceProof { leaf, proof });
+decode_fields!(BalanceProof { leaf, proof });
 
 impl BalanceProof {
     /// Verifies the proof against a snapshot.

@@ -1,0 +1,152 @@
+//! F8 benchmark: durability overhead and crash-recovery speed.
+//!
+//! Three groups:
+//! * `wal_append` — raw segmented-WAL append throughput per fsync policy;
+//! * `durable_overhead` — a fixed runtime workload with persistence off vs
+//!   journaling to an in-memory device (the write-through tax);
+//! * `recovery` — `HierarchyRuntime::recover` wall time as a function of
+//!   journaled chain length.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hc_core::{HierarchyRuntime, PersistenceConfig, RuntimeConfig};
+use hc_net::NetConfig;
+use hc_store::{FsyncPolicy, InMemoryDevice, Persistence, Wal, WalOptions};
+use hc_types::{SubnetId, TokenAmount};
+
+fn whole(n: u64) -> TokenAmount {
+    TokenAmount::from_whole(n)
+}
+
+fn quiet_config(persistence: PersistenceConfig) -> RuntimeConfig {
+    RuntimeConfig {
+        net: NetConfig {
+            jitter_ms: 0,
+            drop_rate: 0.0,
+            ..NetConfig::default()
+        },
+        persistence,
+        ..RuntimeConfig::default()
+    }
+}
+
+/// Runs a two-subnet workload producing roughly `rounds * ~30` blocks.
+fn drive_workload(rt: &mut HierarchyRuntime, rounds: usize) {
+    let root = SubnetId::root();
+    let alice = rt.create_user(&root, whole(1_000_000)).unwrap();
+    let mut pairs = Vec::new();
+    for _ in 0..2 {
+        let validator = rt.create_user(&root, whole(100)).unwrap();
+        let subnet = rt
+            .spawn_subnet(
+                &alice,
+                hc_actors::sa::SaConfig::default(),
+                whole(10),
+                &[(validator, whole(5))],
+            )
+            .unwrap();
+        let a = rt.create_user(&subnet, TokenAmount::ZERO).unwrap();
+        let b = rt.create_user(&subnet, TokenAmount::ZERO).unwrap();
+        rt.cross_transfer(&alice, &a, whole(500)).unwrap();
+        pairs.push((a, b));
+    }
+    rt.run_until_quiescent(1_000_000).unwrap();
+    for round in 0..rounds {
+        for (a, b) in &pairs {
+            let (from, to) = if round % 2 == 0 { (a, b) } else { (b, a) };
+            rt.submit(from, to.addr, whole(1), hc_state::Method::Send)
+                .unwrap();
+        }
+        rt.run_until_quiescent(1_000_000).unwrap();
+    }
+}
+
+fn bench_wal_append(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wal_append");
+    let record = vec![0xabu8; 256];
+    let batch = 1_000u64;
+    group.throughput(Throughput::Elements(batch));
+    for (label, fsync) in [
+        ("fsync_never", FsyncPolicy::Never),
+        ("fsync_every_64", FsyncPolicy::EveryN(64)),
+        ("fsync_always", FsyncPolicy::Always),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let dev: Arc<dyn Persistence> = Arc::new(InMemoryDevice::new());
+                let (mut wal, _) = Wal::open(
+                    dev,
+                    "bench",
+                    WalOptions {
+                        fsync,
+                        ..WalOptions::default()
+                    },
+                );
+                for _ in 0..batch {
+                    wal.append(&record);
+                }
+                wal.sync();
+                wal.record_count()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_durable_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("durable_overhead");
+    group.sample_size(10);
+    for (label, durable) in [("in_memory", false), ("journaled", true)] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let persistence = if durable {
+                    PersistenceConfig::on_device(Arc::new(InMemoryDevice::new()))
+                } else {
+                    PersistenceConfig::InMemory
+                };
+                let mut rt = HierarchyRuntime::new(quiet_config(persistence));
+                drive_workload(&mut rt, 4);
+                rt.now_ms()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_recovery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("recovery");
+    group.sample_size(10);
+    for rounds in [2usize, 8, 16] {
+        // Journal one history of ~rounds*30 blocks, then measure replaying
+        // it from a forked device (each iteration recovers the same bytes).
+        let device = InMemoryDevice::new();
+        let mut rt = HierarchyRuntime::new(quiet_config(PersistenceConfig::on_device(Arc::new(
+            device.clone(),
+        ))));
+        drive_workload(&mut rt, rounds);
+        let blocks: usize = rt
+            .subnets()
+            .map(|s| rt.node(s).map_or(0, |n| n.chain().len()))
+            .sum();
+        drop(rt);
+        group.throughput(Throughput::Elements(blocks as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(blocks), &device, |b, dev| {
+            b.iter(|| {
+                let rt = HierarchyRuntime::recover(quiet_config(PersistenceConfig::on_device(
+                    Arc::new(dev.fork()),
+                )));
+                rt.now_ms()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_wal_append,
+    bench_durable_overhead,
+    bench_recovery
+);
+criterion_main!(benches);

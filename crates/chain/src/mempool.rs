@@ -306,6 +306,30 @@ impl CrossMsgPool {
     pub fn next_top_down_nonce(&self) -> Nonce {
         self.next_top_down
     }
+
+    /// Records that the top-down message with `nonce` was applied by a
+    /// committed block — used by WAL replay, where application happens via
+    /// the journaled block rather than [`CrossMsgPool::take_proposable`].
+    /// Advances the release cursor past `nonce` and drops the (now applied)
+    /// message if it was waiting.
+    pub fn note_top_down_applied(&mut self, nonce: Nonce) {
+        if nonce >= self.next_top_down {
+            self.next_top_down = nonce.next();
+        }
+        self.top_down.retain(|n, _| *n >= self.next_top_down);
+    }
+
+    /// Records that the bottom-up group of `meta` was applied by a
+    /// committed block (WAL-replay counterpart of the resolve → propose
+    /// flow). Clears the meta from both waiting sets and advances the
+    /// bottom-up cursor.
+    pub fn note_bottom_up_applied(&mut self, meta: &CrossMsgMeta) {
+        self.awaiting_resolution.remove(&meta.msgs_cid);
+        self.ready_bottom_up.remove(&meta.nonce);
+        if meta.nonce >= self.next_bottom_up {
+            self.next_bottom_up = meta.nonce.next();
+        }
+    }
 }
 
 #[cfg(test)]

@@ -3,7 +3,8 @@
 use std::collections::HashMap;
 use std::fmt;
 
-use hc_types::{ChainEpoch, Cid, SubnetId};
+use hc_store::Wal;
+use hc_types::{CanonicalEncode, ChainEpoch, Cid, SubnetId};
 
 use crate::block::Block;
 
@@ -28,6 +29,8 @@ pub enum StoreError {
     WrongSubnet(SubnetId),
     /// Structural validation failed.
     BadBlock(String),
+    /// The block (by CID) is already in the store.
+    DuplicateBlock(Cid),
 }
 
 impl fmt::Display for StoreError {
@@ -41,6 +44,7 @@ impl fmt::Display for StoreError {
             }
             StoreError::WrongSubnet(id) => write!(f, "block belongs to subnet {id}"),
             StoreError::BadBlock(why) => write!(f, "invalid block: {why}"),
+            StoreError::DuplicateBlock(cid) => write!(f, "block {cid} already stored"),
         }
     }
 }
@@ -57,8 +61,12 @@ pub struct ChainStore {
     subnet: SubnetId,
     blocks: HashMap<Cid, Block>,
     order: Vec<Cid>,
+    by_epoch: HashMap<ChainEpoch, Cid>,
     head: Cid,
     head_epoch: ChainEpoch,
+    /// Write-through block WAL; every appended block is journaled here
+    /// before it becomes visible in the store.
+    wal: Option<Wal>,
 }
 
 impl ChainStore {
@@ -69,9 +77,23 @@ impl ChainStore {
             subnet,
             blocks: HashMap::new(),
             order: Vec::new(),
+            by_epoch: HashMap::new(),
             head: Cid::NIL,
             head_epoch: ChainEpoch::GENESIS,
+            wal: None,
         }
+    }
+
+    /// Attaches a write-through WAL: every subsequent [`ChainStore::append`]
+    /// journals the block's canonical bytes before updating the in-memory
+    /// chain. The WAL must be exclusively owned by this store.
+    pub fn attach_wal(&mut self, wal: Wal) {
+        self.wal = Some(wal);
+    }
+
+    /// The attached write-through WAL, if any.
+    pub fn wal(&self) -> Option<&Wal> {
+        self.wal.as_ref()
     }
 
     /// The subnet this chain belongs to.
@@ -109,6 +131,12 @@ impl ChainStore {
         self.order.get(i).and_then(|c| self.blocks.get(c))
     }
 
+    /// Fetches the block committed at `epoch` in O(1), or `None` if the
+    /// chain skipped that epoch (slow engines do not fill every height).
+    pub fn get_by_epoch(&self, epoch: ChainEpoch) -> Option<&Block> {
+        self.by_epoch.get(&epoch).and_then(|c| self.blocks.get(c))
+    }
+
     /// Iterates over blocks oldest → newest.
     pub fn iter(&self) -> impl Iterator<Item = &Block> {
         self.order.iter().filter_map(|c| self.blocks.get(c))
@@ -122,10 +150,28 @@ impl ChainStore {
     /// subnet, does not point at the current head, or does not advance the
     /// epoch.
     pub fn append(&mut self, block: Block) -> Result<Cid, StoreError> {
+        self.append_inner(block, true)
+    }
+
+    /// Appends a block recovered from the WAL: identical validation, but
+    /// the block is *not* re-journaled (it came from the journal).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`ChainStore::append`].
+    pub fn append_recovered(&mut self, block: Block) -> Result<Cid, StoreError> {
+        self.append_inner(block, false)
+    }
+
+    fn append_inner(&mut self, block: Block, journal: bool) -> Result<Cid, StoreError> {
         if block.header.subnet != self.subnet {
             return Err(StoreError::WrongSubnet(block.header.subnet.clone()));
         }
         block.validate_structure().map_err(StoreError::BadBlock)?;
+        let cid = block.cid();
+        if self.blocks.contains_key(&cid) {
+            return Err(StoreError::DuplicateBlock(cid));
+        }
         if block.header.parent != self.head {
             return Err(StoreError::ParentMismatch {
                 expected: self.head,
@@ -138,10 +184,15 @@ impl ChainStore {
                 got: block.header.epoch,
             });
         }
-        let cid = block.cid();
+        if journal {
+            if let Some(wal) = &mut self.wal {
+                wal.append(&block.canonical_bytes());
+            }
+        }
         self.head = cid;
         self.head_epoch = block.header.epoch;
         self.order.push(cid);
+        self.by_epoch.insert(block.header.epoch, cid);
         self.blocks.insert(cid, block);
         Ok(cid)
     }
@@ -206,6 +257,54 @@ mod tests {
             store.append(block_at(1, Cid::NIL)),
             Err(StoreError::WrongSubnet(_))
         ));
+    }
+
+    #[test]
+    fn duplicate_append_is_a_typed_error() {
+        let mut store = ChainStore::new(SubnetId::root());
+        let b1 = block_at(1, Cid::NIL);
+        let cid = store.append(b1.clone()).unwrap();
+        assert_eq!(store.append(b1), Err(StoreError::DuplicateBlock(cid)));
+        // The store is unchanged by the rejected duplicate.
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.head(), cid);
+    }
+
+    #[test]
+    fn epoch_index_gives_o1_historical_lookups() {
+        let mut store = ChainStore::new(SubnetId::root());
+        let c1 = store.append(block_at(1, Cid::NIL)).unwrap();
+        let c7 = store.append(block_at(7, c1)).unwrap();
+        assert_eq!(store.get_by_epoch(ChainEpoch::new(1)).unwrap().cid(), c1);
+        assert_eq!(store.get_by_epoch(ChainEpoch::new(7)).unwrap().cid(), c7);
+        assert!(store.get_by_epoch(ChainEpoch::new(3)).is_none());
+    }
+
+    #[test]
+    fn wal_write_through_journals_appends_but_not_recoveries() {
+        use std::sync::Arc;
+
+        use hc_store::{InMemoryDevice, Persistence, Wal, WalOptions};
+        use hc_types::CanonicalDecode;
+
+        let dev: Arc<dyn Persistence> = Arc::new(InMemoryDevice::new());
+        let (wal, _) = Wal::open(dev.clone(), "chains/root", WalOptions::default());
+        let mut store = ChainStore::new(SubnetId::root());
+        store.attach_wal(wal);
+        let c1 = store.append(block_at(1, Cid::NIL)).unwrap();
+        let c2 = store.append(block_at(2, c1)).unwrap();
+
+        // Replay the journal into a fresh store: same chain, no re-journal.
+        let (wal, records) = Wal::open(dev, "chains/root", WalOptions::default());
+        assert_eq!(records.len(), 2);
+        let mut recovered = ChainStore::new(SubnetId::root());
+        for bytes in &records {
+            let block = Block::decode(bytes).unwrap();
+            recovered.append_recovered(block).unwrap();
+        }
+        assert_eq!(recovered.head(), c2);
+        assert_eq!(recovered.head_epoch(), ChainEpoch::new(2));
+        assert_eq!(wal.record_count(), 2, "recovery must not re-journal");
     }
 
     #[test]

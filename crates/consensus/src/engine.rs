@@ -151,6 +151,30 @@ impl Default for EngineParams {
     }
 }
 
+impl hc_types::CanonicalEncode for EngineParams {
+    fn write_bytes(&self, out: &mut Vec<u8>) {
+        self.block_time_ms.write_bytes(out);
+        (self.block_capacity as u64).write_bytes(out);
+        self.net_delay_ms.write_bytes(out);
+        // f64 travels as its IEEE-754 bit pattern, which round-trips
+        // exactly (unlike any decimal rendering).
+        self.fault_rate.to_bits().write_bytes(out);
+        (self.leaders as u64).write_bytes(out);
+    }
+}
+
+impl hc_types::CanonicalDecode for EngineParams {
+    fn read_bytes(r: &mut hc_types::ByteReader<'_>) -> Result<Self, hc_types::DecodeError> {
+        Ok(EngineParams {
+            block_time_ms: u64::read_bytes(r)?,
+            block_capacity: u64::read_bytes(r)? as usize,
+            net_delay_ms: u64::read_bytes(r)?,
+            fault_rate: f64::from_bits(u64::read_bytes(r)?),
+            leaders: u64::read_bytes(r)? as usize,
+        })
+    }
+}
+
 /// Instantiates the engine for a [`ConsensusKind`] with the given
 /// parameters — the hook the Subnet Actor's `consensus` field plugs into.
 pub fn make_engine(kind: ConsensusKind, params: EngineParams) -> Box<dyn Consensus> {

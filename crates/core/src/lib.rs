@@ -60,6 +60,7 @@ pub mod atomic;
 pub mod attack;
 pub mod audit;
 pub mod node;
+pub mod persist;
 pub mod runtime;
 
 pub use archive::CheckpointArchive;
@@ -67,4 +68,5 @@ pub use atomic::{AtomicOrchestrator, AtomicOutcome, AtomicParty, PartyBehavior};
 pub use attack::AttackReport;
 pub use audit::{audit_escrow, audit_quiescent, SupplyReport};
 pub use node::{NodeStats, SubnetNode};
+pub use persist::{ControlRecord, DurableOptions, PersistenceConfig};
 pub use runtime::{HierarchyRuntime, RuntimeConfig, RuntimeError, StepReport, UserHandle};

@@ -1,0 +1,348 @@
+//! Durable persistence wiring: the runtime's persistence configuration and
+//! the control-log records that make a [`crate::HierarchyRuntime`]
+//! restartable.
+//!
+//! With persistence enabled the runtime journals two kinds of history:
+//!
+//! * **Block WALs** — one per subnet (`chains/<subnet>`), written through
+//!   by the subnet's `ChainStore`: a block's canonical bytes reach the
+//!   journal before the block becomes visible in memory.
+//! * **The control log** (`control`) — a single runtime-wide WAL of
+//!   [`ControlRecord`]s that totally orders everything the block WALs
+//!   cannot express on their own: account and wallet creation, subnet
+//!   boots, the cross-subnet commit order of blocks, and the anchors of
+//!   persisted state manifests.
+//!
+//! State blobs (chunk manifests and their chunks) are journaled separately
+//! through the `CidStore`'s attached [`hc_store::BlobLog`], which dedups by
+//! content so structural sharing between snapshots carries to disk.
+//!
+//! Recovery ([`crate::HierarchyRuntime::recover`]) replays the longest
+//! satisfiable prefix of the control log, re-executing each journaled block
+//! and re-deriving every piece of in-memory state from it. Anything past
+//! that prefix — a torn record, a block whose journal entry was lost, a
+//! state root that no longer reproduces — is truncated away so the journal
+//! and the recovered world agree exactly.
+
+use std::fmt;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use hc_actors::sa::SaConfig;
+use hc_consensus::EngineParams;
+use hc_store::{FsyncPolicy, OnDiskDevice, Persistence, WalOptions};
+use hc_types::{
+    Address, ByteReader, CanonicalDecode, CanonicalEncode, ChainEpoch, Cid, DecodeError, SubnetId,
+    TokenAmount,
+};
+
+/// How (and whether) a [`crate::HierarchyRuntime`] persists its history.
+#[derive(Clone, Default)]
+pub enum PersistenceConfig {
+    /// No journaling at all: every store lives in process memory and dies
+    /// with the runtime. The default — byte-for-byte identical behaviour
+    /// to the pre-persistence runtime (no WAL is even constructed).
+    #[default]
+    InMemory,
+    /// Journal blocks, control records, and state blobs to a device.
+    Durable(DurableOptions),
+}
+
+/// Options for [`PersistenceConfig::Durable`].
+#[derive(Clone)]
+pub struct DurableOptions {
+    /// The device every log writes to. An
+    /// [`hc_store::InMemoryDevice`] gives crash-injection tests a handle
+    /// that outlives the runtime; an [`OnDiskDevice`] gives real files.
+    pub device: Arc<dyn Persistence>,
+    /// Segmentation and fsync policy applied to every log.
+    pub wal: WalOptions,
+    /// Keep this many recent snapshot manifests per subnet live; older
+    /// manifests (and every blob only they reference) are pruned from the
+    /// `CidStore` and compacted out of the blob log as new manifests
+    /// arrive. `0` disables automatic pruning.
+    pub keep_manifests: usize,
+}
+
+impl PersistenceConfig {
+    /// Durable persistence on an arbitrary device with default options.
+    pub fn on_device(device: Arc<dyn Persistence>) -> Self {
+        PersistenceConfig::Durable(DurableOptions {
+            device,
+            wal: WalOptions::default(),
+            keep_manifests: 0,
+        })
+    }
+
+    /// Durable persistence rooted at `root` on the local filesystem
+    /// (callers in tests must root this inside `std::env::temp_dir()`).
+    pub fn on_disk(root: impl Into<PathBuf>) -> Self {
+        Self::on_device(Arc::new(OnDiskDevice::new(root)))
+    }
+
+    /// Durable persistence on disk with an explicit fsync policy.
+    pub fn on_disk_with_fsync(root: impl Into<PathBuf>, fsync: FsyncPolicy) -> Self {
+        PersistenceConfig::Durable(DurableOptions {
+            device: Arc::new(OnDiskDevice::new(root)),
+            wal: WalOptions {
+                fsync,
+                ..WalOptions::default()
+            },
+            keep_manifests: 0,
+        })
+    }
+
+    /// The durable options, when journaling is enabled.
+    pub fn durable(&self) -> Option<&DurableOptions> {
+        match self {
+            PersistenceConfig::InMemory => None,
+            PersistenceConfig::Durable(d) => Some(d),
+        }
+    }
+
+    /// Returns `true` when journaling is enabled.
+    pub fn is_durable(&self) -> bool {
+        self.durable().is_some()
+    }
+}
+
+impl fmt::Debug for PersistenceConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistenceConfig::InMemory => f.write_str("InMemory"),
+            PersistenceConfig::Durable(d) => f
+                .debug_struct("Durable")
+                .field("wal", &d.wal)
+                .field("keep_manifests", &d.keep_manifests)
+                .finish_non_exhaustive(),
+        }
+    }
+}
+
+/// The stream name of a subnet's block WAL.
+pub fn chain_log_name(subnet: &SubnetId) -> String {
+    format!("chains/{subnet}")
+}
+
+/// Name of the runtime-wide control log.
+pub const CONTROL_LOG: &str = "control";
+
+/// Name of the blob log backing the runtime's `CidStore`.
+pub const BLOB_LOG: &str = "blobs";
+
+/// One entry of the runtime control log.
+///
+/// Block *contents* live in the per-subnet block WALs; the control log
+/// carries the residue a restart cannot re-derive from blocks alone —
+/// wallet keys and account creation (which happen outside any block),
+/// subnet boots (node structure, consensus engine, schedule), the total
+/// order of block commits across subnets, and the anchors of persisted
+/// state manifests.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ControlRecord {
+    /// `create_user` minted an account (and its deterministic wallet key).
+    UserCreated {
+        /// Subnet the account lives in.
+        subnet: SubnetId,
+        /// The account address.
+        addr: Address,
+        /// Initial balance (non-zero only on the rootnet).
+        balance: TokenAmount,
+    },
+    /// `create_claimant` registered a subnet user on its parent chain.
+    ClaimantCreated {
+        /// The *user's* subnet (the claimant lives in its parent).
+        subnet: SubnetId,
+        /// The shared address.
+        addr: Address,
+    },
+    /// A child subnet chain booted (spawn step 4).
+    SubnetBoot {
+        /// The child's identity.
+        child: SubnetId,
+        /// The Subnet Actor config the chain booted with.
+        config: SaConfig,
+        /// The child's consensus engine parameters.
+        engine_params: EngineParams,
+    },
+    /// A block committed on `subnet` (its bytes are in the subnet's block
+    /// WAL; this record orders commits *across* subnets).
+    BlockCommitted {
+        /// The committing subnet.
+        subnet: SubnetId,
+        /// The block's epoch (cross-checked against the journaled block).
+        epoch: ChainEpoch,
+    },
+    /// `save_snapshot` persisted a subnet's state as a chunk manifest.
+    /// Replay re-persists and must reproduce the same manifest CID.
+    SnapshotAnchor {
+        /// The snapshotted subnet.
+        subnet: SubnetId,
+        /// CID of the persisted [`hc_state::ChunkManifest`].
+        manifest: Cid,
+    },
+    /// A checkpoint cut persisted a subnet's state. Verify-only on replay:
+    /// the replayed cut re-persists through the same code path, and this
+    /// anchor must match what it produced.
+    CheckpointAnchor {
+        /// The cutting subnet.
+        subnet: SubnetId,
+        /// The checkpoint's epoch.
+        epoch: ChainEpoch,
+        /// CID of the persisted manifest.
+        manifest: Cid,
+    },
+}
+
+impl CanonicalEncode for ControlRecord {
+    fn write_bytes(&self, out: &mut Vec<u8>) {
+        match self {
+            ControlRecord::UserCreated {
+                subnet,
+                addr,
+                balance,
+            } => {
+                out.push(0);
+                subnet.write_bytes(out);
+                addr.write_bytes(out);
+                balance.write_bytes(out);
+            }
+            ControlRecord::ClaimantCreated { subnet, addr } => {
+                out.push(1);
+                subnet.write_bytes(out);
+                addr.write_bytes(out);
+            }
+            ControlRecord::SubnetBoot {
+                child,
+                config,
+                engine_params,
+            } => {
+                out.push(2);
+                child.write_bytes(out);
+                config.write_bytes(out);
+                engine_params.write_bytes(out);
+            }
+            ControlRecord::BlockCommitted { subnet, epoch } => {
+                out.push(3);
+                subnet.write_bytes(out);
+                epoch.write_bytes(out);
+            }
+            ControlRecord::SnapshotAnchor { subnet, manifest } => {
+                out.push(4);
+                subnet.write_bytes(out);
+                manifest.write_bytes(out);
+            }
+            ControlRecord::CheckpointAnchor {
+                subnet,
+                epoch,
+                manifest,
+            } => {
+                out.push(5);
+                subnet.write_bytes(out);
+                epoch.write_bytes(out);
+                manifest.write_bytes(out);
+            }
+        }
+    }
+}
+
+impl CanonicalDecode for ControlRecord {
+    fn read_bytes(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        match u8::read_bytes(r)? {
+            0 => Ok(ControlRecord::UserCreated {
+                subnet: SubnetId::read_bytes(r)?,
+                addr: Address::read_bytes(r)?,
+                balance: TokenAmount::read_bytes(r)?,
+            }),
+            1 => Ok(ControlRecord::ClaimantCreated {
+                subnet: SubnetId::read_bytes(r)?,
+                addr: Address::read_bytes(r)?,
+            }),
+            2 => Ok(ControlRecord::SubnetBoot {
+                child: SubnetId::read_bytes(r)?,
+                config: SaConfig::read_bytes(r)?,
+                engine_params: EngineParams::read_bytes(r)?,
+            }),
+            3 => Ok(ControlRecord::BlockCommitted {
+                subnet: SubnetId::read_bytes(r)?,
+                epoch: ChainEpoch::read_bytes(r)?,
+            }),
+            4 => Ok(ControlRecord::SnapshotAnchor {
+                subnet: SubnetId::read_bytes(r)?,
+                manifest: Cid::read_bytes(r)?,
+            }),
+            5 => Ok(ControlRecord::CheckpointAnchor {
+                subnet: SubnetId::read_bytes(r)?,
+                epoch: ChainEpoch::read_bytes(r)?,
+                manifest: Cid::read_bytes(r)?,
+            }),
+            tag => Err(DecodeError::BadTag {
+                what: "ControlRecord",
+                tag,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn control_records_round_trip_canonically() {
+        let subnet = SubnetId::root().child(Address::new(42));
+        let records = vec![
+            ControlRecord::UserCreated {
+                subnet: SubnetId::root(),
+                addr: Address::new(100),
+                balance: TokenAmount::from_whole(7),
+            },
+            ControlRecord::ClaimantCreated {
+                subnet: subnet.clone(),
+                addr: Address::new(101),
+            },
+            ControlRecord::SubnetBoot {
+                child: subnet.clone(),
+                config: SaConfig::default(),
+                engine_params: EngineParams::default(),
+            },
+            ControlRecord::BlockCommitted {
+                subnet: subnet.clone(),
+                epoch: ChainEpoch::new(9),
+            },
+            ControlRecord::SnapshotAnchor {
+                subnet: subnet.clone(),
+                manifest: Cid::digest(b"manifest"),
+            },
+            ControlRecord::CheckpointAnchor {
+                subnet,
+                epoch: ChainEpoch::new(20),
+                manifest: Cid::digest(b"manifest2"),
+            },
+        ];
+        for rec in records {
+            let bytes = rec.canonical_bytes();
+            let back = ControlRecord::decode(&bytes).unwrap();
+            assert_eq!(back, rec);
+        }
+    }
+
+    #[test]
+    fn bad_tag_is_rejected() {
+        assert!(matches!(
+            ControlRecord::decode(&[9]),
+            Err(DecodeError::BadTag {
+                what: "ControlRecord",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn default_config_is_in_memory() {
+        assert!(!PersistenceConfig::default().is_durable());
+        let durable = PersistenceConfig::on_device(Arc::new(hc_store::InMemoryDevice::new()));
+        assert!(durable.is_durable());
+        assert_eq!(format!("{:?}", PersistenceConfig::default()), "InMemory");
+    }
+}

@@ -2,6 +2,7 @@
 
 use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
+use std::sync::Arc;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -9,16 +10,29 @@ use rand::SeedableRng;
 use hc_actors::checkpoint::SignedCheckpoint;
 use hc_actors::sa::SaConfig;
 use hc_actors::{CrossMsg, HcAddress, ScaConfig};
-use hc_chain::{produce_block_with, ChainStore, CrossMsgPool, ExecOptions, Mempool};
+use hc_chain::{
+    execute_block_with, produce_block_with, Block, ChainStore, CrossMsgPool, ExecOptions, Mempool,
+};
 use hc_consensus::{make_engine, EngineParams, ValidatorSet};
 use hc_net::{NetConfig, Network, ResolutionMsg, Resolver};
 use hc_state::{
     CidStore, ImplicitMsg, Message, Method, Receipt, SealedMessage, SigCache, SigCacheStats,
     SignedMessage, StateTree, VmEvent, DEFAULT_SIG_CACHE_CAPACITY,
 };
-use hc_types::{Address, CanonicalEncode, ChainEpoch, Cid, Keypair, Nonce, SubnetId, TokenAmount};
+use hc_store::{BlobLog, Persistence, Wal};
+use hc_types::{
+    Address, CanonicalDecode, CanonicalEncode, ChainEpoch, Cid, Keypair, Nonce, SubnetId,
+    TokenAmount,
+};
 
 use crate::node::{NodeStats, SubnetNode};
+use crate::persist::{
+    chain_log_name, ControlRecord, DurableOptions, PersistenceConfig, BLOB_LOG, CONTROL_LOG,
+};
+
+/// How many recent manifests per subnet the runtime remembers for manual
+/// blob pruning when no automatic GC depth is configured.
+const DEFAULT_MANIFEST_HISTORY: usize = 16;
 
 /// Domain separation for root validator key seeds.
 const ROOT_SEED_DOMAIN: u64 = 0x726f_6f74; // "root"
@@ -60,6 +74,12 @@ pub struct RuntimeConfig {
     /// cache entirely; receipts and state roots are bit-identical either
     /// way (the cache only elides provably redundant work).
     pub sig_cache_capacity: usize,
+    /// Durable persistence. The default, [`PersistenceConfig::InMemory`],
+    /// journals nothing and preserves the pre-persistence behaviour
+    /// exactly; [`PersistenceConfig::Durable`] write-through-journals
+    /// blocks, control records, and state blobs so the hierarchy can be
+    /// rebuilt by [`HierarchyRuntime::recover`] after a crash.
+    pub persistence: PersistenceConfig,
 }
 
 impl Default for RuntimeConfig {
@@ -75,6 +95,7 @@ impl Default for RuntimeConfig {
             certificates_enabled: true,
             parallelism: 1,
             sig_cache_capacity: DEFAULT_SIG_CACHE_CAPACITY,
+            persistence: PersistenceConfig::InMemory,
         }
     }
 }
@@ -174,6 +195,15 @@ struct LocalOutcome {
     events: Vec<VmEvent>,
 }
 
+/// One subnet's block WAL while [`HierarchyRuntime::recover`] replays the
+/// control log: the journaled block records and a cursor over how many the
+/// replay has consumed so far.
+struct ReplayLog {
+    wal: Wal,
+    records: Vec<Vec<u8>>,
+    cursor: usize,
+}
+
 /// The hierarchical consensus runtime: one node per subnet plus the shared
 /// pub-sub network, advanced by a deterministic discrete-event loop.
 pub struct HierarchyRuntime {
@@ -193,6 +223,18 @@ pub struct HierarchyRuntime {
     /// manifests. Shared by every node (handles clone the same store), so
     /// unchanged chunks are stored once across snapshots and subnets.
     store: CidStore,
+    /// `true` while [`HierarchyRuntime::recover`] replays journaled
+    /// history: journaling and network publishes are suppressed (replay
+    /// must not re-journal what it reads, and a recovering node's old
+    /// gossip must not be re-sent).
+    recovering: bool,
+    /// The runtime-wide control log (see [`crate::persist`]); `None` when
+    /// persistence is [`PersistenceConfig::InMemory`].
+    control_wal: Option<Wal>,
+    /// Most recent persisted state-manifest CIDs, per subnet, newest last.
+    /// The GC's live roots: blobs unreachable from these manifests can be
+    /// pruned from the blob store.
+    recent_manifests: BTreeMap<SubnetId, VecDeque<Cid>>,
 }
 
 impl fmt::Debug for HierarchyRuntime {
@@ -207,7 +249,324 @@ impl fmt::Debug for HierarchyRuntime {
 impl HierarchyRuntime {
     /// Creates a hierarchy containing only the rootnet, with
     /// `config.root_validators` authority validators.
+    ///
+    /// With [`PersistenceConfig::Durable`] the runtime attaches its
+    /// journals to the configured device and starts writing through. `new`
+    /// expects a *fresh* device; to restart from a device that already
+    /// holds journaled history, use [`HierarchyRuntime::recover`].
     pub fn new(config: RuntimeConfig) -> Self {
+        let mut rt = Self::boot(config);
+        if let Some(durable) = rt.config.persistence.durable().cloned() {
+            let (control, _) = Wal::open(durable.device.clone(), CONTROL_LOG, durable.wal);
+            rt.control_wal = Some(control);
+            rt.store
+                .attach_blob_log(BlobLog::open(durable.device.clone(), BLOB_LOG, durable.wal));
+            let root = SubnetId::root();
+            let (wal, _) = Wal::open(durable.device.clone(), &chain_log_name(&root), durable.wal);
+            if let Some(node) = rt.nodes.get_mut(&root) {
+                node.chain.attach_wal(wal);
+            }
+        }
+        rt
+    }
+
+    /// Restarts a hierarchy from the journaled history on
+    /// `config.persistence`'s device: replays the longest satisfiable
+    /// prefix of the control log (re-executing every journaled block and
+    /// verifying each recomputed state root against the block header),
+    /// truncates everything past that prefix out of the journals, and
+    /// resumes live operation from there.
+    ///
+    /// With [`PersistenceConfig::InMemory`] this is just
+    /// [`HierarchyRuntime::new`]. The rest of the `config` (seed, network,
+    /// engine parameters, …) must match the run that wrote the journals —
+    /// the journals deliberately do not store the whole world, only what a
+    /// deterministic re-execution cannot re-derive.
+    pub fn recover(config: RuntimeConfig) -> Self {
+        let Some(durable) = config.persistence.durable().cloned() else {
+            return Self::new(config);
+        };
+        let mut rt = Self::boot(config);
+        rt.recovering = true;
+        // Attach the blob log before replaying: replayed persists dedup
+        // against blobs that survived the crash and re-journal any the
+        // torn tail lost.
+        rt.store
+            .attach_blob_log(BlobLog::open(durable.device.clone(), BLOB_LOG, durable.wal));
+        let (mut control, control_records) =
+            Wal::open(durable.device.clone(), CONTROL_LOG, durable.wal);
+        let mut logs: BTreeMap<SubnetId, ReplayLog> = BTreeMap::new();
+        let root = SubnetId::root();
+        let (wal, records) = Wal::open(durable.device.clone(), &chain_log_name(&root), durable.wal);
+        logs.insert(
+            root,
+            ReplayLog {
+                wal,
+                records,
+                cursor: 0,
+            },
+        );
+        let mut applied = 0usize;
+        for bytes in &control_records {
+            let Ok(record) = ControlRecord::decode(bytes) else {
+                break;
+            };
+            if !rt.apply_control_record(record, &durable, &mut logs) {
+                break;
+            }
+            applied += 1;
+        }
+        // Make the journals agree with the recovered world: drop control
+        // records past the replayed prefix and, per subnet, block records
+        // past the replay cursor (a block whose commit record was lost is
+        // not part of history).
+        control.truncate_after(applied);
+        for (subnet, log) in logs {
+            let ReplayLog {
+                mut wal, cursor, ..
+            } = log;
+            wal.truncate_after(cursor);
+            if let Some(node) = rt.nodes.get_mut(&subnet) {
+                node.chain.attach_wal(wal);
+            }
+        }
+        rt.store.sync();
+        rt.control_wal = Some(control);
+        rt.recovering = false;
+        rt
+    }
+
+    /// Applies one control record during recovery. Returns `false` when the
+    /// record cannot be satisfied (its block is missing or torn, a state
+    /// root fails to reproduce, …) — replay stops there and the journal is
+    /// truncated back to the satisfied prefix.
+    fn apply_control_record(
+        &mut self,
+        record: ControlRecord,
+        durable: &DurableOptions,
+        logs: &mut BTreeMap<SubnetId, ReplayLog>,
+    ) -> bool {
+        match record {
+            ControlRecord::UserCreated {
+                subnet,
+                addr,
+                balance,
+            } => {
+                if self.install_user(&subnet, addr, balance).is_err() {
+                    return false;
+                }
+                self.next_user_id = self.next_user_id.max(addr.id() + 1);
+                true
+            }
+            ControlRecord::ClaimantCreated { subnet, addr } => {
+                self.create_claimant(&UserHandle { subnet, addr }).is_ok()
+            }
+            ControlRecord::SubnetBoot {
+                child,
+                config,
+                engine_params,
+            } => {
+                self.boot_child_node(&child, &config, &engine_params);
+                if !self.nodes.contains_key(&child) {
+                    return false;
+                }
+                let (wal, records) =
+                    Wal::open(durable.device.clone(), &chain_log_name(&child), durable.wal);
+                logs.insert(
+                    child,
+                    ReplayLog {
+                        wal,
+                        records,
+                        cursor: 0,
+                    },
+                );
+                true
+            }
+            ControlRecord::BlockCommitted { subnet, epoch } => {
+                let Some(log) = logs.get_mut(&subnet) else {
+                    return false;
+                };
+                let Some(bytes) = log.records.get(log.cursor) else {
+                    return false;
+                };
+                let Ok(block) = Block::decode(bytes) else {
+                    return false;
+                };
+                if block.header.epoch != epoch {
+                    return false;
+                }
+                if self.replay_block(&subnet, block).is_err() {
+                    return false;
+                }
+                if let Some(log) = logs.get_mut(&subnet) {
+                    log.cursor += 1;
+                }
+                true
+            }
+            ControlRecord::SnapshotAnchor { subnet, manifest } => {
+                let Some(node) = self.nodes.get_mut(&subnet) else {
+                    return false;
+                };
+                let recomputed = node.tree.persist(&node.store);
+                if recomputed != manifest {
+                    return false;
+                }
+                node.stats.state_persists += 1;
+                self.track_manifest(&subnet, manifest);
+                true
+            }
+            ControlRecord::CheckpointAnchor {
+                subnet, manifest, ..
+            } => {
+                // The persist already re-ran inside the replayed block's
+                // checkpoint-cut routing; this anchor only cross-checks it.
+                self.recent_manifests.get(&subnet).and_then(|w| w.back()) == Some(&manifest)
+            }
+        }
+    }
+
+    /// Re-commits one journaled block during recovery: re-executes it
+    /// against the recovered state (verifying the recomputed state root
+    /// against the header), re-appends it without re-journaling, and
+    /// repeats every bookkeeping step the live
+    /// [`HierarchyRuntime::produce_local`] performed — engine and RNG
+    /// draws included, so the recovered node's randomness stream stays
+    /// aligned with history.
+    fn replay_block(&mut self, subnet: &SubnetId, block: Block) -> Result<(), RuntimeError> {
+        self.refresh_validators(subnet);
+        let at_ms = block.header.timestamp_ms;
+        let epoch = block.header.epoch;
+        let parallelism = self.config.parallelism;
+        let node = Self::get_node_mut(&mut self.nodes, subnet)?;
+        if epoch != node.next_epoch {
+            return Err(RuntimeError::Execution(format!(
+                "replay: journaled block at epoch {epoch}, node expects {}",
+                node.next_epoch
+            )));
+        }
+        // Burn the consensus draw the live run made for this block.
+        let opportunity = node
+            .engine
+            .next_block(epoch, &node.validators, &mut node.rng)
+            .map_err(|e| RuntimeError::Execution(format!("consensus: {e}")))?;
+        node.engine
+            .validate_block(&block, &node.validators)
+            .map_err(|e| RuntimeError::Execution(format!("block validation: {e}")))?;
+        let receipts = execute_block_with(
+            &mut node.tree,
+            &block,
+            ExecOptions {
+                sig_cache: node.sig_cache.as_ref(),
+                parallelism,
+            },
+        )
+        .map_err(|e| RuntimeError::Execution(format!("replay execution: {e}")))?;
+        node.chain
+            .append_recovered(block.clone())
+            .map_err(|e| RuntimeError::Execution(format!("chain append: {e}")))?;
+        node.mempool.advance_epoch(epoch);
+
+        let gas_used: u64 = receipts.iter().map(|r| r.gas_used).sum();
+        node.stats.blocks += 1;
+        node.stats.gas_used += gas_used;
+        node.stats.total_interval_ms += opportunity.interval_ms;
+        node.stats.orphaned += u64::from(opportunity.orphaned);
+        node.stats.extra_rounds += u64::from(opportunity.rounds.saturating_sub(1));
+        node.next_block_at_ms = at_ms + opportunity.interval_ms;
+        node.next_epoch = epoch.next();
+        for (i, r) in receipts.iter().enumerate() {
+            if i >= block.implicit_msgs.len() {
+                if r.exit.is_ok() {
+                    node.stats.user_msgs_ok += 1;
+                } else {
+                    node.stats.user_msgs_failed += 1;
+                }
+            }
+        }
+
+        node.last_receipts.clear();
+        let mut committed_checkpoints = Vec::new();
+        for (i, m) in block.implicit_msgs.iter().enumerate() {
+            match m {
+                ImplicitMsg::CommitChildCheckpoint { signed } => {
+                    node.stats.checkpoint_bytes += signed.checkpoint.encoded_size() as u64;
+                    if receipts[i].exit.is_ok() {
+                        committed_checkpoints.push(signed.clone());
+                    }
+                    // The live run drained this from the pending queue when
+                    // it proposed the block; replay re-queued it when the
+                    // child's checkpoint cut was replayed.
+                    node.pending_checkpoints
+                        .retain(|p| p.checkpoint != signed.checkpoint);
+                }
+                ImplicitMsg::CommitTurnaround { meta, .. } => {
+                    node.pending_turnarounds.retain(|(m2, _)| m2 != meta);
+                    node.unresolved_turnarounds.retain(|m2| m2 != meta);
+                }
+                ImplicitMsg::ApplyTopDown(cross) => {
+                    node.cross_pool.note_top_down_applied(cross.nonce);
+                }
+                ImplicitMsg::ApplyBottomUp { meta, .. } => {
+                    node.cross_pool.note_bottom_up_applied(meta);
+                }
+                _ => {}
+            }
+            node.last_receipts.insert(m.cid(), receipts[i].clone());
+        }
+        for (i, m) in block.signed_msgs.iter().enumerate() {
+            node.last_receipts
+                .insert(m.msg_cid(), receipts[block.implicit_msgs.len() + i].clone());
+        }
+
+        let mut archived = Vec::new();
+        for signed in committed_checkpoints {
+            let policy = signed
+                .checkpoint
+                .source
+                .actor()
+                .and_then(|a| node.tree.sa(a).map(hc_actors::SaState::signature_policy));
+            if let Some(policy) = policy {
+                archived.push((signed, policy));
+            }
+        }
+        let events: Vec<VmEvent> = receipts.into_iter().flat_map(|r| r.events).collect();
+        let msg_count = block.msg_count();
+        let nonces: Vec<(Address, Nonce)> = block
+            .signed_msgs
+            .iter()
+            .map(|m| (m.message().from, m.message().nonce))
+            .collect();
+
+        // Wallet nonce cursors advance past every journaled user message.
+        for (from, nonce) in nonces {
+            if let Some(w) = self.wallets.get_mut(&(subnet.clone(), from)) {
+                if nonce.next() > w.next_nonce {
+                    w.next_nonce = nonce.next();
+                }
+            }
+        }
+        self.now_ms = self.now_ms.max(at_ms);
+        self.post_tick(
+            subnet,
+            LocalOutcome {
+                report: StepReport {
+                    subnet: subnet.clone(),
+                    epoch,
+                    at_ms,
+                    msgs: msg_count,
+                    gas_used,
+                },
+                archived,
+                events,
+            },
+            at_ms,
+        )?;
+        Ok(())
+    }
+
+    /// Builds the in-memory hierarchy skeleton (rootnet only), without
+    /// touching any persistence device.
+    fn boot(config: RuntimeConfig) -> Self {
         let network = Network::new(config.net.clone(), config.seed);
         let root = SubnetId::root();
 
@@ -276,7 +635,77 @@ impl HierarchyRuntime {
             root_minted: TokenAmount::ZERO,
             archive: crate::archive::CheckpointArchive::default(),
             store,
+            recovering: false,
+            control_wal: None,
+            recent_manifests: BTreeMap::new(),
         }
+    }
+
+    /// Appends a control record to the runtime's control log. A no-op when
+    /// persistence is in-memory or while recovery replays history (replay
+    /// must never re-journal what it is reading).
+    fn journal(&mut self, record: &ControlRecord) {
+        if self.recovering {
+            return;
+        }
+        if let Some(wal) = &mut self.control_wal {
+            wal.append(&record.canonical_bytes());
+        }
+    }
+
+    /// Records a freshly persisted snapshot manifest in `subnet`'s recency
+    /// window and, when a durable config caps the window
+    /// ([`DurableOptions::keep_manifests`] > 0), prunes blobs that fell out
+    /// of every subnet's window. Runs identically during live operation and
+    /// replay, so recovered stores see the same GC sweeps.
+    fn track_manifest(&mut self, subnet: &SubnetId, manifest: Cid) {
+        let keep = self
+            .config
+            .persistence
+            .durable()
+            .map(|d| d.keep_manifests)
+            .unwrap_or(0);
+        let cap = if keep > 0 {
+            keep
+        } else {
+            DEFAULT_MANIFEST_HISTORY
+        };
+        let window = self.recent_manifests.entry(subnet.clone()).or_default();
+        window.push_back(manifest);
+        let mut evicted = false;
+        while window.len() > cap {
+            window.pop_front();
+            evicted = true;
+        }
+        if evicted && keep > 0 {
+            self.gc_now();
+        }
+    }
+
+    /// Sweeps the shared `CidStore`: every blob unreachable from the
+    /// manifests still inside some subnet's recency window is dropped, in
+    /// memory and in the blob log. Returns `(pruned_blobs, pruned_bytes)`.
+    fn gc_now(&mut self) -> (u64, u64) {
+        let roots: Vec<Cid> = self
+            .recent_manifests
+            .values()
+            .flat_map(|w| w.iter().copied())
+            .collect();
+        self.store.prune_unreachable(&roots)
+    }
+
+    /// Manually prunes state blobs unreachable from the recent snapshot
+    /// manifests (see [`DurableOptions::keep_manifests`] for the automatic
+    /// variant). Returns `(pruned_blobs, pruned_bytes)` for this sweep;
+    /// lifetime totals accumulate in the store's
+    /// [`hc_state::CidStoreStats`].
+    pub fn prune_blobs(&mut self) -> (u64, u64) {
+        self.gc_now()
+    }
+
+    /// The persistence device the runtime journals to, if durable.
+    pub fn persistence_device(&self) -> Option<Arc<dyn Persistence>> {
+        self.config.persistence.durable().map(|d| d.device.clone())
     }
 
     /// Builds a node-local verified-signature cache, or `None` when the
@@ -412,12 +841,38 @@ impl HierarchyRuntime {
         }
         let addr = Address::new(self.next_user_id);
         self.next_user_id += 1;
+        self.install_user(subnet, addr, balance)?;
+        self.journal(&ControlRecord::UserCreated {
+            subnet: subnet.clone(),
+            addr,
+            balance,
+        });
+        Ok(UserHandle {
+            subnet: subnet.clone(),
+            addr,
+        })
+    }
+
+    /// The deterministic wallet key of account `addr` (a pure function of
+    /// the runtime seed, so recovery re-derives the same keys).
+    fn user_key(&self, addr: Address) -> Keypair {
         let mut seed = [0u8; 32];
         seed[..8].copy_from_slice(&addr.id().to_le_bytes());
         seed[8..16].copy_from_slice(&self.config.seed.to_le_bytes());
         seed[16] = 0xac;
-        let key = Keypair::from_seed(seed);
+        Keypair::from_seed(seed)
+    }
 
+    /// Installs account `addr` with its derived key and wallet — the
+    /// shared tail of [`HierarchyRuntime::create_user`] and its recovery
+    /// replay.
+    fn install_user(
+        &mut self,
+        subnet: &SubnetId,
+        addr: Address,
+        balance: TokenAmount,
+    ) -> Result<(), RuntimeError> {
+        let key = self.user_key(addr);
         let node = Self::get_node_mut(&mut self.nodes, subnet)?;
         let acc = node.tree.accounts_mut().get_or_create(addr);
         acc.key = Some(key.public());
@@ -432,10 +887,7 @@ impl HierarchyRuntime {
                 next_nonce: Nonce::ZERO,
             },
         );
-        Ok(UserHandle {
-            subnet: subnet.clone(),
-            addr,
-        })
+        Ok(())
     }
 
     /// Balance of a user account (zero for unknown accounts).
@@ -565,8 +1017,7 @@ impl HierarchyRuntime {
         engine_params: EngineParams,
     ) -> Result<SubnetId, RuntimeError> {
         let parent = creator.subnet.clone();
-        let consensus = sa_config.consensus;
-        let checkpoint_period = sa_config.checkpoint_period;
+        let boot_config = sa_config.clone();
 
         // 1. Deploy the Subnet Actor.
         let rec = self.execute(
@@ -609,8 +1060,41 @@ impl HierarchyRuntime {
         }
 
         // 4. Boot the child chain.
+        self.boot_child_node(&child_id, &boot_config, &engine_params);
+        if let Some(durable) = self.config.persistence.durable().cloned() {
+            let (wal, _) = Wal::open(
+                durable.device.clone(),
+                &chain_log_name(&child_id),
+                durable.wal,
+            );
+            if let Some(node) = self.nodes.get_mut(&child_id) {
+                node.chain.attach_wal(wal);
+            }
+        }
+        self.journal(&ControlRecord::SubnetBoot {
+            child: child_id.clone(),
+            config: boot_config,
+            engine_params,
+        });
+        Ok(child_id)
+    }
+
+    /// Boots a child subnet's node structure (spawn step 4) — the shared
+    /// tail of [`HierarchyRuntime::spawn_subnet_with_params`] and its
+    /// recovery replay. The parent-side actor state (SA deployment,
+    /// registration, joins) is *not* created here; it comes from executed
+    /// blocks.
+    fn boot_child_node(
+        &mut self,
+        child_id: &SubnetId,
+        config: &SaConfig,
+        engine_params: &EngineParams,
+    ) {
+        let Some(parent) = child_id.parent() else {
+            return;
+        };
         let sca_config = ScaConfig {
-            checkpoint_period,
+            checkpoint_period: config.checkpoint_period,
             ..self.config.sca.clone()
         };
         let tree = StateTree::genesis(child_id.clone(), sca_config, []);
@@ -618,7 +1102,7 @@ impl HierarchyRuntime {
         // Child nodes also run full nodes on the parent (paper §II): they
         // follow the parent's topic for resolution traffic.
         self.network.join(subscription, &parent.topic());
-        let engine = make_engine(consensus, engine_params.clone());
+        let engine = make_engine(config.consensus, engine_params.clone());
         let sig_cache = Self::make_sig_cache(self.config.sig_cache_capacity);
         let node = SubnetNode {
             subnet_id: child_id.clone(),
@@ -643,12 +1127,11 @@ impl HierarchyRuntime {
             tentative: BTreeMap::new(),
             store: self.store.clone(),
             stats: NodeStats::default(),
-            rng: node_rng(self.config.seed, &child_id),
+            rng: node_rng(self.config.seed, child_id),
             sig_cache,
         };
         self.nodes.insert(child_id.clone(), node);
-        self.refresh_validators(&child_id);
-        Ok(child_id)
+        self.refresh_validators(child_id);
     }
 
     /// Refreshes a child node's validator set and keys from the parent's
@@ -713,6 +1196,10 @@ impl HierarchyRuntime {
                 key,
                 next_nonce: Nonce::ZERO,
             });
+        self.journal(&ControlRecord::ClaimantCreated {
+            subnet: user.subnet.clone(),
+            addr: user.addr,
+        });
         Ok(UserHandle {
             subnet: parent,
             addr: user.addr,
@@ -780,8 +1267,13 @@ impl HierarchyRuntime {
         // the chunk manifest in the shared CidStore structurally shares
         // every chunk unchanged since the last persist.
         if let Some(node) = self.nodes.get_mut(subnet) {
-            node.tree.persist(&node.store);
+            let manifest = node.tree.persist(&node.store);
             node.stats.state_persists += 1;
+            self.journal(&ControlRecord::SnapshotAnchor {
+                subnet: subnet.clone(),
+                manifest,
+            });
+            self.track_manifest(subnet, manifest);
         }
         Ok(tree)
     }
@@ -1425,11 +1917,20 @@ impl HierarchyRuntime {
             archived,
             events,
         } = outcome;
+        // Order the commit in the runtime-wide control log. The block's
+        // bytes are already safe in the subnet's block WAL (write-through
+        // append); this record sequences it against other subnets' commits.
+        self.journal(&ControlRecord::BlockCommitted {
+            subnet: subnet.clone(),
+            epoch: report.epoch,
+        });
         for (signed, policy) in archived {
             self.archive.record(signed, policy);
         }
-        for ev in &events {
-            self.events.push_back((subnet.clone(), ev.clone()));
+        if !self.recovering {
+            for ev in &events {
+                self.events.push_back((subnet.clone(), ev.clone()));
+            }
         }
         for ev in events {
             self.route_event(subnet, ev, at_ms)?;
@@ -1447,7 +1948,7 @@ impl HierarchyRuntime {
     ) -> Result<(), RuntimeError> {
         match event {
             VmEvent::CheckpointCut { checkpoint } => {
-                let push_enabled = self.config.push_enabled;
+                let push_enabled = self.config.push_enabled && !self.recovering;
                 let node = Self::get_node_mut(&mut self.nodes, subnet)?;
                 node.stats.checkpoints_cut += 1;
 
@@ -1456,7 +1957,7 @@ impl HierarchyRuntime {
                 // (structural sharing, observable via CidStore::stats).
                 // This runs in the sequential routing phase, so store
                 // counters are deterministic at any wave parallelism.
-                node.tree.persist(&node.store);
+                let manifest = node.tree.persist(&node.store);
                 node.stats.state_persists += 1;
 
                 // The subnet's validators sign the cut checkpoint; it then
@@ -1507,6 +2008,16 @@ impl HierarchyRuntime {
                         .pending_checkpoints
                         .push(signed);
                 }
+
+                // Anchor the persisted manifest in the control log and the
+                // GC window. During replay the same code path re-persists,
+                // so GC sweeps happen at identical points.
+                self.journal(&ControlRecord::CheckpointAnchor {
+                    subnet: subnet.clone(),
+                    epoch: checkpoint.epoch,
+                    manifest,
+                });
+                self.track_manifest(subnet, manifest);
             }
 
             VmEvent::CheckpointCommitted { outcome, .. } => {
@@ -1520,6 +2031,7 @@ impl HierarchyRuntime {
 
             VmEvent::CrossMsgQueued { msg }
                 if self.config.certificates_enabled
+                && !self.recovering
                 // Accelerate the slow routes: certify bottom-up and path
                 // messages directly to their destination (paper §IV-A).
                 // Top-down messages settle within a couple of blocks and

@@ -1,0 +1,477 @@
+//! Durable persistence and crash recovery, end to end.
+//!
+//! The invariant under test: *whatever* prefix of the journals survives a
+//! crash, [`HierarchyRuntime::recover`] lands on a valid prefix of the
+//! pre-crash history — every recovered chain is a block-for-block prefix of
+//! the original, every recomputed state root matches the corresponding
+//! block header — and a runtime recovered at a quiescent point is
+//! bit-identical to one that never crashed, including everything it does
+//! *afterwards*.
+//!
+//! Network jitter and loss are disabled throughout: recovery replays
+//! journaled blocks without replaying gossip, so equality of the two worlds
+//! requires message delays to be load-independent (the same restriction the
+//! wave-determinism suite operates under).
+
+use std::sync::Arc;
+
+use hc_core::persist::DurableOptions;
+use hc_core::{HierarchyRuntime, NodeStats, PersistenceConfig, RuntimeConfig, UserHandle};
+use hc_net::NetConfig;
+use hc_store::crash::truncate_stream;
+use hc_store::{FsyncPolicy, InMemoryDevice, Persistence, WalOptions};
+use hc_types::{CanonicalEncode, ChainEpoch, Cid, SubnetId, TokenAmount};
+
+fn whole(n: u64) -> TokenAmount {
+    TokenAmount::from_whole(n)
+}
+
+fn durable_config(device: Arc<dyn Persistence>) -> RuntimeConfig {
+    RuntimeConfig {
+        net: NetConfig {
+            jitter_ms: 0,
+            drop_rate: 0.0,
+            ..NetConfig::default()
+        },
+        persistence: PersistenceConfig::on_device(device),
+        ..RuntimeConfig::default()
+    }
+}
+
+/// The handles a workload needs to keep driving a world after recovery.
+struct World {
+    rt: HierarchyRuntime,
+    alice: UserHandle,
+    subnets: Vec<SubnetId>,
+    pairs: Vec<(UserHandle, UserHandle)>,
+}
+
+/// Builds the same small hierarchy under load for every caller: `children`
+/// subnets off the root, two funded users in each, intra-subnet and
+/// sibling-to-sibling cross-net traffic, and a saved snapshot of the first
+/// subnet. Ends quiescent.
+fn build_world(config: RuntimeConfig, children: usize) -> World {
+    let mut rt = HierarchyRuntime::new(config);
+    let root = SubnetId::root();
+    let alice = rt.create_user(&root, whole(1_000_000)).unwrap();
+
+    let mut subnets = Vec::new();
+    let mut pairs = Vec::new();
+    for _ in 0..children {
+        let validator = rt.create_user(&root, whole(100)).unwrap();
+        let subnet = rt
+            .spawn_subnet(
+                &alice,
+                hc_actors::sa::SaConfig::default(),
+                whole(10),
+                &[(validator, whole(5))],
+            )
+            .unwrap();
+        let a = rt.create_user(&subnet, TokenAmount::ZERO).unwrap();
+        let b = rt.create_user(&subnet, TokenAmount::ZERO).unwrap();
+        rt.cross_transfer(&alice, &a, whole(50)).unwrap();
+        rt.cross_transfer(&alice, &b, whole(50)).unwrap();
+        subnets.push(subnet);
+        pairs.push((a, b));
+    }
+    rt.run_until_quiescent(200_000).unwrap();
+
+    for (i, (a, b)) in pairs.iter().enumerate() {
+        rt.submit(a, b.addr, whole(3), hc_state::Method::Send)
+            .unwrap();
+        let (next_a, _) = &pairs[(i + 1) % pairs.len()];
+        rt.cross_transfer_lazy(a, next_a, whole(1)).unwrap();
+    }
+    rt.run_until_quiescent(200_000).unwrap();
+    rt.save_snapshot(&alice, &subnets[0]).unwrap();
+    rt.run_until_quiescent(200_000).unwrap();
+
+    World {
+        rt,
+        alice,
+        subnets,
+        pairs,
+    }
+}
+
+/// Identical continuation traffic for the crashed-and-recovered world and
+/// the never-crashed control: new users, new transfers, another snapshot.
+fn continue_world(world: &mut World) {
+    let carol = world
+        .rt
+        .create_user(&world.subnets[0], TokenAmount::ZERO)
+        .unwrap();
+    world
+        .rt
+        .cross_transfer(&world.alice, &carol, whole(25))
+        .unwrap();
+    for (a, b) in &world.pairs {
+        world
+            .rt
+            .submit(b, a.addr, whole(1), hc_state::Method::Send)
+            .unwrap();
+    }
+    world.rt.run_until_quiescent(200_000).unwrap();
+    world
+        .rt
+        .save_snapshot(&world.alice, &world.subnets[0])
+        .unwrap();
+    world.rt.run_until_quiescent(200_000).unwrap();
+    assert_eq!(world.rt.balance(&carol), whole(25));
+}
+
+type SubnetFingerprint = (SubnetId, Cid, ChainEpoch, Cid, NodeStats, Vec<Cid>);
+
+/// Everything consensus-critical about each subnet: head CID, head epoch,
+/// head state root (cross-checked against a from-scratch recompute), stats,
+/// and archived checkpoint CIDs.
+fn fingerprint(rt: &HierarchyRuntime) -> Vec<SubnetFingerprint> {
+    rt.subnets()
+        .map(|s| {
+            let node = rt.node(s).unwrap();
+            let head = node.chain().head();
+            let state_root = node.chain().get(&head).unwrap().header.state_root;
+            assert_eq!(
+                node.state().recompute_root(),
+                state_root,
+                "recovered incremental root diverged from content for {s}"
+            );
+            let checkpoints: Vec<Cid> = rt
+                .checkpoint_archive()
+                .history(s)
+                .iter()
+                .map(|e| Cid::digest(&e.signed.checkpoint.canonical_bytes()))
+                .collect();
+            (
+                s.clone(),
+                head,
+                node.chain().head_epoch(),
+                state_root,
+                node.stats(),
+                checkpoints,
+            )
+        })
+        .collect()
+}
+
+/// One block of history: (block CID, epoch, state root).
+type BlockRecord = (Cid, ChainEpoch, Cid);
+
+/// Per-subnet chain history, oldest → newest.
+fn chain_history(rt: &HierarchyRuntime) -> Vec<(SubnetId, Vec<BlockRecord>)> {
+    rt.subnets()
+        .map(|s| {
+            let node = rt.node(s).unwrap();
+            let blocks = node
+                .chain()
+                .iter()
+                .map(|b| (b.cid(), b.header.epoch, b.header.state_root))
+                .collect();
+            (s.clone(), blocks)
+        })
+        .collect()
+}
+
+#[test]
+fn recovery_at_quiescence_is_bit_identical_and_stays_identical() {
+    let device = InMemoryDevice::new();
+    let crashed = build_world(durable_config(Arc::new(device.clone())), 3);
+    let expected = fingerprint(&crashed.rt);
+    assert!(
+        expected.iter().any(|(_, _, _, _, _, cps)| !cps.is_empty()),
+        "workload must exercise the checkpoint flow"
+    );
+    let expected_now = crashed.rt.now_ms();
+    let World {
+        alice,
+        subnets,
+        pairs,
+        ..
+    } = crashed; // the runtime is dropped here — the crash
+
+    let mut recovered = World {
+        rt: HierarchyRuntime::recover(durable_config(Arc::new(device))),
+        alice,
+        subnets,
+        pairs,
+    };
+    assert_eq!(
+        fingerprint(&recovered.rt),
+        expected,
+        "recovered world differs from the one that crashed"
+    );
+    assert_eq!(recovered.rt.now_ms(), expected_now);
+
+    // A control world that never crashes, driven by the same calls.
+    let mut control = build_world(durable_config(Arc::new(InMemoryDevice::new())), 3);
+    assert_eq!(fingerprint(&control.rt), expected);
+
+    // The recovered world must stay bit-identical under further load.
+    continue_world(&mut recovered);
+    continue_world(&mut control);
+    assert_eq!(
+        fingerprint(&recovered.rt),
+        fingerprint(&control.rt),
+        "recovered world diverged from the never-crashed control under load"
+    );
+    assert_eq!(recovered.rt.now_ms(), control.rt.now_ms());
+    hc_core::audit_quiescent(&recovered.rt).unwrap();
+}
+
+#[test]
+fn recovery_survives_wave_parallel_continuation() {
+    // Crash, recover, then drain the continuation with wave-parallel
+    // execution: the recovered world must match a never-crashed world
+    // drained sequentially.
+    let device = InMemoryDevice::new();
+    let config = RuntimeConfig {
+        parallelism: 4,
+        ..durable_config(Arc::new(device.clone()))
+    };
+    let crashed = build_world(config.clone(), 4);
+    let World {
+        alice,
+        subnets,
+        pairs,
+        ..
+    } = crashed;
+
+    let mut recovered = World {
+        rt: HierarchyRuntime::recover(config),
+        alice,
+        subnets,
+        pairs,
+    };
+    let mut control = build_world(
+        RuntimeConfig {
+            parallelism: 1,
+            ..durable_config(Arc::new(InMemoryDevice::new()))
+        },
+        4,
+    );
+
+    // Queue the identical continuation in both worlds, then drain the
+    // recovered one with waves and the control sequentially. The load is
+    // symmetric across siblings (like the wave-determinism suite) so both
+    // drains quiesce on the same tick boundary.
+    for world in [&mut recovered, &mut control] {
+        for (i, (a, b)) in world.pairs.iter().enumerate() {
+            world
+                .rt
+                .submit(a, b.addr, whole(2), hc_state::Method::Send)
+                .unwrap();
+            let (next_a, _) = &world.pairs[(i + 1) % world.pairs.len()];
+            world.rt.cross_transfer_lazy(a, next_a, whole(1)).unwrap();
+        }
+    }
+    for _ in 0..200_000 {
+        if recovered.rt.all_quiescent() {
+            break;
+        }
+        recovered.rt.step_wave().unwrap();
+    }
+    control.rt.run_until_quiescent(200_000).unwrap();
+    assert_eq!(
+        fingerprint(&recovered.rt),
+        fingerprint(&control.rt),
+        "wave-parallel continuation after recovery diverged"
+    );
+}
+
+#[test]
+fn any_crash_point_recovers_a_valid_prefix() {
+    // The crash-injection sweep: truncate the device at many different
+    // byte offsets (tail-first across streams, like a real torn tail) and
+    // verify that recovery always lands on a block-for-block prefix of the
+    // pre-crash history with bit-identical recomputed state roots.
+    let device = InMemoryDevice::new();
+    let world = build_world(durable_config(Arc::new(device.clone())), 2);
+    let history = chain_history(&world.rt);
+    let full: Vec<(SubnetId, usize)> = history
+        .iter()
+        .map(|(s, blocks)| (s.clone(), blocks.len()))
+        .collect();
+    drop(world);
+
+    let mut shortest = usize::MAX;
+    for cut_permille in [0u64, 77, 200, 333, 450, 600, 750, 875, 950, 1000] {
+        let fork: Arc<dyn Persistence> = Arc::new(device.fork());
+        let streams = fork.streams();
+        let total: u64 = streams.iter().map(|s| fork.len(s)).sum();
+        let cut = total * cut_permille / 1000;
+        let mut to_drop = total - cut;
+        for s in streams.iter().rev() {
+            let len = fork.len(s);
+            let dropped = to_drop.min(len);
+            truncate_stream(&fork, s, len - dropped);
+            to_drop -= dropped;
+            if to_drop == 0 {
+                break;
+            }
+        }
+
+        let mut rt = HierarchyRuntime::recover(durable_config(fork));
+        let mut recovered_blocks = 0usize;
+        for (subnet, blocks) in chain_history(&rt) {
+            let original = &history
+                .iter()
+                .find(|(s, _)| *s == subnet)
+                .expect("recovered subnet existed before the crash")
+                .1;
+            assert!(
+                blocks.len() <= original.len(),
+                "{subnet}: recovered past the pre-crash head at cut {cut_permille}"
+            );
+            assert_eq!(
+                blocks,
+                original[..blocks.len()],
+                "{subnet}: recovered chain is not a prefix at cut {cut_permille}"
+            );
+            recovered_blocks += blocks.len();
+            // The head state root must reproduce from the recovered chunks.
+            if let Some(node) = rt.node(&subnet) {
+                if !node.chain().is_empty() {
+                    assert_eq!(
+                        node.state().recompute_root(),
+                        blocks.last().unwrap().2,
+                        "{subnet}: head state root mismatch at cut {cut_permille}"
+                    );
+                }
+            }
+        }
+        shortest = shortest.min(recovered_blocks);
+
+        // Whatever survived, the recovered world keeps working.
+        let root = SubnetId::root();
+        let user = rt.create_user(&root, whole(10)).unwrap();
+        let peer = rt.create_user(&root, whole(0)).unwrap();
+        rt.submit(&user, peer.addr, whole(4), hc_state::Method::Send)
+            .unwrap();
+        rt.run_until_quiescent(200_000).unwrap();
+        assert_eq!(rt.balance(&peer), whole(4));
+
+        if cut_permille == 1000 {
+            // An untouched device recovers everything.
+            let recovered: usize = full
+                .iter()
+                .map(|(s, n)| {
+                    // +1: the post-recovery probe above grew each chain.
+                    let now = rt.node(s).map_or(0, |node| node.chain().len());
+                    assert!(now >= *n, "{s}: full device lost blocks");
+                    *n
+                })
+                .sum();
+            assert_eq!(recovered_blocks, recovered);
+        }
+    }
+    assert!(
+        shortest < full.iter().map(|(_, n)| n).sum::<usize>(),
+        "the sweep must include cuts that actually lose history"
+    );
+}
+
+#[test]
+fn on_disk_backend_recovers_and_leaves_no_stray_files() {
+    // Tmpdir hygiene: the on-disk backend writes only under its root, the
+    // root lives under the system temp dir, and the test removes it.
+    let mut root = std::env::temp_dir();
+    root.push(format!("hc-persistence-test-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+
+    let config = || RuntimeConfig {
+        net: NetConfig {
+            jitter_ms: 0,
+            drop_rate: 0.0,
+            ..NetConfig::default()
+        },
+        persistence: PersistenceConfig::on_disk_with_fsync(&root, FsyncPolicy::EveryN(16)),
+        ..RuntimeConfig::default()
+    };
+    let world = build_world(config(), 2);
+    let expected = fingerprint(&world.rt);
+    drop(world);
+
+    let rt = HierarchyRuntime::recover(config());
+    assert_eq!(fingerprint(&rt), expected, "on-disk recovery diverged");
+    let device = rt.persistence_device().expect("durable runtime");
+    for stream in device.streams() {
+        assert!(
+            !stream.contains(".."),
+            "stream {stream:?} escapes the device root"
+        );
+    }
+    drop(rt);
+
+    std::fs::remove_dir_all(&root).expect("device root is removable");
+    assert!(!root.exists());
+}
+
+#[test]
+fn manifest_gc_prunes_dead_blobs_and_survives_recovery() {
+    // keep_manifests caps the per-subnet snapshot history; blobs only
+    // reachable from evicted manifests are pruned from the store and
+    // compacted out of the blob log — and recovery replays the same sweeps.
+    let device = InMemoryDevice::new();
+    let config = || RuntimeConfig {
+        net: NetConfig {
+            jitter_ms: 0,
+            drop_rate: 0.0,
+            ..NetConfig::default()
+        },
+        persistence: PersistenceConfig::Durable(DurableOptions {
+            device: Arc::new(device.clone()),
+            wal: WalOptions::default(),
+            keep_manifests: 2,
+        }),
+        ..RuntimeConfig::default()
+    };
+    let mut world = build_world(config(), 2);
+    // Drive enough checkpoint periods to evict manifests from the window.
+    for round in 0..6 {
+        for (a, b) in &world.pairs {
+            let (from, to) = if round % 2 == 0 { (a, b) } else { (b, a) };
+            world
+                .rt
+                .submit(from, to.addr, whole(1), hc_state::Method::Send)
+                .unwrap();
+        }
+        world.rt.run_until_quiescent(200_000).unwrap();
+    }
+    let stats = world.rt.store_stats();
+    assert!(
+        stats.pruned_blobs > 0,
+        "rotating snapshots past keep_manifests must prune: {stats:?}"
+    );
+    let expected = fingerprint(&world.rt);
+    let expected_pruned = (stats.pruned_blobs, stats.pruned_bytes);
+    drop(world);
+
+    let rt = HierarchyRuntime::recover(config());
+    assert_eq!(fingerprint(&rt), expected, "recovery after GC diverged");
+    let stats = rt.store_stats();
+    assert_eq!(
+        (stats.pruned_blobs, stats.pruned_bytes),
+        expected_pruned,
+        "replay must reproduce the same GC sweeps"
+    );
+}
+
+#[test]
+fn manual_prune_reclaims_untracked_blobs() {
+    let device = InMemoryDevice::new();
+    let mut world = build_world(durable_config(Arc::new(device)), 1);
+    // Park a blob in the shared store that no snapshot manifest references.
+    world
+        .rt
+        .cid_store()
+        .put(b"orphaned resolution payload".to_vec());
+    let before = world.rt.store_stats();
+    let (blobs, bytes) = world.rt.prune_blobs();
+    assert!(blobs >= 1, "the orphaned blob must be reclaimed");
+    assert!(bytes >= b"orphaned resolution payload".len() as u64);
+    let after = world.rt.store_stats();
+    assert_eq!(after.pruned_blobs, before.pruned_blobs + blobs);
+    // The live snapshot manifests survive the sweep.
+    world.rt.run_until_quiescent(200_000).unwrap();
+    hc_core::audit_quiescent(&world.rt).unwrap();
+}

@@ -17,7 +17,8 @@ use hc_actors::snapshot::{BalanceProof, StateSnapshot};
 use hc_actors::{CrossMsg, CrossMsgMeta, ExecId, HcAddress};
 use hc_types::crypto::AggregateSignature;
 use hc_types::{
-    Address, CanonicalEncode, Cid, Keypair, Nonce, PublicKey, Signature, SubnetId, TokenAmount,
+    decode_fields, Address, ByteReader, CanonicalDecode, CanonicalEncode, Cid, DecodeError,
+    Keypair, Nonce, PublicKey, Signature, SubnetId, TokenAmount,
 };
 
 /// The operation a message performs, dispatched on the destination actor.
@@ -149,8 +150,9 @@ pub enum Method {
 
 impl CanonicalEncode for Method {
     fn write_bytes(&self, out: &mut Vec<u8>) {
-        // A compact tag plus the method's fields; only used for message
-        // CIDs, so any injective encoding works.
+        // A compact tag plus the method's fields. Persistence replays
+        // blocks from these bytes, so every variant must encode losslessly
+        // (the encoding stays injective, which is all CIDs need).
         match self {
             Method::Send => out.push(0),
             Method::PutData { key, data } => {
@@ -178,8 +180,7 @@ impl CanonicalEncode for Method {
             Method::KillSubnet => out.push(7),
             Method::SubmitCheckpoint { signed } => {
                 out.push(8);
-                signed.checkpoint.write_bytes(out);
-                signed.signatures.write_bytes(out);
+                signed.write_bytes(out);
             }
             Method::RegisterSubnet { sa } => {
                 out.push(9);
@@ -196,8 +197,7 @@ impl CanonicalEncode for Method {
             Method::ReportFraud { subnet, proof } => {
                 out.push(12);
                 subnet.write_bytes(out);
-                proof.a.checkpoint.write_bytes(out);
-                proof.b.checkpoint.write_bytes(out);
+                proof.write_bytes(out);
             }
             Method::SaveState { state } => {
                 out.push(13);
@@ -214,7 +214,7 @@ impl CanonicalEncode for Method {
             Method::RecoverFunds { subnet, proof } => {
                 out.push(18);
                 subnet.write_bytes(out);
-                proof.leaf.write_bytes(out);
+                proof.write_bytes(out);
             }
             Method::AtomicInit { parties, inputs } => {
                 out.push(14);
@@ -236,6 +236,76 @@ impl CanonicalEncode for Method {
                 exec.write_bytes(out);
                 party.write_bytes(out);
             }
+        }
+    }
+}
+
+impl CanonicalDecode for Method {
+    fn read_bytes(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        match u8::read_bytes(r)? {
+            0 => Ok(Method::Send),
+            1 => Ok(Method::PutData {
+                key: Vec::<u8>::read_bytes(r)?,
+                data: Vec::<u8>::read_bytes(r)?,
+            }),
+            2 => Ok(Method::LockState {
+                key: Vec::<u8>::read_bytes(r)?,
+            }),
+            3 => Ok(Method::UnlockState {
+                key: Vec::<u8>::read_bytes(r)?,
+            }),
+            4 => Ok(Method::DeploySubnetActor {
+                config: SaConfig::read_bytes(r)?,
+            }),
+            5 => Ok(Method::JoinSubnet {
+                key: PublicKey::read_bytes(r)?,
+            }),
+            6 => Ok(Method::LeaveSubnet),
+            7 => Ok(Method::KillSubnet),
+            8 => Ok(Method::SubmitCheckpoint {
+                signed: SignedCheckpoint::read_bytes(r)?,
+            }),
+            9 => Ok(Method::RegisterSubnet {
+                sa: Address::read_bytes(r)?,
+            }),
+            10 => Ok(Method::AddCollateral {
+                subnet: SubnetId::read_bytes(r)?,
+            }),
+            11 => Ok(Method::SendCrossMsg {
+                msg: CrossMsg::read_bytes(r)?,
+            }),
+            12 => Ok(Method::ReportFraud {
+                subnet: SubnetId::read_bytes(r)?,
+                proof: Box::new(FraudProof::read_bytes(r)?),
+            }),
+            13 => Ok(Method::SaveState {
+                state: Cid::read_bytes(r)?,
+            }),
+            14 => Ok(Method::AtomicInit {
+                parties: Vec::<HcAddress>::read_bytes(r)?,
+                inputs: Vec::<Cid>::read_bytes(r)?,
+            }),
+            15 => Ok(Method::AtomicSubmit {
+                exec: ExecId::read_bytes(r)?,
+                party: HcAddress::read_bytes(r)?,
+                output: Cid::read_bytes(r)?,
+            }),
+            16 => Ok(Method::AtomicAbort {
+                exec: ExecId::read_bytes(r)?,
+                party: HcAddress::read_bytes(r)?,
+            }),
+            17 => Ok(Method::SaveSnapshot {
+                snapshot: StateSnapshot::read_bytes(r)?,
+                signatures: AggregateSignature::read_bytes(r)?,
+            }),
+            18 => Ok(Method::RecoverFunds {
+                subnet: SubnetId::read_bytes(r)?,
+                proof: BalanceProof::read_bytes(r)?,
+            }),
+            tag => Err(DecodeError::BadTag {
+                what: "Method",
+                tag,
+            }),
         }
     }
 }
@@ -264,6 +334,14 @@ impl CanonicalEncode for Message {
         self.method.write_bytes(out);
     }
 }
+
+decode_fields!(Message {
+    from,
+    to,
+    value,
+    nonce,
+    method
+});
 
 impl Message {
     /// Convenience constructor for a plain transfer.
@@ -310,6 +388,8 @@ impl CanonicalEncode for SignedMessage {
         self.signature.write_bytes(out);
     }
 }
+
+decode_fields!(SignedMessage { message, signature });
 
 /// Consensus-injected system messages, executed with system authority.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -375,8 +455,7 @@ impl CanonicalEncode for ImplicitMsg {
             }
             ImplicitMsg::CommitChildCheckpoint { signed } => {
                 out.push(3);
-                signed.checkpoint.write_bytes(out);
-                signed.signatures.write_bytes(out);
+                signed.write_bytes(out);
             }
             ImplicitMsg::CommitTurnaround { meta, msgs } => {
                 out.push(4);
@@ -387,6 +466,35 @@ impl CanonicalEncode for ImplicitMsg {
                 out.push(5);
                 timeout.write_bytes(out);
             }
+        }
+    }
+}
+
+impl CanonicalDecode for ImplicitMsg {
+    fn read_bytes(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        match u8::read_bytes(r)? {
+            0 => Ok(ImplicitMsg::ApplyTopDown(CrossMsg::read_bytes(r)?)),
+            1 => Ok(ImplicitMsg::ApplyBottomUp {
+                meta: CrossMsgMeta::read_bytes(r)?,
+                msgs: Vec::<CrossMsg>::read_bytes(r)?,
+            }),
+            2 => Ok(ImplicitMsg::CutCheckpoint {
+                proof: Cid::read_bytes(r)?,
+            }),
+            3 => Ok(ImplicitMsg::CommitChildCheckpoint {
+                signed: SignedCheckpoint::read_bytes(r)?,
+            }),
+            4 => Ok(ImplicitMsg::CommitTurnaround {
+                meta: CrossMsgMeta::read_bytes(r)?,
+                msgs: Vec::<CrossMsg>::read_bytes(r)?,
+            }),
+            5 => Ok(ImplicitMsg::SweepAtomicTimeouts {
+                timeout: u64::read_bytes(r)?,
+            }),
+            tag => Err(DecodeError::BadTag {
+                what: "ImplicitMsg",
+                tag,
+            }),
         }
     }
 }
@@ -442,6 +550,91 @@ mod tests {
             for j in i + 1..encodings.len() {
                 assert_ne!(encodings[i], encodings[j], "{i} vs {j}");
             }
+        }
+    }
+
+    #[test]
+    fn methods_round_trip_canonically() {
+        use hc_actors::sa::SaConfig;
+        let kp = Keypair::from_seed([0x21; 32]);
+        let methods = [
+            Method::Send,
+            Method::PutData {
+                key: vec![1, 2],
+                data: vec![3],
+            },
+            Method::LockState { key: vec![9] },
+            Method::UnlockState { key: vec![9] },
+            Method::DeploySubnetActor {
+                config: SaConfig::default(),
+            },
+            Method::JoinSubnet { key: kp.public() },
+            Method::LeaveSubnet,
+            Method::KillSubnet,
+            Method::RegisterSubnet {
+                sa: Address::new(7),
+            },
+            Method::AddCollateral {
+                subnet: SubnetId::root(),
+            },
+            Method::SaveState {
+                state: Cid::digest(b"s"),
+            },
+            Method::AtomicInit {
+                parties: vec![],
+                inputs: vec![Cid::digest(b"i")],
+            },
+        ];
+        for m in methods {
+            let bytes = m.canonical_bytes();
+            assert_eq!(Method::decode(&bytes).unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn signed_message_round_trip() {
+        let kp = Keypair::from_seed([0x22; 32]);
+        let signed = Message::transfer(
+            Address::new(100),
+            Address::new(101),
+            TokenAmount::from_whole(2),
+            Nonce::new(3),
+        )
+        .sign(&kp);
+        let back = SignedMessage::decode(&signed.canonical_bytes()).unwrap();
+        assert_eq!(back, signed);
+        assert!(back.verify_signature());
+    }
+
+    #[test]
+    fn implicit_msgs_round_trip() {
+        let msg = CrossMsg::transfer(
+            HcAddress::new(SubnetId::root(), Address::new(1)),
+            HcAddress::new(SubnetId::root(), Address::new(2)),
+            TokenAmount::from_whole(1),
+        );
+        let meta = CrossMsgMeta::for_group(
+            SubnetId::root(),
+            SubnetId::root(),
+            std::slice::from_ref(&msg),
+        );
+        let cases = [
+            ImplicitMsg::ApplyTopDown(msg.clone()),
+            ImplicitMsg::ApplyBottomUp {
+                meta: meta.clone(),
+                msgs: vec![msg.clone()],
+            },
+            ImplicitMsg::CutCheckpoint {
+                proof: Cid::digest(b"head"),
+            },
+            ImplicitMsg::CommitTurnaround {
+                meta,
+                msgs: vec![msg],
+            },
+            ImplicitMsg::SweepAtomicTimeouts { timeout: 4 },
+        ];
+        for m in cases {
+            assert_eq!(ImplicitMsg::decode(&m.canonical_bytes()).unwrap(), m);
         }
     }
 

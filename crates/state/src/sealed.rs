@@ -110,6 +110,13 @@ impl CanonicalEncode for SealedMessage {
     }
 }
 
+impl hc_types::CanonicalDecode for SealedMessage {
+    fn read_bytes(r: &mut hc_types::ByteReader<'_>) -> Result<Self, hc_types::DecodeError> {
+        // Decoded messages start cold: carried CIDs are never trusted.
+        Ok(SealedMessage::new(SignedMessage::read_bytes(r)?))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,78 @@
+//! Crash-injection utilities.
+//!
+//! These helpers model the failure modes the recovery contract must survive,
+//! directly against a [`Persistence`] device:
+//!
+//! * **torn write** — truncate a stream at an arbitrary byte offset, as if
+//!   the process died mid-append;
+//! * **bit rot / partial sector** — flip a single byte;
+//! * **kill between fsyncs** — fork an [`InMemoryDevice`](crate::InMemoryDevice)
+//!   at a chosen moment and continue the "crashed" timeline from the fork
+//!   while the original keeps running as the uncrashed control.
+//!
+//! They are ordinary library functions (not `#[cfg(test)]`) so integration
+//! tests in other crates — notably the `hc-core` crash harness — can drive
+//! them against a live runtime's device.
+
+use std::sync::Arc;
+
+use crate::device::Persistence;
+
+/// Length of `stream` on `device`.
+pub fn stream_len(device: &Arc<dyn Persistence>, stream: &str) -> u64 {
+    device.len(stream)
+}
+
+/// Truncates `stream` to `len` bytes — a torn write at that offset.
+pub fn truncate_stream(device: &Arc<dyn Persistence>, stream: &str, len: u64) {
+    device.truncate(stream, len);
+}
+
+/// Flips one byte of `stream` in place (read, flip, rewrite).
+///
+/// Does nothing if `offset` is past the end of the stream.
+pub fn corrupt_byte(device: &Arc<dyn Persistence>, stream: &str, offset: u64) {
+    let mut bytes = device.read(stream);
+    let Some(b) = bytes.get_mut(offset as usize) else {
+        return;
+    };
+    *b ^= 0xff;
+    device.truncate(stream, 0);
+    device.append(stream, &bytes);
+}
+
+/// Total bytes across all streams of the device.
+pub fn total_bytes(device: &Arc<dyn Persistence>) -> u64 {
+    device.streams().iter().map(|s| device.len(s)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::InMemoryDevice;
+    use crate::frame::{encode_frame, scan_frames};
+
+    #[test]
+    fn corrupt_byte_breaks_exactly_one_frame() {
+        let dev: Arc<dyn Persistence> = Arc::new(InMemoryDevice::new());
+        let frame = encode_frame(b"payload");
+        dev.append("s", &frame);
+        dev.append("s", &frame);
+        corrupt_byte(&dev, "s", frame.len() as u64 + 20);
+        let scan = scan_frames(&dev.read("s"));
+        assert_eq!(scan.payloads.len(), 1);
+        assert!(scan.torn);
+    }
+
+    #[test]
+    fn truncate_models_a_torn_write() {
+        let dev: Arc<dyn Persistence> = Arc::new(InMemoryDevice::new());
+        dev.append("s", &encode_frame(b"abcdef"));
+        let full = stream_len(&dev, "s");
+        truncate_stream(&dev, "s", full - 1);
+        let scan = scan_frames(&dev.read("s"));
+        assert_eq!(scan.payloads.len(), 0);
+        assert!(scan.torn);
+        assert_eq!(total_bytes(&dev), full - 1);
+    }
+}

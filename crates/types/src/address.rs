@@ -100,6 +100,14 @@ impl CanonicalEncode for Address {
     }
 }
 
+impl crate::decode::CanonicalDecode for Address {
+    fn read_bytes(
+        r: &mut crate::decode::ByteReader<'_>,
+    ) -> Result<Self, crate::decode::DecodeError> {
+        Ok(Address::new(u64::read_bytes(r)?))
+    }
+}
+
 /// Error returned when parsing an [`Address`] from a string fails.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseAddressError {

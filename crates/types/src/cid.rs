@@ -82,6 +82,14 @@ impl CanonicalEncode for Cid {
     }
 }
 
+impl crate::decode::CanonicalDecode for Cid {
+    fn read_bytes(
+        r: &mut crate::decode::ByteReader<'_>,
+    ) -> Result<Self, crate::decode::DecodeError> {
+        Ok(Cid::from_bytes(<[u8; 32]>::read_bytes(r)?))
+    }
+}
+
 impl AsRef<[u8]> for Cid {
     fn as_ref(&self) -> &[u8] {
         &self.0

@@ -190,6 +190,16 @@ impl CanonicalEncode for AggregateSignature {
     }
 }
 
+impl crate::decode::CanonicalDecode for AggregateSignature {
+    fn read_bytes(
+        r: &mut crate::decode::ByteReader<'_>,
+    ) -> Result<Self, crate::decode::DecodeError> {
+        Ok(AggregateSignature {
+            signatures: Vec::<Signature>::read_bytes(r)?,
+        })
+    }
+}
+
 /// Error produced by [`SignaturePolicy::check`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PolicyError {

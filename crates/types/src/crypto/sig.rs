@@ -57,6 +57,13 @@ impl PublicKey {
     pub const fn as_bytes(&self) -> &[u8; 32] {
         &self.0
     }
+
+    /// Reconstructs a public key from raw bytes (e.g. a decoded canonical
+    /// encoding). The key is *not* registered with the oracle; a signature
+    /// claiming an unregistered key simply fails verification.
+    pub const fn from_bytes(bytes: [u8; 32]) -> Self {
+        PublicKey(bytes)
+    }
 }
 
 impl fmt::Debug for PublicKey {
@@ -215,6 +222,24 @@ impl CanonicalEncode for Signature {
     fn write_bytes(&self, out: &mut Vec<u8>) {
         self.signer.write_bytes(out);
         out.extend_from_slice(&self.tag);
+    }
+}
+
+impl crate::decode::CanonicalDecode for PublicKey {
+    fn read_bytes(
+        r: &mut crate::decode::ByteReader<'_>,
+    ) -> Result<Self, crate::decode::DecodeError> {
+        Ok(PublicKey::from_bytes(<[u8; 32]>::read_bytes(r)?))
+    }
+}
+
+impl crate::decode::CanonicalDecode for Signature {
+    fn read_bytes(
+        r: &mut crate::decode::ByteReader<'_>,
+    ) -> Result<Self, crate::decode::DecodeError> {
+        let signer = PublicKey::read_bytes(r)?;
+        let tag = <[u8; 32]>::read_bytes(r)?;
+        Ok(Signature::new_unchecked(signer, tag))
     }
 }
 

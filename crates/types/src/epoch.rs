@@ -101,6 +101,14 @@ impl CanonicalEncode for ChainEpoch {
     }
 }
 
+impl crate::decode::CanonicalDecode for ChainEpoch {
+    fn read_bytes(
+        r: &mut crate::decode::ByteReader<'_>,
+    ) -> Result<Self, crate::decode::DecodeError> {
+        Ok(ChainEpoch::new(u64::read_bytes(r)?))
+    }
+}
+
 /// A strictly increasing sequence number.
 ///
 /// Nonces enforce total order and exactly-once application: account message
@@ -156,6 +164,14 @@ impl From<u64> for Nonce {
 impl CanonicalEncode for Nonce {
     fn write_bytes(&self, out: &mut Vec<u8>) {
         self.0.write_bytes(out);
+    }
+}
+
+impl crate::decode::CanonicalDecode for Nonce {
+    fn read_bytes(
+        r: &mut crate::decode::ByteReader<'_>,
+    ) -> Result<Self, crate::decode::DecodeError> {
+        Ok(Nonce::new(u64::read_bytes(r)?))
     }
 }
 

@@ -19,6 +19,8 @@
 //!   trees.
 //! * [`encode`] — deterministic canonical binary encoding, the basis for all
 //!   content addressing.
+//! * [`decode`] — the strict inverse of [`encode`], used by the durability
+//!   layer (`hc-store`) to replay logged values during crash recovery.
 //!
 //! # Example
 //!
@@ -39,6 +41,7 @@
 pub mod address;
 pub mod cid;
 pub mod crypto;
+pub mod decode;
 pub mod encode;
 pub mod epoch;
 pub mod merkle;
@@ -48,6 +51,7 @@ pub mod token;
 pub use address::Address;
 pub use cid::Cid;
 pub use crypto::{Keypair, PublicKey, Signature};
+pub use decode::{ByteReader, CanonicalDecode, DecodeError};
 pub use encode::CanonicalEncode;
 pub use epoch::{ChainEpoch, Nonce};
 pub use subnet_id::{RouteStep, SubnetId};

@@ -291,6 +291,18 @@ impl MerkleProof {
     }
 }
 
+crate::encode_fields!(ProofStep {
+    sibling,
+    sibling_on_left
+});
+crate::decode_fields!(ProofStep {
+    sibling,
+    sibling_on_left
+});
+
+crate::encode_fields!(MerkleProof { path });
+crate::decode_fields!(MerkleProof { path });
+
 /// Convenience: the Merkle root CID of a sequence of canonical items.
 ///
 /// This is how `msgsCid` — "the CID (message digest) of the group of

@@ -212,6 +212,20 @@ impl CanonicalEncode for SubnetId {
     }
 }
 
+impl crate::decode::CanonicalDecode for SubnetId {
+    fn read_bytes(
+        r: &mut crate::decode::ByteReader<'_>,
+    ) -> Result<Self, crate::decode::DecodeError> {
+        let route = Vec::<Address>::read_bytes(r)?;
+        if route.len() > MAX_DEPTH {
+            return Err(crate::decode::DecodeError::Invalid {
+                what: "subnet route deeper than MAX_DEPTH",
+            });
+        }
+        Ok(SubnetId { route })
+    }
+}
+
 /// Error returned when parsing a [`SubnetId`] fails.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseSubnetIdError {

@@ -170,6 +170,14 @@ impl CanonicalEncode for TokenAmount {
     }
 }
 
+impl crate::decode::CanonicalDecode for TokenAmount {
+    fn read_bytes(
+        r: &mut crate::decode::ByteReader<'_>,
+    ) -> Result<Self, crate::decode::DecodeError> {
+        Ok(TokenAmount::from_atto(u128::read_bytes(r)?))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
