@@ -560,6 +560,181 @@ pub fn f8_crash_recovery() -> Result<Table, RuntimeError> {
     Ok(t)
 }
 
+/// F9 — deterministic chaos: the same seeded world is run twice, once
+/// undisturbed and once under a fault schedule (message loss, duplication,
+/// reordering, and a live mid-epoch crash–rejoin of the child). The
+/// chaotic run rides out the faults through retry/backoff and the
+/// catch-up protocol, and must reconverge to the *same* state roots and
+/// balances as the clean run. Checkpointing is disabled (huge period) so
+/// the state commitment carries no wall-clock-coupled checkpoint CIDs.
+///
+/// # Errors
+///
+/// Propagates runtime failures.
+pub fn f9_chaos() -> Result<Table, RuntimeError> {
+    use hc_net::{CrashFault, DupRule, FaultPlan, LossRule, ReorderRule};
+
+    let sa = SaConfig {
+        checkpoint_period: 10_000,
+        ..SaConfig::default()
+    };
+    struct Run {
+        child_root: hc_types::Cid,
+        bob_balance: TokenAmount,
+        chaos: hc_core::ChaosStats,
+        net: hc_net::NetStats,
+        abandoned: u64,
+    }
+    let run = |faulty: bool| -> Result<Run, RuntimeError> {
+        let mut rt = HierarchyRuntime::new(RuntimeConfig::default());
+        let root = SubnetId::root();
+        let alice = rt.create_user(&root, whole(10_000))?;
+        let v = rt.create_user(&root, whole(100))?;
+        let child = rt.spawn_subnet(&alice, sa.clone(), whole(10), &[(v, whole(5))])?;
+        let bob = rt.create_user(&child, TokenAmount::ZERO)?;
+        rt.cross_transfer(&alice, &bob, whole(20))?;
+        rt.run_until_quiescent(2_000)?;
+
+        rt.cross_transfer(&alice, &bob, whole(5))?;
+        rt.cross_transfer(&bob, &alice, whole(3))?;
+        if faulty {
+            let now = rt.now_ms();
+            rt.extend_faults(FaultPlan {
+                losses: vec![LossRule {
+                    from_ms: now,
+                    until_ms: now + 15_000,
+                    topic: Some(child.topic()),
+                    from: None,
+                    to: None,
+                    rate: 0.3,
+                }],
+                duplications: vec![DupRule {
+                    from_ms: now,
+                    until_ms: now + 15_000,
+                    topic: None,
+                    rate: 0.4,
+                    max_copies: 2,
+                    spread_ms: 400,
+                }],
+                reorders: vec![ReorderRule {
+                    from_ms: now,
+                    until_ms: now + 15_000,
+                    topic: None,
+                    rate: 0.4,
+                    max_extra_delay_ms: 700,
+                }],
+                crashes: vec![CrashFault {
+                    subnet: child.clone(),
+                    crash_at_ms: now + 1_200,
+                    rejoin_at_ms: now + 6_500,
+                }],
+                ..FaultPlan::none()
+            });
+        }
+        rt.run_until_quiescent(6_000)?;
+
+        let child_root = rt
+            .node(&child)
+            .unwrap()
+            .chain()
+            .iter()
+            .last()
+            .unwrap()
+            .header
+            .state_root;
+        let abandoned = rt
+            .subnets()
+            .filter_map(|s| rt.node(s))
+            .map(|n| n.resolver().stats().pulls_abandoned)
+            .sum();
+        Ok(Run {
+            child_root,
+            bob_balance: rt.balance(&bob),
+            chaos: rt.chaos_stats(),
+            net: rt.net_stats(),
+            abandoned,
+        })
+    };
+
+    let clean = run(false)?;
+    let chaotic = run(true)?;
+    let mut t = Table::new(
+        "F9: deterministic chaos — faulty run reconverges to the clean run's state",
+        &["metric", "clean run", "chaotic run"],
+    );
+    let mut row = |metric: &str, a: String, b: String| {
+        t.row(&[metric.to_string(), a, b]);
+    };
+    row(
+        "child state root",
+        clean.child_root.to_string(),
+        chaotic.child_root.to_string(),
+    );
+    row(
+        "state roots identical",
+        String::new(),
+        (clean.child_root == chaotic.child_root).to_string(),
+    );
+    row(
+        "bob balance",
+        clean.bob_balance.to_string(),
+        chaotic.bob_balance.to_string(),
+    );
+    row(
+        "crashes / rejoins / catch-ups",
+        format!(
+            "{} / {} / {}",
+            clean.chaos.crashes, clean.chaos.rejoins, clean.chaos.catch_ups_completed
+        ),
+        format!(
+            "{} / {} / {}",
+            chaotic.chaos.crashes, chaotic.chaos.rejoins, chaotic.chaos.catch_ups_completed
+        ),
+    );
+    row(
+        "blocks caught up",
+        clean.chaos.blocks_caught_up.to_string(),
+        chaotic.chaos.blocks_caught_up.to_string(),
+    );
+    row(
+        "block pulls (retries)",
+        format!(
+            "{} ({})",
+            clean.chaos.block_pulls, clean.chaos.block_pull_retries
+        ),
+        format!(
+            "{} ({})",
+            chaotic.chaos.block_pulls, chaotic.chaos.block_pull_retries
+        ),
+    );
+    row(
+        "net targeted-dropped",
+        clean.net.targeted_dropped.to_string(),
+        chaotic.net.targeted_dropped.to_string(),
+    );
+    row(
+        "net duplicated (redelivered)",
+        format!("{} ({})", clean.net.duplicated, clean.net.redelivered),
+        format!("{} ({})", chaotic.net.duplicated, chaotic.net.redelivered),
+    );
+    row(
+        "net reordered",
+        clean.net.reordered.to_string(),
+        chaotic.net.reordered.to_string(),
+    );
+    row(
+        "net offline-dropped",
+        clean.net.offline_dropped.to_string(),
+        chaotic.net.offline_dropped.to_string(),
+    );
+    row(
+        "pulls abandoned",
+        clean.abandoned.to_string(),
+        chaotic.abandoned.to_string(),
+    );
+    Ok(t)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -574,6 +749,25 @@ mod tests {
         assert!(!f6_snapshot_sharing().unwrap().is_empty());
         assert!(!f7_sig_cache().unwrap().is_empty());
         assert!(!f8_crash_recovery().unwrap().is_empty());
+        assert!(!f9_chaos().unwrap().is_empty());
+    }
+
+    #[test]
+    fn f9_chaotic_run_reconverges_and_abandons_nothing() {
+        let text = f9_chaos().unwrap().to_string();
+        let identical = text
+            .lines()
+            .find(|l| l.contains("state roots identical"))
+            .unwrap()
+            .to_string();
+        assert!(identical.contains("true"), "{text}");
+        let abandoned = text
+            .lines()
+            .find(|l| l.contains("pulls abandoned"))
+            .unwrap()
+            .to_string();
+        let cols: Vec<&str> = abandoned.split('|').map(str::trim).collect();
+        assert_eq!(cols[3], "0", "{text}");
     }
 
     #[test]

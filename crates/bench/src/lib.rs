@@ -1,8 +1,9 @@
 //! # hc-bench — experiment harness
 //!
 //! Scenario drivers for the paper's figures (F1–F5), the snapshot
-//! sharing demonstration (F6), the signature-cache pipeline (F7), and the
-//! crash-recovery demonstration (F8), shared by the
+//! sharing demonstration (F6), the signature-cache pipeline (F7), the
+//! crash-recovery demonstration (F8), and the deterministic chaos
+//! demonstration (F9), shared by the
 //! `report` binary (which prints every table) and the Criterion benches.
 //! The quantitative experiments E1–E10 live in [`hc_sim::experiments`].
 
@@ -14,5 +15,5 @@ pub mod msg_pipeline;
 
 pub use figures::{
     f1_overview, f2_windows, f3_commitment, f4_resolution, f5_atomic, f6_snapshot_sharing,
-    f7_sig_cache, f8_crash_recovery,
+    f7_sig_cache, f8_crash_recovery, f9_chaos,
 };

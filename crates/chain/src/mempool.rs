@@ -231,8 +231,19 @@ impl CrossMsgPool {
     }
 
     /// Registers a bottom-up meta that still needs content resolution.
-    pub fn ingest_meta(&mut self, meta: CrossMsgMeta) {
+    /// Idempotent against redelivery: a meta whose nonce was already
+    /// applied (below `next_bottom_up`) or that is already waiting/ready
+    /// is ignored, so duplicated checkpoint commits cannot double-apply a
+    /// message group. Returns `true` if the meta was newly registered.
+    pub fn ingest_meta(&mut self, meta: CrossMsgMeta) -> bool {
+        if meta.nonce < self.next_bottom_up || self.ready_bottom_up.contains_key(&meta.nonce) {
+            return false;
+        }
+        if self.awaiting_resolution.contains_key(&meta.msgs_cid) {
+            return false;
+        }
         self.awaiting_resolution.insert(meta.msgs_cid, meta);
+        true
     }
 
     /// CIDs the pool needs resolved — what a node publishes *pull*
@@ -529,6 +540,31 @@ mod tests {
         assert_eq!(bus.len(), 1);
         assert_eq!(bus[0].0, meta);
         assert_eq!(pool.pending_bottom_up(), 0);
+    }
+
+    #[test]
+    fn cross_pool_ignores_redelivered_and_applied_metas() {
+        let mut pool = CrossMsgPool::new();
+        let src = SubnetId::root().child(Address::new(9));
+        let msgs = vec![td(0)];
+        let mut meta = CrossMsgMeta::for_group(src.clone(), SubnetId::root(), &msgs);
+        meta.nonce = Nonce::new(0);
+        // First delivery registers; duplicated deliveries (the network may
+        // re-deliver a checkpoint commit under duplication faults) are
+        // no-ops at every stage of the meta's life.
+        assert!(pool.ingest_meta(meta.clone()));
+        assert!(!pool.ingest_meta(meta.clone()), "awaiting: dup ignored");
+        assert_eq!(pool.pending_bottom_up(), 1);
+        assert!(pool.resolve(meta.msgs_cid, msgs.clone()));
+        assert!(!pool.ingest_meta(meta.clone()), "ready: dup ignored");
+        assert_eq!(pool.pending_bottom_up(), 1);
+        let (_, bus) = pool.take_proposable(10);
+        assert_eq!(bus.len(), 1);
+        // Applied: the nonce cursor has moved past it — a late redelivery
+        // cannot re-queue the group for a second application.
+        assert!(!pool.ingest_meta(meta.clone()), "applied: dup ignored");
+        assert_eq!(pool.pending_bottom_up(), 0);
+        assert!(pool.take_proposable(10).1.is_empty());
     }
 
     #[test]

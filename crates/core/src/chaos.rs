@@ -1,0 +1,546 @@
+//! Live node crash–rejoin: killing a subnet node mid-epoch and catching
+//! it back up through the (possibly still faulty) network.
+//!
+//! The simulation runs one node per subnet, standing in for that subnet's
+//! honest validator quorum — so "crashing" the node halts the subnet's
+//! block production entirely, while the finalized chain survives on the
+//! subnet's remaining peers (held here as [`CrashedNode::peer_blocks`]).
+//! Rejoin rebuilds the node from genesis via the recorded boot parameters
+//! (the PR 4 recovery path) and then enters a *catch-up* phase: the node
+//! publishes [`hc_net::ResolutionMsg::BlockPull`] requests on its own
+//! topic, peers answer with bounded [`hc_net::ResolutionMsg::BlockBatch`]
+//! replies, and each received block is re-validated and re-executed
+//! ([`ReplayMode::CatchUp`]) — a corrupt or stale batch cannot poison the
+//! node. Both legs of every round trip cross the simulated network, so
+//! partitions, loss, duplication, and reordering from the
+//! [`hc_net::FaultPlan`] all apply; lost requests are retried under the
+//! same capped-backoff [`hc_net::RetryPolicy`] as content resolution.
+//!
+//! Scheduled crashes ([`hc_net::CrashFault`] entries of the fault plan)
+//! are driven deterministically from the step loop by
+//! [`HierarchyRuntime::process_fault_events`]; tests can also call
+//! [`HierarchyRuntime::crash_node`] / [`HierarchyRuntime::rejoin_node`]
+//! directly.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use hc_actors::ScaConfig;
+use hc_chain::{Block, ChainStore, CrossMsgPool, Mempool};
+use hc_consensus::{make_engine, ValidatorSet};
+use hc_net::{CrashFault, ResolutionMsg, Resolver, SubscriberId};
+use hc_state::{StateTree, VmEvent};
+use hc_types::{Address, CanonicalDecode, CanonicalEncode, ChainEpoch, SubnetId};
+
+use crate::node::{NodeStats, SubnetNode};
+use crate::persist::chain_log_name;
+use crate::runtime::{node_rng, HierarchyRuntime, ReplayMode, RuntimeError};
+use hc_store::Wal;
+
+/// Blocks per [`hc_net::ResolutionMsg::BlockBatch`] reply. Deliberately
+/// small so a long outage takes several pull round trips to repair, each
+/// one exposed to the fault plan.
+pub const BLOCK_BATCH_CAP: usize = 8;
+
+/// Counters of crash/rejoin/catch-up activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChaosStats {
+    /// Nodes crashed (removed from the hierarchy mid-run).
+    pub crashes: u64,
+    /// Nodes rebuilt and re-admitted.
+    pub rejoins: u64,
+    /// Catch-up phases that reached the peers' chain head.
+    pub catch_ups_completed: u64,
+    /// Missed blocks re-validated and re-executed during catch-up.
+    pub blocks_caught_up: u64,
+    /// `BlockPull` requests published (first sends and retries).
+    pub block_pulls: u64,
+    /// `BlockPull` retries after a timed-out round trip.
+    pub block_pull_retries: u64,
+    /// `BlockBatch` replies served from the surviving-peer chain copy.
+    pub block_batches: u64,
+    /// Scheduled crash faults skipped because their subnet did not exist
+    /// (or could not be safely crashed) when the fault fired.
+    pub crashes_skipped: u64,
+}
+
+/// Progress of one scheduled [`CrashFault`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashPhase {
+    /// The crash time has not been reached yet.
+    Pending,
+    /// The node is down, waiting for its rejoin time.
+    Down,
+    /// The fault has fully played out (or was skipped).
+    Done,
+}
+
+/// What survives a subnet node's crash: the view of the subnet's
+/// *remaining* peers, which the rejoining node syncs against.
+#[derive(Debug)]
+pub(crate) struct CrashedNode {
+    /// The node's pub-sub identity (kept so topic membership and
+    /// subscriber-scoped fault rules stay stable across the outage).
+    pub(crate) subscription: SubscriberId,
+    /// The finalized chain as held by surviving peers — the catch-up
+    /// source of truth.
+    pub(crate) peer_blocks: Vec<Block>,
+    /// The mempool content as replicated on peers; re-admitted at rejoin.
+    pub(crate) mempool: Mempool,
+}
+
+/// State of one rejoined node's catch-up phase.
+#[derive(Debug)]
+pub(crate) struct CatchUp {
+    /// The surviving peers' chain, serving [`ResolutionMsg::BlockPull`]s.
+    pub(crate) peer_blocks: Vec<Block>,
+    /// Accounts the live run installed outside block execution, in
+    /// order, tagged with the `next_epoch` at install time — re-installed
+    /// at the same epoch boundaries so replayed state roots match the
+    /// block headers. Front = earliest.
+    pub(crate) pending_users: VecDeque<(ChainEpoch, Address)>,
+    /// Pull round trips attempted since the last progress.
+    pub(crate) attempts: u32,
+    /// Don't publish another pull before this virtual time.
+    pub(crate) next_pull_at_ms: u64,
+}
+
+impl HierarchyRuntime {
+    /// Crash/rejoin/catch-up counters.
+    pub fn chaos_stats(&self) -> ChaosStats {
+        self.chaos
+    }
+
+    /// Is `subnet`'s node currently crashed?
+    pub fn is_crashed(&self, subnet: &SubnetId) -> bool {
+        self.crashed.contains_key(subnet)
+    }
+
+    /// Is `subnet`'s node rejoined but still replaying missed blocks?
+    pub fn is_catching_up(&self, subnet: &SubnetId) -> bool {
+        self.catching_up.contains_key(subnet)
+    }
+
+    /// Schedules an additional crash fault after boot (equivalent to
+    /// listing it in the fault plan's `crashes`).
+    pub fn schedule_crash(&mut self, fault: CrashFault) {
+        self.crash_plan.push((fault, CrashPhase::Pending));
+    }
+
+    /// Merges additional fault rules into the live network's plan — used
+    /// by chaos harnesses to scope rules to topics of subnets spawned
+    /// after boot. Crash faults in `plan` are scheduled too.
+    pub fn extend_faults(&mut self, plan: hc_net::FaultPlan) {
+        for crash in &plan.crashes {
+            self.crash_plan.push((crash.clone(), CrashPhase::Pending));
+        }
+        self.network.extend_faults(plan);
+    }
+
+    /// Kills `subnet`'s node mid-run: its volatile state (state tree,
+    /// pools, resolver cache, randomness position) is lost; the finalized
+    /// chain and replicated mempool survive on peers. The subnet stops
+    /// producing blocks until [`HierarchyRuntime::rejoin_node`].
+    ///
+    /// # Errors
+    ///
+    /// Refuses to crash the rootnet (it anchors the hierarchy), a subnet
+    /// with live descendant subnets (their nodes run full nodes on the
+    /// parent, which this simulation keeps as a single process), or an
+    /// unknown/already-crashed subnet.
+    pub fn crash_node(&mut self, subnet: &SubnetId) -> Result<(), RuntimeError> {
+        if subnet.is_root() {
+            return Err(RuntimeError::Execution(
+                "cannot crash the rootnet node".into(),
+            ));
+        }
+        if self.nodes.keys().any(|k| subnet.is_ancestor_of(k)) {
+            return Err(RuntimeError::Execution(format!(
+                "cannot crash {subnet}: live descendant subnets depend on its chain"
+            )));
+        }
+        let node = self
+            .nodes
+            .remove(subnet)
+            .ok_or_else(|| RuntimeError::UnknownSubnet(subnet.clone()))?;
+        // The peer id goes dark: publishes stop reaching it and anything
+        // already queued for it is lost with the process.
+        self.network.set_offline(node.subscription, true);
+        self.network.clear_inbox(node.subscription);
+        self.crashed.insert(
+            subnet.clone(),
+            CrashedNode {
+                subscription: node.subscription,
+                peer_blocks: node.chain.iter().cloned().collect(),
+                mempool: node.mempool,
+            },
+        );
+        self.chaos.crashes += 1;
+        Ok(())
+    }
+
+    /// Restarts `subnet`'s crashed node: rebuilds it from genesis with the
+    /// recorded boot parameters and enters the catch-up phase, pulling the
+    /// blocks it missed from peers over the network. The node produces no
+    /// blocks until catch-up completes.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `subnet` is not crashed or its boot parameters were
+    /// never recorded (it was never spawned through the runtime).
+    pub fn rejoin_node(&mut self, subnet: &SubnetId) -> Result<(), RuntimeError> {
+        let crashed = self
+            .crashed
+            .remove(subnet)
+            .ok_or_else(|| RuntimeError::Execution(format!("{subnet} is not crashed")))?;
+        let (sa_config, engine_params) =
+            self.boot_params.get(subnet).cloned().ok_or_else(|| {
+                RuntimeError::Execution(format!("no boot parameters recorded for {subnet}"))
+            })?;
+        let sca_config = ScaConfig {
+            checkpoint_period: sa_config.checkpoint_period,
+            ..self.config.sca.clone()
+        };
+        let mut chain = ChainStore::new(subnet.clone());
+        // On a durable device, reattach the subnet's block journal: the
+        // catch-up replay appends without re-journaling (the records are
+        // already on disk), and post-catch-up live blocks journal again.
+        if let Some(durable) = self.config.persistence.durable().cloned() {
+            let (wal, _) = Wal::open(durable.device.clone(), &chain_log_name(subnet), durable.wal);
+            chain.attach_wal(wal);
+        }
+        let sig_cache = Self::make_sig_cache(self.config.sig_cache_capacity);
+        let node = SubnetNode {
+            subnet_id: subnet.clone(),
+            tree: StateTree::genesis(subnet.clone(), sca_config, []),
+            chain,
+            // The mempool's content was replicated across the subnet's
+            // peers; the restarted node re-syncs it. (Messages already in
+            // replayed blocks were removed from this pool before the
+            // crash, so nothing is double-proposed.)
+            mempool: crashed.mempool,
+            cross_pool: CrossMsgPool::new(),
+            engine: make_engine(sa_config.consensus, engine_params.clone()),
+            validators: ValidatorSet::default(),
+            validator_keys: Vec::new(),
+            resolver: Resolver::with_policy(self.config.retry),
+            subscription: crashed.subscription,
+            // Unschedulable until catch-up completes.
+            next_block_at_ms: u64::MAX,
+            next_epoch: ChainEpoch::new(1),
+            pending_checkpoints: Vec::new(),
+            pending_turnarounds: Vec::new(),
+            unresolved_turnarounds: Vec::new(),
+            last_receipts: BTreeMap::new(),
+            tentative: BTreeMap::new(),
+            store: self.cid_store().clone(),
+            stats: NodeStats::default(),
+            // Fresh genesis stream; the catch-up replay burns one draw per
+            // missed block, realigning it with the subnet's history.
+            rng: node_rng(self.config.seed, subnet),
+            sig_cache,
+        };
+        self.network.set_offline(crashed.subscription, false);
+        self.nodes.insert(subnet.clone(), node);
+        self.refresh_validators(subnet);
+        let pending_users: VecDeque<(ChainEpoch, Address)> = self
+            .user_installs
+            .get(subnet)
+            .cloned()
+            .unwrap_or_default()
+            .into();
+        self.catching_up.insert(
+            subnet.clone(),
+            CatchUp {
+                peer_blocks: crashed.peer_blocks,
+                pending_users,
+                attempts: 0,
+                next_pull_at_ms: self.now_ms,
+            },
+        );
+        self.chaos.rejoins += 1;
+        Ok(())
+    }
+
+    /// Drives scheduled crash faults and all active catch-ups. Called at
+    /// the top of every [`HierarchyRuntime::step`] /
+    /// [`HierarchyRuntime::step_wave`]; a no-op (and RNG-neutral) when the
+    /// fault plan schedules no crashes and nothing is catching up.
+    pub(crate) fn process_fault_events(&mut self) -> Result<(), RuntimeError> {
+        if self.crash_plan.is_empty() && self.catching_up.is_empty() {
+            return Ok(());
+        }
+        for i in 0..self.crash_plan.len() {
+            let (fault, phase) = self.crash_plan[i].clone();
+            match phase {
+                CrashPhase::Pending if self.now_ms >= fault.crash_at_ms => {
+                    let safe = self.nodes.contains_key(&fault.subnet)
+                        && !fault.subnet.is_root()
+                        && !self.nodes.keys().any(|k| fault.subnet.is_ancestor_of(k));
+                    if safe {
+                        self.crash_node(&fault.subnet)?;
+                        self.crash_plan[i].1 = CrashPhase::Down;
+                    } else {
+                        self.chaos.crashes_skipped += 1;
+                        self.crash_plan[i].1 = CrashPhase::Done;
+                    }
+                }
+                CrashPhase::Down if self.now_ms >= fault.rejoin_at_ms => {
+                    self.rejoin_node(&fault.subnet)?;
+                    self.crash_plan[i].1 = CrashPhase::Done;
+                }
+                _ => {}
+            }
+        }
+        let syncing: Vec<SubnetId> = self.catching_up.keys().cloned().collect();
+        for subnet in syncing {
+            self.advance_catch_up(&subnet)?;
+        }
+        Ok(())
+    }
+
+    /// One catch-up round for `subnet`: drain the node's inbox (serving
+    /// its own pull echoes from the peer chain and replaying any received
+    /// batches), finish if the peers' head is reached, otherwise (re)issue
+    /// a pull under the retry/backoff schedule.
+    fn advance_catch_up(&mut self, subnet: &SubnetId) -> Result<(), RuntimeError> {
+        let now_ms = self.now_ms;
+        let sub = Self::get_node_mut(&mut self.nodes, subnet)?.subscription;
+        let incoming = self.network.poll(sub, now_ms);
+        let mut pulls_seen: Vec<ChainEpoch> = Vec::new();
+        let mut batches: Vec<Vec<Vec<u8>>> = Vec::new();
+        let mut certs = Vec::new();
+        let mut replies = Vec::new();
+        {
+            let node = Self::get_node_mut(&mut self.nodes, subnet)?;
+            for msg in incoming {
+                match msg {
+                    ResolutionMsg::BlockPull {
+                        subnet: s,
+                        from_epoch,
+                        ..
+                    } if s == *subnet => pulls_seen.push(from_epoch),
+                    ResolutionMsg::BlockBatch { subnet: s, blocks } if s == *subnet => {
+                        batches.push(blocks);
+                    }
+                    ResolutionMsg::Certificate(cert) => certs.push(*cert),
+                    other => {
+                        if let Some(reply) = node.resolver.handle(other) {
+                            replies.push(reply);
+                        }
+                    }
+                }
+            }
+        }
+        for cert in certs {
+            self.ingest_certificate(subnet, cert);
+        }
+        for (topic, msg) in replies {
+            self.network.publish(&topic, msg, now_ms, None);
+        }
+
+        // Surviving peers answer pulls from their copy of the chain, in
+        // bounded batches — a long outage takes several round trips.
+        for from_epoch in pulls_seen {
+            let Some(cu) = self.catching_up.get(subnet) else {
+                break;
+            };
+            let batch: Vec<Vec<u8>> = cu
+                .peer_blocks
+                .iter()
+                .filter(|b| b.header.epoch >= from_epoch)
+                .take(BLOCK_BATCH_CAP)
+                .map(CanonicalEncode::canonical_bytes)
+                .collect();
+            if batch.is_empty() {
+                continue;
+            }
+            self.chaos.block_batches += 1;
+            self.network.publish(
+                &subnet.topic(),
+                ResolutionMsg::BlockBatch {
+                    subnet: subnet.clone(),
+                    blocks: batch,
+                },
+                now_ms,
+                None,
+            );
+        }
+
+        // Replay received batches. Duplicated or overlapping batches are
+        // harmless: only the block matching the node's next epoch applies.
+        let mut progressed = false;
+        for blocks in batches {
+            for bytes in blocks {
+                let Ok(block) = Block::decode(&bytes) else {
+                    continue;
+                };
+                let expect = Self::get_node_mut(&mut self.nodes, subnet)?.next_epoch;
+                if block.header.epoch != expect {
+                    continue;
+                }
+                self.install_pending_users(subnet, block.header.epoch)?;
+                self.replay_block(subnet, block, ReplayMode::CatchUp)?;
+                // Replay restores the historical schedule; stay
+                // unschedulable until catch-up completes.
+                Self::get_node_mut(&mut self.nodes, subnet)?.next_block_at_ms = u64::MAX;
+                self.chaos.blocks_caught_up += 1;
+                progressed = true;
+            }
+        }
+        if progressed {
+            if let Some(cu) = self.catching_up.get_mut(subnet) {
+                cu.attempts = 0;
+                cu.next_pull_at_ms = now_ms;
+            }
+        }
+
+        let done = {
+            let replayed = self.nodes.get(subnet).map_or(0, |n| n.chain.len());
+            self.catching_up
+                .get(subnet)
+                .is_some_and(|cu| replayed >= cu.peer_blocks.len())
+        };
+        if done {
+            self.finish_catch_up(subnet)?;
+            return Ok(());
+        }
+
+        let policy = self.config.retry;
+        let Some(cu) = self.catching_up.get_mut(subnet) else {
+            return Ok(());
+        };
+        if now_ms >= cu.next_pull_at_ms {
+            cu.attempts += 1;
+            cu.next_pull_at_ms = now_ms + policy.timeout_for(cu.attempts);
+            if cu.attempts > 1 {
+                self.chaos.block_pull_retries += 1;
+            }
+            self.chaos.block_pulls += 1;
+            let (from_epoch, own) = {
+                let node = Self::get_node_mut(&mut self.nodes, subnet)?;
+                (node.next_epoch, node.subscription)
+            };
+            // Published on the subnet's own topic with the node itself as
+            // origin but *not* excluded: in this single-process simulation
+            // the runtime stands in for the surviving peers, so the pull
+            // must come back through the (possibly faulty) network to be
+            // served. Asymmetric fault rules can still target the sender.
+            self.network.publish_from(
+                &subnet.topic(),
+                ResolutionMsg::BlockPull {
+                    subnet: subnet.clone(),
+                    from_epoch,
+                    reply_topic: subnet.topic(),
+                },
+                now_ms,
+                None,
+                Some(own),
+            );
+        }
+        Ok(())
+    }
+
+    /// Re-installs accounts the live run created outside block execution,
+    /// up to and including `up_to_epoch`. The live `install_user` mutated
+    /// the tree between blocks; a catch-up replay from pure genesis must
+    /// repeat those writes at the same epoch boundaries or the replayed
+    /// state roots diverge from the block headers. Wallets are runtime
+    /// state and survive the crash — they are deliberately not touched
+    /// (re-inserting would reset signer nonces).
+    fn install_pending_users(
+        &mut self,
+        subnet: &SubnetId,
+        up_to_epoch: ChainEpoch,
+    ) -> Result<(), RuntimeError> {
+        loop {
+            let next = self
+                .catching_up
+                .get(subnet)
+                .and_then(|cu| cu.pending_users.front().copied());
+            let Some((epoch, addr)) = next else { break };
+            if epoch > up_to_epoch {
+                break;
+            }
+            if let Some(cu) = self.catching_up.get_mut(subnet) {
+                cu.pending_users.pop_front();
+            }
+            let key = self.user_key(addr).public();
+            let node = Self::get_node_mut(&mut self.nodes, subnet)?;
+            let acc = node.tree.accounts_mut().get_or_create(addr);
+            acc.key = Some(key);
+            acc.balance = hc_types::TokenAmount::ZERO;
+        }
+        Ok(())
+    }
+
+    /// Ends `subnet`'s catch-up: the node holds the same finalized chain
+    /// as its peers and rejoins normal block production.
+    fn finish_catch_up(&mut self, subnet: &SubnetId) -> Result<(), RuntimeError> {
+        // Accounts installed after the surviving head (but before the
+        // crash) have no covering block; restore them now.
+        self.install_pending_users(subnet, ChainEpoch::new(u64::MAX))?;
+        self.catching_up.remove(subnet);
+        let block_time_ms = self
+            .boot_params
+            .get(subnet)
+            .map_or(self.config.engine_params.block_time_ms, |(_, e)| {
+                e.block_time_ms
+            });
+        let now_ms = self.now_ms;
+        let node = Self::get_node_mut(&mut self.nodes, subnet)?;
+        node.next_block_at_ms = now_ms + block_time_ms;
+        self.chaos.catch_ups_completed += 1;
+        Ok(())
+    }
+
+    /// Applies the node-local effects of a caught-up block's events — the
+    /// [`ReplayMode::CatchUp`] counterpart of the live event routing. The
+    /// block's *outward* effects (checkpoint submission to the parent,
+    /// journal records, manifest anchors, certificate gossip) happened
+    /// when the block was originally produced; re-running them would
+    /// double-apply. What must be rebuilt is the node's own view: stats,
+    /// persisted state, the resolver's content for serving future pulls,
+    /// and settled-payment bookkeeping.
+    pub(crate) fn catch_up_effects(
+        &mut self,
+        subnet: &SubnetId,
+        events: Vec<VmEvent>,
+    ) -> Result<(), RuntimeError> {
+        let node = Self::get_node_mut(&mut self.nodes, subnet)?;
+        for event in events {
+            match event {
+                VmEvent::CheckpointCut { checkpoint } => {
+                    node.stats.checkpoints_cut += 1;
+                    node.tree.persist(&node.store);
+                    node.stats.state_persists += 1;
+                    // Re-seed the resolver from the SCA registry so the
+                    // node can serve pulls for its checkpointed content
+                    // again (the cache died with the process).
+                    for meta in &checkpoint.cross_msgs {
+                        if let Some(msgs) = node
+                            .tree
+                            .sca()
+                            .resolve_content(&meta.msgs_cid)
+                            .map(<[hc_actors::CrossMsg]>::to_vec)
+                        {
+                            node.resolver.seed(meta.msgs_cid, msgs);
+                        }
+                    }
+                }
+                VmEvent::CheckpointCommitted { outcome, .. } => {
+                    node.stats.checkpoints_committed += 1;
+                    for meta in outcome.applied_here {
+                        node.cross_pool.ingest_meta(meta);
+                    }
+                    node.unresolved_turnarounds.extend(outcome.turnaround);
+                }
+                VmEvent::CrossMsgApplied { msg } => {
+                    node.stats.cross_applied += 1;
+                    node.tentative.remove(&msg.cid());
+                }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+}

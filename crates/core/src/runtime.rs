@@ -14,7 +14,7 @@ use hc_chain::{
     execute_block_with, produce_block_with, Block, ChainStore, CrossMsgPool, ExecOptions, Mempool,
 };
 use hc_consensus::{make_engine, EngineParams, ValidatorSet};
-use hc_net::{NetConfig, Network, ResolutionMsg, Resolver};
+use hc_net::{NetConfig, Network, PullDecision, ResolutionMsg, Resolver, RetryPolicy};
 use hc_state::{
     CidStore, ImplicitMsg, Message, Method, Receipt, SealedMessage, SigCache, SigCacheStats,
     SignedMessage, StateTree, VmEvent, DEFAULT_SIG_CACHE_CAPACITY,
@@ -80,6 +80,14 @@ pub struct RuntimeConfig {
     /// blocks, control records, and state blobs so the hierarchy can be
     /// rebuilt by [`HierarchyRuntime::recover`] after a crash.
     pub persistence: PersistenceConfig,
+    /// Timeout/backoff policy for cross-net pull requests and crash
+    /// catch-up block pulls. The default (unbounded attempts, capped
+    /// exponential backoff) never abandons a request; setting
+    /// [`RetryPolicy::max_attempts`] bounds the budget, after which the
+    /// request is abandoned and surfaces in
+    /// [`hc_net::ResolverStats::pulls_abandoned`] — degraded, never
+    /// silently lost.
+    pub retry: RetryPolicy,
 }
 
 impl Default for RuntimeConfig {
@@ -96,6 +104,7 @@ impl Default for RuntimeConfig {
             parallelism: 1,
             sig_cache_capacity: DEFAULT_SIG_CACHE_CAPACITY,
             persistence: PersistenceConfig::InMemory,
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -178,7 +187,7 @@ struct Wallet {
 /// Derives a subnet node's private randomness stream from the runtime
 /// seed and the subnet's identity (domain-separated through the content
 /// hash, so sibling subnets get unrelated streams).
-fn node_rng(seed: u64, subnet: &SubnetId) -> StdRng {
+pub(crate) fn node_rng(seed: u64, subnet: &SubnetId) -> StdRng {
     let mut bytes = seed.to_le_bytes().to_vec();
     bytes.extend_from_slice(&subnet.canonical_bytes());
     StdRng::from_seed(*Cid::digest(&bytes).as_bytes())
@@ -204,13 +213,28 @@ struct ReplayLog {
     cursor: usize,
 }
 
+/// Why a past block is being re-committed — see
+/// [`HierarchyRuntime::replay_block`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ReplayMode {
+    /// Whole-runtime restart from the journal: the replay *is* the
+    /// effect, so checkpoint routing, archiving, and event delivery all
+    /// re-run.
+    Recovery,
+    /// A single rejoined node resyncing from peers while the live
+    /// hierarchy keeps running: only node-local bookkeeping re-runs; the
+    /// block's outward effects (parent checkpoint submission, journal
+    /// records, certificates) already happened when it was produced.
+    CatchUp,
+}
+
 /// The hierarchical consensus runtime: one node per subnet plus the shared
 /// pub-sub network, advanced by a deterministic discrete-event loop.
 pub struct HierarchyRuntime {
-    config: RuntimeConfig,
-    nodes: BTreeMap<SubnetId, SubnetNode>,
-    network: Network<ResolutionMsg>,
-    now_ms: u64,
+    pub(crate) config: RuntimeConfig,
+    pub(crate) nodes: BTreeMap<SubnetId, SubnetNode>,
+    pub(crate) network: Network<ResolutionMsg>,
+    pub(crate) now_ms: u64,
     next_user_id: u64,
     wallets: BTreeMap<(SubnetId, Address), Wallet>,
     events: VecDeque<(SubnetId, VmEvent)>,
@@ -235,6 +259,27 @@ pub struct HierarchyRuntime {
     /// The GC's live roots: blobs unreachable from these manifests can be
     /// pruned from the blob store.
     recent_manifests: BTreeMap<SubnetId, VecDeque<Cid>>,
+    /// Subnets whose node is currently crashed (removed from `nodes`),
+    /// with the surviving-peer view needed for rejoin.
+    pub(crate) crashed: BTreeMap<SubnetId, crate::chaos::CrashedNode>,
+    /// Rejoined subnets still replaying missed blocks pulled from peers.
+    pub(crate) catching_up: BTreeMap<SubnetId, crate::chaos::CatchUp>,
+    /// The boot-time (SA config, engine params) of every child subnet, so
+    /// a crashed node can be rebuilt from genesis at rejoin.
+    pub(crate) boot_params: BTreeMap<SubnetId, (SaConfig, EngineParams)>,
+    /// Scheduled crash faults copied from the fault plan at boot (plus any
+    /// added via [`HierarchyRuntime::schedule_crash`]) and each one's
+    /// progress through crash → rejoin.
+    pub(crate) crash_plan: Vec<(hc_net::CrashFault, crate::chaos::CrashPhase)>,
+    /// Crash/rejoin/catch-up counters.
+    pub(crate) chaos: crate::chaos::ChaosStats,
+    /// Per subnet, every account installed outside block execution
+    /// ([`HierarchyRuntime::install_user`]), tagged with the node's
+    /// `next_epoch` at install time. A crash–rejoin catch-up replays the
+    /// chain from genesis and must re-install each account at the same
+    /// epoch boundary the live run did, or the replayed state roots
+    /// diverge from the headers.
+    pub(crate) user_installs: BTreeMap<SubnetId, Vec<(ChainEpoch, Address)>>,
 }
 
 impl fmt::Debug for HierarchyRuntime {
@@ -395,7 +440,10 @@ impl HierarchyRuntime {
                 if block.header.epoch != epoch {
                     return false;
                 }
-                if self.replay_block(&subnet, block).is_err() {
+                if self
+                    .replay_block(&subnet, block, ReplayMode::Recovery)
+                    .is_err()
+                {
                     return false;
                 }
                 if let Some(log) = logs.get_mut(&subnet) {
@@ -425,14 +473,23 @@ impl HierarchyRuntime {
         }
     }
 
-    /// Re-commits one journaled block during recovery: re-executes it
-    /// against the recovered state (verifying the recomputed state root
-    /// against the header), re-appends it without re-journaling, and
-    /// repeats every bookkeeping step the live
+    /// Re-commits one past block against a node: re-executes it (verifying
+    /// the recomputed state root against the header), re-appends it
+    /// without re-journaling, and repeats every bookkeeping step the live
     /// [`HierarchyRuntime::produce_local`] performed — engine and RNG
-    /// draws included, so the recovered node's randomness stream stays
-    /// aligned with history.
-    fn replay_block(&mut self, subnet: &SubnetId, block: Block) -> Result<(), RuntimeError> {
+    /// draws included, so the node's randomness stream stays aligned with
+    /// history. [`ReplayMode::Recovery`] (crash-restart replay from the
+    /// journal) routes the block's effects through the full
+    /// [`HierarchyRuntime::post_tick`]; [`ReplayMode::CatchUp`] (a live
+    /// rejoined node resyncing while the rest of the hierarchy has moved
+    /// on) applies only node-local effects — every outward effect of the
+    /// block already happened when it was produced.
+    pub(crate) fn replay_block(
+        &mut self,
+        subnet: &SubnetId,
+        block: Block,
+        mode: ReplayMode,
+    ) -> Result<(), RuntimeError> {
         self.refresh_validators(subnet);
         let at_ms = block.header.timestamp_ms;
         let epoch = block.header.epoch;
@@ -545,22 +602,29 @@ impl HierarchyRuntime {
                 }
             }
         }
-        self.now_ms = self.now_ms.max(at_ms);
-        self.post_tick(
-            subnet,
-            LocalOutcome {
-                report: StepReport {
-                    subnet: subnet.clone(),
-                    epoch,
+        match mode {
+            ReplayMode::Recovery => {
+                self.now_ms = self.now_ms.max(at_ms);
+                self.post_tick(
+                    subnet,
+                    LocalOutcome {
+                        report: StepReport {
+                            subnet: subnet.clone(),
+                            epoch,
+                            at_ms,
+                            msgs: msg_count,
+                            gas_used,
+                        },
+                        archived,
+                        events,
+                    },
                     at_ms,
-                    msgs: msg_count,
-                    gas_used,
-                },
-                archived,
-                events,
-            },
-            at_ms,
-        )?;
+                )?;
+            }
+            ReplayMode::CatchUp => {
+                self.catch_up_effects(subnet, events)?;
+            }
+        }
         Ok(())
     }
 
@@ -568,6 +632,14 @@ impl HierarchyRuntime {
     /// touching any persistence device.
     fn boot(config: RuntimeConfig) -> Self {
         let network = Network::new(config.net.clone(), config.seed);
+        let crash_plan: Vec<(hc_net::CrashFault, crate::chaos::CrashPhase)> = config
+            .net
+            .faults
+            .crashes
+            .iter()
+            .cloned()
+            .map(|c| (c, crate::chaos::CrashPhase::Pending))
+            .collect();
         let root = SubnetId::root();
 
         // Root validators: deterministic authority identities.
@@ -607,7 +679,7 @@ impl HierarchyRuntime {
             engine,
             validators: ValidatorSet::new(validators),
             validator_keys,
-            resolver: Resolver::new(),
+            resolver: Resolver::with_policy(config.retry),
             subscription,
             next_block_at_ms: config.engine_params.block_time_ms,
             next_epoch: ChainEpoch::new(1),
@@ -638,6 +710,12 @@ impl HierarchyRuntime {
             recovering: false,
             control_wal: None,
             recent_manifests: BTreeMap::new(),
+            crashed: BTreeMap::new(),
+            catching_up: BTreeMap::new(),
+            boot_params: BTreeMap::new(),
+            crash_plan,
+            chaos: crate::chaos::ChaosStats::default(),
+            user_installs: BTreeMap::new(),
         }
     }
 
@@ -710,7 +788,7 @@ impl HierarchyRuntime {
 
     /// Builds a node-local verified-signature cache, or `None` when the
     /// configured capacity is zero (cache disabled).
-    fn make_sig_cache(capacity: usize) -> Option<SigCache> {
+    pub(crate) fn make_sig_cache(capacity: usize) -> Option<SigCache> {
         (capacity > 0).then(|| SigCache::new(capacity))
     }
 
@@ -808,7 +886,7 @@ impl HierarchyRuntime {
         self.nodes.get_mut(subnet)
     }
 
-    fn get_node_mut<'a>(
+    pub(crate) fn get_node_mut<'a>(
         nodes: &'a mut BTreeMap<SubnetId, SubnetNode>,
         subnet: &SubnetId,
     ) -> Result<&'a mut SubnetNode, RuntimeError> {
@@ -855,7 +933,7 @@ impl HierarchyRuntime {
 
     /// The deterministic wallet key of account `addr` (a pure function of
     /// the runtime seed, so recovery re-derives the same keys).
-    fn user_key(&self, addr: Address) -> Keypair {
+    pub(crate) fn user_key(&self, addr: Address) -> Keypair {
         let mut seed = [0u8; 32];
         seed[..8].copy_from_slice(&addr.id().to_le_bytes());
         seed[8..16].copy_from_slice(&self.config.seed.to_le_bytes());
@@ -874,6 +952,10 @@ impl HierarchyRuntime {
     ) -> Result<(), RuntimeError> {
         let key = self.user_key(addr);
         let node = Self::get_node_mut(&mut self.nodes, subnet)?;
+        self.user_installs
+            .entry(subnet.clone())
+            .or_default()
+            .push((node.next_epoch, addr));
         let acc = node.tree.accounts_mut().get_or_create(addr);
         acc.key = Some(key.public());
         acc.balance = balance;
@@ -1116,7 +1198,7 @@ impl HierarchyRuntime {
             engine,
             validators: ValidatorSet::default(),
             validator_keys: Vec::new(),
-            resolver: Resolver::new(),
+            resolver: Resolver::with_policy(self.config.retry),
             subscription,
             next_block_at_ms: self.now_ms + engine_params.block_time_ms,
             next_epoch: ChainEpoch::new(1),
@@ -1131,13 +1213,17 @@ impl HierarchyRuntime {
             sig_cache,
         };
         self.nodes.insert(child_id.clone(), node);
+        // Remembered so a crashed node can be rebuilt from genesis at
+        // rejoin ([`HierarchyRuntime::rejoin_node`]).
+        self.boot_params
+            .insert(child_id.clone(), (config.clone(), engine_params.clone()));
         self.refresh_validators(child_id);
     }
 
     /// Refreshes a child node's validator set and keys from the parent's
     /// Subnet Actor (membership changes take effect as the child syncs the
     /// parent chain).
-    fn refresh_validators(&mut self, subnet: &SubnetId) {
+    pub(crate) fn refresh_validators(&mut self, subnet: &SubnetId) {
         let Some(parent) = subnet.parent() else {
             return;
         };
@@ -1359,6 +1445,7 @@ impl HierarchyRuntime {
     ///
     /// Propagates internal failures (which indicate bugs, not user error).
     pub fn step(&mut self) -> Result<StepReport, RuntimeError> {
+        self.process_fault_events()?;
         let subnet = self
             .nodes
             .values()
@@ -1431,6 +1518,7 @@ impl HierarchyRuntime {
     ///
     /// Propagates internal failures (which indicate bugs, not user error).
     pub fn step_wave(&mut self) -> Result<Vec<StepReport>, RuntimeError> {
+        self.process_fault_events()?;
         let members = self.wave_members();
 
         // Phase pre: sequential cross-net intake, advancing the clock.
@@ -1547,6 +1635,21 @@ impl HierarchyRuntime {
     /// Returns `true` when no node has cross-net work in flight, locally
     /// or waiting in its parent's SCA top-down queue.
     pub fn all_quiescent(&self) -> bool {
+        // A crashed or still-catching-up node has work in flight by
+        // definition: the hierarchy is not settled until it has rejoined
+        // and replayed everything it missed.
+        if !self.crashed.is_empty() || !self.catching_up.is_empty() {
+            return false;
+        }
+        // So do unfired crash faults: quiescing before a scheduled crash
+        // would end a chaos run early.
+        if self
+            .crash_plan
+            .iter()
+            .any(|(_, phase)| *phase != crate::chaos::CrashPhase::Done)
+        {
+            return false;
+        }
         self.nodes.values().all(|n| {
             if !n.is_quiescent() {
                 return false;
@@ -1655,7 +1758,11 @@ impl HierarchyRuntime {
     /// simulation that mirrors the light-client read a real node performs
     /// on the ancestor chains it tracks) and records it as a pending
     /// payment. Invalid or unverifiable certificates are dropped.
-    fn ingest_certificate(&mut self, subnet: &SubnetId, cert: hc_actors::FundCertificate) {
+    pub(crate) fn ingest_certificate(
+        &mut self,
+        subnet: &SubnetId,
+        cert: hc_actors::FundCertificate,
+    ) {
         if cert.body.msg.to.subnet != *subnet {
             return;
         }
@@ -1704,7 +1811,12 @@ impl HierarchyRuntime {
     }
 
     /// Attempts to resolve pending bottom-up metas and turnaround metas;
-    /// publishes pull requests for misses (paper §IV-C).
+    /// publishes pull requests for misses (paper §IV-C). Each miss goes
+    /// through the resolver's per-request timeout/backoff tracker
+    /// ([`Resolver::should_pull`]): the first miss pulls immediately,
+    /// repeat misses wait out the capped exponential backoff, and once a
+    /// bounded retry budget is spent the request is abandoned — counted in
+    /// [`hc_net::ResolverStats::pulls_abandoned`], never silently lost.
     fn resolve_pending(&mut self, subnet: &SubnetId, now_ms: u64) -> Result<(), RuntimeError> {
         let own_topic = subnet.topic();
         let mut pulls: Vec<(String, ResolutionMsg)> = Vec::new();
@@ -1715,7 +1827,11 @@ impl HierarchyRuntime {
                     Ok(msgs) => {
                         node.cross_pool.resolve(meta.msgs_cid, msgs);
                     }
-                    Err(pull) => pulls.push((meta.from.topic(), pull)),
+                    Err(pull) => {
+                        if node.resolver.should_pull(meta.msgs_cid, now_ms) == PullDecision::Send {
+                            pulls.push((meta.from.topic(), pull));
+                        }
+                    }
                 }
             }
             let unresolved = std::mem::take(&mut node.unresolved_turnarounds);
@@ -1724,7 +1840,9 @@ impl HierarchyRuntime {
                 match node.resolver.lookup_or_pull(meta.msgs_cid, &own_topic) {
                     Ok(msgs) => node.pending_turnarounds.push((meta, msgs)),
                     Err(pull) => {
-                        pulls.push((meta.from.topic(), pull));
+                        if node.resolver.should_pull(meta.msgs_cid, now_ms) == PullDecision::Send {
+                            pulls.push((meta.from.topic(), pull));
+                        }
                         still_unresolved.push(meta);
                     }
                 }

@@ -1,0 +1,315 @@
+//! Deterministic fault injection for the simulated network.
+//!
+//! A [`FaultPlan`] is a *schedule* of adversarial network conditions —
+//! named partitions, targeted loss, bounded duplication, adversarial
+//! reordering, and node crash windows — attached to a
+//! [`crate::NetConfig`]. Every fault decision draws from a dedicated
+//! fault RNG stream (domain-separated from the base delay/loss stream),
+//! so two runs under the same seed are bit-identical, and a run with
+//! [`FaultPlan::none`] behaves exactly like a run on a fault-free
+//! network build.
+//!
+//! All times are virtual milliseconds on the simulator clock. Windows
+//! are half-open: a fault with `from_ms = a` and `heal_ms`/`until_ms
+//! = b` is active for deliveries published at `a <= now < b`.
+
+use hc_types::SubnetId;
+
+use crate::pubsub::SubscriberId;
+
+/// What happens to a delivery that crosses an active [`Partition`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PartitionPolicy {
+    /// The delivery is dropped outright (counted in
+    /// `NetStats::partition_dropped`). Senders must retry past the heal
+    /// time to get through.
+    #[default]
+    Drop,
+    /// The delivery is queued and released when the partition heals:
+    /// its delivery time is clamped to at least `heal_ms` (counted in
+    /// `NetStats::partition_held`).
+    HoldUntilHeal,
+}
+
+/// A named network partition, active for `[from_ms, heal_ms)`.
+///
+/// Scope is the union of two selectors:
+///
+/// * `topics` — every delivery on a listed topic is severed (a topic
+///   blackout);
+/// * `subscribers` — the listed subscribers form an isolated island:
+///   a delivery is severed when exactly one side (origin or
+///   destination) is inside the island. Traffic *within* the island
+///   still flows. A delivery whose origin is unknown (`None`) is
+///   treated as coming from outside the island.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Partition {
+    /// Human-readable label, surfaced in debug output and reports.
+    pub name: String,
+    /// Virtual time the partition starts.
+    pub from_ms: u64,
+    /// Virtual time the partition heals (`u64::MAX` = never).
+    pub heal_ms: u64,
+    /// Topics blacked out entirely while active.
+    pub topics: Vec<String>,
+    /// Subscribers isolated from everyone outside this set.
+    pub subscribers: Vec<SubscriberId>,
+    /// Fate of severed deliveries.
+    pub policy: PartitionPolicy,
+}
+
+impl Partition {
+    /// Returns `true` while the partition is in force at `now_ms`.
+    pub fn active(&self, now_ms: u64) -> bool {
+        self.from_ms <= now_ms && now_ms < self.heal_ms
+    }
+
+    /// Returns `true` when a delivery on `topic` from `origin` to
+    /// `dest` crosses this partition's boundary.
+    pub fn severs(&self, topic: &str, origin: Option<SubscriberId>, dest: SubscriberId) -> bool {
+        if self.topics.iter().any(|t| t == topic) {
+            return true;
+        }
+        if self.subscribers.is_empty() {
+            return false;
+        }
+        let dest_in = self.subscribers.contains(&dest);
+        let origin_in = origin.is_some_and(|o| self.subscribers.contains(&o));
+        dest_in != origin_in
+    }
+}
+
+/// Targeted (possibly asymmetric) message loss, active for
+/// `[from_ms, until_ms)`. Every selector is optional; `None` matches
+/// anything. A rule with `from: Some(_)` only matches deliveries whose
+/// origin is known (see [`crate::Network::publish_from`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LossRule {
+    /// Virtual time the rule activates.
+    pub from_ms: u64,
+    /// Virtual time the rule expires (`u64::MAX` = never).
+    pub until_ms: u64,
+    /// Restrict to one topic (`None` = every topic).
+    pub topic: Option<String>,
+    /// Restrict to deliveries published by this subscriber.
+    pub from: Option<SubscriberId>,
+    /// Restrict to deliveries destined for this subscriber.
+    pub to: Option<SubscriberId>,
+    /// Per-delivery drop probability in `[0, 1]`.
+    pub rate: f64,
+}
+
+impl LossRule {
+    /// Returns `true` when the rule applies to this delivery.
+    pub fn matches(
+        &self,
+        now_ms: u64,
+        topic: &str,
+        origin: Option<SubscriberId>,
+        dest: SubscriberId,
+    ) -> bool {
+        self.from_ms <= now_ms
+            && now_ms < self.until_ms
+            && self.topic.as_deref().is_none_or(|t| t == topic)
+            && self.to.is_none_or(|t| t == dest)
+            && self.from.is_none_or(|f| origin == Some(f))
+    }
+}
+
+/// Bounded duplication: matching deliveries are scheduled again up to
+/// `max_copies` extra times, each copy offset by up to `spread_ms`.
+/// Duplicate copies are flagged so [`crate::NetStats::delivered`] never
+/// double-counts them — they accumulate in
+/// [`crate::NetStats::redelivered`] instead.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DupRule {
+    /// Virtual time the rule activates.
+    pub from_ms: u64,
+    /// Virtual time the rule expires.
+    pub until_ms: u64,
+    /// Restrict to one topic (`None` = every topic).
+    pub topic: Option<String>,
+    /// Probability that a matching delivery is duplicated.
+    pub rate: f64,
+    /// Upper bound on extra copies per duplicated delivery (>= 1).
+    pub max_copies: u32,
+    /// Extra delay spread applied to each copy, `[0, spread_ms]`.
+    pub spread_ms: u64,
+}
+
+impl DupRule {
+    /// Returns `true` when the rule applies to a delivery published at
+    /// `now_ms` on `topic`.
+    pub fn matches(&self, now_ms: u64, topic: &str) -> bool {
+        self.from_ms <= now_ms
+            && now_ms < self.until_ms
+            && self.topic.as_deref().is_none_or(|t| t == topic)
+    }
+}
+
+/// Adversarial reordering: matching deliveries have their delay
+/// inflated by up to `max_extra_delay_ms`, letting later publishes
+/// overtake earlier ones within the window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReorderRule {
+    /// Virtual time the rule activates.
+    pub from_ms: u64,
+    /// Virtual time the rule expires.
+    pub until_ms: u64,
+    /// Restrict to one topic (`None` = every topic).
+    pub topic: Option<String>,
+    /// Probability that a matching delivery is delayed.
+    pub rate: f64,
+    /// Upper bound on the extra delay, in virtual ms (>= 1).
+    pub max_extra_delay_ms: u64,
+}
+
+impl ReorderRule {
+    /// Returns `true` when the rule applies to a delivery published at
+    /// `now_ms` on `topic`.
+    pub fn matches(&self, now_ms: u64, topic: &str) -> bool {
+        self.from_ms <= now_ms
+            && now_ms < self.until_ms
+            && self.topic.as_deref().is_none_or(|t| t == topic)
+    }
+}
+
+/// A scheduled single-node crash: the runtime kills `subnet`'s node
+/// once virtual time reaches `crash_at_ms` and rejoins it (through
+/// recovery plus network catch-up) at `rejoin_at_ms`.
+///
+/// Carried here — rather than in the runtime's own config — so one
+/// `FaultPlan` describes the complete chaos schedule of a run; the
+/// network itself only models the node's offline window, the crash
+/// state machine lives in `hc-core`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CrashFault {
+    /// The subnet whose node crashes.
+    pub subnet: SubnetId,
+    /// Virtual time of the crash.
+    pub crash_at_ms: u64,
+    /// Virtual time of the rejoin (`u64::MAX` = never rejoins).
+    pub rejoin_at_ms: u64,
+}
+
+/// A complete, seeded, schedulable fault plan.
+///
+/// The default plan is empty ([`FaultPlan::none`]) and is guaranteed to
+/// leave the network's behaviour — including its RNG stream —
+/// bit-identical to a build without the chaos layer.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultPlan {
+    /// Named partitions.
+    pub partitions: Vec<Partition>,
+    /// Targeted/asymmetric loss rules.
+    pub losses: Vec<LossRule>,
+    /// Bounded duplication rules.
+    pub duplications: Vec<DupRule>,
+    /// Adversarial reordering rules.
+    pub reorders: Vec<ReorderRule>,
+    /// Scheduled node crash–rejoin windows (interpreted by `hc-core`).
+    pub crashes: Vec<CrashFault>,
+}
+
+impl FaultPlan {
+    /// The empty plan: no faults, byte-identical behaviour to a
+    /// fault-free network.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Returns `true` when the plan schedules nothing.
+    pub fn is_none(&self) -> bool {
+        self.partitions.is_empty()
+            && self.losses.is_empty()
+            && self.duplications.is_empty()
+            && self.reorders.is_empty()
+            && self.crashes.is_empty()
+    }
+
+    /// Merges another plan's rules into this one (used by tests that
+    /// learn subscriber ids only after the network is built).
+    pub fn merge(&mut self, other: FaultPlan) {
+        self.partitions.extend(other.partitions);
+        self.losses.extend(other.losses);
+        self.duplications.extend(other.duplications);
+        self.reorders.extend(other.reorders);
+        self.crashes.extend(other.crashes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_is_none() {
+        assert!(FaultPlan::none().is_none());
+        let mut plan = FaultPlan::none();
+        plan.reorders.push(ReorderRule {
+            from_ms: 0,
+            until_ms: 10,
+            topic: None,
+            rate: 1.0,
+            max_extra_delay_ms: 5,
+        });
+        assert!(!plan.is_none());
+    }
+
+    #[test]
+    fn partition_windows_are_half_open() {
+        let p = Partition {
+            name: "t".into(),
+            from_ms: 100,
+            heal_ms: 200,
+            topics: vec!["a".into()],
+            subscribers: Vec::new(),
+            policy: PartitionPolicy::Drop,
+        };
+        assert!(!p.active(99));
+        assert!(p.active(100));
+        assert!(p.active(199));
+        assert!(!p.active(200));
+    }
+
+    #[test]
+    fn subscriber_partitions_sever_only_boundary_crossings() {
+        let a = SubscriberId::from_raw(1);
+        let b = SubscriberId::from_raw(2);
+        let outside = SubscriberId::from_raw(3);
+        let p = Partition {
+            name: "island".into(),
+            from_ms: 0,
+            heal_ms: u64::MAX,
+            topics: Vec::new(),
+            subscribers: vec![a, b],
+            policy: PartitionPolicy::Drop,
+        };
+        // Inside the island: flows.
+        assert!(!p.severs("t", Some(a), b));
+        // Crossing in either direction: severed.
+        assert!(p.severs("t", Some(a), outside));
+        assert!(p.severs("t", Some(outside), a));
+        // Unknown origin counts as outside.
+        assert!(p.severs("t", None, a));
+        assert!(!p.severs("t", None, outside));
+    }
+
+    #[test]
+    fn loss_rule_selectors_are_optional() {
+        let dest = SubscriberId::from_raw(7);
+        let origin = SubscriberId::from_raw(9);
+        let rule = LossRule {
+            from_ms: 0,
+            until_ms: 1_000,
+            topic: Some("x".into()),
+            from: Some(origin),
+            to: Some(dest),
+            rate: 1.0,
+        };
+        assert!(rule.matches(10, "x", Some(origin), dest));
+        assert!(!rule.matches(10, "y", Some(origin), dest));
+        assert!(!rule.matches(10, "x", None, dest));
+        assert!(!rule.matches(2_000, "x", Some(origin), dest));
+    }
+}

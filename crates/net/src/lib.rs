@@ -10,7 +10,12 @@
 //! * [`resolver`] — the cross-net content-resolution protocol
 //!   (paper §IV-C): *push* announcements as checkpoints travel upward,
 //!   *pull* requests against the source subnet's topic, and *resolve*
-//!   replies, backed by a validated per-node [`ContentCache`].
+//!   replies, backed by a validated, bounded per-node [`ContentCache`]
+//!   with per-request timeout/backoff retry ([`RetryPolicy`]).
+//! * [`fault`] — a seeded, schedulable [`FaultPlan`]: named partitions,
+//!   targeted/asymmetric loss, bounded duplication, adversarial
+//!   reordering, and node crash windows — all deterministic under the
+//!   run seed and inert by default.
 //!
 //! # Substitution note (DESIGN.md)
 //!
@@ -22,8 +27,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod pubsub;
 pub mod resolver;
 
+pub use fault::{
+    CrashFault, DupRule, FaultPlan, LossRule, Partition, PartitionPolicy, ReorderRule,
+};
 pub use pubsub::{NetConfig, NetStats, Network, SubscriberId};
-pub use resolver::{ContentCache, ResolutionMsg, Resolver, ResolverStats};
+pub use resolver::{
+    ContentCache, PullDecision, ResolutionMsg, Resolver, ResolverStats, RetryPolicy,
+    DEFAULT_CONTENT_CACHE_CAPACITY,
+};

@@ -15,15 +15,25 @@
 //!   a chance to cache it too.
 //!
 //! [`Resolver`] implements the per-node state machine over these three
-//! message kinds, backed by a validated [`ContentCache`].
+//! message kinds, backed by a validated, bounded [`ContentCache`]. On a
+//! lossy transport a pull can vanish in either direction, so every
+//! outstanding pull carries a per-request timeout with capped exponential
+//! backoff and a retry budget ([`RetryPolicy`]); requests that exhaust
+//! the budget are *abandoned* and surfaced in
+//! [`ResolverStats::pulls_abandoned`] — degraded, never silently lost.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 
 use serde::{Deserialize, Serialize};
 
 use hc_actors::{CrossMsg, FundCertificate};
 use hc_types::merkle::merkle_root;
-use hc_types::Cid;
+use hc_types::{ChainEpoch, Cid, SubnetId};
+
+/// Default bound on cached cross-message groups per node. Each group is
+/// typically a checkpoint window's worth of messages; a thousand windows
+/// is far beyond any retention the protocol needs.
+pub const DEFAULT_CONTENT_CACHE_CAPACITY: usize = 1024;
 
 /// Protocol messages exchanged on subnet topics.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -55,30 +65,88 @@ pub enum ResolutionMsg {
     /// acceleration for slow cross-net routes (paper §IV-A). Handled by
     /// the node runtime, not the resolver cache.
     Certificate(Box<FundCertificate>),
+    /// Request for a subnet's finalized blocks from `from_epoch` onward,
+    /// published on the subnet's own topic by a node catching up after a
+    /// crash. Peers answer with a bounded [`ResolutionMsg::BlockBatch`]
+    /// on `reply_topic`. Handled by the node runtime, not the resolver.
+    BlockPull {
+        /// The subnet whose chain is being synced.
+        subnet: SubnetId,
+        /// First epoch the requester is missing.
+        from_epoch: ChainEpoch,
+        /// Topic the batch reply goes to.
+        reply_topic: String,
+    },
+    /// Answer to a [`ResolutionMsg::BlockPull`]: a bounded run of
+    /// consecutive finalized blocks in canonical encoding (the requester
+    /// re-validates and re-executes each one, so a corrupt batch cannot
+    /// poison it). Handled by the node runtime, not the resolver.
+    BlockBatch {
+        /// The subnet the blocks belong to.
+        subnet: SubnetId,
+        /// Canonical bytes of consecutive blocks, oldest first.
+        blocks: Vec<Vec<u8>>,
+    },
 }
 
-/// A validated content-addressable cache of cross-message groups.
+/// A validated, bounded content-addressable cache of cross-message groups.
 ///
 /// Inserts are only accepted when the messages actually hash to the CID,
-/// so cache poisoning is impossible.
-#[derive(Debug, Clone, Default)]
+/// so cache poisoning is impossible. The cache holds at most `capacity`
+/// groups (FIFO eviction — the protocol's access pattern is a moving
+/// window over checkpoint epochs, so oldest-first is also
+/// least-likely-needed); `capacity == 0` disables the bound.
+#[derive(Debug, Clone)]
 pub struct ContentCache {
     entries: BTreeMap<Cid, Vec<CrossMsg>>,
+    /// Insertion order, oldest first, for FIFO eviction.
+    order: VecDeque<Cid>,
+    capacity: usize,
+    evictions: u64,
+}
+
+impl Default for ContentCache {
+    fn default() -> Self {
+        Self::with_capacity(DEFAULT_CONTENT_CACHE_CAPACITY)
+    }
 }
 
 impl ContentCache {
-    /// Creates an empty cache.
+    /// Creates an empty cache with the default capacity.
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// Creates an empty cache bounded to `capacity` groups (`0` =
+    /// unbounded).
+    pub fn with_capacity(capacity: usize) -> Self {
+        ContentCache {
+            entries: BTreeMap::new(),
+            order: VecDeque::new(),
+            capacity,
+            evictions: 0,
+        }
+    }
+
     /// Inserts a group if it matches `cid`. Returns `true` on acceptance
-    /// (idempotent: re-inserting known content also returns `true`).
+    /// (idempotent: re-inserting known content also returns `true` and
+    /// does not disturb the eviction order).
     pub fn insert(&mut self, cid: Cid, msgs: Vec<CrossMsg>) -> bool {
         if merkle_root(&msgs) != cid {
             return false;
         }
-        self.entries.entry(cid).or_insert(msgs);
+        if self.entries.contains_key(&cid) {
+            return true;
+        }
+        self.entries.insert(cid, msgs);
+        self.order.push_back(cid);
+        if self.capacity > 0 {
+            while self.entries.len() > self.capacity {
+                let oldest = self.order.pop_front().expect("order tracks entries");
+                self.entries.remove(&oldest);
+                self.evictions += 1;
+            }
+        }
         true
     }
 
@@ -101,6 +169,80 @@ impl ContentCache {
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
     }
+
+    /// The configured capacity (`0` = unbounded).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Groups evicted to keep the cache within capacity.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+}
+
+/// Timeout and backoff schedule for outstanding pull requests.
+///
+/// Attempt `n` (1-based) times out after
+/// `min(base_timeout_ms * backoff^(n-1), max_timeout_ms)` virtual ms;
+/// after `max_attempts` sends the request is abandoned (and counted in
+/// [`ResolverStats::pulls_abandoned`]). `max_attempts == 0` retries
+/// forever.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Timeout of the first attempt, in virtual ms.
+    pub base_timeout_ms: u64,
+    /// Multiplier applied per retry (>= 1).
+    pub backoff: u32,
+    /// Upper bound on a single attempt's timeout.
+    pub max_timeout_ms: u64,
+    /// Retry budget (`0` = unbounded).
+    pub max_attempts: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            base_timeout_ms: 400,
+            backoff: 2,
+            max_timeout_ms: 6_400,
+            max_attempts: 0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Timeout of the `attempt`-th send (1-based), capped.
+    pub fn timeout_for(&self, attempt: u32) -> u64 {
+        let mut t = self.base_timeout_ms.max(1);
+        for _ in 1..attempt {
+            t = t.saturating_mul(u64::from(self.backoff.max(1)));
+            if t >= self.max_timeout_ms {
+                return self.max_timeout_ms.max(1);
+            }
+        }
+        t.min(self.max_timeout_ms.max(1))
+    }
+}
+
+/// What [`Resolver::should_pull`] decided about an unresolved CID.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PullDecision {
+    /// Publish a pull request now (first send or a due retry).
+    Send,
+    /// A pull is in flight and its timeout has not elapsed — wait.
+    Wait,
+    /// The retry budget is exhausted; the request is abandoned and
+    /// counted. The caller should surface the degradation, not loop.
+    Abandoned,
+}
+
+/// Book-keeping for one outstanding pull.
+#[derive(Debug, Clone, Copy)]
+struct PullState {
+    attempts: u32,
+    next_retry_at_ms: u64,
+    abandoned: bool,
 }
 
 /// Counters of one node's resolution activity.
@@ -121,23 +263,44 @@ pub struct ResolverStats {
     pub cache_hits: u64,
     /// Local lookups that required a pull request.
     pub cache_misses: u64,
+    /// First-attempt pull requests sent.
+    pub pulls_sent: u64,
+    /// Retries sent after a pull timed out.
+    pub pulls_retried: u64,
+    /// Pulls abandoned after exhausting the retry budget — degraded
+    /// requests are reported here, never silently dropped.
+    pub pulls_abandoned: u64,
+    /// Cache entries evicted to stay within capacity.
+    pub evictions: u64,
 }
 
 /// The per-node content-resolution state machine.
 ///
 /// `handle` consumes an incoming [`ResolutionMsg`] and optionally produces
 /// a reply `(topic, message)` the caller publishes; `lookup_or_pull`
-/// serves local consumers (the cross-msg pool).
+/// serves local consumers (the cross-msg pool); `should_pull` gates pull
+/// publication behind the per-request timeout/backoff schedule.
 #[derive(Debug, Clone, Default)]
 pub struct Resolver {
     cache: ContentCache,
+    policy: RetryPolicy,
+    pending: BTreeMap<Cid, PullState>,
     stats: ResolverStats,
 }
 
 impl Resolver {
-    /// Creates a resolver with an empty cache.
+    /// Creates a resolver with an empty cache and the default
+    /// [`RetryPolicy`].
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates a resolver with an explicit retry policy.
+    pub fn with_policy(policy: RetryPolicy) -> Self {
+        Resolver {
+            policy,
+            ..Self::default()
+        }
     }
 
     /// Read access to the cache.
@@ -145,15 +308,80 @@ impl Resolver {
         &self.cache
     }
 
+    /// The retry policy in force.
+    pub fn policy(&self) -> RetryPolicy {
+        self.policy
+    }
+
     /// Activity counters.
     pub fn stats(&self) -> ResolverStats {
-        self.stats
+        let mut stats = self.stats;
+        stats.evictions = self.cache.evictions();
+        stats
     }
 
     /// Seeds the cache with locally produced content (the SCA registers
     /// every group it creates).
     pub fn seed(&mut self, cid: Cid, msgs: Vec<CrossMsg>) -> bool {
-        self.cache.insert(cid, msgs)
+        self.accept(cid, msgs)
+    }
+
+    /// Validated insert that also settles any outstanding pull for `cid`.
+    fn accept(&mut self, cid: Cid, msgs: Vec<CrossMsg>) -> bool {
+        if self.cache.insert(cid, msgs) {
+            self.pending.remove(&cid);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Decides whether an unresolved `cid` warrants publishing a pull at
+    /// `now_ms`: the first call sends immediately, later calls wait out
+    /// the capped exponential backoff, and once the budget is spent the
+    /// request is abandoned (exactly one `pulls_abandoned` tick per CID).
+    pub fn should_pull(&mut self, cid: Cid, now_ms: u64) -> PullDecision {
+        if self.cache.contains(&cid) {
+            return PullDecision::Wait;
+        }
+        match self.pending.get_mut(&cid) {
+            None => {
+                self.pending.insert(
+                    cid,
+                    PullState {
+                        attempts: 1,
+                        next_retry_at_ms: now_ms + self.policy.timeout_for(1),
+                        abandoned: false,
+                    },
+                );
+                self.stats.pulls_sent += 1;
+                PullDecision::Send
+            }
+            Some(state) if state.abandoned => PullDecision::Abandoned,
+            Some(state) if now_ms < state.next_retry_at_ms => PullDecision::Wait,
+            Some(state) => {
+                if self.policy.max_attempts > 0 && state.attempts >= self.policy.max_attempts {
+                    state.abandoned = true;
+                    self.stats.pulls_abandoned += 1;
+                    return PullDecision::Abandoned;
+                }
+                state.attempts += 1;
+                state.next_retry_at_ms = now_ms + self.policy.timeout_for(state.attempts);
+                self.stats.pulls_retried += 1;
+                PullDecision::Send
+            }
+        }
+    }
+
+    /// Number of sends (1-based attempts) for an outstanding pull; `0`
+    /// when no pull is tracked for `cid`.
+    pub fn pull_attempts(&self, cid: &Cid) -> u32 {
+        self.pending.get(cid).map_or(0, |s| s.attempts)
+    }
+
+    /// Outstanding (non-abandoned) pull requests.
+    pub fn pending_pulls(&self) -> usize {
+        self.pending.values().filter(|s| !s.abandoned).count()
     }
 
     /// Processes an incoming protocol message. Returns an optional reply
@@ -161,7 +389,7 @@ impl Resolver {
     pub fn handle(&mut self, msg: ResolutionMsg) -> Option<(String, ResolutionMsg)> {
         match msg {
             ResolutionMsg::Push { cid, msgs } => {
-                if self.cache.insert(cid, msgs) {
+                if self.accept(cid, msgs) {
                     self.stats.pushes_cached += 1;
                 } else {
                     self.stats.rejected += 1;
@@ -185,21 +413,25 @@ impl Resolver {
                 }
             },
             ResolutionMsg::Resolve { cid, msgs } => {
-                if self.cache.insert(cid, msgs) {
+                if self.accept(cid, msgs) {
                     self.stats.resolves_cached += 1;
                 } else {
                     self.stats.rejected += 1;
                 }
                 None
             }
-            // Certificates are consumed by the node runtime before the
-            // resolver sees traffic; a stray one is ignored here.
-            ResolutionMsg::Certificate(_) => None,
+            // Certificates and block-sync traffic are consumed by the node
+            // runtime before the resolver sees them; strays are ignored.
+            ResolutionMsg::Certificate(_)
+            | ResolutionMsg::BlockPull { .. }
+            | ResolutionMsg::BlockBatch { .. } => None,
         }
     }
 
     /// Local lookup for the cross-msg pool: returns the cached content, or
-    /// the [`ResolutionMsg::Pull`] to publish on `source_topic`.
+    /// the [`ResolutionMsg::Pull`] to publish on `source_topic`. Callers
+    /// on a lossy transport gate the publish through
+    /// [`Resolver::should_pull`].
     pub fn lookup_or_pull(
         &mut self,
         cid: Cid,
@@ -254,6 +486,35 @@ mod tests {
         // Idempotent re-insert.
         assert!(cache.insert(cid, msgs));
         assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn cache_evicts_oldest_beyond_capacity() {
+        let mut cache = ContentCache::with_capacity(2);
+        let groups: Vec<_> = (1..=3).map(group).collect();
+        for (cid, msgs) in &groups {
+            assert!(cache.insert(*cid, msgs.clone()));
+        }
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evictions(), 1);
+        // Oldest (group 1) is gone; 2 and 3 remain.
+        assert!(!cache.contains(&groups[0].0));
+        assert!(cache.contains(&groups[1].0));
+        assert!(cache.contains(&groups[2].0));
+        // Re-inserting a cached group does not evict anything.
+        assert!(cache.insert(groups[2].0, groups[2].1.clone()));
+        assert_eq!(cache.evictions(), 1);
+    }
+
+    #[test]
+    fn zero_capacity_means_unbounded() {
+        let mut cache = ContentCache::with_capacity(0);
+        for i in 1..=50 {
+            let (cid, msgs) = group(i);
+            assert!(cache.insert(cid, msgs));
+        }
+        assert_eq!(cache.len(), 50);
+        assert_eq!(cache.evictions(), 0);
     }
 
     #[test]
@@ -315,5 +576,94 @@ mod tests {
         r.handle(ResolutionMsg::Push { cid, msgs: wrong });
         assert!(!r.cache().contains(&cid));
         assert_eq!(r.stats().rejected, 1);
+    }
+
+    #[test]
+    fn retry_policy_backoff_is_capped() {
+        let p = RetryPolicy {
+            base_timeout_ms: 100,
+            backoff: 3,
+            max_timeout_ms: 1_000,
+            max_attempts: 5,
+        };
+        assert_eq!(p.timeout_for(1), 100);
+        assert_eq!(p.timeout_for(2), 300);
+        assert_eq!(p.timeout_for(3), 900);
+        assert_eq!(p.timeout_for(4), 1_000); // capped
+        assert_eq!(p.timeout_for(40), 1_000); // no overflow
+    }
+
+    #[test]
+    fn should_pull_follows_timeout_and_backoff() {
+        let mut r = Resolver::with_policy(RetryPolicy {
+            base_timeout_ms: 100,
+            backoff: 2,
+            max_timeout_ms: 1_000,
+            max_attempts: 0,
+        });
+        let (cid, _) = group(1);
+        assert_eq!(r.should_pull(cid, 0), PullDecision::Send);
+        // In flight: wait out the first 100ms timeout.
+        assert_eq!(r.should_pull(cid, 50), PullDecision::Wait);
+        assert_eq!(r.should_pull(cid, 99), PullDecision::Wait);
+        // Timed out: retry with doubled timeout (200ms from now).
+        assert_eq!(r.should_pull(cid, 100), PullDecision::Send);
+        assert_eq!(r.should_pull(cid, 299), PullDecision::Wait);
+        assert_eq!(r.should_pull(cid, 300), PullDecision::Send);
+        let stats = r.stats();
+        assert_eq!(stats.pulls_sent, 1);
+        assert_eq!(stats.pulls_retried, 2);
+        assert_eq!(stats.pulls_abandoned, 0);
+        assert_eq!(r.pull_attempts(&cid), 3);
+    }
+
+    #[test]
+    fn budget_exhaustion_abandons_exactly_once() {
+        let mut r = Resolver::with_policy(RetryPolicy {
+            base_timeout_ms: 10,
+            backoff: 1,
+            max_timeout_ms: 10,
+            max_attempts: 2,
+        });
+        let (cid, _) = group(2);
+        assert_eq!(r.should_pull(cid, 0), PullDecision::Send);
+        assert_eq!(r.should_pull(cid, 10), PullDecision::Send);
+        // Budget (2 attempts) spent → abandoned, counted once.
+        assert_eq!(r.should_pull(cid, 20), PullDecision::Abandoned);
+        assert_eq!(r.should_pull(cid, 30_000), PullDecision::Abandoned);
+        assert_eq!(r.stats().pulls_abandoned, 1);
+        assert_eq!(r.pending_pulls(), 0);
+    }
+
+    #[test]
+    fn resolve_settles_outstanding_pull() {
+        let mut r = Resolver::new();
+        let (cid, msgs) = group(3);
+        assert_eq!(r.should_pull(cid, 0), PullDecision::Send);
+        assert_eq!(r.pending_pulls(), 1);
+        r.handle(ResolutionMsg::Resolve { cid, msgs });
+        assert_eq!(r.pending_pulls(), 0);
+        // Content now cached → no further pulls wanted.
+        assert_eq!(r.should_pull(cid, 10_000), PullDecision::Wait);
+        assert_eq!(r.pull_attempts(&cid), 0);
+    }
+
+    #[test]
+    fn block_sync_messages_pass_through_resolver() {
+        let mut r = Resolver::new();
+        assert!(r
+            .handle(ResolutionMsg::BlockPull {
+                subnet: SubnetId::root(),
+                from_epoch: ChainEpoch::new(4),
+                reply_topic: "t".into(),
+            })
+            .is_none());
+        assert!(r
+            .handle(ResolutionMsg::BlockBatch {
+                subnet: SubnetId::root(),
+                blocks: vec![vec![1, 2, 3]],
+            })
+            .is_none());
+        assert_eq!(r.stats(), ResolverStats::default());
     }
 }

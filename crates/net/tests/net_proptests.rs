@@ -3,7 +3,10 @@
 use proptest::prelude::*;
 
 use hc_actors::{CrossMsg, HcAddress};
-use hc_net::{ContentCache, NetConfig, Network, Resolver};
+use hc_net::{
+    ContentCache, DupRule, FaultPlan, NetConfig, Network, Partition, PartitionPolicy, ReorderRule,
+    Resolver,
+};
 use hc_types::merkle::merkle_root;
 use hc_types::{Address, SubnetId, TokenAmount};
 
@@ -34,7 +37,12 @@ proptest! {
         jitter in 0u64..100,
     ) {
         let net: Network<u32> = Network::new(
-            NetConfig { base_delay_ms: base_delay, jitter_ms: jitter, drop_rate: 0.0 },
+            NetConfig {
+                base_delay_ms: base_delay,
+                jitter_ms: jitter,
+                drop_rate: 0.0,
+                ..NetConfig::default()
+            },
             99,
         );
         let subs: Vec<_> = (0..subscribers).map(|_| net.subscribe("t")).collect();
@@ -74,6 +82,162 @@ proptest! {
                 prop_assert_eq!(merkle_root(stored), claimed_cid);
             }
         }
+    }
+
+    /// Under duplication and reordering faults, every delivered payload
+    /// was actually published (no fabrication), originals arrive exactly
+    /// once in `delivered`, and the stats ledger reconciles.
+    #[test]
+    fn faulty_delivery_never_fabricates_messages(
+        publishes in prop::collection::vec((0u64..5_000, 0u32..1_000), 1..30),
+        dup_pct in 0u32..101,
+        reorder_pct in 0u32..101,
+        max_copies in 1u32..4,
+        seed in 0u64..1_000,
+    ) {
+        let faults = FaultPlan {
+            duplications: vec![DupRule {
+                from_ms: 0,
+                until_ms: u64::MAX,
+                topic: None,
+                rate: f64::from(dup_pct) / 100.0,
+                max_copies,
+                spread_ms: 300,
+            }],
+            reorders: vec![ReorderRule {
+                from_ms: 0,
+                until_ms: u64::MAX,
+                topic: None,
+                rate: f64::from(reorder_pct) / 100.0,
+                max_extra_delay_ms: 500,
+            }],
+            ..FaultPlan::none()
+        };
+        let net: Network<u32> = Network::new(
+            NetConfig { drop_rate: 0.0, faults, ..NetConfig::default() },
+            seed,
+        );
+        let sub = net.subscribe("t");
+        for (at, payload) in &publishes {
+            net.publish("t", *payload, *at, None);
+        }
+        let got = net.poll(sub, u64::MAX);
+        let stats = net.stats();
+        // Every delivered payload was published.
+        let published: Vec<u32> = publishes.iter().map(|(_, p)| *p).collect();
+        for p in &got {
+            prop_assert!(published.contains(p));
+        }
+        // Originals arrive exactly once in `delivered`; copies are
+        // accounted separately and never double-count.
+        prop_assert_eq!(stats.delivered, publishes.len() as u64);
+        prop_assert_eq!(stats.redelivered, stats.duplicated);
+        prop_assert_eq!(got.len() as u64, stats.delivered + stats.redelivered);
+        prop_assert!(stats.duplicated <= publishes.len() as u64 * u64::from(max_copies));
+    }
+
+    /// Redelivery through the resolver is idempotent: however many times
+    /// a push/resolve for the same CID arrives, the cache holds exactly
+    /// one validated copy per CID.
+    #[test]
+    fn dedup_by_cid_makes_redelivery_idempotent(
+        deliveries in prop::collection::vec((0u64..6, 1u64..4, 1usize..5), 1..25),
+    ) {
+        let mut r = Resolver::new();
+        let mut distinct = std::collections::BTreeSet::new();
+        for (id, n, copies) in deliveries {
+            let (cid, msgs) = group(id, n);
+            distinct.insert(cid);
+            for _ in 0..copies {
+                r.handle(hc_net::ResolutionMsg::Push { cid, msgs: msgs.clone() });
+            }
+            prop_assert_eq!(r.cache().get(&cid).unwrap(), msgs.as_slice());
+        }
+        prop_assert_eq!(r.cache().len(), distinct.len());
+        prop_assert_eq!(r.stats().rejected, 0);
+    }
+
+    /// A healed `HoldUntilHeal` partition eventually delivers all queued
+    /// traffic: nothing is lost, it just waits for the heal time.
+    #[test]
+    fn healed_partition_delivers_all_queued_traffic(
+        publishes in prop::collection::vec((0u64..2_000, 0u32..1_000), 1..30),
+        heal_ms in 2_000u64..10_000,
+        seed in 0u64..1_000,
+    ) {
+        let faults = FaultPlan {
+            partitions: vec![Partition {
+                name: "hold".into(),
+                from_ms: 0,
+                heal_ms,
+                topics: vec!["t".into()],
+                subscribers: Vec::new(),
+                policy: PartitionPolicy::HoldUntilHeal,
+            }],
+            ..FaultPlan::none()
+        };
+        let net: Network<u32> = Network::new(
+            NetConfig { drop_rate: 0.0, faults, ..NetConfig::default() },
+            seed,
+        );
+        let sub = net.subscribe("t");
+        for (at, payload) in &publishes {
+            net.publish("t", *payload, *at, None);
+        }
+        // While partitioned, nothing crosses.
+        prop_assert!(net.poll(sub, heal_ms - 1).is_empty());
+        // Once healed, every queued message arrives.
+        let mut got = net.poll(sub, u64::MAX);
+        got.sort_unstable();
+        let mut want: Vec<u32> = publishes.iter().map(|(_, p)| *p).collect();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+        let stats = net.stats();
+        prop_assert_eq!(stats.partition_held, publishes.len() as u64);
+        prop_assert_eq!(stats.delivered, publishes.len() as u64);
+    }
+
+    /// A `Drop` partition severs everything inside its window and lets
+    /// everything outside it through.
+    #[test]
+    fn drop_partition_severs_exactly_its_window(
+        publishes in prop::collection::vec((0u64..4_000, 0u32..1_000), 1..30),
+        window in (500u64..2_000, 2_000u64..3_500),
+    ) {
+        let (from_ms, heal_ms) = window;
+        let faults = FaultPlan {
+            partitions: vec![Partition {
+                name: "window".into(),
+                from_ms,
+                heal_ms,
+                topics: vec!["t".into()],
+                subscribers: Vec::new(),
+                policy: PartitionPolicy::Drop,
+            }],
+            ..FaultPlan::none()
+        };
+        let net: Network<u32> = Network::new(
+            NetConfig { drop_rate: 0.0, faults, ..NetConfig::default() },
+            7,
+        );
+        let sub = net.subscribe("t");
+        for (at, payload) in &publishes {
+            net.publish("t", *payload, *at, None);
+        }
+        let mut got = net.poll(sub, u64::MAX);
+        got.sort_unstable();
+        let mut want: Vec<u32> = publishes
+            .iter()
+            .filter(|(at, _)| *at < from_ms || *at >= heal_ms)
+            .map(|(_, p)| *p)
+            .collect();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+        let severed = publishes.len() - publishes
+            .iter()
+            .filter(|(at, _)| *at < from_ms || *at >= heal_ms)
+            .count();
+        prop_assert_eq!(net.stats().partition_dropped, severed as u64);
     }
 
     /// Pull → resolve round trips always converge for any partition of

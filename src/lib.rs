@@ -22,7 +22,7 @@
 //! | [`state`] | per-subnet state tree and message execution (VM) |
 //! | [`chain`] | blocks, chain store, message pools |
 //! | [`consensus`] | pluggable engines: RoundRobin, PoW, PoS, Tendermint, Mir |
-//! | [`net`] | simulated pub-sub and the content-resolution protocol |
+//! | [`net`] | simulated pub-sub, fault injection, content resolution |
 //! | [`core`] | the hierarchy runtime, atomic orchestration, audits |
 //! | [`sim`] | topologies, workloads, and the E1–E10 experiment drivers |
 //!
@@ -71,8 +71,8 @@ pub mod prelude {
     pub use hc_actors::sa::{ConsensusKind, SaConfig};
     pub use hc_actors::{CrossMsg, HcAddress, ScaConfig};
     pub use hc_core::{
-        audit_escrow, audit_quiescent, AtomicOrchestrator, AtomicParty, HierarchyRuntime,
-        PartyBehavior, RuntimeConfig, RuntimeError, UserHandle,
+        audit_escrow, audit_quiescent, AtomicOrchestrator, AtomicParty, ChaosStats,
+        HierarchyRuntime, PartyBehavior, RuntimeConfig, RuntimeError, UserHandle,
     };
     pub use hc_state::Method;
     pub use hc_types::{Address, ChainEpoch, Cid, SubnetId, TokenAmount};

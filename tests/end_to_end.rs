@@ -232,3 +232,66 @@ fn four_level_round_trip() {
         topo.rt.verify_checkpoint_chain(&s).unwrap();
     }
 }
+
+/// A chaos drill through the facade: the leaf of a three-level hierarchy
+/// crashes mid-epoch under loss/duplication/reordering, rejoins, and
+/// catches back up — every in-flight transfer applied exactly once.
+#[test]
+fn leaf_crash_rejoin_in_deep_topology() {
+    use hierarchical_consensus::net::{CrashFault, DupRule, FaultPlan, LossRule, ReorderRule};
+
+    let mut topo = TopologyBuilder::new().users_per_subnet(1).deep(3).unwrap();
+    let leaf = topo.subnets[2].clone();
+    assert_eq!(leaf.depth(), 3);
+    let root_user = topo.users[&SubnetId::root()][0].clone();
+    let leaf_user = topo.users[&leaf][0].clone();
+    let before = topo.rt.balance(&leaf_user);
+
+    topo.rt
+        .cross_transfer(&root_user, &leaf_user, whole(9))
+        .unwrap();
+    let now = topo.rt.now_ms();
+    topo.rt.extend_faults(FaultPlan {
+        losses: vec![LossRule {
+            from_ms: now,
+            until_ms: now + 20_000,
+            topic: Some(leaf.topic()),
+            from: None,
+            to: None,
+            rate: 0.3,
+        }],
+        duplications: vec![DupRule {
+            from_ms: now,
+            until_ms: now + 20_000,
+            topic: None,
+            rate: 0.4,
+            max_copies: 2,
+            spread_ms: 300,
+        }],
+        reorders: vec![ReorderRule {
+            from_ms: now,
+            until_ms: now + 20_000,
+            topic: None,
+            rate: 0.4,
+            max_extra_delay_ms: 600,
+        }],
+        crashes: vec![CrashFault {
+            subnet: leaf.clone(),
+            crash_at_ms: now + 1_500,
+            rejoin_at_ms: now + 8_000,
+        }],
+        ..FaultPlan::none()
+    });
+
+    let blocks = topo.rt.run_until_quiescent(300_000).unwrap();
+    assert!(blocks < 300_000, "chaos drill must reconverge");
+    assert_eq!(topo.rt.balance(&leaf_user), before + whole(9));
+    let chaos = topo.rt.chaos_stats();
+    assert_eq!(chaos.crashes, 1);
+    assert_eq!(chaos.catch_ups_completed, 1);
+    hierarchical_consensus::core::audit_escrow(&topo.rt).unwrap();
+    hierarchical_consensus::core::audit_quiescent(&topo.rt).unwrap();
+    for s in topo.subnets.clone() {
+        topo.rt.verify_checkpoint_chain(&s).unwrap();
+    }
+}
