@@ -27,7 +27,8 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
-use hc_types::{CanonicalEncode, ChainEpoch, Cid};
+use hc_types::decode::{ByteReader, CanonicalDecode, DecodeError};
+use hc_types::{decode_fields, encode_fields, CanonicalEncode, ChainEpoch, Cid};
 
 use crate::msg::HcAddress;
 
@@ -93,19 +94,34 @@ impl CanonicalEncode for AtomicExecStatus {
     }
 }
 
-impl CanonicalEncode for AtomicExecution {
-    fn write_bytes(&self, out: &mut Vec<u8>) {
-        self.parties.write_bytes(out);
-        self.inputs.write_bytes(out);
-        (self.submitted.len() as u64).write_bytes(out);
-        for (party, cid) in &self.submitted {
-            party.write_bytes(out);
-            cid.write_bytes(out);
+impl CanonicalDecode for AtomicExecStatus {
+    fn read_bytes(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        match u8::read_bytes(r)? {
+            0 => Ok(AtomicExecStatus::Pending),
+            1 => Ok(AtomicExecStatus::Committed),
+            2 => Ok(AtomicExecStatus::Aborted),
+            tag => Err(DecodeError::BadTag {
+                what: "AtomicExecStatus",
+                tag,
+            }),
         }
-        self.status.write_bytes(out);
-        self.initiated_at.write_bytes(out);
     }
 }
+
+encode_fields!(AtomicExecution {
+    parties,
+    inputs,
+    submitted,
+    status,
+    initiated_at,
+});
+decode_fields!(AtomicExecution {
+    parties,
+    inputs,
+    submitted,
+    status,
+    initiated_at,
+});
 
 /// Errors returned by the atomic execution coordinator.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -313,15 +329,8 @@ impl AtomicExecRegistry {
     }
 }
 
-impl CanonicalEncode for AtomicExecRegistry {
-    fn write_bytes(&self, out: &mut Vec<u8>) {
-        (self.executions.len() as u64).write_bytes(out);
-        for (id, exec) in &self.executions {
-            id.write_bytes(out);
-            exec.write_bytes(out);
-        }
-    }
-}
+encode_fields!(AtomicExecRegistry { executions });
+decode_fields!(AtomicExecRegistry { executions });
 
 #[cfg(test)]
 mod tests {

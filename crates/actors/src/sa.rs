@@ -210,6 +210,9 @@ pub struct ValidatorInfo {
     pub stake: TokenAmount,
 }
 
+encode_fields!(ValidatorInfo { addr, key, stake });
+decode_fields!(ValidatorInfo { addr, key, stake });
+
 /// Errors returned by Subnet Actor operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SaError {
@@ -361,16 +364,12 @@ impl SaState {
     }
 }
 
-impl CanonicalEncode for SaState {
-    fn write_bytes(&self, out: &mut Vec<u8>) {
-        (self.validators.len() as u64).write_bytes(out);
-        for v in &self.validators {
-            v.addr.write_bytes(out);
-            v.key.write_bytes(out);
-            v.stake.write_bytes(out);
-        }
-    }
-}
+// The full SA state is canonically encoded so a state-tree chunk determines
+// it exactly: snapshot state-sync reconstructs deployed Subnet Actors —
+// including their join policy and consensus configuration — from verified
+// chunk blobs alone.
+encode_fields!(SaState { config, validators });
+decode_fields!(SaState { config, validators });
 
 /// An equivocation fraud proof: two *distinct* validly-signed checkpoints
 /// extending the same `prev` pointer for the same subnet. Checkpoints "can
@@ -589,5 +588,26 @@ mod tests {
             b: signed(c2, &[&k]),
         };
         assert!(proof.validate(&sa).is_err());
+    }
+
+    #[test]
+    fn sa_state_encoding_round_trips_with_config() {
+        let mut sa = SaState::new(SaConfig {
+            consensus: ConsensusKind::RoundRobin,
+            join_policy: JoinPolicy::Allowlist {
+                allowed: vec![Address::new(1), Address::new(2)],
+                min_stake: TokenAmount::from_whole(2),
+            },
+            min_validators: 2,
+            checkpoint_period: 7,
+        });
+        sa.join(Address::new(1), kp(1).public(), TokenAmount::from_whole(3))
+            .unwrap();
+        sa.join(Address::new(2), kp(2).public(), TokenAmount::from_whole(4))
+            .unwrap();
+        let bytes = sa.canonical_bytes();
+        let decoded = SaState::decode(&bytes).expect("canonical bytes decode");
+        assert_eq!(decoded, sa, "config and validators survive the round trip");
+        assert!(SaState::decode(&bytes[..bytes.len() - 1]).is_err());
     }
 }

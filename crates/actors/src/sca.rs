@@ -36,7 +36,11 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
-use hc_types::{Address, CanonicalEncode, ChainEpoch, Cid, Nonce, SubnetId, TokenAmount};
+use hc_types::decode::{ByteReader, CanonicalDecode, DecodeError};
+use hc_types::{
+    decode_fields, encode_fields, Address, CanonicalEncode, ChainEpoch, Cid, Nonce, SubnetId,
+    TokenAmount,
+};
 
 use crate::checkpoint::Checkpoint;
 use crate::ledger::{Ledger, LedgerError};
@@ -69,6 +73,17 @@ impl Default for ScaConfig {
     }
 }
 
+encode_fields!(ScaConfig {
+    checkpoint_period,
+    min_collateral,
+    cross_msg_fee,
+});
+decode_fields!(ScaConfig {
+    checkpoint_period,
+    min_collateral,
+    cross_msg_fee,
+});
+
 /// Lifecycle status of a registered child subnet.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum SubnetStatus {
@@ -90,6 +105,31 @@ impl fmt::Display for SubnetStatus {
             SubnetStatus::Killed => "killed",
         };
         f.write_str(s)
+    }
+}
+
+impl CanonicalEncode for SubnetStatus {
+    fn write_bytes(&self, out: &mut Vec<u8>) {
+        let tag: u8 = match self {
+            SubnetStatus::Active => 0,
+            SubnetStatus::Inactive => 1,
+            SubnetStatus::Killed => 2,
+        };
+        tag.write_bytes(out);
+    }
+}
+
+impl CanonicalDecode for SubnetStatus {
+    fn read_bytes(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        match u8::read_bytes(r)? {
+            0 => Ok(SubnetStatus::Active),
+            1 => Ok(SubnetStatus::Inactive),
+            2 => Ok(SubnetStatus::Killed),
+            tag => Err(DecodeError::BadTag {
+                what: "SubnetStatus",
+                tag,
+            }),
+        }
     }
 }
 
@@ -120,6 +160,29 @@ pub struct SubnetInfo {
     /// Number of checkpoints the child has committed.
     pub committed_checkpoints: u64,
 }
+
+encode_fields!(SubnetInfo {
+    id,
+    sa,
+    collateral,
+    circ_supply,
+    status,
+    registered_at,
+    prev_checkpoint,
+    topdown_nonce,
+    committed_checkpoints,
+});
+decode_fields!(SubnetInfo {
+    id,
+    sa,
+    collateral,
+    circ_supply,
+    status,
+    registered_at,
+    prev_checkpoint,
+    topdown_nonce,
+    committed_checkpoints,
+});
 
 /// Result of committing a child checkpoint: where each carried
 /// `CrossMsgMeta` must go next.
@@ -238,7 +301,7 @@ impl From<LedgerError> for ScaError {
 /// See the [module docs](self) for the full protocol surface. The state is
 /// deterministic and fully serializable; all token movement goes through
 /// the [`Ledger`] passed into each operation.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ScaState {
     /// The subnet this SCA instance governs.
     subnet_id: SubnetId,
@@ -1047,22 +1110,60 @@ impl ScaState {
     }
 }
 
+/// The *complete* canonical encoding of the SCA: every consensus-relevant
+/// field, in declaration order, so the state root commits to the exact SCA
+/// content and a verified chunk blob reconstructs it bit-for-bit (snapshot
+/// state-sync depends on this).
+///
+/// The single exclusion is `top_down_queue`: it is transport bookkeeping —
+/// the parent-side relay buffer of committed top-down messages, pruned
+/// *outside* block execution as children acknowledge application (see
+/// [`ScaState::prune_top_down`]). Including it would make the state root
+/// depend on relay timing rather than executed history. Every message in it
+/// is recoverable from the committed top-down history, and only subnets
+/// with children ever hold entries.
 impl CanonicalEncode for ScaState {
     fn write_bytes(&self, out: &mut Vec<u8>) {
         self.subnet_id.write_bytes(out);
-        (self.subnets.len() as u64).write_bytes(out);
-        for (id, info) in &self.subnets {
-            id.write_bytes(out);
-            info.collateral.write_bytes(out);
-            info.circ_supply.write_bytes(out);
-            info.topdown_nonce.write_bytes(out);
-            info.prev_checkpoint.write_bytes(out);
-        }
+        self.config.write_bytes(out);
+        self.subnets.write_bytes(out);
+        self.window_bottom_up.write_bytes(out);
+        self.window_propagated.write_bytes(out);
+        self.window_child_checks.write_bytes(out);
         self.bottomup_send_nonce.write_bytes(out);
         self.bottomup_nonce.write_bytes(out);
         self.applied_bottomup_nonce.write_bytes(out);
         self.applied_topdown_nonce.write_bytes(out);
         self.prev_checkpoint.write_bytes(out);
+        self.msg_registry.write_bytes(out);
+        self.saved_states.write_bytes(out);
+        self.child_snapshots.write_bytes(out);
+        self.recovered.write_bytes(out);
+    }
+}
+
+impl CanonicalDecode for ScaState {
+    fn read_bytes(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        Ok(ScaState {
+            subnet_id: CanonicalDecode::read_bytes(r)?,
+            config: CanonicalDecode::read_bytes(r)?,
+            subnets: CanonicalDecode::read_bytes(r)?,
+            // Not part of the encoding (relay bookkeeping, see the encode
+            // impl); a freshly installed SCA starts with empty relay queues.
+            top_down_queue: BTreeMap::new(),
+            window_bottom_up: CanonicalDecode::read_bytes(r)?,
+            window_propagated: CanonicalDecode::read_bytes(r)?,
+            window_child_checks: CanonicalDecode::read_bytes(r)?,
+            bottomup_send_nonce: CanonicalDecode::read_bytes(r)?,
+            bottomup_nonce: CanonicalDecode::read_bytes(r)?,
+            applied_bottomup_nonce: CanonicalDecode::read_bytes(r)?,
+            applied_topdown_nonce: CanonicalDecode::read_bytes(r)?,
+            prev_checkpoint: CanonicalDecode::read_bytes(r)?,
+            msg_registry: CanonicalDecode::read_bytes(r)?,
+            saved_states: CanonicalDecode::read_bytes(r)?,
+            child_snapshots: CanonicalDecode::read_bytes(r)?,
+            recovered: CanonicalDecode::read_bytes(r)?,
+        })
     }
 }
 
@@ -1677,5 +1778,68 @@ mod tests {
             sca.window_bottom_up_counts().get(&SubnetId::root()),
             Some(&1)
         );
+    }
+
+    #[test]
+    fn complete_encoding_round_trips_through_decode() {
+        // Populate every encoded field: registered child, bottom-up window,
+        // cut checkpoint (msg registry + prev pointer), saved states, child
+        // snapshot, recovered claims.
+        let child_id = subnet(&[200]);
+        let mut sca = ScaState::new(child_id.clone(), ScaConfig::default());
+        let mut ledger = funded_ledger(&[(100, 1000), (300, 10)]);
+        let child = sca
+            .register_subnet(
+                &mut ledger,
+                Address::new(100),
+                Address::new(900),
+                TokenAmount::from_whole(10),
+                ChainEpoch::GENESIS,
+            )
+            .unwrap();
+        let up = |value| {
+            CrossMsg::transfer(
+                HcAddress::new(child_id.clone(), Address::new(300)),
+                haddr(&[], 100),
+                TokenAmount::from_whole(value),
+            )
+        };
+        sca.send_cross_msg(&mut ledger, Address::new(300), up(4))
+            .unwrap();
+        // The cut populates the msg registry and prev pointer; a second
+        // send leaves the *current* window non-empty in the encoding.
+        let _ = sca.cut_checkpoint(ChainEpoch::new(10), Cid::digest(b"head"));
+        sca.send_cross_msg(&mut ledger, Address::new(300), up(2))
+            .unwrap();
+        sca.save_state(ChainEpoch::new(10), Cid::digest(b"state"));
+        sca.save_child_snapshot(StateSnapshot {
+            subnet: child.clone(),
+            epoch: ChainEpoch::new(9),
+            balances_root: Cid::digest(b"bal"),
+            accounts: 2,
+            total: TokenAmount::from_whole(5),
+        })
+        .unwrap();
+        sca.recovered
+            .insert((child.clone(), Address::new(7)), TokenAmount::from_whole(1));
+
+        let bytes = sca.canonical_bytes();
+        let decoded = ScaState::decode(&bytes).expect("canonical bytes decode");
+        assert_eq!(
+            decoded.canonical_bytes(),
+            bytes,
+            "decode is an exact inverse"
+        );
+        assert_eq!(decoded.subnet_id(), sca.subnet_id());
+        assert_eq!(decoded.config(), sca.config());
+        assert_eq!(decoded.subnet(&child), sca.subnet(&child));
+        // The relay queue is deliberately outside the encoding.
+        assert!(decoded.top_down_queue.is_empty());
+
+        // Truncation and trailing bytes are rejected.
+        assert!(ScaState::decode(&bytes[..bytes.len() - 1]).is_err());
+        let mut extended = bytes.clone();
+        extended.push(0);
+        assert!(ScaState::decode(&extended).is_err());
     }
 }

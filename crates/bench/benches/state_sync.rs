@@ -1,0 +1,36 @@
+//! F10 benchmark: wall-clock cost of bootstrapping a rejoined node,
+//! full replay vs snapshot state-sync, across missed-history lengths.
+//!
+//! The deterministic work-proxy version of this comparison (with the
+//! ≥10× gate) lives in `tests/state_sync_guard.rs`; this bench reports
+//! wall-clock for the same sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hc_bench::state_sync::{rejoin_cost, CHAIN_LENGTHS};
+use hc_core::SyncMode;
+
+fn bench_rejoin(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rejoin");
+    group.sample_size(10);
+    for &len in CHAIN_LENGTHS {
+        for (label, mode) in [
+            ("replay", SyncMode::Replay),
+            ("snapshot", SyncMode::Snapshot),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(label, len),
+                &(len, mode),
+                |b, &(len, mode)| {
+                    // World building dominates; the measured quantity is
+                    // the whole cycle, so compare replay and snapshot
+                    // bars at the same length (identical setup cost).
+                    b.iter(|| rejoin_cost(len, mode).sha256_blocks)
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rejoin);
+criterion_main!(benches);

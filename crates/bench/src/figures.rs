@@ -735,6 +735,52 @@ pub fn f9_chaos() -> Result<Table, RuntimeError> {
     Ok(t)
 }
 
+/// F10 — snapshot state-sync: the cost of bootstrapping a rejoining node
+/// as a function of missed history. Full replay re-executes every missed
+/// block (linear); snapshot sync fetches the checkpoint-anchored manifest
+/// closure and replays only the post-anchor suffix (flat). Costs are
+/// SHA-256 compression counts, the deterministic work proxy.
+///
+/// # Errors
+///
+/// Propagates runtime failures.
+pub fn f10_state_sync() -> Result<Table, RuntimeError> {
+    use crate::state_sync::{rejoin_cost, CHAIN_LENGTHS};
+    use hc_core::SyncMode;
+
+    let mut t = Table::new(
+        "F10: snapshot state-sync — O(state) bootstrap vs O(chain) replay",
+        &[
+            "chain blocks",
+            "replay sha256",
+            "snapshot sha256",
+            "speedup",
+            "replayed (replay)",
+            "replayed (snapshot)",
+            "blobs synced",
+            "roots identical",
+        ],
+    );
+    for &len in CHAIN_LENGTHS {
+        let replay = rejoin_cost(len, SyncMode::Replay);
+        let snapshot = rejoin_cost(len, SyncMode::Snapshot);
+        t.row(&[
+            replay.chain_blocks.to_string(),
+            replay.sha256_blocks.to_string(),
+            snapshot.sha256_blocks.to_string(),
+            format!(
+                "{:.1}x",
+                replay.sha256_blocks as f64 / snapshot.sha256_blocks.max(1) as f64
+            ),
+            replay.blocks_replayed.to_string(),
+            snapshot.blocks_replayed.to_string(),
+            snapshot.blobs_synced.to_string(),
+            (replay.final_state_root == snapshot.final_state_root).to_string(),
+        ]);
+    }
+    Ok(t)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -750,6 +796,16 @@ mod tests {
         assert!(!f7_sig_cache().unwrap().is_empty());
         assert!(!f8_crash_recovery().unwrap().is_empty());
         assert!(!f9_chaos().unwrap().is_empty());
+        assert!(!f10_state_sync().unwrap().is_empty());
+    }
+
+    #[test]
+    fn f10_every_row_reconverges_identically() {
+        let text = f10_state_sync().unwrap().to_string();
+        assert!(
+            !text.contains("false"),
+            "a snapshot bootstrap diverged from replay:\n{text}"
+        );
     }
 
     #[test]

@@ -1,0 +1,81 @@
+//! Tier-1 cost guard for snapshot state-sync.
+//!
+//! The headline acceptance number: at the longest benched chain, a
+//! snapshot-mode rejoin must do at least 10× less SHA-256 compression
+//! work than a full-replay rejoin, while landing on the bit-identical
+//! child state root. The shape is guarded too: replay cost grows with
+//! chain length, snapshot cost stays flat — the O(chain) vs O(state)
+//! separation the bootstrap exists to buy.
+//!
+//! This file intentionally holds a single `#[test]`: the block counter is
+//! process-global, and a lone test keeps the measured regions free of
+//! concurrent hashing from harness siblings.
+
+use std::time::Instant;
+
+use hc_bench::state_sync::{rejoin_cost, SyncCost, CHAIN_LENGTHS};
+use hc_core::SyncMode;
+
+#[test]
+fn snapshot_rejoin_is_flat_and_10x_cheaper_at_longest_chain() {
+    let mut rows: Vec<(SyncCost, SyncCost)> = Vec::new();
+    for &len in CHAIN_LENGTHS {
+        let wall = Instant::now();
+        let replay = rejoin_cost(len, SyncMode::Replay);
+        let snapshot = rejoin_cost(len, SyncMode::Snapshot);
+        eprintln!(
+            "state_sync at {} chain blocks: replay {} sha256 blocks ({} replayed), \
+             snapshot {} sha256 blocks ({} replayed, {} blobs), ratio {:.1}x ({} ms)",
+            replay.chain_blocks,
+            replay.sha256_blocks,
+            replay.blocks_replayed,
+            snapshot.sha256_blocks,
+            snapshot.blocks_replayed,
+            snapshot.blobs_synced,
+            replay.sha256_blocks as f64 / snapshot.sha256_blocks.max(1) as f64,
+            wall.elapsed().as_millis(),
+        );
+
+        // Safety before speed: both bootstraps land on the same state.
+        assert_eq!(
+            snapshot.final_state_root, replay.final_state_root,
+            "divergent bootstrap at {len} blocks"
+        );
+        assert_eq!(snapshot.snapshot_installs, 1, "snapshot path not taken");
+        assert_eq!(replay.snapshot_installs, 0);
+        assert!(
+            snapshot.blocks_replayed < hc_bench::state_sync::CHECKPOINT_PERIOD,
+            "snapshot must replay only the sub-period suffix, got {}",
+            snapshot.blocks_replayed
+        );
+        rows.push((replay, snapshot));
+    }
+
+    // Linear vs flat: doubling the chain roughly doubles replay cost but
+    // leaves snapshot cost flat (bounded noise: root blocks produced
+    // while the bootstrap runs, and suffix length varying with period
+    // alignment).
+    let (first_replay, first_snap) = &rows[0];
+    let (last_replay, last_snap) = &rows[rows.len() - 1];
+    assert!(
+        last_replay.sha256_blocks > 2 * first_replay.sha256_blocks,
+        "replay cost must grow with chain length: {} -> {}",
+        first_replay.sha256_blocks,
+        last_replay.sha256_blocks
+    );
+    assert!(
+        last_snap.sha256_blocks < 3 * first_snap.sha256_blocks,
+        "snapshot cost must stay flat across chain lengths: {} -> {}",
+        first_snap.sha256_blocks,
+        last_snap.sha256_blocks
+    );
+
+    // The headline: ≥10× less hash work at the longest benched chain.
+    assert!(
+        last_replay.sha256_blocks >= 10 * last_snap.sha256_blocks,
+        "expected >=10x hashing reduction at {} blocks: replay {} vs snapshot {}",
+        last_replay.chain_blocks,
+        last_replay.sha256_blocks,
+        last_snap.sha256_blocks
+    );
+}

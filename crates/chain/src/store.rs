@@ -142,6 +142,28 @@ impl ChainStore {
         self.order.iter().filter_map(|c| self.blocks.get(c))
     }
 
+    /// Re-bases an *empty* chain on a trusted snapshot boundary: the head
+    /// becomes `base` at `base_epoch` without any block being stored, so
+    /// the next append must be the block immediately extending the
+    /// snapshot. Used by snapshot state-sync, where the blocks at or below
+    /// the anchor are never fetched — the state they produced is installed
+    /// from a verified chunk manifest instead. The attached WAL (if any)
+    /// is untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any block was already appended — a populated chain has a
+    /// real head, and silently discarding it would fork history.
+    pub fn reset_to_snapshot_base(&mut self, base_epoch: ChainEpoch, base: Cid) {
+        assert!(
+            self.is_empty(),
+            "snapshot re-base requires an empty chain (head {})",
+            self.head
+        );
+        self.head = base;
+        self.head_epoch = base_epoch;
+    }
+
     /// Appends a block extending the head.
     ///
     /// # Errors
@@ -178,7 +200,11 @@ impl ChainStore {
                 got: block.header.parent,
             });
         }
-        if !self.is_empty() && block.header.epoch <= self.head_epoch {
+        // A chain re-based on a snapshot boundary is still empty but has a
+        // non-genesis head epoch; the monotonicity check applies there too.
+        if (!self.is_empty() || self.head_epoch > ChainEpoch::GENESIS)
+            && block.header.epoch <= self.head_epoch
+        {
             return Err(StoreError::EpochNotMonotonic {
                 head: self.head_epoch,
                 got: block.header.epoch,
@@ -305,6 +331,39 @@ mod tests {
         assert_eq!(recovered.head(), c2);
         assert_eq!(recovered.head_epoch(), ChainEpoch::new(2));
         assert_eq!(wal.record_count(), 2, "recovery must not re-journal");
+    }
+
+    #[test]
+    fn snapshot_rebase_anchors_suffix_appends() {
+        let mut store = ChainStore::new(SubnetId::root());
+        // Build the "peer" view to learn the anchor block's CID.
+        let mut peers = ChainStore::new(SubnetId::root());
+        let c1 = peers.append(block_at(1, Cid::NIL)).unwrap();
+        let c2 = peers.append(block_at(2, c1)).unwrap();
+
+        store.reset_to_snapshot_base(ChainEpoch::new(2), c2);
+        assert!(store.is_empty());
+        assert_eq!(store.head(), c2);
+        assert_eq!(store.head_epoch(), ChainEpoch::new(2));
+
+        // Pre-anchor epochs are rejected even though the chain is empty.
+        assert!(matches!(
+            store.append(block_at(2, c2)),
+            Err(StoreError::EpochNotMonotonic { .. })
+        ));
+        // A block extending the anchor appends; only the suffix is stored.
+        let c3 = store.append(block_at(3, c2)).unwrap();
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.head(), c3);
+        assert_eq!(store.get_index(0).unwrap().cid(), c3);
+    }
+
+    #[test]
+    #[should_panic(expected = "snapshot re-base requires an empty chain")]
+    fn snapshot_rebase_refuses_populated_chains() {
+        let mut store = ChainStore::new(SubnetId::root());
+        let c1 = store.append(block_at(1, Cid::NIL)).unwrap();
+        store.reset_to_snapshot_base(ChainEpoch::new(5), c1);
     }
 
     #[test]

@@ -4,21 +4,32 @@
 //! The simulation runs one node per subnet, standing in for that subnet's
 //! honest validator quorum — so "crashing" the node halts the subnet's
 //! block production entirely, while the finalized chain survives on the
-//! subnet's remaining peers (held here as [`CrashedNode::peer_blocks`]).
+//! subnet's remaining peers (held here as `CrashedNode::peer_blocks`).
 //! Rejoin rebuilds the node from genesis via the recorded boot parameters
 //! (the PR 4 recovery path) and then enters a *catch-up* phase: the node
 //! publishes [`hc_net::ResolutionMsg::BlockPull`] requests on its own
 //! topic, peers answer with bounded [`hc_net::ResolutionMsg::BlockBatch`]
 //! replies, and each received block is re-validated and re-executed
-//! ([`ReplayMode::CatchUp`]) — a corrupt or stale batch cannot poison the
+//! (`ReplayMode::CatchUp`) — a corrupt or stale batch cannot poison the
 //! node. Both legs of every round trip cross the simulated network, so
 //! partitions, loss, duplication, and reordering from the
 //! [`hc_net::FaultPlan`] all apply; lost requests are retried under the
 //! same capped-backoff [`hc_net::RetryPolicy`] as content resolution.
 //!
+//! Rejoin supports two bootstrap strategies ([`SyncMode`]): *replay*
+//! re-validates and re-executes every missed block from genesis, while
+//! *snapshot* first assembles the latest checkpoint-anchored state
+//! manifest closure from peers — [`hc_net::ResolutionMsg::BlobPull`]
+//! requests answered by bounded [`hc_net::ResolutionMsg::BlobBatch`]
+//! replies, every chunk verified against its CID in a staging store and
+//! the assembled root verified against the consensus-committed block
+//! header at the anchor epoch — then replays only the post-checkpoint
+//! suffix. Both strategies run entirely through the faulty network under
+//! the same retry policy.
+//!
 //! Scheduled crashes ([`hc_net::CrashFault`] entries of the fault plan)
 //! are driven deterministically from the step loop by
-//! [`HierarchyRuntime::process_fault_events`]; tests can also call
+//! `HierarchyRuntime::process_fault_events`; tests can also call
 //! [`HierarchyRuntime::crash_node`] / [`HierarchyRuntime::rejoin_node`]
 //! directly.
 
@@ -27,9 +38,9 @@ use std::collections::{BTreeMap, VecDeque};
 use hc_actors::ScaConfig;
 use hc_chain::{Block, ChainStore, CrossMsgPool, Mempool};
 use hc_consensus::{make_engine, ValidatorSet};
-use hc_net::{CrashFault, ResolutionMsg, Resolver, SubscriberId};
-use hc_state::{StateTree, VmEvent};
-use hc_types::{Address, CanonicalDecode, CanonicalEncode, ChainEpoch, SubnetId};
+use hc_net::{CrashFault, ResolutionMsg, Resolver, SubscriberId, BLOB_BATCH_CAP};
+use hc_state::{ChunkManifest, CidStore, ImplicitMsg, StateTree, VmEvent};
+use hc_types::{Address, CanonicalDecode, CanonicalEncode, ChainEpoch, Cid, SubnetId};
 
 use crate::node::{NodeStats, SubnetNode};
 use crate::persist::chain_log_name;
@@ -40,6 +51,22 @@ use hc_store::Wal;
 /// small so a long outage takes several pull round trips to repair, each
 /// one exposed to the fault plan.
 pub const BLOCK_BATCH_CAP: usize = 8;
+
+/// How a rejoining (or recovering) node bootstraps the history it missed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum SyncMode {
+    /// Re-validate and re-execute every missed block from genesis —
+    /// O(chain) work, the strongest (trust-nothing) mode.
+    #[default]
+    Replay,
+    /// Fetch the latest checkpoint-anchored state manifest closure from
+    /// peers chunk by chunk (each blob verified against its CID, the
+    /// assembled root against the committed checkpoint header), install
+    /// it, and replay only the post-checkpoint block suffix —
+    /// O(state + suffix) work. Degrades to [`SyncMode::Replay`] when no
+    /// usable anchor exists.
+    Snapshot,
+}
 
 /// Counters of crash/rejoin/catch-up activity.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -61,6 +88,25 @@ pub struct ChaosStats {
     /// Scheduled crash faults skipped because their subnet did not exist
     /// (or could not be safely crashed) when the fault fired.
     pub crashes_skipped: u64,
+    /// `BlobPull` snapshot-chunk requests published (first sends and
+    /// retries).
+    pub blob_pulls: u64,
+    /// `BlobPull` retries after a timed-out round trip.
+    pub blob_pull_retries: u64,
+    /// `BlobBatch` replies served from the shared blob store.
+    pub blob_batches: u64,
+    /// CID-verified snapshot chunk blobs accepted into a staging store.
+    pub blobs_synced: u64,
+    /// Snapshots assembled, verified against their committed checkpoint
+    /// header, and installed.
+    pub snapshot_installs: u64,
+    /// Snapshot-mode rejoins that fell back to full replay because no
+    /// usable checkpoint anchor was available.
+    pub snapshot_fallbacks: u64,
+    /// Exhausted per-batch pull budgets re-armed after a cool-down (only
+    /// with a bounded [`hc_net::RetryPolicy::max_attempts`]): the sync
+    /// pauses on the current batch, it never abandons the rest.
+    pub pull_budget_rearms: u64,
 }
 
 /// Progress of one scheduled [`CrashFault`].
@@ -102,6 +148,27 @@ pub(crate) struct CatchUp {
     pub(crate) attempts: u32,
     /// Don't publish another pull before this virtual time.
     pub(crate) next_pull_at_ms: u64,
+    /// `Some` while the node is still assembling a snapshot (the fetch
+    /// phase precedes any block replay); `None` in replay mode or once
+    /// the snapshot is installed.
+    pub(crate) snapshot: Option<SnapshotSync>,
+    /// Peer blocks at or below the installed snapshot boundary — covered
+    /// by the snapshot, never replayed. Zero in replay mode.
+    pub(crate) base_blocks: usize,
+}
+
+/// In-flight snapshot assembly of one rejoined node.
+#[derive(Debug)]
+pub(crate) struct SnapshotSync {
+    /// The checkpoint-anchored state manifest being assembled.
+    pub(crate) manifest: Cid,
+    /// The checkpoint epoch the manifest was committed at; the block
+    /// header at this epoch is the trust root for the assembled state.
+    pub(crate) anchor_epoch: ChainEpoch,
+    /// Blobs fetched so far. Deliberately a *separate* store from the
+    /// node's: every chunk must genuinely cross the (possibly faulty)
+    /// network and verify against its CID before the install sees it.
+    pub(crate) staging: CidStore,
 }
 
 impl HierarchyRuntime {
@@ -166,11 +233,18 @@ impl HierarchyRuntime {
         // already queued for it is lost with the process.
         self.network.set_offline(node.subscription, true);
         self.network.clear_inbox(node.subscription);
+        // The surviving peers hold the subnet's *full* history. A node
+        // that itself bootstrapped from a snapshot only chains the
+        // post-install suffix; the blocks its snapshot covered are kept
+        // in `snapshot_bases` and re-prefixed here.
+        let mut peer_blocks: Vec<Block> =
+            self.snapshot_bases.get(subnet).cloned().unwrap_or_default();
+        peer_blocks.extend(node.chain.iter().cloned());
         self.crashed.insert(
             subnet.clone(),
             CrashedNode {
                 subscription: node.subscription,
-                peer_blocks: node.chain.iter().cloned().collect(),
+                peer_blocks,
                 mempool: node.mempool,
             },
         );
@@ -178,16 +252,35 @@ impl HierarchyRuntime {
         Ok(())
     }
 
-    /// Restarts `subnet`'s crashed node: rebuilds it from genesis with the
-    /// recorded boot parameters and enters the catch-up phase, pulling the
-    /// blocks it missed from peers over the network. The node produces no
-    /// blocks until catch-up completes.
+    /// Restarts `subnet`'s crashed node with the configured
+    /// [`RuntimeConfig::sync_mode`](crate::RuntimeConfig) — see
+    /// [`HierarchyRuntime::rejoin_node_with`].
     ///
     /// # Errors
     ///
     /// Fails when `subnet` is not crashed or its boot parameters were
     /// never recorded (it was never spawned through the runtime).
     pub fn rejoin_node(&mut self, subnet: &SubnetId) -> Result<(), RuntimeError> {
+        self.rejoin_node_with(subnet, self.config.sync_mode)
+    }
+
+    /// Restarts `subnet`'s crashed node: rebuilds it from genesis with the
+    /// recorded boot parameters and enters the catch-up phase. In
+    /// [`SyncMode::Replay`] the node pulls and re-executes every block it
+    /// missed; in [`SyncMode::Snapshot`] it first assembles the latest
+    /// checkpoint-anchored state snapshot from peers and replays only the
+    /// suffix (falling back to replay when no usable anchor exists). The
+    /// node produces no blocks until catch-up completes.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `subnet` is not crashed or its boot parameters were
+    /// never recorded (it was never spawned through the runtime).
+    pub fn rejoin_node_with(
+        &mut self,
+        subnet: &SubnetId,
+        mode: SyncMode,
+    ) -> Result<(), RuntimeError> {
         let crashed = self
             .crashed
             .remove(subnet)
@@ -248,6 +341,34 @@ impl HierarchyRuntime {
             .cloned()
             .unwrap_or_default()
             .into();
+        // Snapshot bootstrap needs a usable anchor: a checkpoint the
+        // runtime recorded, whose cut block the surviving peers still
+        // serve (the trust root), and whose manifest closure the peers
+        // can actually provide. Anything less degrades to full replay.
+        let snapshot = match mode {
+            SyncMode::Replay => None,
+            SyncMode::Snapshot => {
+                let anchor = self.checkpoint_anchor(subnet).filter(|(epoch, manifest)| {
+                    let store = self.cid_store();
+                    crashed.peer_blocks.iter().any(|b| b.header.epoch == *epoch)
+                        && store
+                            .get(manifest)
+                            .and_then(|b| ChunkManifest::decode(&b))
+                            .is_some_and(|m| m.missing_chunks(store).is_empty())
+                });
+                match anchor {
+                    Some((anchor_epoch, manifest)) => Some(SnapshotSync {
+                        manifest,
+                        anchor_epoch,
+                        staging: CidStore::new(),
+                    }),
+                    None => {
+                        self.chaos.snapshot_fallbacks += 1;
+                        None
+                    }
+                }
+            }
+        };
         self.catching_up.insert(
             subnet.clone(),
             CatchUp {
@@ -255,6 +376,8 @@ impl HierarchyRuntime {
                 pending_users,
                 attempts: 0,
                 next_pull_at_ms: self.now_ms,
+                snapshot,
+                base_blocks: 0,
             },
         );
         self.chaos.rejoins += 1;
@@ -299,15 +422,19 @@ impl HierarchyRuntime {
     }
 
     /// One catch-up round for `subnet`: drain the node's inbox (serving
-    /// its own pull echoes from the peer chain and replaying any received
-    /// batches), finish if the peers' head is reached, otherwise (re)issue
-    /// a pull under the retry/backoff schedule.
+    /// its own pull echoes from the peer chain or blob store and applying
+    /// any received batches), finish if the peers' head is reached,
+    /// otherwise (re)issue a pull under the retry/backoff schedule. While
+    /// a snapshot is being assembled the round works on chunk blobs; once
+    /// it is installed, on the block suffix.
     fn advance_catch_up(&mut self, subnet: &SubnetId) -> Result<(), RuntimeError> {
         let now_ms = self.now_ms;
         let sub = Self::get_node_mut(&mut self.nodes, subnet)?.subscription;
         let incoming = self.network.poll(sub, now_ms);
         let mut pulls_seen: Vec<ChainEpoch> = Vec::new();
+        let mut blob_pulls_seen: Vec<(Vec<Cid>, String)> = Vec::new();
         let mut batches: Vec<Vec<Vec<u8>>> = Vec::new();
+        let mut blob_batches: Vec<Vec<Vec<u8>>> = Vec::new();
         let mut certs = Vec::new();
         let mut replies = Vec::new();
         {
@@ -322,6 +449,10 @@ impl HierarchyRuntime {
                     ResolutionMsg::BlockBatch { subnet: s, blocks } if s == *subnet => {
                         batches.push(blocks);
                     }
+                    ResolutionMsg::BlobPull { cids, reply_topic } => {
+                        blob_pulls_seen.push((cids, reply_topic));
+                    }
+                    ResolutionMsg::BlobBatch { blobs } => blob_batches.push(blobs),
                     ResolutionMsg::Certificate(cert) => certs.push(*cert),
                     other => {
                         if let Some(reply) = node.resolver.handle(other) {
@@ -336,6 +467,40 @@ impl HierarchyRuntime {
         }
         for (topic, msg) in replies {
             self.network.publish(&topic, msg, now_ms, None);
+        }
+
+        // Surviving peers answer snapshot-chunk pulls from the shared blob
+        // store, in bounded batches (as with block pulls, the runtime
+        // stands in for the peers the single-process simulation elides).
+        for (cids, reply_topic) in blob_pulls_seen {
+            let blobs: Vec<Vec<u8>> = {
+                let store = self.cid_store();
+                cids.iter()
+                    .take(BLOB_BATCH_CAP)
+                    .filter_map(|c| store.get(c))
+                    .map(|b| b.as_ref().clone())
+                    .collect()
+            };
+            if blobs.is_empty() {
+                continue;
+            }
+            self.chaos.blob_batches += 1;
+            self.network.publish(
+                &reply_topic,
+                ResolutionMsg::BlobBatch { blobs },
+                now_ms,
+                None,
+            );
+        }
+
+        // Snapshot fetch phase: the anchored manifest closure must be
+        // assembled and installed before any block replays.
+        if self
+            .catching_up
+            .get(subnet)
+            .is_some_and(|cu| cu.snapshot.is_some())
+        {
+            return self.advance_snapshot_fetch(subnet, blob_batches, now_ms);
         }
 
         // Surviving peers answer pulls from their copy of the chain, in
@@ -398,7 +563,7 @@ impl HierarchyRuntime {
             let replayed = self.nodes.get(subnet).map_or(0, |n| n.chain.len());
             self.catching_up
                 .get(subnet)
-                .is_some_and(|cu| replayed >= cu.peer_blocks.len())
+                .is_some_and(|cu| cu.base_blocks + replayed >= cu.peer_blocks.len())
         };
         if done {
             self.finish_catch_up(subnet)?;
@@ -410,6 +575,17 @@ impl HierarchyRuntime {
             return Ok(());
         };
         if now_ms >= cu.next_pull_at_ms {
+            if policy.max_attempts > 0 && cu.attempts >= policy.max_attempts {
+                // The retry budget is *per batch* — `attempts` resets on
+                // every replayed block, so only the current round trip is
+                // exhausted. Cool down for the capped timeout and re-arm:
+                // a long blackout slows this batch down, it must never
+                // permanently abandon the batches behind it.
+                cu.attempts = 0;
+                cu.next_pull_at_ms = now_ms + policy.max_timeout_ms.max(1);
+                self.chaos.pull_budget_rearms += 1;
+                return Ok(());
+            }
             cu.attempts += 1;
             cu.next_pull_at_ms = now_ms + policy.timeout_for(cu.attempts);
             if cu.attempts > 1 {
@@ -437,6 +613,226 @@ impl HierarchyRuntime {
                 Some(own),
             );
         }
+        Ok(())
+    }
+
+    /// One snapshot-fetch round: fold received [`ResolutionMsg::BlobBatch`]
+    /// blobs into the staging store (content-addressed, so corrupt or
+    /// unrelated blobs simply land under a different CID and are never
+    /// requested again), install the snapshot once the closure is
+    /// complete, otherwise (re)pull the still-missing chunks under the
+    /// same per-batch retry budget as block catch-up.
+    fn advance_snapshot_fetch(
+        &mut self,
+        subnet: &SubnetId,
+        blob_batches: Vec<Vec<Vec<u8>>>,
+        now_ms: u64,
+    ) -> Result<(), RuntimeError> {
+        let mut accepted = 0u64;
+        let wanted: Vec<Cid> = {
+            let Some(cu) = self.catching_up.get_mut(subnet) else {
+                return Ok(());
+            };
+            let Some(sync) = cu.snapshot.as_mut() else {
+                return Ok(());
+            };
+            for blobs in blob_batches {
+                for blob in blobs {
+                    if !sync.staging.contains(&Cid::digest(&blob)) {
+                        sync.staging.put(blob);
+                        accepted += 1;
+                    }
+                }
+            }
+            if accepted > 0 {
+                cu.attempts = 0;
+                cu.next_pull_at_ms = now_ms;
+            }
+            let sync = cu.snapshot.as_ref().expect("checked above");
+            match sync.staging.get(&sync.manifest) {
+                None => vec![sync.manifest],
+                Some(blob) => {
+                    let manifest = ChunkManifest::decode(&blob).ok_or_else(|| {
+                        RuntimeError::Execution("snapshot manifest blob failed to decode".into())
+                    })?;
+                    let mut missing = manifest.missing_chunks(&sync.staging);
+                    missing.truncate(BLOB_BATCH_CAP);
+                    missing
+                }
+            }
+        };
+        self.chaos.blobs_synced += accepted;
+        if wanted.is_empty() {
+            return self.install_snapshot(subnet);
+        }
+
+        let policy = self.config.retry;
+        let Some(cu) = self.catching_up.get_mut(subnet) else {
+            return Ok(());
+        };
+        if now_ms < cu.next_pull_at_ms {
+            return Ok(());
+        }
+        if policy.max_attempts > 0 && cu.attempts >= policy.max_attempts {
+            // Same per-batch cool-down/re-arm as the block-pull leg.
+            cu.attempts = 0;
+            cu.next_pull_at_ms = now_ms + policy.max_timeout_ms.max(1);
+            self.chaos.pull_budget_rearms += 1;
+            return Ok(());
+        }
+        cu.attempts += 1;
+        cu.next_pull_at_ms = now_ms + policy.timeout_for(cu.attempts);
+        if cu.attempts > 1 {
+            self.chaos.blob_pull_retries += 1;
+        }
+        self.chaos.blob_pulls += 1;
+        let own = Self::get_node_mut(&mut self.nodes, subnet)?.subscription;
+        // As with block pulls: the request must cross the faulty network
+        // and come back to be served.
+        self.network.publish_from(
+            &subnet.topic(),
+            ResolutionMsg::BlobPull {
+                cids: wanted,
+                reply_topic: subnet.topic(),
+            },
+            now_ms,
+            None,
+            Some(own),
+        );
+        Ok(())
+    }
+
+    /// Installs a fully assembled snapshot: verifies the staged closure
+    /// against the consensus-committed block header at the anchor epoch,
+    /// swaps the node's state tree, re-bases its chain on the anchor, and
+    /// realigns the node's RNG stream past the blocks the snapshot covers.
+    /// From here catch-up continues as a normal block replay of the
+    /// post-anchor suffix.
+    fn install_snapshot(&mut self, subnet: &SubnetId) -> Result<(), RuntimeError> {
+        let (tree, closure, base_cid, anchor_epoch, covered_blocks) = {
+            let cu = self
+                .catching_up
+                .get(subnet)
+                .ok_or_else(|| RuntimeError::UnknownSubnet(subnet.clone()))?;
+            let sync = cu
+                .snapshot
+                .as_ref()
+                .ok_or_else(|| RuntimeError::Execution("no snapshot in flight".into()))?;
+            let blob = sync.staging.get(&sync.manifest).ok_or_else(|| {
+                RuntimeError::Execution("snapshot manifest blob missing from staging".into())
+            })?;
+            let manifest = ChunkManifest::decode(&blob).ok_or_else(|| {
+                RuntimeError::Execution("snapshot manifest blob failed to decode".into())
+            })?;
+            let anchor = cu
+                .peer_blocks
+                .iter()
+                .find(|b| b.header.epoch == sync.anchor_epoch)
+                .ok_or_else(|| {
+                    RuntimeError::Execution(format!(
+                        "no peer block at snapshot anchor epoch {}",
+                        sync.anchor_epoch
+                    ))
+                })?;
+            // The committed header is the trust root: chunks verified only
+            // against their CIDs could still be a consistent-but-wrong
+            // state, so the assembled root must match what the subnet's
+            // consensus finalized at the anchor.
+            if manifest.root != anchor.header.state_root {
+                return Err(RuntimeError::Execution(format!(
+                    "snapshot root {} does not match the committed header root {} at epoch {}",
+                    manifest.root, anchor.header.state_root, sync.anchor_epoch
+                )));
+            }
+            let tree = StateTree::from_manifest(&manifest, &sync.staging)
+                .map_err(|e| RuntimeError::Execution(format!("snapshot install: {e}")))?;
+            let mut closure: Vec<Vec<u8>> = vec![blob.as_ref().clone()];
+            for (_, cid) in &manifest.entries {
+                if let Some(chunk) = sync.staging.get(cid) {
+                    closure.push(chunk.as_ref().clone());
+                }
+            }
+            let covered: Vec<Block> = cu
+                .peer_blocks
+                .iter()
+                .filter(|b| b.header.epoch <= sync.anchor_epoch)
+                .cloned()
+                .collect();
+            (tree, closure, anchor.cid(), sync.anchor_epoch, covered)
+        };
+        let base_blocks = covered_blocks.len();
+        {
+            let node = Self::get_node_mut(&mut self.nodes, subnet)?;
+            // The snapshot replaces execution, not history: every covered
+            // block still realigns the consensus RNG, the cross-net nonce
+            // cursors, and the mempool epoch exactly as a per-block replay
+            // would, so the node resumes mid-conversation with its parent.
+            for block in &covered_blocks {
+                node.engine
+                    .next_block(block.header.epoch, &node.validators, &mut node.rng)
+                    .map_err(|e| RuntimeError::Execution(format!("consensus: {e}")))?;
+                node.mempool.advance_epoch(block.header.epoch);
+                for m in &block.implicit_msgs {
+                    match m {
+                        ImplicitMsg::CommitChildCheckpoint { signed } => {
+                            node.pending_checkpoints
+                                .retain(|p| p.checkpoint != signed.checkpoint);
+                        }
+                        ImplicitMsg::CommitTurnaround { meta, .. } => {
+                            node.pending_turnarounds.retain(|(m2, _)| m2 != meta);
+                            node.unresolved_turnarounds.retain(|m2| m2 != meta);
+                        }
+                        ImplicitMsg::ApplyTopDown(cross) => {
+                            node.cross_pool.note_top_down_applied(cross.nonce);
+                        }
+                        ImplicitMsg::ApplyBottomUp { meta, .. } => {
+                            node.cross_pool.note_bottom_up_applied(meta);
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            // Adopt the verified closure into the node's store so it can
+            // serve future snapshot pulls itself (content-addressed puts
+            // dedup against blobs already present).
+            for blob in closure {
+                node.store.put(blob);
+            }
+            node.tree = tree;
+            node.chain.reset_to_snapshot_base(anchor_epoch, base_cid);
+            node.next_epoch = anchor_epoch.next();
+            node.next_block_at_ms = u64::MAX;
+        }
+        // Wallet nonce cursors advance past every covered user message.
+        for block in &covered_blocks {
+            for m in &block.signed_msgs {
+                let (from, nonce) = (m.message().from, m.message().nonce);
+                if let Some(w) = self.wallets.get_mut(&(subnet.clone(), from)) {
+                    if nonce.next() > w.next_nonce {
+                        w.next_nonce = nonce.next();
+                    }
+                }
+            }
+        }
+        let cu = self.catching_up.get_mut(subnet).expect("checked at entry");
+        // Remember the covered prefix: a future crash of this node must
+        // still hand the next rejoiner the full peer history even though
+        // this node's own chain now starts at the anchor.
+        self.snapshot_bases.insert(subnet.clone(), covered_blocks);
+        // Accounts installed at or below the anchor are part of the
+        // snapshot state already; replaying them would double-apply.
+        while cu
+            .pending_users
+            .front()
+            .is_some_and(|(epoch, _)| *epoch <= anchor_epoch)
+        {
+            cu.pending_users.pop_front();
+        }
+        cu.base_blocks = base_blocks;
+        cu.snapshot = None;
+        cu.attempts = 0;
+        cu.next_pull_at_ms = self.now_ms;
+        self.chaos.snapshot_installs += 1;
         Ok(())
     }
 

@@ -68,7 +68,7 @@ pub use archive::CheckpointArchive;
 pub use atomic::{AtomicOrchestrator, AtomicOutcome, AtomicParty, PartyBehavior};
 pub use attack::AttackReport;
 pub use audit::{audit_escrow, audit_quiescent, SupplyReport};
-pub use chaos::{ChaosStats, CrashPhase, BLOCK_BATCH_CAP};
+pub use chaos::{ChaosStats, CrashPhase, SyncMode, BLOCK_BATCH_CAP};
 pub use node::{NodeStats, SubnetNode};
 pub use persist::{ControlRecord, DurableOptions, PersistenceConfig};
 pub use runtime::{HierarchyRuntime, RuntimeConfig, RuntimeError, StepReport, UserHandle};

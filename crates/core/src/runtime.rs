@@ -16,8 +16,8 @@ use hc_chain::{
 use hc_consensus::{make_engine, EngineParams, ValidatorSet};
 use hc_net::{NetConfig, Network, PullDecision, ResolutionMsg, Resolver, RetryPolicy};
 use hc_state::{
-    CidStore, ImplicitMsg, Message, Method, Receipt, SealedMessage, SigCache, SigCacheStats,
-    SignedMessage, StateTree, VmEvent, DEFAULT_SIG_CACHE_CAPACITY,
+    ChunkManifest, CidStore, ImplicitMsg, Message, Method, Receipt, SealedMessage, SigCache,
+    SigCacheStats, SignedMessage, StateTree, VmEvent, DEFAULT_SIG_CACHE_CAPACITY,
 };
 use hc_store::{BlobLog, Persistence, Wal};
 use hc_types::{
@@ -88,6 +88,13 @@ pub struct RuntimeConfig {
     /// [`hc_net::ResolverStats::pulls_abandoned`] — degraded, never
     /// silently lost.
     pub retry: RetryPolicy,
+    /// How rejoining ([`HierarchyRuntime::rejoin_node`]) and recovering
+    /// ([`HierarchyRuntime::recover`]) nodes bootstrap missed history:
+    /// [`SyncMode::Replay`](crate::SyncMode::Replay) re-executes every missed block,
+    /// [`SyncMode::Snapshot`](crate::SyncMode::Snapshot) installs the latest checkpoint-anchored
+    /// state snapshot and replays only the post-checkpoint suffix.
+    /// Snapshot mode degrades to replay when no usable anchor exists.
+    pub sync_mode: crate::chaos::SyncMode,
 }
 
 impl Default for RuntimeConfig {
@@ -105,6 +112,7 @@ impl Default for RuntimeConfig {
             sig_cache_capacity: DEFAULT_SIG_CACHE_CAPACITY,
             persistence: PersistenceConfig::InMemory,
             retry: RetryPolicy::default(),
+            sync_mode: crate::chaos::SyncMode::default(),
         }
     }
 }
@@ -179,9 +187,9 @@ impl fmt::Display for RuntimeError {
 
 impl std::error::Error for RuntimeError {}
 
-struct Wallet {
+pub(crate) struct Wallet {
     key: Keypair,
-    next_nonce: Nonce,
+    pub(crate) next_nonce: Nonce,
 }
 
 /// Derives a subnet node's private randomness stream from the runtime
@@ -236,7 +244,7 @@ pub struct HierarchyRuntime {
     pub(crate) network: Network<ResolutionMsg>,
     pub(crate) now_ms: u64,
     next_user_id: u64,
-    wallets: BTreeMap<(SubnetId, Address), Wallet>,
+    pub(crate) wallets: BTreeMap<(SubnetId, Address), Wallet>,
     events: VecDeque<(SubnetId, VmEvent)>,
     /// Tokens minted at the rootnet (genesis + faucet), the global supply
     /// baseline for conservation audits.
@@ -259,11 +267,28 @@ pub struct HierarchyRuntime {
     /// The GC's live roots: blobs unreachable from these manifests can be
     /// pruned from the blob store.
     recent_manifests: BTreeMap<SubnetId, VecDeque<Cid>>,
+    /// Per subnet, the newest checkpoint-anchored snapshot boundary: the
+    /// checkpoint epoch and the state manifest persisted at its cut.
+    /// Snapshot-syncing rejoiners bootstrap from here, and the GC pins
+    /// these manifests regardless of the recency window.
+    pub(crate) checkpoint_anchors: BTreeMap<SubnetId, (ChainEpoch, Cid)>,
+    /// Only during [`HierarchyRuntime::recover`] in snapshot mode: per
+    /// eligible subnet, the checkpoint anchor its replay fast-forwards to
+    /// (blocks before it are appended without re-execution; the anchored
+    /// manifest is installed when its record is reached). Emptied as
+    /// installs complete; non-empty after replay means the journal tore
+    /// inside a skipped region and recovery must fall back to full replay.
+    fast_forward: BTreeMap<SubnetId, (ChainEpoch, Cid)>,
     /// Subnets whose node is currently crashed (removed from `nodes`),
     /// with the surviving-peer view needed for rejoin.
     pub(crate) crashed: BTreeMap<SubnetId, crate::chaos::CrashedNode>,
     /// Rejoined subnets still replaying missed blocks pulled from peers.
     pub(crate) catching_up: BTreeMap<SubnetId, crate::chaos::CatchUp>,
+    /// Blocks below a snapshot-rejoined subnet's install boundary. The
+    /// node's own chain holds only the post-snapshot suffix, but the
+    /// subnet's surviving peers keep full history — a later crash must
+    /// hand the next rejoiner the whole peer chain, not just the suffix.
+    pub(crate) snapshot_bases: BTreeMap<SubnetId, Vec<Block>>,
     /// The boot-time (SA config, engine params) of every child subnet, so
     /// a crashed node can be rebuilt from genesis at rejoin.
     pub(crate) boot_params: BTreeMap<SubnetId, (SaConfig, EngineParams)>,
@@ -331,6 +356,29 @@ impl HierarchyRuntime {
         let Some(durable) = config.persistence.durable().cloned() else {
             return Self::new(config);
         };
+        if config.sync_mode == crate::chaos::SyncMode::Snapshot {
+            // Snapshot mode fast-forwards each eligible subnet to its last
+            // checkpoint-anchored manifest instead of re-executing its
+            // whole history. If a fast-forward target turns out to be
+            // unreachable (the journal tore inside the skipped region),
+            // fall back to the total full-replay recovery below.
+            if let Some(rt) = Self::recover_attempt(config.clone(), &durable, true) {
+                return rt;
+            }
+        }
+        Self::recover_attempt(config, &durable, false)
+            .expect("full-replay recovery never abandons a prefix")
+    }
+
+    /// One recovery pass over the journals. With `fast_forward` enabled,
+    /// returns `None` (leaving the journals untouched) when an eligible
+    /// subnet's anchor was never reached — the caller retries without
+    /// fast-forwarding.
+    fn recover_attempt(
+        config: RuntimeConfig,
+        durable: &DurableOptions,
+        fast_forward: bool,
+    ) -> Option<Self> {
         let mut rt = Self::boot(config);
         rt.recovering = true;
         // Attach the blob log before replaying: replayed persists dedup
@@ -340,6 +388,9 @@ impl HierarchyRuntime {
             .attach_blob_log(BlobLog::open(durable.device.clone(), BLOB_LOG, durable.wal));
         let (mut control, control_records) =
             Wal::open(durable.device.clone(), CONTROL_LOG, durable.wal);
+        if fast_forward {
+            rt.fast_forward = Self::plan_fast_forward(&control_records, &rt.store);
+        }
         let mut logs: BTreeMap<SubnetId, ReplayLog> = BTreeMap::new();
         let root = SubnetId::root();
         let (wal, records) = Wal::open(durable.device.clone(), &chain_log_name(&root), durable.wal);
@@ -356,10 +407,16 @@ impl HierarchyRuntime {
             let Ok(record) = ControlRecord::decode(bytes) else {
                 break;
             };
-            if !rt.apply_control_record(record, &durable, &mut logs) {
+            if !rt.apply_control_record(record, durable, &mut logs) {
                 break;
             }
             applied += 1;
+        }
+        if !rt.fast_forward.is_empty() {
+            // A subnet's replay stopped before its anchor installed: its
+            // chain is ahead of its (still-genesis) state tree. Abandon
+            // this attempt before any journal truncation.
+            return None;
         }
         // Make the journals agree with the recovered world: drop control
         // records past the replayed prefix and, per subnet, block records
@@ -378,7 +435,46 @@ impl HierarchyRuntime {
         rt.store.sync();
         rt.control_wal = Some(control);
         rt.recovering = false;
-        rt
+        Some(rt)
+    }
+
+    /// Scans the control log for subnets whose recovery can skip straight
+    /// to their newest checkpoint anchor. Eligible: non-root subnets with
+    /// no booted descendants (a child's boot reads its parent's state,
+    /// which a fast-forwarded parent would not have yet) whose anchored
+    /// manifest closure fully survives in the blob store — anything less
+    /// replays in full.
+    fn plan_fast_forward(
+        records: &[Vec<u8>],
+        store: &CidStore,
+    ) -> BTreeMap<SubnetId, (ChainEpoch, Cid)> {
+        let mut booted: Vec<SubnetId> = Vec::new();
+        let mut anchors: BTreeMap<SubnetId, (ChainEpoch, Cid)> = BTreeMap::new();
+        for bytes in records {
+            let Ok(record) = ControlRecord::decode(bytes) else {
+                break;
+            };
+            match record {
+                ControlRecord::SubnetBoot { child, .. } => booted.push(child),
+                ControlRecord::CheckpointAnchor {
+                    subnet,
+                    epoch,
+                    manifest,
+                } => {
+                    anchors.insert(subnet, (epoch, manifest));
+                }
+                _ => {}
+            }
+        }
+        anchors.retain(|subnet, (_, manifest)| {
+            // `hydrate_manifest` pulls the closure out of the surviving
+            // blob log into memory — recovery starts from an empty store,
+            // so the log is the only place the snapshot can live.
+            !subnet.is_root()
+                && !booted.iter().any(|b| subnet.is_ancestor_of(b))
+                && store.hydrate_manifest(manifest)
+        });
+        anchors
     }
 
     /// Applies one control record during recovery. Returns `false` when the
@@ -440,10 +536,16 @@ impl HierarchyRuntime {
                 if block.header.epoch != epoch {
                     return false;
                 }
-                if self
-                    .replay_block(&subnet, block, ReplayMode::Recovery)
-                    .is_err()
-                {
+                let replayed = if self.fast_forward.contains_key(&subnet) {
+                    // Inside a fast-forwarded prefix: append without
+                    // re-execution; the anchored snapshot supplies the
+                    // state this block produced.
+                    self.fast_forward_block(&subnet, block).is_ok()
+                } else {
+                    self.replay_block(&subnet, block, ReplayMode::Recovery)
+                        .is_ok()
+                };
+                if !replayed {
                     return false;
                 }
                 if let Some(log) = logs.get_mut(&subnet) {
@@ -452,6 +554,13 @@ impl HierarchyRuntime {
                 true
             }
             ControlRecord::SnapshotAnchor { subnet, manifest } => {
+                if self.fast_forward.contains_key(&subnet) {
+                    // The tree this snapshot was cut from is being skipped;
+                    // the journaled manifest cannot be re-persisted for a
+                    // cross-check, only kept in the GC window.
+                    self.track_manifest(&subnet, manifest);
+                    return true;
+                }
                 let Some(node) = self.nodes.get_mut(&subnet) else {
                     return false;
                 };
@@ -464,13 +573,144 @@ impl HierarchyRuntime {
                 true
             }
             ControlRecord::CheckpointAnchor {
-                subnet, manifest, ..
+                subnet,
+                epoch,
+                manifest,
             } => {
-                // The persist already re-ran inside the replayed block's
-                // checkpoint-cut routing; this anchor only cross-checks it.
-                self.recent_manifests.get(&subnet).and_then(|w| w.back()) == Some(&manifest)
+                match self.fast_forward.get(&subnet).copied() {
+                    Some((target_epoch, target_manifest)) if epoch == target_epoch => {
+                        // The fast-forward target: install the anchored
+                        // snapshot and resume normal replay from here.
+                        if manifest != target_manifest
+                            || !self.install_fast_forward(&subnet, epoch, manifest)
+                        {
+                            return false;
+                        }
+                        self.fast_forward.remove(&subnet);
+                        self.checkpoint_anchors
+                            .insert(subnet.clone(), (epoch, manifest));
+                        self.track_manifest(&subnet, manifest);
+                        true
+                    }
+                    Some(_) => {
+                        // A pre-target anchor inside the skipped prefix:
+                        // no persist ran to cross-check against, but the
+                        // GC window must advance exactly as it did live.
+                        self.checkpoint_anchors
+                            .insert(subnet.clone(), (epoch, manifest));
+                        self.track_manifest(&subnet, manifest);
+                        true
+                    }
+                    None => {
+                        // The persist already re-ran inside the replayed
+                        // block's checkpoint-cut routing; this anchor only
+                        // cross-checks it.
+                        self.recent_manifests.get(&subnet).and_then(|w| w.back()) == Some(&manifest)
+                    }
+                }
             }
         }
+    }
+
+    /// Recovery counterpart of a skipped block: appends it to the chain
+    /// and repeats the bookkeeping that outlives execution — consensus/RNG
+    /// draws, epoch and schedule cursors, cross-net nonce cursors, wallet
+    /// nonces — without validating or executing anything. The state the
+    /// block produced arrives later, wholesale, from the anchored
+    /// snapshot ([`HierarchyRuntime::install_fast_forward`]).
+    fn fast_forward_block(&mut self, subnet: &SubnetId, block: Block) -> Result<(), RuntimeError> {
+        self.refresh_validators(subnet);
+        let at_ms = block.header.timestamp_ms;
+        let epoch = block.header.epoch;
+        let nonces: Vec<(Address, Nonce)> = block
+            .signed_msgs
+            .iter()
+            .map(|m| (m.message().from, m.message().nonce))
+            .collect();
+        let node = Self::get_node_mut(&mut self.nodes, subnet)?;
+        if epoch != node.next_epoch {
+            return Err(RuntimeError::Execution(format!(
+                "fast-forward: journaled block at epoch {epoch}, node expects {}",
+                node.next_epoch
+            )));
+        }
+        // Burn the consensus draw the live run made for this block.
+        let opportunity = node
+            .engine
+            .next_block(epoch, &node.validators, &mut node.rng)
+            .map_err(|e| RuntimeError::Execution(format!("consensus: {e}")))?;
+        node.chain
+            .append_recovered(block.clone())
+            .map_err(|e| RuntimeError::Execution(format!("chain append: {e}")))?;
+        node.mempool.advance_epoch(epoch);
+        node.next_block_at_ms = at_ms + opportunity.interval_ms;
+        node.next_epoch = epoch.next();
+        for m in &block.implicit_msgs {
+            match m {
+                ImplicitMsg::CommitChildCheckpoint { signed } => {
+                    node.pending_checkpoints
+                        .retain(|p| p.checkpoint != signed.checkpoint);
+                }
+                ImplicitMsg::CommitTurnaround { meta, .. } => {
+                    node.pending_turnarounds.retain(|(m2, _)| m2 != meta);
+                    node.unresolved_turnarounds.retain(|m2| m2 != meta);
+                }
+                ImplicitMsg::ApplyTopDown(cross) => {
+                    node.cross_pool.note_top_down_applied(cross.nonce);
+                }
+                ImplicitMsg::ApplyBottomUp { meta, .. } => {
+                    node.cross_pool.note_bottom_up_applied(meta);
+                }
+                _ => {}
+            }
+        }
+        // Wallet nonce cursors advance past every journaled user message.
+        for (from, nonce) in nonces {
+            if let Some(w) = self.wallets.get_mut(&(subnet.clone(), from)) {
+                if nonce.next() > w.next_nonce {
+                    w.next_nonce = nonce.next();
+                }
+            }
+        }
+        self.now_ms = self.now_ms.max(at_ms);
+        Ok(())
+    }
+
+    /// Installs a fast-forward target during recovery: decodes the
+    /// anchored manifest from the blob store, rebuilds the state tree
+    /// from its closure, and verifies the root against the committed
+    /// header of the (fast-forwarded) block at the anchor epoch. Returns
+    /// `false` when anything fails to verify — the caller stops replay
+    /// there and recovery falls back to full replay.
+    fn install_fast_forward(
+        &mut self,
+        subnet: &SubnetId,
+        epoch: ChainEpoch,
+        manifest: Cid,
+    ) -> bool {
+        let Some(blob) = self.store.get(&manifest) else {
+            return false;
+        };
+        let Some(decoded) = ChunkManifest::decode(&blob) else {
+            return false;
+        };
+        let Ok(tree) = StateTree::from_manifest(&decoded, &self.store) else {
+            return false;
+        };
+        let Some(node) = self.nodes.get_mut(subnet) else {
+            return false;
+        };
+        let header_root = node
+            .chain
+            .iter()
+            .find(|b| b.header.epoch == epoch)
+            .map(|b| b.header.state_root);
+        if header_root != Some(decoded.root) {
+            return false;
+        }
+        node.tree = tree;
+        node.stats.state_persists += 1;
+        true
     }
 
     /// Re-commits one past block against a node: re-executes it (verifying
@@ -710,8 +950,11 @@ impl HierarchyRuntime {
             recovering: false,
             control_wal: None,
             recent_manifests: BTreeMap::new(),
+            checkpoint_anchors: BTreeMap::new(),
+            fast_forward: BTreeMap::new(),
             crashed: BTreeMap::new(),
             catching_up: BTreeMap::new(),
+            snapshot_bases: BTreeMap::new(),
             boot_params: BTreeMap::new(),
             crash_plan,
             chaos: crate::chaos::ChaosStats::default(),
@@ -760,15 +1003,25 @@ impl HierarchyRuntime {
         }
     }
 
-    /// Sweeps the shared `CidStore`: every blob unreachable from the
-    /// manifests still inside some subnet's recency window is dropped, in
-    /// memory and in the blob log. Returns `(pruned_blobs, pruned_bytes)`.
+    /// Sweeps the shared `CidStore`: every blob unreachable from a live
+    /// root is dropped, in memory and in the blob log. Live roots are the
+    /// manifests still inside some subnet's recency window, every
+    /// checkpoint-anchored manifest (the snapshot-sync entry points — a
+    /// tight `keep_manifests` window must not evict the manifest a
+    /// rejoiner would bootstrap from), and any manifest currently being
+    /// served to a syncing peer. Returns `(pruned_blobs, pruned_bytes)`.
     fn gc_now(&mut self) -> (u64, u64) {
-        let roots: Vec<Cid> = self
+        let mut roots: Vec<Cid> = self
             .recent_manifests
             .values()
             .flat_map(|w| w.iter().copied())
             .collect();
+        roots.extend(self.checkpoint_anchors.values().map(|(_, cid)| *cid));
+        roots.extend(
+            self.catching_up
+                .values()
+                .filter_map(|cu| cu.snapshot.as_ref().map(|s| s.manifest)),
+        );
         self.store.prune_unreachable(&roots)
     }
 
@@ -821,6 +1074,14 @@ impl HierarchyRuntime {
     /// state chunks and snapshot manifests (shared by every subnet node).
     pub fn cid_store(&self) -> &hc_state::CidStore {
         &self.store
+    }
+
+    /// The newest checkpoint-anchored snapshot boundary of `subnet`: the
+    /// checkpoint epoch and the state manifest persisted at its cut. This
+    /// is the entry point a [`crate::SyncMode::Snapshot`] rejoin
+    /// bootstraps from; `None` until the subnet's first checkpoint.
+    pub fn checkpoint_anchor(&self, subnet: &SubnetId) -> Option<(ChainEpoch, Cid)> {
+        self.checkpoint_anchors.get(subnet).copied()
     }
 
     /// Snapshot of the blob store's counters. `put_hits` counts blobs that
@@ -2129,7 +2390,12 @@ impl HierarchyRuntime {
 
                 // Anchor the persisted manifest in the control log and the
                 // GC window. During replay the same code path re-persists,
-                // so GC sweeps happen at identical points.
+                // so GC sweeps happen at identical points. The anchor map
+                // is updated *before* the window (whose eviction may GC):
+                // the newest anchored manifest must be pinned through the
+                // sweep its own eviction triggers.
+                self.checkpoint_anchors
+                    .insert(subnet.clone(), (checkpoint.epoch, manifest));
                 self.journal(&ControlRecord::CheckpointAnchor {
                     subnet: subnet.clone(),
                     epoch: checkpoint.epoch,

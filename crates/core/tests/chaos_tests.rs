@@ -13,11 +13,13 @@
 //!   (`pulls_abandoned == 0` under an unbounded retry budget).
 
 use hc_actors::sa::SaConfig;
-use hc_core::{audit_escrow, audit_quiescent, HierarchyRuntime, RuntimeConfig, UserHandle};
+use hc_core::{
+    audit_escrow, audit_quiescent, HierarchyRuntime, RuntimeConfig, SyncMode, UserHandle,
+};
 use hc_net::{
     CrashFault, DupRule, FaultPlan, LossRule, Partition, PartitionPolicy, ReorderRule, RetryPolicy,
 };
-use hc_types::{SubnetId, TokenAmount};
+use hc_types::{ChainEpoch, SubnetId, TokenAmount};
 
 fn whole(n: u64) -> TokenAmount {
     TokenAmount::from_whole(n)
@@ -305,10 +307,13 @@ fn retry_budget_exhaustion_is_reported_not_lost() {
 
 /// Runs one randomized fault schedule end to end and asserts both chaos
 /// invariants. All randomness is derived arithmetically from `seed`, so
-/// every schedule is reproducible.
-fn run_chaos_schedule(seed: u64) {
+/// every schedule is reproducible. `mode` picks how a crashed node
+/// bootstraps back: full replay, or snapshot state-sync when a
+/// checkpoint anchor is available.
+fn run_chaos_schedule_with(seed: u64, mode: SyncMode) {
     let config = RuntimeConfig {
         seed: 1_000 + seed,
+        sync_mode: mode,
         ..RuntimeConfig::default()
     };
     let mut w = build(config, SaConfig::default());
@@ -398,10 +403,28 @@ fn run_chaos_schedule(seed: u64) {
         assert_eq!(chaos.crashes, 1, "schedule {seed}");
         assert_eq!(chaos.rejoins, 1, "schedule {seed}");
         assert_eq!(chaos.catch_ups_completed, 1, "schedule {seed}");
-        assert!(chaos.blocks_caught_up > 0, "schedule {seed}");
+        match mode {
+            // A snapshot rejoin replays only the post-anchor suffix —
+            // legitimately zero blocks when the node crashed right at a
+            // cut. Crashing before the first cut falls back to replay;
+            // either way the rejoin resolves exactly one way.
+            SyncMode::Snapshot => assert_eq!(
+                chaos.snapshot_installs + chaos.snapshot_fallbacks,
+                1,
+                "schedule {seed}"
+            ),
+            SyncMode::Replay => {
+                assert_eq!(chaos.snapshot_installs, 0, "schedule {seed}");
+                assert!(chaos.blocks_caught_up > 0, "schedule {seed}");
+            }
+        }
     } else {
         assert_eq!(chaos.crashes, 0, "schedule {seed}");
     }
+}
+
+fn run_chaos_schedule(seed: u64) {
+    run_chaos_schedule_with(seed, SyncMode::Replay);
 }
 
 /// The CI sweep: 50 seeded fault schedules, every one upholding safety
@@ -413,12 +436,146 @@ fn chaos_sweep_preserves_safety_and_liveness() {
     }
 }
 
-/// The nightly sweep: 200 further schedules. Run with
-/// `cargo test -p hc-core --test chaos_tests -- --ignored`.
+/// The CI snapshot sweep: the same seeded schedules with crashed nodes
+/// bootstrapping over snapshot state-sync instead of full replay.
+#[test]
+fn chaos_sweep_snapshot_mode_preserves_safety_and_liveness() {
+    for seed in 0..25 {
+        run_chaos_schedule_with(seed, SyncMode::Snapshot);
+    }
+}
+
+/// The nightly sweep: 200 further replay schedules plus 100 snapshot-mode
+/// ones. Run with `cargo test -p hc-core --test chaos_tests -- --ignored`.
 #[test]
 #[ignore = "long sweep; exercised nightly via --ignored"]
 fn chaos_sweep_long() {
     for seed in 50..250 {
         run_chaos_schedule(seed);
     }
+    for seed in 25..125 {
+        run_chaos_schedule_with(seed, SyncMode::Snapshot);
+    }
+}
+
+/// The F10 safety headline: a node that bootstraps *through* an active
+/// fault window — losing and double-receiving snapshot chunks while it
+/// assembles the closure and replays the suffix — reconverges to the
+/// exact state roots of the uninterrupted run. Unlike F9, checkpointing
+/// stays enabled (the snapshot needs an anchor); the roots are compared
+/// at a pinned epoch after reconvergence but before the next cut, where
+/// the state holds no wall-clock-coupled checkpoint CIDs that would
+/// legitimately differ between the two runs.
+#[test]
+fn mid_fault_snapshot_bootstrap_matches_uninterrupted_run() {
+    let sa = SaConfig {
+        checkpoint_period: 30,
+        ..SaConfig::default()
+    };
+    let run = |crash: bool| {
+        let config = RuntimeConfig {
+            sync_mode: SyncMode::Snapshot,
+            ..RuntimeConfig::default()
+        };
+        let mut w = build(config, sa.clone());
+        let bob = w.rt.create_user(&w.child, TokenAmount::ZERO).unwrap();
+        w.rt.cross_transfer(&w.alice, &bob, whole(20)).unwrap();
+        w.rt.run_until_quiescent(2_000).unwrap();
+        while w.rt.node(&w.child).unwrap().chain().head_epoch() < ChainEpoch::new(32) {
+            w.rt.step().unwrap();
+        }
+        // Settle the cut-at-30 checkpoint fully before the fault window:
+        // both runs enter it from the same committed hierarchy state.
+        w.rt.run_until_quiescent(2_000).unwrap();
+        assert!(w.rt.checkpoint_anchor(&w.child).is_some(), "cut at 30");
+
+        // The same fault window in both runs; only the crash differs.
+        let now = w.rt.now_ms();
+        let mut plan = FaultPlan {
+            losses: vec![LossRule {
+                from_ms: now,
+                until_ms: now + 6_000,
+                topic: Some(w.child.topic()),
+                from: None,
+                to: None,
+                rate: 0.3,
+            }],
+            duplications: vec![DupRule {
+                from_ms: now,
+                until_ms: now + 6_000,
+                topic: None,
+                rate: 0.4,
+                max_copies: 2,
+                spread_ms: 300,
+            }],
+            ..FaultPlan::none()
+        };
+        if crash {
+            plan.crashes.push(CrashFault {
+                subnet: w.child.clone(),
+                crash_at_ms: now + 300,
+                rejoin_at_ms: now + 2_500,
+            });
+        }
+        w.rt.extend_faults(plan);
+        w.rt.cross_transfer(&w.alice, &bob, whole(5)).unwrap();
+        let produced = w.rt.run_until_quiescent(6_000).unwrap();
+        assert!(produced < 6_000, "mid-fault bootstrap must reconverge");
+        audit_escrow(&w.rt).unwrap();
+        audit_quiescent(&w.rt).unwrap();
+        assert_eq!(w.rt.balance(&bob), whole(25));
+
+        let head = w.rt.node(&w.child).unwrap().chain().head_epoch();
+        assert!(head < ChainEpoch::new(56), "settled well before epoch 56");
+        while w.rt.node(&w.child).unwrap().chain().head_epoch() < ChainEpoch::new(56) {
+            w.rt.step().unwrap();
+        }
+        let child_root =
+            w.rt.node(&w.child)
+                .unwrap()
+                .chain()
+                .iter()
+                .find(|b| b.header.epoch == ChainEpoch::new(56))
+                .unwrap()
+                .header
+                .state_root;
+        let root_root =
+            w.rt.node(&SubnetId::root())
+                .unwrap()
+                .chain()
+                .iter()
+                .last()
+                .unwrap()
+                .header
+                .state_root;
+        (child_root, root_root, w.rt.chaos_stats())
+    };
+
+    let (child_a, root_a, chaos_a) = run(false);
+    let (child_b, root_b, chaos_b) = run(true);
+    assert_eq!(chaos_a.crashes, 0);
+    assert_eq!(chaos_a.snapshot_installs, 0);
+    assert_eq!(chaos_b.crashes, 1);
+    assert_eq!(
+        chaos_b.snapshot_installs, 1,
+        "the bootstrap must actually run over the snapshot path"
+    );
+    assert_eq!(chaos_b.snapshot_fallbacks, 0);
+    assert!(
+        chaos_b.blobs_synced >= 2,
+        "closure fetched over the network"
+    );
+    assert!(
+        chaos_b.blocks_caught_up > 0 && chaos_b.blocks_caught_up <= 8,
+        "only the short post-anchor suffix replays, got {}",
+        chaos_b.blocks_caught_up
+    );
+    assert_eq!(
+        child_b, child_a,
+        "mid-fault bootstrap must land on the uninterrupted child state root"
+    );
+    assert_eq!(
+        root_b, root_a,
+        "the rootnet state must be unaffected by the child's outage"
+    );
 }

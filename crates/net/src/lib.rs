@@ -37,5 +37,5 @@ pub use fault::{
 pub use pubsub::{NetConfig, NetStats, Network, SubscriberId};
 pub use resolver::{
     ContentCache, PullDecision, ResolutionMsg, Resolver, ResolverStats, RetryPolicy,
-    DEFAULT_CONTENT_CACHE_CAPACITY,
+    BLOB_BATCH_CAP, DEFAULT_CONTENT_CACHE_CAPACITY,
 };

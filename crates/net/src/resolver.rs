@@ -22,7 +22,7 @@
 //! the budget are *abandoned* and surfaced in
 //! [`ResolverStats::pulls_abandoned`] — degraded, never silently lost.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use serde::{Deserialize, Serialize};
 
@@ -34,6 +34,11 @@ use hc_types::{ChainEpoch, Cid, SubnetId};
 /// typically a checkpoint window's worth of messages; a thousand windows
 /// is far beyond any retention the protocol needs.
 pub const DEFAULT_CONTENT_CACHE_CAPACITY: usize = 1024;
+
+/// Upper bound on raw blobs per [`ResolutionMsg::BlobBatch`] reply. Large
+/// snapshot closures are served across several request/reply rounds so a
+/// single lost message never costs more than one batch of progress.
+pub const BLOB_BATCH_CAP: usize = 16;
 
 /// Protocol messages exchanged on subnet topics.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -87,6 +92,27 @@ pub enum ResolutionMsg {
         /// Canonical bytes of consecutive blocks, oldest first.
         blocks: Vec<Vec<u8>>,
     },
+    /// Request for raw content-addressed blobs (snapshot manifests and
+    /// state chunks), published on the subnet's own topic by a node
+    /// bootstrapping from a snapshot. Peers answer with a bounded
+    /// [`ResolutionMsg::BlobBatch`] on `reply_topic`; at most
+    /// [`BLOB_BATCH_CAP`] CIDs per request. Handled by the node runtime,
+    /// not the resolver.
+    BlobPull {
+        /// The blobs being fetched, by CID.
+        cids: Vec<Cid>,
+        /// Topic the batch reply goes to.
+        reply_topic: String,
+    },
+    /// Answer to a [`ResolutionMsg::BlobPull`]: the raw blob bytes, in
+    /// request order, omitting any the peer does not hold. The requester
+    /// verifies each blob hashes to a CID it asked for, so a corrupt or
+    /// misdirected batch cannot poison its store. Handled by the node
+    /// runtime, not the resolver.
+    BlobBatch {
+        /// Raw blob bytes; each must hash to a requested CID.
+        blobs: Vec<Vec<u8>>,
+    },
 }
 
 /// A validated, bounded content-addressable cache of cross-message groups.
@@ -96,11 +122,20 @@ pub enum ResolutionMsg {
 /// groups (FIFO eviction — the protocol's access pattern is a moving
 /// window over checkpoint epochs, so oldest-first is also
 /// least-likely-needed); `capacity == 0` disables the bound.
+///
+/// Entries can be **pinned**: eviction skips pinned CIDs, so content a
+/// still-outstanding pull is waiting to consume cannot be displaced by
+/// unrelated traffic arriving between the resolve and the consumer's next
+/// poll. While every resident entry is pinned the capacity bound is soft —
+/// correctness of in-flight requests beats the memory cap.
 #[derive(Debug, Clone)]
 pub struct ContentCache {
     entries: BTreeMap<Cid, Vec<CrossMsg>>,
     /// Insertion order, oldest first, for FIFO eviction.
     order: VecDeque<Cid>,
+    /// CIDs exempt from eviction (in-flight pulls; may be absent from
+    /// `entries` until their content arrives).
+    pinned: BTreeSet<Cid>,
     capacity: usize,
     evictions: u64,
 }
@@ -123,9 +158,27 @@ impl ContentCache {
         ContentCache {
             entries: BTreeMap::new(),
             order: VecDeque::new(),
+            pinned: BTreeSet::new(),
             capacity,
             evictions: 0,
         }
+    }
+
+    /// Exempts `cid` from eviction until [`ContentCache::unpin`]. Pinning
+    /// a CID whose content has not arrived yet is the normal case: the pin
+    /// protects the entry from the moment it is inserted.
+    pub fn pin(&mut self, cid: Cid) {
+        self.pinned.insert(cid);
+    }
+
+    /// Lifts an eviction exemption (idempotent).
+    pub fn unpin(&mut self, cid: &Cid) {
+        self.pinned.remove(cid);
+    }
+
+    /// Returns `true` if `cid` is currently exempt from eviction.
+    pub fn is_pinned(&self, cid: &Cid) -> bool {
+        self.pinned.contains(cid)
     }
 
     /// Inserts a group if it matches `cid`. Returns `true` on acceptance
@@ -142,7 +195,12 @@ impl ContentCache {
         self.order.push_back(cid);
         if self.capacity > 0 {
             while self.entries.len() > self.capacity {
-                let oldest = self.order.pop_front().expect("order tracks entries");
+                // Oldest first, but never a pinned entry: an in-flight
+                // pull's content must survive until its consumer reads it.
+                let Some(pos) = self.order.iter().position(|c| !self.pinned.contains(c)) else {
+                    break; // everything resident is pinned: soft bound
+                };
+                let oldest = self.order.remove(pos).expect("position is in range");
                 self.entries.remove(&oldest);
                 self.evictions += 1;
             }
@@ -303,6 +361,16 @@ impl Resolver {
         }
     }
 
+    /// Creates a resolver with an explicit retry policy and cache
+    /// capacity (`0` = unbounded).
+    pub fn with_policy_and_capacity(policy: RetryPolicy, capacity: usize) -> Self {
+        Resolver {
+            policy,
+            cache: ContentCache::with_capacity(capacity),
+            ..Self::default()
+        }
+    }
+
     /// Read access to the cache.
     pub fn cache(&self) -> &ContentCache {
         &self.cache
@@ -354,6 +422,9 @@ impl Resolver {
                         abandoned: false,
                     },
                 );
+                // Pin before the content exists: whenever the resolve
+                // lands, it must survive eviction until consumed.
+                self.cache.pin(cid);
                 self.stats.pulls_sent += 1;
                 PullDecision::Send
             }
@@ -362,6 +433,7 @@ impl Resolver {
             Some(state) => {
                 if self.policy.max_attempts > 0 && state.attempts >= self.policy.max_attempts {
                     state.abandoned = true;
+                    self.cache.unpin(&cid);
                     self.stats.pulls_abandoned += 1;
                     return PullDecision::Abandoned;
                 }
@@ -420,11 +492,14 @@ impl Resolver {
                 }
                 None
             }
-            // Certificates and block-sync traffic are consumed by the node
-            // runtime before the resolver sees them; strays are ignored.
+            // Certificates, block-sync, and blob-sync traffic are consumed
+            // by the node runtime before the resolver sees them; strays
+            // are ignored.
             ResolutionMsg::Certificate(_)
             | ResolutionMsg::BlockPull { .. }
-            | ResolutionMsg::BlockBatch { .. } => None,
+            | ResolutionMsg::BlockBatch { .. }
+            | ResolutionMsg::BlobPull { .. }
+            | ResolutionMsg::BlobBatch { .. } => None,
         }
     }
 
@@ -440,7 +515,11 @@ impl Resolver {
         match self.cache.get(&cid) {
             Some(msgs) => {
                 self.stats.cache_hits += 1;
-                Ok(msgs.to_vec())
+                let msgs = msgs.to_vec();
+                // The consumer has the content; the in-flight pin (if any)
+                // has done its job.
+                self.cache.unpin(&cid);
+                Ok(msgs)
             }
             None => {
                 self.stats.cache_misses += 1;
@@ -648,6 +727,75 @@ mod tests {
         assert_eq!(r.pull_attempts(&cid), 0);
     }
 
+    /// Regression (in-flight eviction): at capacity 1, a resolve that
+    /// lands for an outstanding pull used to be evictable by any unrelated
+    /// push arriving before the consumer's next poll — the pool would
+    /// re-pull forever under steady traffic. In-flight CIDs are now pinned
+    /// until consumed.
+    #[test]
+    fn pending_pull_content_survives_eviction_at_capacity_one() {
+        let mut r = Resolver::with_policy_and_capacity(RetryPolicy::default(), 1);
+        let (wanted_cid, wanted_msgs) = group(3);
+        let (noise1_cid, noise1) = group(1);
+        let (noise2_cid, noise2) = group(2);
+
+        // The pool misses and a pull goes out.
+        assert!(r.lookup_or_pull(wanted_cid, "t").is_err());
+        assert_eq!(r.should_pull(wanted_cid, 0), PullDecision::Send);
+        assert!(r.cache().is_pinned(&wanted_cid));
+
+        // Unrelated traffic fills the one-slot cache...
+        r.handle(ResolutionMsg::Push {
+            cid: noise1_cid,
+            msgs: noise1,
+        });
+        // ...then the awaited resolve lands (evicting the noise)...
+        r.handle(ResolutionMsg::Resolve {
+            cid: wanted_cid,
+            msgs: wanted_msgs.clone(),
+        });
+        assert!(!r.cache().contains(&noise1_cid));
+        // ...and more noise arrives before the pool polls again. The
+        // pinned entry must not be the eviction victim.
+        r.handle(ResolutionMsg::Push {
+            cid: noise2_cid,
+            msgs: noise2,
+        });
+        assert!(r.cache().contains(&wanted_cid), "pinned entry was evicted");
+
+        // The consumer finally reads it — pin released, entry becomes an
+        // ordinary FIFO citizen again.
+        assert_eq!(r.lookup_or_pull(wanted_cid, "t").unwrap(), wanted_msgs);
+        assert!(!r.cache().is_pinned(&wanted_cid));
+        let (noise3_cid, noise3) = group(4);
+        r.handle(ResolutionMsg::Push {
+            cid: noise3_cid,
+            msgs: noise3,
+        });
+        assert!(!r.cache().contains(&wanted_cid), "unpinned entry evicts");
+        assert!(r.cache().contains(&noise3_cid));
+    }
+
+    /// Abandoning a pull lifts its pin: nothing keeps dead requests'
+    /// content alive.
+    #[test]
+    fn abandoned_pull_releases_its_pin() {
+        let mut r = Resolver::with_policy_and_capacity(
+            RetryPolicy {
+                base_timeout_ms: 10,
+                backoff: 1,
+                max_timeout_ms: 10,
+                max_attempts: 1,
+            },
+            1,
+        );
+        let (cid, _) = group(5);
+        assert_eq!(r.should_pull(cid, 0), PullDecision::Send);
+        assert!(r.cache().is_pinned(&cid));
+        assert_eq!(r.should_pull(cid, 10), PullDecision::Abandoned);
+        assert!(!r.cache().is_pinned(&cid));
+    }
+
     #[test]
     fn block_sync_messages_pass_through_resolver() {
         let mut r = Resolver::new();
@@ -662,6 +810,17 @@ mod tests {
             .handle(ResolutionMsg::BlockBatch {
                 subnet: SubnetId::root(),
                 blocks: vec![vec![1, 2, 3]],
+            })
+            .is_none());
+        assert!(r
+            .handle(ResolutionMsg::BlobPull {
+                cids: vec![Cid::digest(b"chunk")],
+                reply_topic: "t".into(),
+            })
+            .is_none());
+        assert!(r
+            .handle(ResolutionMsg::BlobBatch {
+                blobs: vec![b"chunk".to_vec()],
             })
             .is_none());
         assert_eq!(r.stats(), ResolverStats::default());

@@ -15,7 +15,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use hc_types::merkle::MerkleTree;
-use hc_types::{Address, CanonicalEncode, Cid};
+use hc_types::{Address, ByteReader, CanonicalDecode, CanonicalEncode, Cid, DecodeError};
 
 /// Identifies one chunk of the state tree.
 ///
@@ -51,6 +51,22 @@ impl CanonicalEncode for ChunkKey {
                 4u8.write_bytes(out);
                 addr.write_bytes(out);
             }
+        }
+    }
+}
+
+impl CanonicalDecode for ChunkKey {
+    fn read_bytes(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        match u8::read_bytes(r)? {
+            0 => Ok(ChunkKey::Meta),
+            1 => Ok(ChunkKey::Sca),
+            2 => Ok(ChunkKey::Atomic),
+            3 => Ok(ChunkKey::Sa(Address::read_bytes(r)?)),
+            4 => Ok(ChunkKey::Account(Address::read_bytes(r)?)),
+            tag => Err(DecodeError::BadTag {
+                what: "ChunkKey",
+                tag,
+            }),
         }
     }
 }
@@ -153,6 +169,19 @@ impl ChunkManifest {
             return None;
         }
         Some(ChunkManifest { root, entries })
+    }
+
+    /// The chunk-blob CIDs referenced by this manifest that are absent from
+    /// `store` — exactly the set a syncing node must fetch before
+    /// [`crate::StateTree::from_manifest`] can install it. Preserves
+    /// manifest (canonical chunk) order and never repeats a CID.
+    pub fn missing_chunks(&self, store: &crate::CidStore) -> Vec<Cid> {
+        let mut seen = BTreeSet::new();
+        self.entries
+            .iter()
+            .map(|(_, cid)| *cid)
+            .filter(|cid| seen.insert(*cid) && !store.contains(cid))
+            .collect()
     }
 
     /// Recomputes the state root from the chunk blobs in `store` and checks

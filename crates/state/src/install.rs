@@ -1,0 +1,299 @@
+//! Installing a persisted snapshot into a fresh [`StateTree`].
+//!
+//! This is the receiving half of snapshot state-sync: a node that fetched a
+//! [`ChunkManifest`] and its chunk blobs (see
+//! [`ChunkManifest::missing_chunks`]) reconstructs the full state tree from
+//! the content-addressed blobs with [`StateTree::from_manifest`]. The
+//! install is **verified end to end**:
+//!
+//! * every blob comes out of a [`CidStore`], whose put path guarantees the
+//!   blob hashes to its CID — a corrupted chunk can never enter the store
+//!   under the manifest's CID;
+//! * each blob's embedded [`ChunkKey`] prefix must match the manifest entry
+//!   it was fetched for (a valid blob served for the *wrong* key is
+//!   rejected);
+//! * chunk content must decode canonically with no trailing bytes;
+//! * the assembled tree's [`StateTree::recompute_root`] must equal the
+//!   manifest root, which callers in turn check against a committed block
+//!   header — so a syncing node never trusts the serving peer, only the
+//!   consensus-committed state root.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use hc_actors::sa::SaState;
+use hc_actors::{AtomicExecRegistry, ScaState};
+use hc_types::{Address, ByteReader, CanonicalDecode, Cid, DecodeError, SubnetId};
+
+use crate::chunk::{ChunkKey, ChunkManifest, Commitment};
+use crate::store::CidStore;
+use crate::tree::{AccountState, Accounts, StateTree};
+
+/// Why a snapshot manifest could not be installed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InstallError {
+    /// A chunk blob referenced by the manifest is absent from the store.
+    /// Fetch [`ChunkManifest::missing_chunks`] first.
+    MissingBlob(Cid),
+    /// Manifest entries are not in strictly ascending canonical chunk
+    /// order (duplicates included) — the encoding would not be canonical.
+    UnorderedEntries,
+    /// A blob's embedded chunk-key prefix disagrees with the manifest
+    /// entry it was listed under.
+    KeyMismatch {
+        /// The key the manifest entry claims.
+        expected: ChunkKey,
+        /// The key found inside the blob.
+        found: ChunkKey,
+    },
+    /// A chunk blob's content failed to decode canonically.
+    Decode {
+        /// The chunk whose content was malformed.
+        key: ChunkKey,
+        /// The underlying decode failure.
+        err: DecodeError,
+    },
+    /// A required singleton chunk (`Meta`, `Sca`, or `Atomic`) is missing.
+    MissingChunk(&'static str),
+    /// The assembled tree does not hash to the manifest's recorded root.
+    RootMismatch {
+        /// Root the manifest committed to.
+        expected: Cid,
+        /// Root recomputed from the installed content.
+        actual: Cid,
+    },
+}
+
+impl fmt::Display for InstallError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InstallError::MissingBlob(cid) => write!(f, "chunk blob {cid} missing from store"),
+            InstallError::UnorderedEntries => {
+                write!(f, "manifest entries not in canonical chunk order")
+            }
+            InstallError::KeyMismatch { expected, found } => {
+                write!(
+                    f,
+                    "chunk key mismatch: manifest says {expected:?}, blob says {found:?}"
+                )
+            }
+            InstallError::Decode { key, err } => {
+                write!(f, "chunk {key:?} content failed to decode: {err}")
+            }
+            InstallError::MissingChunk(what) => write!(f, "required chunk {what} missing"),
+            InstallError::RootMismatch { expected, actual } => {
+                write!(
+                    f,
+                    "installed state root {actual} != manifest root {expected}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for InstallError {}
+
+impl StateTree {
+    /// Reconstructs a full state tree from a persisted snapshot manifest,
+    /// reading every chunk blob from `store` and verifying the assembled
+    /// content against the manifest root (see the module docs for the full
+    /// verification chain).
+    ///
+    /// The returned tree is cold: its commitment cache is empty, so the
+    /// first `flush()` is a full rebuild — exactly like a genesis tree.
+    pub fn from_manifest(
+        manifest: &ChunkManifest,
+        store: &CidStore,
+    ) -> Result<StateTree, InstallError> {
+        let mut meta: Option<(SubnetId, u64)> = None;
+        let mut sca: Option<ScaState> = None;
+        let mut atomic: Option<AtomicExecRegistry> = None;
+        let mut sas: BTreeMap<Address, SaState> = BTreeMap::new();
+        let mut accounts: BTreeMap<Address, AccountState> = BTreeMap::new();
+
+        let mut prev: Option<ChunkKey> = None;
+        for (key, cid) in &manifest.entries {
+            if prev.is_some_and(|p| p >= *key) {
+                return Err(InstallError::UnorderedEntries);
+            }
+            prev = Some(*key);
+            let blob = store.get(cid).ok_or(InstallError::MissingBlob(*cid))?;
+            let mut r = ByteReader::new(&blob);
+            let decode_err = |err| InstallError::Decode { key: *key, err };
+            let found = ChunkKey::read_bytes(&mut r).map_err(decode_err)?;
+            if found != *key {
+                return Err(InstallError::KeyMismatch {
+                    expected: *key,
+                    found,
+                });
+            }
+            match key {
+                ChunkKey::Meta => {
+                    let subnet_id = SubnetId::read_bytes(&mut r).map_err(decode_err)?;
+                    let next_actor_id = u64::read_bytes(&mut r).map_err(decode_err)?;
+                    meta = Some((subnet_id, next_actor_id));
+                }
+                ChunkKey::Sca => {
+                    sca = Some(ScaState::read_bytes(&mut r).map_err(decode_err)?);
+                }
+                ChunkKey::Atomic => {
+                    atomic = Some(AtomicExecRegistry::read_bytes(&mut r).map_err(decode_err)?);
+                }
+                ChunkKey::Sa(addr) => {
+                    sas.insert(*addr, SaState::read_bytes(&mut r).map_err(decode_err)?);
+                }
+                ChunkKey::Account(addr) => {
+                    accounts.insert(*addr, AccountState::read_bytes(&mut r).map_err(decode_err)?);
+                }
+            }
+            r.finish().map_err(decode_err)?;
+        }
+
+        let (subnet_id, next_actor_id) = meta.ok_or(InstallError::MissingChunk("Meta"))?;
+        let sca = sca.ok_or(InstallError::MissingChunk("Sca"))?;
+        let atomic = atomic.ok_or(InstallError::MissingChunk("Atomic"))?;
+        let tree = StateTree {
+            subnet_id,
+            accounts: Accounts::from_map(accounts),
+            sca,
+            sas,
+            atomic,
+            next_actor_id,
+            commitment: Commitment::default(),
+        };
+        let actual = tree.recompute_root();
+        if actual != manifest.root {
+            return Err(InstallError::RootMismatch {
+                expected: manifest.root,
+                actual,
+            });
+        }
+        Ok(tree)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hc_actors::sa::SaConfig;
+    use hc_types::{Keypair, TokenAmount};
+
+    /// A state with every chunk kind populated: accounts with storage and
+    /// keys, a deployed SA, SCA mutations, and atomic registry content.
+    fn rich_tree() -> StateTree {
+        let kp = Keypair::from_seed([0x44; 32]);
+        let mut t = StateTree::genesis(
+            SubnetId::root(),
+            hc_actors::ScaConfig::default(),
+            [
+                (Address::new(100), kp.public(), TokenAmount::from_whole(50)),
+                (Address::new(101), kp.public(), TokenAmount::from_whole(7)),
+            ],
+        );
+        t.deploy_sa(SaState::new(SaConfig::default()));
+        let acc = t.accounts_mut().get_or_create(Address::new(100));
+        acc.storage.insert(b"k".to_vec(), b"v".to_vec());
+        acc.locked.insert(b"k".to_vec());
+        t
+    }
+
+    fn persisted(t: &mut StateTree, store: &CidStore) -> ChunkManifest {
+        let cid = t.persist(store);
+        ChunkManifest::decode(&store.get(&cid).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn install_round_trips_a_persisted_tree() {
+        let store = CidStore::new();
+        let mut t = rich_tree();
+        let manifest = persisted(&mut t, &store);
+        assert!(manifest.missing_chunks(&store).is_empty());
+
+        let mut installed = StateTree::from_manifest(&manifest, &store).unwrap();
+        assert_eq!(installed.flush(), manifest.root);
+        assert_eq!(installed.subnet_id(), t.subnet_id());
+        assert_eq!(installed.accounts(), t.accounts());
+        assert_eq!(installed.sca(), t.sca());
+        assert_eq!(installed.next_actor_id(), t.next_actor_id());
+        // Re-persisting the installed tree reproduces the same manifest.
+        let again = persisted(&mut installed, &store);
+        assert_eq!(again, manifest);
+    }
+
+    #[test]
+    fn install_reports_missing_blobs() {
+        let served = CidStore::new();
+        let mut t = rich_tree();
+        let manifest = persisted(&mut t, &served);
+        // A fresh store with only some blobs: everything else is missing.
+        let local = CidStore::new();
+        let missing = manifest.missing_chunks(&local);
+        assert_eq!(missing.len(), manifest.entries.len());
+        let err = StateTree::from_manifest(&manifest, &local).unwrap_err();
+        assert!(matches!(err, InstallError::MissingBlob(_)));
+        // Copy the blobs over; the missing set shrinks to empty and the
+        // install succeeds.
+        for cid in &missing {
+            local.put(served.get(cid).unwrap().as_ref().clone());
+        }
+        assert!(manifest.missing_chunks(&local).is_empty());
+        assert!(StateTree::from_manifest(&manifest, &local).is_ok());
+    }
+
+    #[test]
+    fn install_rejects_wrong_key_and_bad_root() {
+        let store = CidStore::new();
+        let mut t = rich_tree();
+        let manifest = persisted(&mut t, &store);
+
+        // Swap an entry's CID for another valid blob: key prefix mismatch.
+        let mut swapped = manifest.clone();
+        let sca_cid = swapped.entries[1].1;
+        swapped.entries[0].1 = sca_cid;
+        assert!(matches!(
+            StateTree::from_manifest(&swapped, &store).unwrap_err(),
+            InstallError::KeyMismatch { .. }
+        ));
+
+        // Corrupt the recorded root: content installs but fails the final
+        // root check.
+        let mut bad_root = manifest.clone();
+        bad_root.root = Cid::digest(b"not the root");
+        assert!(matches!(
+            StateTree::from_manifest(&bad_root, &store).unwrap_err(),
+            InstallError::RootMismatch { .. }
+        ));
+
+        // Out-of-order (duplicate) entries are rejected.
+        let mut dup = manifest.clone();
+        let first = dup.entries[0];
+        dup.entries.insert(0, first);
+        assert_eq!(
+            StateTree::from_manifest(&dup, &store).unwrap_err(),
+            InstallError::UnorderedEntries
+        );
+
+        // Truncated chunk content (valid CID, garbage payload) is rejected.
+        let mut truncated = manifest.clone();
+        let meta_blob = store.get(&manifest.entries[0].1).unwrap();
+        let cut = store.put(meta_blob[..meta_blob.len() - 1].to_vec());
+        truncated.entries[0].1 = cut;
+        assert!(matches!(
+            StateTree::from_manifest(&truncated, &store).unwrap_err(),
+            InstallError::Decode { .. }
+        ));
+    }
+
+    #[test]
+    fn install_requires_singleton_chunks() {
+        let store = CidStore::new();
+        let mut t = rich_tree();
+        let manifest = persisted(&mut t, &store);
+        let mut gutted = manifest.clone();
+        gutted.entries.retain(|(k, _)| *k != ChunkKey::Sca);
+        assert_eq!(
+            StateTree::from_manifest(&gutted, &store).unwrap_err(),
+            InstallError::MissingChunk("Sca")
+        );
+    }
+}

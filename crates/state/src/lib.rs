@@ -24,6 +24,7 @@
 
 pub mod access;
 pub mod chunk;
+pub mod install;
 pub mod message;
 pub mod overlay;
 pub mod params;
@@ -35,6 +36,7 @@ pub mod vm;
 
 pub use access::StateAccess;
 pub use chunk::{ChunkKey, ChunkManifest, CommitStats};
+pub use install::InstallError;
 pub use message::{ImplicitMsg, Message, Method, SignedMessage};
 pub use overlay::{OverlayChanges, StateOverlay};
 pub use sealed::SealedMessage;

@@ -114,6 +114,44 @@ impl CidStore {
         self.inner.write().blob_log = Some(log);
     }
 
+    /// Loads the manifest behind `root` — and, when it decodes as a
+    /// [`ChunkManifest`], its full chunk closure — from the attached blob
+    /// log into memory. Blobs already memory-resident are left alone and
+    /// nothing is re-journaled: the log is the source, not the sink.
+    ///
+    /// Returns `true` only when the manifest and every chunk it references
+    /// are now present in memory — the signal recovery uses to decide
+    /// whether a surviving snapshot can stand in for re-execution.
+    pub fn hydrate_manifest(&self, root: &Cid) -> bool {
+        let mut inner = self.inner.write();
+        let manifest_blob = match inner.blobs.get(root).cloned() {
+            Some(blob) => blob,
+            None => {
+                let Some(bytes) = inner.blob_log.as_ref().and_then(|log| log.get(root)) else {
+                    return false;
+                };
+                let blob = Arc::new(bytes);
+                inner.total_bytes += blob.len() as u64;
+                inner.blobs.insert(*root, blob.clone());
+                blob
+            }
+        };
+        let Some(manifest) = ChunkManifest::decode(&manifest_blob) else {
+            return false;
+        };
+        for (_, cid) in &manifest.entries {
+            if inner.blobs.contains_key(cid) {
+                continue;
+            }
+            let Some(bytes) = inner.blob_log.as_ref().and_then(|log| log.get(cid)) else {
+                return false;
+            };
+            inner.total_bytes += bytes.len() as u64;
+            inner.blobs.insert(*cid, Arc::new(bytes));
+        }
+        true
+    }
+
     /// Forces the blob log (if any) to stable storage.
     pub fn sync(&self) {
         if let Some(log) = &mut self.inner.write().blob_log {

@@ -27,7 +27,10 @@ use hc_actors::ledger::LedgerError;
 use hc_actors::sa::SaState;
 use hc_actors::{AtomicExecRegistry, Ledger, ScaConfig, ScaState};
 use hc_types::merkle::{leaf_digest, MerkleTree};
-use hc_types::{Address, CanonicalEncode, Cid, Nonce, PublicKey, SubnetId, TokenAmount};
+use hc_types::{
+    Address, ByteReader, CanonicalDecode, CanonicalEncode, Cid, DecodeError, Nonce, PublicKey,
+    SubnetId, TokenAmount,
+};
 
 use crate::chunk::{ChunkKey, ChunkManifest, CommitStats, Commitment};
 use crate::overlay::OverlayChanges;
@@ -65,6 +68,18 @@ impl CanonicalEncode for AccountState {
         for k in &self.locked {
             k.write_bytes(out);
         }
+    }
+}
+
+impl CanonicalDecode for AccountState {
+    fn read_bytes(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        Ok(AccountState {
+            balance: TokenAmount::read_bytes(r)?,
+            nonce: Nonce::read_bytes(r)?,
+            key: Option::<PublicKey>::read_bytes(r)?,
+            storage: BTreeMap::read_bytes(r)?,
+            locked: BTreeSet::read_bytes(r)?,
+        })
     }
 }
 
@@ -113,6 +128,15 @@ impl Accounts {
     /// audits.
     pub fn total(&self) -> TokenAmount {
         self.map.values().map(|a| a.balance).sum()
+    }
+
+    /// Builds an account table from decoded content, with clean dirty
+    /// tracking (used when installing a snapshot).
+    pub(crate) fn from_map(map: BTreeMap<Address, AccountState>) -> Self {
+        Accounts {
+            map,
+            dirty: BTreeSet::new(),
+        }
     }
 
     /// Takes and clears the set of accounts touched since the last call.

@@ -1,0 +1,147 @@
+//! Property-based tests of snapshot persistence and install: for any
+//! reachable state, `manifest_closure` is *exactly* the blob set a syncing
+//! node needs — sufficient (installing just the closure on a fresh store
+//! reproduces the source root) and tight (nothing unrelated is retained,
+//! and dropping any single chunk blob breaks the install).
+
+use std::collections::HashSet;
+
+use proptest::prelude::*;
+
+use hc_actors::sa::{SaConfig, SaState};
+use hc_actors::ScaConfig;
+use hc_state::{ChunkManifest, CidStore, InstallError, StateTree};
+use hc_types::{Address, Cid, Keypair, SubnetId, TokenAmount};
+
+const USERS: u64 = 4;
+
+fn genesis() -> StateTree {
+    let key = Keypair::from_seed([0x5d; 32]).public();
+    StateTree::genesis(
+        SubnetId::root(),
+        ScaConfig::default(),
+        (0..USERS).map(|i| (Address::new(100 + i), key, TokenAmount::from_whole(100))),
+    )
+}
+
+/// One abstract state mutation. `CreditFresh` creates a previously unseen
+/// account (growing the chunk set); `DeploySa` adds a Subnet Actor chunk
+/// and bumps the metadata chunk.
+#[derive(Debug, Clone)]
+enum Op {
+    Credit { who: u64, atto: u64 },
+    CreditFresh { fresh: u8, atto: u64 },
+    Put { who: u64, key: u8, val: u8 },
+    Lock { who: u64, key: u8 },
+    DeploySa,
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..USERS, 1u64..1_000_000).prop_map(|(who, atto)| Op::Credit { who, atto }),
+        (any::<u8>(), 1u64..1_000_000).prop_map(|(fresh, atto)| Op::CreditFresh {
+            fresh: fresh % 8,
+            atto
+        }),
+        (0..USERS, any::<u8>(), any::<u8>()).prop_map(|(who, key, val)| Op::Put {
+            who,
+            key: key % 4,
+            val
+        }),
+        (0..USERS, any::<u8>()).prop_map(|(who, key)| Op::Lock { who, key: key % 4 }),
+        Just(Op::DeploySa),
+    ]
+}
+
+fn apply_op(tree: &mut StateTree, op: &Op) {
+    match op {
+        Op::Credit { who, atto } => {
+            tree.accounts_mut()
+                .get_or_create(Address::new(100 + who))
+                .balance += TokenAmount::from_atto(u128::from(*atto));
+        }
+        Op::CreditFresh { fresh, atto } => {
+            tree.accounts_mut()
+                .get_or_create(Address::new(500 + u64::from(*fresh)))
+                .balance += TokenAmount::from_atto(u128::from(*atto));
+        }
+        Op::Put { who, key, val } => {
+            tree.accounts_mut()
+                .get_or_create(Address::new(100 + who))
+                .storage
+                .insert(vec![*key], vec![*val]);
+        }
+        Op::Lock { who, key } => {
+            tree.accounts_mut()
+                .get_or_create(Address::new(100 + who))
+                .locked
+                .insert(vec![*key]);
+        }
+        Op::DeploySa => {
+            tree.deploy_sa(SaState::new(SaConfig::default()));
+        }
+    }
+}
+
+proptest! {
+    /// For any randomly mutated account set: the manifest closure is
+    /// exactly `{manifest} ∪ {chunk blobs}` (no orphan retained), copying
+    /// just the closure into a fresh store suffices to install a tree with
+    /// the source's root (no missing), and every chunk blob is load-bearing
+    /// (dropping any one yields `MissingBlob`).
+    #[test]
+    fn manifest_closure_is_exact_sufficient_and_minimal(
+        ops in prop::collection::vec(arb_op(), 1..50),
+        drop_pick in any::<u16>(),
+    ) {
+        let mut tree = genesis();
+        for op in &ops {
+            apply_op(&mut tree, op);
+        }
+
+        let store = CidStore::new();
+        let garbage = store.put(b"unrelated resolver traffic".to_vec());
+        let manifest_cid = tree.persist(&store);
+        let manifest = ChunkManifest::decode(&store.get(&manifest_cid).unwrap()).unwrap();
+
+        // Exactness: the closure is the manifest blob plus every chunk
+        // blob it references — nothing more, nothing less.
+        let closure = store.manifest_closure(&[manifest_cid]);
+        let mut expected: HashSet<Cid> = manifest.entries.iter().map(|(_, c)| *c).collect();
+        expected.insert(manifest_cid);
+        prop_assert_eq!(&closure, &expected, "closure != manifest + chunks");
+        prop_assert!(!closure.contains(&garbage), "closure leaked an orphan");
+
+        // Sufficiency: a fresh store seeded with exactly the closure
+        // installs to the source root.
+        let fresh = CidStore::new();
+        for cid in &closure {
+            fresh.put(store.get(cid).unwrap().as_ref().clone());
+        }
+        prop_assert!(manifest.missing_chunks(&fresh).is_empty());
+        let installed = StateTree::from_manifest(&manifest, &fresh)
+            .expect("closure is sufficient to install");
+        prop_assert_eq!(installed.recompute_root(), manifest.root);
+        prop_assert_eq!(installed.recompute_root(), tree.recompute_root());
+
+        // Minimality: drop one chunk blob — the install must notice.
+        let victim = manifest.entries[drop_pick as usize % manifest.entries.len()].1;
+        let partial = CidStore::new();
+        for cid in &closure {
+            if *cid != victim {
+                partial.put(store.get(cid).unwrap().as_ref().clone());
+            }
+        }
+        prop_assert_eq!(manifest.missing_chunks(&partial), vec![victim]);
+        prop_assert_eq!(
+            StateTree::from_manifest(&manifest, &partial).unwrap_err(),
+            InstallError::MissingBlob(victim)
+        );
+
+        // Pruning to the manifest root keeps the install working and
+        // drops the garbage.
+        store.prune_unreachable(&[manifest_cid]);
+        prop_assert!(!store.contains(&garbage));
+        prop_assert!(StateTree::from_manifest(&manifest, &store).is_ok());
+    }
+}

@@ -15,6 +15,7 @@
 //! are all errors. Strictness is what makes torn-write detection sound — a
 //! frame either decodes to exactly one value or is rejected.
 
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt;
 
 /// Error returned when canonical decoding fails.
@@ -245,6 +246,59 @@ impl<T: CanonicalDecode> CanonicalDecode for Vec<T> {
     }
 }
 
+impl<T: CanonicalDecode> CanonicalDecode for VecDeque<T> {
+    fn read_bytes(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        let len = r.len_prefix("VecDeque")?;
+        let mut out = VecDeque::with_capacity(len);
+        for _ in 0..len {
+            out.push_back(T::read_bytes(r)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<K: CanonicalDecode + Ord, V: CanonicalDecode> CanonicalDecode for BTreeMap<K, V> {
+    fn read_bytes(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        let len = r.len_prefix("BTreeMap")?;
+        let mut out = BTreeMap::new();
+        for _ in 0..len {
+            let k = K::read_bytes(r)?;
+            let v = V::read_bytes(r)?;
+            // Canonical encodings emit keys in strictly ascending order;
+            // anything else is a non-canonical byte string and must be
+            // rejected so decode(bytes) accepts exactly one encoding.
+            if let Some((last, _)) = out.last_key_value() {
+                if *last >= k {
+                    return Err(DecodeError::Invalid {
+                        what: "map keys are not strictly ascending",
+                    });
+                }
+            }
+            out.insert(k, v);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: CanonicalDecode + Ord> CanonicalDecode for BTreeSet<T> {
+    fn read_bytes(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        let len = r.len_prefix("BTreeSet")?;
+        let mut out = BTreeSet::new();
+        for _ in 0..len {
+            let item = T::read_bytes(r)?;
+            if let Some(last) = out.last() {
+                if *last >= item {
+                    return Err(DecodeError::Invalid {
+                        what: "set elements are not strictly ascending",
+                    });
+                }
+            }
+            out.insert(item);
+        }
+        Ok(out)
+    }
+}
+
 impl<A: CanonicalDecode, B: CanonicalDecode> CanonicalDecode for (A, B) {
     fn read_bytes(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
         Ok((A::read_bytes(r)?, B::read_bytes(r)?))
@@ -314,6 +368,58 @@ mod tests {
             Option::<u8>::decode(&None::<u8>.canonical_bytes()),
             Ok(None)
         );
+    }
+
+    #[test]
+    fn collections_round_trip() {
+        let dq: VecDeque<u32> = [5u32, 6, 7].into_iter().collect();
+        assert_eq!(VecDeque::<u32>::decode(&dq.canonical_bytes()), Ok(dq));
+
+        let map: BTreeMap<u64, String> = [(1u64, "a".to_owned()), (9, "b".to_owned())]
+            .into_iter()
+            .collect();
+        assert_eq!(
+            BTreeMap::<u64, String>::decode(&map.canonical_bytes()),
+            Ok(map.clone())
+        );
+
+        let set: BTreeSet<u16> = [3u16, 4, 9].into_iter().collect();
+        assert_eq!(BTreeSet::<u16>::decode(&set.canonical_bytes()), Ok(set));
+
+        // Hand-rolled length-prefixed pair encodings (the idiom existing
+        // actor state uses) are byte-identical to the generic impls.
+        let mut hand = Vec::new();
+        (map.len() as u64).write_bytes(&mut hand);
+        for (k, v) in &map {
+            k.write_bytes(&mut hand);
+            v.write_bytes(&mut hand);
+        }
+        assert_eq!(hand, map.canonical_bytes());
+    }
+
+    #[test]
+    fn non_ascending_map_and_set_bytes_are_rejected() {
+        // Two entries with descending keys: not a canonical map encoding.
+        let mut bytes = Vec::new();
+        2u64.write_bytes(&mut bytes);
+        9u64.write_bytes(&mut bytes);
+        0u8.write_bytes(&mut bytes);
+        1u64.write_bytes(&mut bytes);
+        0u8.write_bytes(&mut bytes);
+        assert!(matches!(
+            BTreeMap::<u64, u8>::decode(&bytes),
+            Err(DecodeError::Invalid { .. })
+        ));
+
+        // Duplicate set elements are equally non-canonical.
+        let mut bytes = Vec::new();
+        2u64.write_bytes(&mut bytes);
+        4u64.write_bytes(&mut bytes);
+        4u64.write_bytes(&mut bytes);
+        assert!(matches!(
+            BTreeSet::<u64>::decode(&bytes),
+            Err(DecodeError::Invalid { .. })
+        ));
     }
 
     #[test]

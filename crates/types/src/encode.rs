@@ -17,6 +17,8 @@
 //! [`CanonicalEncode::canonical_bytes`] and [`CanonicalEncode::cid`] helpers
 //! then derive stable byte strings and content identifiers.
 
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
 use crate::cid::Cid;
 
 /// Deterministic binary encoding used for hashing and content addressing.
@@ -112,6 +114,34 @@ impl<T: CanonicalEncode> CanonicalEncode for [T] {
 impl<T: CanonicalEncode> CanonicalEncode for Vec<T> {
     fn write_bytes(&self, out: &mut Vec<u8>) {
         self.as_slice().write_bytes(out);
+    }
+}
+
+impl<T: CanonicalEncode> CanonicalEncode for VecDeque<T> {
+    fn write_bytes(&self, out: &mut Vec<u8>) {
+        (self.len() as u64).write_bytes(out);
+        for item in self {
+            item.write_bytes(out);
+        }
+    }
+}
+
+impl<K: CanonicalEncode, V: CanonicalEncode> CanonicalEncode for BTreeMap<K, V> {
+    fn write_bytes(&self, out: &mut Vec<u8>) {
+        (self.len() as u64).write_bytes(out);
+        for (k, v) in self {
+            k.write_bytes(out);
+            v.write_bytes(out);
+        }
+    }
+}
+
+impl<T: CanonicalEncode> CanonicalEncode for BTreeSet<T> {
+    fn write_bytes(&self, out: &mut Vec<u8>) {
+        (self.len() as u64).write_bytes(out);
+        for item in self {
+            item.write_bytes(out);
+        }
     }
 }
 
