@@ -6,7 +6,7 @@ use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use hc_actors::ScaConfig;
 use hc_chain::produce_block;
-use hc_state::{Message, StateTree};
+use hc_state::{CidStore, Message, StateTree};
 use hc_types::crypto::sha256;
 use hc_types::merkle::MerkleTree;
 use hc_types::{Address, CanonicalEncode, ChainEpoch, Cid, Keypair, Nonce, SubnetId, TokenAmount};
@@ -94,10 +94,15 @@ fn bench_primitives(c: &mut Criterion) {
 }
 
 /// Incremental state-root maintenance vs from-scratch recomputation, over
-/// tree size × number of accounts touched between flushes. The incremental
-/// path re-encodes only the touched chunks and rehashes only their Merkle
-/// paths, so its cost scales with `touched · log n` rather than with the
-/// full state size.
+/// tree size × number of accounts touched between flushes. The account
+/// ledger is a persistent HAMT, so an incremental flush re-hashes only the
+/// touched accounts' root paths — `touched · log n` — while recomputation
+/// rebuilds the whole tree.
+///
+/// Sizes reach 1M accounts by default; set `HC_BENCH_HUGE=1` to extend to
+/// 10M (multi-minute setup). Full recomputation is benchmarked only up to
+/// 100k accounts — beyond that a single iteration takes seconds and the
+/// incremental/persist numbers are the interesting ones.
 fn bench_state_root(c: &mut Criterion) {
     let mut group = c.benchmark_group("state_root");
     group
@@ -106,7 +111,11 @@ fn bench_state_root(c: &mut Criterion) {
         .measurement_time(Duration::from_secs(1));
 
     let key = Keypair::from_seed([0xcd; 32]).public();
-    for n in [1_000u64, 10_000, 100_000] {
+    let mut sizes = vec![1_000u64, 10_000, 100_000, 1_000_000];
+    if std::env::var("HC_BENCH_HUGE").is_ok_and(|v| v == "1") {
+        sizes.push(10_000_000);
+    }
+    for n in sizes {
         let mut tree = StateTree::genesis(
             SubnetId::root(),
             ScaConfig::default(),
@@ -114,10 +123,12 @@ fn bench_state_root(c: &mut Criterion) {
         );
         tree.flush();
 
-        group.bench_function(
-            BenchmarkId::new("full_recompute", format!("{n}_accounts")),
-            |b| b.iter(|| tree.recompute_root()),
-        );
+        if n <= 100_000 {
+            group.bench_function(
+                BenchmarkId::new("full_recompute", format!("{n}_accounts")),
+                |b| b.iter(|| tree.recompute_root()),
+            );
+        }
 
         for touched in [1u64, 10, 100] {
             let mut stamp: u128 = 0;
@@ -136,6 +147,41 @@ fn bench_state_root(c: &mut Criterion) {
                 },
             );
         }
+
+        // Fresh-account insert: the structural write the flat design paid
+        // an O(n) interior rebuild for; the HAMT pays one root path.
+        let mut next = n;
+        group.bench_function(
+            BenchmarkId::new("insert", format!("{n}_accounts_1_fresh")),
+            |b| {
+                b.iter(|| {
+                    next += 1;
+                    tree.accounts_mut()
+                        .get_or_create(Address::new(100 + next))
+                        .balance = TokenAmount::from_whole(1);
+                    tree.flush()
+                })
+            },
+        );
+
+        // Incremental persist into a warm store: O(diff) blobs, because
+        // unchanged HAMT subtrees are already present and get pruned.
+        let store = CidStore::new();
+        let manifest_cid = tree.persist(&store);
+        let manifest_bytes = store.get(&manifest_cid).map_or(0, |b| b.len());
+        println!("state_root/manifest_bytes/{n}_accounts: {manifest_bytes}");
+        let mut stamp: u128 = 1 << 64;
+        group.bench_function(
+            BenchmarkId::new("persist_incremental", format!("{n}_accounts_1_touched")),
+            |b| {
+                b.iter(|| {
+                    stamp += 1;
+                    tree.accounts_mut().get_or_create(Address::new(100)).balance =
+                        TokenAmount::from_atto(stamp);
+                    tree.persist(&store)
+                })
+            },
+        );
     }
     group.finish();
 }

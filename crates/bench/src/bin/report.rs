@@ -1,5 +1,5 @@
 //! The experiment report generator: regenerates every figure scenario
-//! (F1–F10) and every quantitative experiment table (E1–E10) from DESIGN.md.
+//! (F1–F11) and every quantitative experiment table (E1–E10) from DESIGN.md.
 //!
 //! ```text
 //! cargo run -p hc-bench --bin report                  # everything
@@ -47,6 +47,7 @@ fn main() {
     run!("f8", hc_bench::f8_crash_recovery());
     run!("f9", hc_bench::f9_chaos());
     run!("f10", hc_bench::f10_state_sync());
+    run!("f11", hc_bench::f11_state_tree_scaling());
 
     run!("e1", {
         let params = if quick {

@@ -16,6 +16,6 @@ pub mod msg_pipeline;
 pub mod state_sync;
 
 pub use figures::{
-    f10_state_sync, f1_overview, f2_windows, f3_commitment, f4_resolution, f5_atomic,
-    f6_snapshot_sharing, f7_sig_cache, f8_crash_recovery, f9_chaos,
+    f10_state_sync, f11_state_tree_scaling, f1_overview, f2_windows, f3_commitment, f4_resolution,
+    f5_atomic, f6_snapshot_sharing, f7_sig_cache, f8_crash_recovery, f9_chaos,
 };

@@ -7,12 +7,20 @@
 //! every committed child checkpoint; [`HierarchyRuntime::verify_checkpoint_chain`]
 //! plays the light client: it re-validates the full hash chain and the
 //! signature policy without touching the subnet's own chain.
+//!
+//! Each subnet's registry is an append-only [`Amt`] keyed by commit order,
+//! so the archive commits to a content-addressed root per subnet and a
+//! light client can check a single historic checkpoint against that root
+//! with an O(log n) [`AmtProof`] instead of replaying the whole chain.
 
 use std::collections::BTreeMap;
 
 use hc_actors::checkpoint::SignedCheckpoint;
+use hc_state::{Amt, AmtProof, CidStore};
 use hc_types::crypto::SignaturePolicy;
-use hc_types::{CanonicalEncode, Cid, SubnetId};
+use hc_types::{
+    ByteReader, CanonicalDecode, CanonicalEncode, Cid, DecodeError, MAmtRoot, SubnetId, TCid,
+};
 
 use crate::runtime::HierarchyRuntime;
 
@@ -27,10 +35,27 @@ pub struct ArchiveEntry {
     pub policy: SignaturePolicy,
 }
 
-/// The per-subnet archive of committed checkpoints (oldest first).
+impl CanonicalEncode for ArchiveEntry {
+    fn write_bytes(&self, out: &mut Vec<u8>) {
+        self.signed.write_bytes(out);
+        self.policy.write_bytes(out);
+    }
+}
+
+impl CanonicalDecode for ArchiveEntry {
+    fn read_bytes(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        Ok(ArchiveEntry {
+            signed: SignedCheckpoint::read_bytes(r)?,
+            policy: SignaturePolicy::read_bytes(r)?,
+        })
+    }
+}
+
+/// The per-subnet archive of committed checkpoints (oldest first), each
+/// registry an append-only [`Amt`] indexed by commit order.
 #[derive(Debug, Clone, Default)]
 pub struct CheckpointArchive {
-    entries: BTreeMap<SubnetId, Vec<ArchiveEntry>>,
+    entries: BTreeMap<SubnetId, Amt<ArchiveEntry>>,
 }
 
 impl CheckpointArchive {
@@ -43,13 +68,46 @@ impl CheckpointArchive {
     }
 
     /// The committed checkpoints of one subnet, oldest first.
-    pub fn history(&self, subnet: &SubnetId) -> &[ArchiveEntry] {
-        self.entries.get(subnet).map(Vec::as_slice).unwrap_or(&[])
+    pub fn history(&self, subnet: &SubnetId) -> Vec<ArchiveEntry> {
+        let mut out = Vec::new();
+        if let Some(amt) = self.entries.get(subnet) {
+            amt.for_each(&mut |_, e| out.push(e.clone()));
+        }
+        out
+    }
+
+    /// The archived checkpoint at `index` in `subnet`'s commit order.
+    pub fn entry(&self, subnet: &SubnetId, index: u64) -> Option<&ArchiveEntry> {
+        self.entries.get(subnet)?.get(index)
+    }
+
+    /// The content-addressed root committing to `subnet`'s full registry
+    /// (re-hashing only paths dirtied since the last call).
+    pub fn registry_root(&mut self, subnet: &SubnetId) -> Option<TCid<MAmtRoot>> {
+        Some(self.entries.get_mut(subnet)?.flush())
+    }
+
+    /// An O(log n) inclusion proof that `subnet`'s registry holds its
+    /// `index`-th archived checkpoint under [`Self::registry_root`].
+    pub fn prove(&mut self, subnet: &SubnetId, index: u64) -> Option<AmtProof> {
+        let amt = self.entries.get_mut(subnet)?;
+        amt.flush();
+        amt.prove(index)
+    }
+
+    /// Persists every registry into `store` (unchanged subtrees are
+    /// shared) and returns the per-subnet AMT root CIDs — the GC pin set
+    /// that keeps archived history reachable across sweeps.
+    pub(crate) fn persist(&mut self, store: &CidStore) -> Vec<Cid> {
+        self.entries
+            .values_mut()
+            .map(|amt| amt.persist(store).cid())
+            .collect()
     }
 
     /// Total checkpoints archived across all subnets.
     pub fn len(&self) -> usize {
-        self.entries.values().map(Vec::len).sum()
+        self.entries.values().map(|a| a.len() as usize).sum()
     }
 
     /// Returns `true` if nothing was archived yet.
@@ -62,6 +120,22 @@ impl HierarchyRuntime {
     /// The archive of committed checkpoints.
     pub fn checkpoint_archive(&self) -> &CheckpointArchive {
         self.archive_ref()
+    }
+
+    /// Commits the archive registries into the runtime's content store
+    /// and returns `(registry_root, proof)` for the `index`-th checkpoint
+    /// committed for `subnet` — everything a light client needs to check
+    /// one historic checkpoint without downloading the registry:
+    /// `proof.verify(&root, index, &entry)`.
+    pub fn prove_archived_checkpoint(
+        &mut self,
+        subnet: &SubnetId,
+        index: u64,
+    ) -> Option<(TCid<MAmtRoot>, AmtProof)> {
+        let archive = self.archive_mut();
+        let root = archive.registry_root(subnet)?;
+        let proof = archive.prove(subnet, index)?;
+        Some((root, proof))
     }
 
     /// Light-client audit of a subnet's checkpoint chain as committed in

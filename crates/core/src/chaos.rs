@@ -746,9 +746,12 @@ impl HierarchyRuntime {
             }
             let tree = StateTree::from_manifest(&manifest, &sync.staging)
                 .map_err(|e| RuntimeError::Execution(format!("snapshot install: {e}")))?;
-            let mut closure: Vec<Vec<u8>> = vec![blob.as_ref().clone()];
-            for (_, cid) in &manifest.entries {
-                if let Some(chunk) = sync.staging.get(cid) {
+            // Adopt the manifest's full closure — fixed chunks AND every
+            // account-HAMT node — so the node's store can serve the same
+            // snapshot (and GC can pin it) after the swap.
+            let mut closure: Vec<Vec<u8>> = Vec::new();
+            for cid in sync.staging.manifest_closure(&[sync.manifest]) {
+                if let Some(chunk) = sync.staging.get(&cid) {
                     closure.push(chunk.as_ref().clone());
                 }
             }

@@ -1008,8 +1008,9 @@ impl HierarchyRuntime {
     /// manifests still inside some subnet's recency window, every
     /// checkpoint-anchored manifest (the snapshot-sync entry points — a
     /// tight `keep_manifests` window must not evict the manifest a
-    /// rejoiner would bootstrap from), and any manifest currently being
-    /// served to a syncing peer. Returns `(pruned_blobs, pruned_bytes)`.
+    /// rejoiner would bootstrap from), any manifest currently being
+    /// served to a syncing peer, and the archive's per-subnet checkpoint
+    /// registry roots. Returns `(pruned_blobs, pruned_bytes)`.
     fn gc_now(&mut self) -> (u64, u64) {
         let mut roots: Vec<Cid> = self
             .recent_manifests
@@ -1022,6 +1023,10 @@ impl HierarchyRuntime {
                 .values()
                 .filter_map(|cu| cu.snapshot.as_ref().map(|s| s.manifest)),
         );
+        // Archived checkpoint registries live in the same store; persist
+        // them (unchanged AMT subtrees are shared) and pin their roots so
+        // a sweep never drops auditable history.
+        roots.extend(self.archive.persist(&self.store));
         self.store.prune_unreachable(&roots)
     }
 
@@ -1119,6 +1124,12 @@ impl HierarchyRuntime {
     /// Internal accessor used by the archive module.
     pub(crate) fn archive_ref(&self) -> &crate::archive::CheckpointArchive {
         &self.archive
+    }
+
+    /// Internal mutable accessor used by the archive module (flushing
+    /// registry roots and building proofs mutate AMT CID caches).
+    pub(crate) fn archive_mut(&mut self) -> &mut crate::archive::CheckpointArchive {
+        &mut self.archive
     }
 
     /// Publishes a raw gossip message on a topic — the adversarial

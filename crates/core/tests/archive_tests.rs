@@ -67,6 +67,57 @@ fn archived_chain_verifies_end_to_end() {
 }
 
 #[test]
+fn archive_registry_proofs_verify_single_checkpoints() {
+    let (mut rt, subnet) = world();
+    for _ in 0..40 {
+        rt.tick_subnet(&subnet).unwrap();
+    }
+    rt.run_until_quiescent(10_000).unwrap();
+
+    let history = rt.checkpoint_archive().history(&subnet);
+    assert!(history.len() >= 5, "expected several checkpoints");
+
+    // Every archived checkpoint has an O(log n) inclusion proof against
+    // the registry root — a light client needs only root + proof + entry.
+    for (i, entry) in history.iter().enumerate() {
+        let (root, proof) = rt
+            .prove_archived_checkpoint(&subnet, i as u64)
+            .expect("proof for an archived index");
+        assert!(proof.verify(&root, i as u64, entry), "index {i} verifies");
+        // The proof is bound to its index and content: wrong index or a
+        // different entry must not verify.
+        let wrong = (i + 1) % history.len();
+        assert!(!proof.verify(&root, wrong as u64, entry) || wrong == i);
+        assert!(!proof.verify(&root, i as u64, &history[wrong]) || wrong == i);
+    }
+
+    // Out-of-range indices and unknown subnets have no proof.
+    assert!(rt
+        .prove_archived_checkpoint(&subnet, history.len() as u64)
+        .is_none());
+    let ghost = SubnetId::root().child(hc_types::Address::new(9999));
+    assert!(rt.prove_archived_checkpoint(&ghost, 0).is_none());
+}
+
+#[test]
+fn archive_registry_survives_gc_sweeps() {
+    let (mut rt, subnet) = world();
+    for _ in 0..20 {
+        rt.tick_subnet(&subnet).unwrap();
+    }
+    rt.run_until_quiescent(10_000).unwrap();
+
+    // A manual sweep persists the registries and pins their roots: the
+    // chain still audits and proofs still verify afterwards.
+    rt.prune_blobs();
+    let verified = rt.verify_checkpoint_chain(&subnet).unwrap();
+    assert!(verified >= 3);
+    let entry = rt.checkpoint_archive().history(&subnet)[0].clone();
+    let (root, proof) = rt.prove_archived_checkpoint(&subnet, 0).unwrap();
+    assert!(proof.verify(&root, 0, &entry));
+}
+
+#[test]
 fn rootnet_has_no_checkpoint_chain() {
     let (rt, _) = world();
     assert!(rt.verify_checkpoint_chain(&SubnetId::root()).is_err());

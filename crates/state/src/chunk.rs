@@ -1,13 +1,20 @@
 //! Chunked state commitment.
 //!
-//! The state root is no longer the hash of one monolithic encoding of the
-//! whole [`crate::StateTree`]. Instead the tree is split into addressable
-//! **chunks** — one per account, plus one each for the SCA, every deployed
-//! Subnet Actor, the atomic-execution registry, and a metadata chunk — and
-//! the root is the Merkle root over the ordered chunk leaf digests
-//! ([`hc_types::merkle`]). Chunk digests are cached and only re-encoded for
-//! chunks marked dirty since the last flush, so root maintenance costs
-//! O(touched chunks · log n) instead of O(state size).
+//! The state root is the Merkle root over a small, ordered set of chunk
+//! leaves ([`hc_types::merkle`]): a metadata chunk, the SCA, the
+//! atomic-execution registry, one chunk per deployed Subnet Actor — and a
+//! single **accounts** leaf that commits to the root of a content-addressed
+//! HAMT ([`crate::hamt`]) holding every account. Account writes therefore
+//! re-hash only their O(log n) HAMT root path plus the fixed-size leaf
+//! layer; the flat one-leaf-per-account scheme this replaces re-patched (or
+//! structurally rebuilt) a million-leaf Merkle tree on every account
+//! insert.
+//!
+//! A persisted snapshot ([`ChunkManifest`]) likewise shrinks from an
+//! O(accounts) index to the state root, the handful of fixed chunk CIDs,
+//! and the HAMT root CID: consecutive snapshots structurally share every
+//! untouched subtree, and snapshot closures (sync, hydration, GC
+//! reachability) become tree traversals ([`blob_links`]).
 //!
 //! This mirrors how FVM-family chains commit state through chunked IPLD
 //! structures (HAMTs over a blockstore) rather than serialising the world.
@@ -15,13 +22,24 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use hc_types::merkle::MerkleTree;
-use hc_types::{Address, ByteReader, CanonicalDecode, CanonicalEncode, Cid, DecodeError};
+use hc_types::{
+    Address, ByteReader, CanonicalDecode, CanonicalEncode, Cid, DecodeError, MHamtNode, TCid,
+};
+
+use crate::amt::{amt_links, AMT_NODE_TAG, AMT_ROOT_TAG};
+use crate::hamt::{node_links, Hamt, HAMT_NODE_TAG};
+use crate::tree::AccountState;
+
+/// First byte of a canonical [`ChunkManifest`] encoding ('m'). Disjoint
+/// from the HAMT/AMT node tags and from every [`ChunkKey`] tag, so a blob's
+/// first byte identifies its shape for closure walks ([`blob_links`]).
+pub const MANIFEST_TAG: u8 = 0x6d;
 
 /// Identifies one chunk of the state tree.
 ///
 /// The derived `Ord` fixes the canonical leaf order of the state-root
 /// Merkle tree: metadata, SCA, atomic registry, Subnet Actors by address,
-/// then accounts by address.
+/// then the accounts-HAMT commitment leaf.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum ChunkKey {
     /// Subnet identity and actor-address allocator (`subnet_id`,
@@ -33,8 +51,8 @@ pub enum ChunkKey {
     Atomic,
     /// One deployed Subnet Actor.
     Sa(Address),
-    /// One account.
-    Account(Address),
+    /// The account ledger, committed through the root CID of its HAMT.
+    Accounts,
 }
 
 impl CanonicalEncode for ChunkKey {
@@ -47,10 +65,7 @@ impl CanonicalEncode for ChunkKey {
                 3u8.write_bytes(out);
                 addr.write_bytes(out);
             }
-            ChunkKey::Account(addr) => {
-                4u8.write_bytes(out);
-                addr.write_bytes(out);
-            }
+            ChunkKey::Accounts => 4u8.write_bytes(out),
         }
     }
 }
@@ -62,13 +77,23 @@ impl CanonicalDecode for ChunkKey {
             1 => Ok(ChunkKey::Sca),
             2 => Ok(ChunkKey::Atomic),
             3 => Ok(ChunkKey::Sa(Address::read_bytes(r)?)),
-            4 => Ok(ChunkKey::Account(Address::read_bytes(r)?)),
+            4 => Ok(ChunkKey::Accounts),
             tag => Err(DecodeError::BadTag {
                 what: "ChunkKey",
                 tag,
             }),
         }
     }
+}
+
+/// The accounts commitment leaf: the [`ChunkKey::Accounts`] key bytes
+/// followed by the account-HAMT root CID. This is the only chunk whose
+/// content is an indirection — the account data itself lives in the HAMT
+/// node blobs.
+pub(crate) fn accounts_leaf_blob(root: &TCid<MHamtNode>) -> Vec<u8> {
+    let mut out = ChunkKey::Accounts.canonical_bytes();
+    root.write_bytes(&mut out);
+    out
 }
 
 /// Cost counters for state-root maintenance, accumulated across flushes.
@@ -81,22 +106,28 @@ pub struct CommitStats {
     pub full_builds: u64,
     /// Chunks re-encoded and re-hashed.
     pub chunks_hashed: u64,
-    /// Total bytes fed to the hash function (leaf encodings plus interior
-    /// Merkle nodes).
+    /// Account-HAMT nodes re-encoded and re-hashed (path invalidation).
+    pub hamt_nodes_hashed: u64,
+    /// Total bytes fed to the hash function (chunk leaf encodings, HAMT
+    /// node encodings, and interior Merkle nodes).
     pub bytes_hashed: u64,
 }
 
-/// The cached commitment of a [`crate::StateTree`]: per-chunk leaf digests,
-/// the Merkle tree over them, and the set of chunks dirtied since the last
-/// flush.
+/// The cached commitment of a [`crate::StateTree`]: the account HAMT,
+/// per-chunk leaf digests, the Merkle tree over them, and the set of chunks
+/// dirtied since the last flush.
 ///
 /// This cache is *derived* state: it never influences the root value, only
 /// how cheaply the root is recomputed. A tree with a reset cache flushes to
 /// the identical root (locked in by the equivalence property tests).
 #[derive(Debug, Clone, Default)]
 pub(crate) struct Commitment {
-    /// Whether a full build has happened (digests/merkle are valid).
+    /// Whether a full build has happened (digests/merkle/hamt are valid).
     pub(crate) built: bool,
+    /// The incrementally-maintained account HAMT. An account write
+    /// invalidates only its O(log n) root path; the next flush re-hashes
+    /// exactly those nodes.
+    pub(crate) accounts_hamt: Hamt<Address, AccountState>,
     /// Leaf digest per chunk, keyed in canonical order.
     pub(crate) digests: BTreeMap<ChunkKey, Cid>,
     /// Ordered mirror of `digests` keys: leaf index = position here.
@@ -117,24 +148,34 @@ impl Commitment {
     }
 }
 
-/// A persisted snapshot of a state tree: the state root plus the content
-/// CID of every chunk blob, in canonical chunk order.
+/// A persisted snapshot of a state tree: the state root, the content CID of
+/// every fixed chunk blob (in canonical chunk order), and the root CID of
+/// the account HAMT.
 ///
 /// Manifests are what checkpoints and snapshots store in a
-/// [`crate::CidStore`]. Because chunk blobs are content-addressed,
-/// consecutive manifests of a slowly-changing state *structurally share*
-/// all unchanged chunks — only mutated chunk blobs occupy new storage.
+/// [`crate::CidStore`]. The manifest is O(system actors), not O(accounts):
+/// account content is reached by traversing the HAMT from `accounts_root`
+/// ([`ChunkManifest::missing_chunks`], [`blob_links`]). Because every blob
+/// is content-addressed, consecutive manifests of a slowly-changing state
+/// *structurally share* all unchanged chunks and HAMT subtrees — only
+/// mutated blobs occupy new storage.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ChunkManifest {
     /// The state root the chunks commit to.
     pub root: Cid,
-    /// `(chunk key, blob CID)` pairs in canonical chunk order.
+    /// Root CID of the account HAMT.
+    pub accounts_root: TCid<MHamtNode>,
+    /// `(chunk key, blob CID)` pairs for the fixed chunks
+    /// (Meta/Sca/Atomic/Sa), in canonical chunk order. Never contains
+    /// [`ChunkKey::Accounts`] — that leaf is derived from `accounts_root`.
     pub entries: Vec<(ChunkKey, Cid)>,
 }
 
 impl CanonicalEncode for ChunkManifest {
     fn write_bytes(&self, out: &mut Vec<u8>) {
+        MANIFEST_TAG.write_bytes(out);
         self.root.write_bytes(out);
+        self.accounts_root.write_bytes(out);
         (self.entries.len() as u64).write_bytes(out);
         for (key, cid) in &self.entries {
             key.write_bytes(out);
@@ -143,101 +184,147 @@ impl CanonicalEncode for ChunkManifest {
     }
 }
 
+impl CanonicalDecode for ChunkManifest {
+    fn read_bytes(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        let tag = u8::read_bytes(r)?;
+        if tag != MANIFEST_TAG {
+            return Err(DecodeError::BadTag {
+                what: "ChunkManifest",
+                tag,
+            });
+        }
+        let root = Cid::read_bytes(r)?;
+        let accounts_root = TCid::<MHamtNode>::read_bytes(r)?;
+        // `len_prefix` bounds the count by the remaining input, so a forged
+        // length cannot drive the preallocation.
+        let count = r.len_prefix("ChunkManifest.entries")?;
+        let mut entries = Vec::with_capacity(count);
+        for _ in 0..count {
+            // One source of truth for key parsing: the `ChunkKey`
+            // CanonicalDecode impl.
+            entries.push((ChunkKey::read_bytes(r)?, Cid::read_bytes(r)?));
+        }
+        Ok(ChunkManifest {
+            root,
+            accounts_root,
+            entries,
+        })
+    }
+}
+
 impl ChunkManifest {
     /// Decodes a manifest from its canonical encoding.
     ///
     /// Returns `None` on any structural violation (truncation, unknown
-    /// chunk tag, trailing bytes).
+    /// tag, trailing bytes).
     pub fn decode(bytes: &[u8]) -> Option<Self> {
-        let mut r = Reader { bytes, pos: 0 };
-        let root = r.cid()?;
-        let count = r.u64()?;
-        let mut entries = Vec::with_capacity(count.min(1 << 20) as usize);
-        for _ in 0..count {
-            let key = match r.u8()? {
-                0 => ChunkKey::Meta,
-                1 => ChunkKey::Sca,
-                2 => ChunkKey::Atomic,
-                3 => ChunkKey::Sa(Address::new(r.u64()?)),
-                4 => ChunkKey::Account(Address::new(r.u64()?)),
-                _ => return None,
-            };
-            let cid = r.cid()?;
-            entries.push((key, cid));
-        }
-        if r.pos != bytes.len() {
-            return None;
-        }
-        Some(ChunkManifest { root, entries })
+        <Self as CanonicalDecode>::decode(bytes).ok()
     }
 
-    /// The chunk-blob CIDs referenced by this manifest that are absent from
-    /// `store` — exactly the set a syncing node must fetch before
-    /// [`crate::StateTree::from_manifest`] can install it. Preserves
-    /// manifest (canonical chunk) order and never repeats a CID.
+    /// The blob CIDs reachable from this manifest that are absent from
+    /// `store` — exactly the frontier a syncing node must fetch next.
+    ///
+    /// Fixed chunks come first in manifest order; then the account HAMT is
+    /// traversed from `accounts_root` through the blobs already present,
+    /// surfacing the missing nodes of the *current* frontier. Fetching
+    /// those and calling this again discovers the next level, until the
+    /// closure is complete and this returns empty. Deterministic order,
+    /// never repeats a CID.
     pub fn missing_chunks(&self, store: &crate::CidStore) -> Vec<Cid> {
         let mut seen = BTreeSet::new();
-        self.entries
-            .iter()
-            .map(|(_, cid)| *cid)
-            .filter(|cid| seen.insert(*cid) && !store.contains(cid))
-            .collect()
+        let mut missing = Vec::new();
+        for (_, cid) in &self.entries {
+            if seen.insert(*cid) && !store.contains(cid) {
+                missing.push(*cid);
+            }
+        }
+        let mut frontier = vec![self.accounts_root.cid()];
+        while let Some(cid) = frontier.pop() {
+            if !seen.insert(cid) {
+                continue;
+            }
+            match store.get(&cid) {
+                None => missing.push(cid),
+                Some(blob) => {
+                    if let Ok(links) = node_links(&blob) {
+                        frontier.extend(links);
+                    }
+                }
+            }
+        }
+        missing
     }
 
-    /// Recomputes the state root from the chunk blobs in `store` and checks
-    /// it against the recorded root. Returns `false` if any blob is missing
-    /// or the root mismatches.
+    /// Recomputes the state root from the blobs in `store` and checks it
+    /// against the recorded root: every fixed chunk blob must be present,
+    /// the full HAMT closure must be present, and the Merkle root over the
+    /// leaf layer (with the accounts leaf derived from `accounts_root`)
+    /// must equal `root`. Returns `false` on any gap or mismatch.
     pub fn verify(&self, store: &crate::CidStore) -> bool {
-        let mut blobs = Vec::with_capacity(self.entries.len());
+        if !self.missing_chunks(store).is_empty() {
+            return false;
+        }
+        let mut leaves: Vec<Vec<u8>> = Vec::with_capacity(self.entries.len() + 1);
         for (_, cid) in &self.entries {
             match store.get(cid) {
-                Some(blob) => blobs.push(blob),
+                Some(blob) => leaves.push(blob.as_ref().clone()),
                 None => return false,
             }
         }
-        MerkleTree::from_leaf_bytes(blobs.iter().map(|b| b.as_slice())).root() == self.root
+        leaves.push(accounts_leaf_blob(&self.accounts_root));
+        MerkleTree::from_leaf_bytes(leaves.iter().map(|b| b.as_slice())).root() == self.root
     }
 }
 
-struct Reader<'a> {
-    bytes: &'a [u8],
-    pos: usize,
+/// The child CIDs a state blob links to, dispatched on the blob's leading
+/// tag byte: manifests link their fixed chunks and HAMT root, HAMT nodes
+/// link their children, AMT blobs link theirs; fixed chunk blobs (and
+/// anything unrecognisable) are leaves.
+///
+/// This is the single traversal primitive behind snapshot-closure fetch,
+/// blob-log hydration, and GC reachability.
+pub fn blob_links(bytes: &[u8]) -> Vec<Cid> {
+    match bytes.first() {
+        Some(&MANIFEST_TAG) => match ChunkManifest::decode(bytes) {
+            Some(m) => {
+                let mut links: Vec<Cid> = m.entries.iter().map(|(_, cid)| *cid).collect();
+                links.push(m.accounts_root.cid());
+                links
+            }
+            None => Vec::new(),
+        },
+        Some(&HAMT_NODE_TAG) => node_links(bytes).unwrap_or_default(),
+        Some(&AMT_ROOT_TAG) | Some(&AMT_NODE_TAG) => amt_links(bytes).unwrap_or_default(),
+        _ => Vec::new(),
+    }
 }
 
-impl Reader<'_> {
-    fn take(&mut self, n: usize) -> Option<&[u8]> {
-        let end = self.pos.checked_add(n)?;
-        let slice = self.bytes.get(self.pos..end)?;
-        self.pos = end;
-        Some(slice)
+/// Builds a canonical account HAMT from scratch out of account content —
+/// the pure reference the incremental path must agree with.
+pub(crate) fn build_accounts_hamt<'a>(
+    accounts: impl Iterator<Item = (&'a Address, &'a AccountState)>,
+) -> Hamt<Address, AccountState> {
+    let mut hamt = Hamt::new();
+    for (addr, acc) in accounts {
+        hamt.set(*addr, acc.clone());
     }
-
-    fn u8(&mut self) -> Option<u8> {
-        Some(self.take(1)?[0])
-    }
-
-    fn u64(&mut self) -> Option<u64> {
-        Some(u64::from_le_bytes(self.take(8)?.try_into().ok()?))
-    }
-
-    fn cid(&mut self) -> Option<Cid> {
-        Some(Cid::from_bytes(self.take(32)?.try_into().ok()?))
-    }
+    hamt
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::hamt::HashWork;
 
     #[test]
     fn chunk_key_order_is_canonical() {
         let mut keys = vec![
-            ChunkKey::Account(Address::new(1)),
+            ChunkKey::Accounts,
             ChunkKey::Sa(Address::new(5)),
             ChunkKey::Atomic,
             ChunkKey::Meta,
             ChunkKey::Sca,
-            ChunkKey::Account(Address::new(0)),
+            ChunkKey::Sa(Address::new(0)),
         ];
         keys.sort();
         assert_eq!(
@@ -246,9 +333,9 @@ mod tests {
                 ChunkKey::Meta,
                 ChunkKey::Sca,
                 ChunkKey::Atomic,
+                ChunkKey::Sa(Address::new(0)),
                 ChunkKey::Sa(Address::new(5)),
-                ChunkKey::Account(Address::new(0)),
-                ChunkKey::Account(Address::new(1)),
+                ChunkKey::Accounts,
             ]
         );
     }
@@ -260,7 +347,7 @@ mod tests {
             ChunkKey::Sca,
             ChunkKey::Atomic,
             ChunkKey::Sa(Address::new(7)),
-            ChunkKey::Account(Address::new(7)),
+            ChunkKey::Accounts,
         ];
         for (i, a) in keys.iter().enumerate() {
             for b in &keys[i + 1..] {
@@ -270,16 +357,54 @@ mod tests {
     }
 
     #[test]
+    fn chunk_key_decode_paths_agree_on_every_tag() {
+        // Regression lock for the decode-path unification: the standalone
+        // `CanonicalDecode` impl and the manifest decode path must agree on
+        // every tag — the manifest path *is* the CanonicalDecode impl now,
+        // so each key must survive both a direct round trip and a round
+        // trip through a manifest entry.
+        let keys = [
+            ChunkKey::Meta,
+            ChunkKey::Sca,
+            ChunkKey::Atomic,
+            ChunkKey::Sa(Address::new(123_456)),
+        ];
+        for key in keys {
+            let direct = ChunkKey::decode(&key.canonical_bytes()).unwrap();
+            assert_eq!(direct, key);
+            let m = ChunkManifest {
+                root: Cid::digest(b"root"),
+                accounts_root: TCid::digest(b"hamt"),
+                entries: vec![(key, Cid::digest(b"blob"))],
+            };
+            let via_manifest = ChunkManifest::decode(&m.canonical_bytes()).unwrap();
+            assert_eq!(via_manifest.entries[0].0, key);
+        }
+        // Unknown tags are rejected by both paths identically.
+        assert!(ChunkKey::decode(&[9]).is_err());
+        let mut bad = ChunkManifest {
+            root: Cid::digest(b"root"),
+            accounts_root: TCid::digest(b"hamt"),
+            entries: vec![(ChunkKey::Meta, Cid::digest(b"blob"))],
+        }
+        .canonical_bytes();
+        let key_offset = 1 + 32 + 32 + 8;
+        bad[key_offset] = 9;
+        assert_eq!(ChunkManifest::decode(&bad), None);
+    }
+
+    #[test]
     fn manifest_round_trips_through_decode() {
         let m = ChunkManifest {
             root: Cid::digest(b"root"),
+            accounts_root: TCid::digest(b"hamt root"),
             entries: vec![
                 (ChunkKey::Meta, Cid::digest(b"meta")),
                 (ChunkKey::Sa(Address::new(1_000_000)), Cid::digest(b"sa")),
-                (ChunkKey::Account(Address::new(100)), Cid::digest(b"acc")),
             ],
         };
         let bytes = m.canonical_bytes();
+        assert_eq!(bytes[0], MANIFEST_TAG);
         assert_eq!(ChunkManifest::decode(&bytes), Some(m));
         // Truncation and trailing garbage are rejected.
         assert_eq!(ChunkManifest::decode(&bytes[..bytes.len() - 1]), None);
@@ -287,5 +412,84 @@ mod tests {
         extended.push(0);
         assert_eq!(ChunkManifest::decode(&extended), None);
         assert_eq!(ChunkManifest::decode(b""), None);
+    }
+
+    #[test]
+    fn manifest_decode_bounds_preallocation_by_input() {
+        // A forged entry count far beyond the actual input must be
+        // rejected by the length-prefix bound, not drive a huge
+        // preallocation.
+        let mut bytes = vec![MANIFEST_TAG];
+        bytes.extend_from_slice(Cid::digest(b"root").as_bytes());
+        bytes.extend_from_slice(Cid::digest(b"hamt").as_bytes());
+        bytes.extend_from_slice(&u64::MAX.to_le_bytes());
+        assert_eq!(ChunkManifest::decode(&bytes), None);
+        let mut big = bytes.clone();
+        big.truncate(big.len() - 8);
+        big.extend_from_slice(&(1u64 << 19).to_le_bytes());
+        assert_eq!(ChunkManifest::decode(&big), None);
+    }
+
+    #[test]
+    fn missing_chunks_traverses_the_hamt_frontier() {
+        let store = crate::CidStore::new();
+        let mut hamt: Hamt<Address, AccountState> = Hamt::new();
+        for i in 0..200 {
+            hamt.set(Address::new(i), AccountState::default());
+        }
+        let accounts_root = hamt.persist(&store);
+        let meta_cid = store.put(b"meta blob".to_vec());
+        let m = ChunkManifest {
+            root: Cid::digest(b"root"),
+            accounts_root,
+            entries: vec![(ChunkKey::Meta, meta_cid)],
+        };
+        // Full closure present: nothing missing.
+        assert!(m.missing_chunks(&store).is_empty());
+
+        // A partial store discovers the frontier level by level, like the
+        // snapshot-sync fetch loop does.
+        let partial = crate::CidStore::new();
+        let mut rounds = 0;
+        loop {
+            let missing = m.missing_chunks(&partial);
+            if missing.is_empty() {
+                break;
+            }
+            rounds += 1;
+            assert!(rounds < 64, "frontier fetch must terminate");
+            for cid in missing {
+                partial.put(store.get(&cid).expect("source has closure").to_vec());
+            }
+        }
+        assert!(rounds >= 2, "a deep HAMT needs multiple fetch rounds");
+        assert_eq!(partial.len(), store.len());
+    }
+
+    #[test]
+    fn blob_links_dispatches_on_tag() {
+        let store = crate::CidStore::new();
+        let mut hamt: Hamt<Address, AccountState> = Hamt::new();
+        let mut work = HashWork::default();
+        for i in 0..100 {
+            hamt.set(Address::new(i), AccountState::default());
+        }
+        hamt.flush(&mut work);
+        let accounts_root = hamt.persist(&store);
+        let meta_cid = store.put(b"fixed chunk".to_vec());
+        let m = ChunkManifest {
+            root: Cid::digest(b"root"),
+            accounts_root,
+            entries: vec![(ChunkKey::Meta, meta_cid)],
+        };
+        let links = blob_links(&m.canonical_bytes());
+        assert!(links.contains(&meta_cid));
+        assert!(links.contains(&accounts_root.cid()));
+        // HAMT root node links to its children.
+        let root_blob = store.get(&accounts_root.cid()).unwrap();
+        assert!(!blob_links(&root_blob).is_empty());
+        // Fixed chunks and junk are leaves.
+        assert!(blob_links(b"fixed chunk").is_empty());
+        assert!(blob_links(b"").is_empty());
     }
 }

@@ -13,10 +13,14 @@
 //!   it was fetched for (a valid blob served for the *wrong* key is
 //!   rejected);
 //! * chunk content must decode canonically with no trailing bytes;
+//! * the account ledger is reconstructed by walking the HAMT from the
+//!   manifest's `accounts_root`, with structural bounds enforced per node;
 //! * the assembled tree's [`StateTree::recompute_root`] must equal the
-//!   manifest root, which callers in turn check against a committed block
-//!   header — so a syncing node never trusts the serving peer, only the
-//!   consensus-committed state root.
+//!   manifest root — since that rebuilds the account HAMT from scratch in
+//!   canonical form, a peer serving a shape-mangled (non-canonical) HAMT
+//!   is caught here too. Callers in turn check the root against a
+//!   committed block header — so a syncing node never trusts the serving
+//!   peer, only the consensus-committed state root.
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -26,6 +30,7 @@ use hc_actors::{AtomicExecRegistry, ScaState};
 use hc_types::{Address, ByteReader, CanonicalDecode, Cid, DecodeError, SubnetId};
 
 use crate::chunk::{ChunkKey, ChunkManifest, Commitment};
+use crate::hamt::{Hamt, HamtError};
 use crate::store::CidStore;
 use crate::tree::{AccountState, Accounts, StateTree};
 
@@ -55,6 +60,9 @@ pub enum InstallError {
     },
     /// A required singleton chunk (`Meta`, `Sca`, or `Atomic`) is missing.
     MissingChunk(&'static str),
+    /// The account HAMT could not be loaded from `accounts_root` (missing
+    /// node blob, malformed node, structural violation).
+    Accounts(HamtError),
     /// The assembled tree does not hash to the manifest's recorded root.
     RootMismatch {
         /// Root the manifest committed to.
@@ -81,6 +89,7 @@ impl fmt::Display for InstallError {
                 write!(f, "chunk {key:?} content failed to decode: {err}")
             }
             InstallError::MissingChunk(what) => write!(f, "required chunk {what} missing"),
+            InstallError::Accounts(err) => write!(f, "account HAMT failed to load: {err}"),
             InstallError::RootMismatch { expected, actual } => {
                 write!(
                     f,
@@ -142,12 +151,19 @@ impl StateTree {
                 ChunkKey::Sa(addr) => {
                     sas.insert(*addr, SaState::read_bytes(&mut r).map_err(decode_err)?);
                 }
-                ChunkKey::Account(addr) => {
-                    accounts.insert(*addr, AccountState::read_bytes(&mut r).map_err(decode_err)?);
-                }
+                // The accounts leaf is derived from `accounts_root`, never
+                // listed as a manifest entry.
+                ChunkKey::Accounts => return Err(InstallError::UnorderedEntries),
             }
             r.finish().map_err(decode_err)?;
         }
+
+        // Reconstruct the account ledger by walking the HAMT from its root.
+        let hamt: Hamt<Address, AccountState> =
+            Hamt::load(&manifest.accounts_root, store).map_err(InstallError::Accounts)?;
+        hamt.for_each(&mut |addr, state| {
+            accounts.insert(*addr, state.clone());
+        });
 
         let (subnet_id, next_actor_id) = meta.ok_or(InstallError::MissingChunk("Meta"))?;
         let sca = sca.ok_or(InstallError::MissingChunk("Sca"))?;
@@ -228,15 +244,21 @@ mod tests {
         // A fresh store with only some blobs: everything else is missing.
         let local = CidStore::new();
         let missing = manifest.missing_chunks(&local);
-        assert_eq!(missing.len(), manifest.entries.len());
+        // Fixed chunks plus at least the HAMT root are missing.
+        assert!(missing.len() > manifest.entries.len());
         let err = StateTree::from_manifest(&manifest, &local).unwrap_err();
         assert!(matches!(err, InstallError::MissingBlob(_)));
-        // Copy the blobs over; the missing set shrinks to empty and the
+        // Fetch frontier rounds until the closure is complete; then the
         // install succeeds.
-        for cid in &missing {
-            local.put(served.get(cid).unwrap().as_ref().clone());
+        loop {
+            let missing = manifest.missing_chunks(&local);
+            if missing.is_empty() {
+                break;
+            }
+            for cid in &missing {
+                local.put(served.get(cid).unwrap().as_ref().clone());
+            }
         }
-        assert!(manifest.missing_chunks(&local).is_empty());
         assert!(StateTree::from_manifest(&manifest, &local).is_ok());
     }
 
@@ -282,6 +304,25 @@ mod tests {
             StateTree::from_manifest(&truncated, &store).unwrap_err(),
             InstallError::Decode { .. }
         ));
+
+        // A dangling accounts root fails the HAMT load.
+        let mut dangling = manifest.clone();
+        dangling.accounts_root = hc_types::TCid::digest(b"not a node");
+        assert!(matches!(
+            StateTree::from_manifest(&dangling, &store).unwrap_err(),
+            InstallError::Accounts(_)
+        ));
+
+        // An `Accounts` key smuggled into the entry list is rejected.
+        let mut smuggled = manifest.clone();
+        let fake = store.put(hc_types::CanonicalEncode::canonical_bytes(
+            &ChunkKey::Accounts,
+        ));
+        smuggled.entries.push((ChunkKey::Accounts, fake));
+        assert_eq!(
+            StateTree::from_manifest(&smuggled, &store).unwrap_err(),
+            InstallError::UnorderedEntries
+        );
     }
 
     #[test]

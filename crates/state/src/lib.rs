@@ -23,7 +23,9 @@
 #![warn(missing_docs)]
 
 pub mod access;
+pub mod amt;
 pub mod chunk;
+pub mod hamt;
 pub mod install;
 pub mod message;
 pub mod overlay;
@@ -35,12 +37,14 @@ pub mod tree;
 pub mod vm;
 
 pub use access::StateAccess;
-pub use chunk::{ChunkKey, ChunkManifest, CommitStats};
+pub use amt::{Amt, AmtError, AmtProof};
+pub use chunk::{blob_links, ChunkKey, ChunkManifest, CommitStats, MANIFEST_TAG};
+pub use hamt::{Hamt, HamtError, HamtProof, HashWork};
 pub use install::InstallError;
 pub use message::{ImplicitMsg, Message, Method, SignedMessage};
 pub use overlay::{OverlayChanges, StateOverlay};
 pub use sealed::SealedMessage;
 pub use sigcache::{SigCache, SigCacheStats, DEFAULT_SIG_CACHE_CAPACITY};
 pub use store::{CidStore, CidStoreStats};
-pub use tree::{AccountState, StateTree};
+pub use tree::{AccountProof, AccountState, StateTree};
 pub use vm::{apply_implicit, apply_sealed, apply_signed, ExitCode, Receipt, SigVerdict, VmEvent};

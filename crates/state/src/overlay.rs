@@ -23,7 +23,8 @@ use hc_types::merkle::{leaf_digest, MerkleTree};
 use hc_types::{Address, CanonicalEncode, Cid, SubnetId, TokenAmount};
 
 use crate::access::StateAccess;
-use crate::chunk::ChunkKey;
+use crate::chunk::{accounts_leaf_blob, ChunkKey};
+use crate::hamt::HashWork;
 use crate::tree::{AccountState, Accounts, StateTree};
 
 /// Copy-on-write view of the account table: reads fall through to the base
@@ -154,6 +155,10 @@ impl<'a> StateOverlay<'a> {
 
     /// The leaf digests of every chunk the overlay rewrote, keyed by chunk,
     /// excluding chunks whose content is byte-identical to the base.
+    ///
+    /// Touched accounts are folded into a copy-on-write clone of the base's
+    /// account HAMT (cloning is O(1); the `set` calls re-hash only the
+    /// touched root paths), yielding the candidate accounts-leaf digest.
     fn changed_digests(&self) -> BTreeMap<ChunkKey, Cid> {
         fn blob<T: CanonicalEncode + ?Sized>(key: ChunkKey, content: &T) -> Vec<u8> {
             let mut out = key.canonical_bytes();
@@ -161,11 +166,14 @@ impl<'a> StateOverlay<'a> {
             out
         }
         let mut blobs: Vec<(ChunkKey, Vec<u8>)> = Vec::new();
-        for (addr, state) in &self.accounts.touched {
-            blobs.push((
-                ChunkKey::Account(*addr),
-                blob(ChunkKey::Account(*addr), state),
-            ));
+        if !self.accounts.touched.is_empty() {
+            let mut hamt = self.base.commitment.accounts_hamt.clone();
+            for (addr, state) in &self.accounts.touched {
+                hamt.set(*addr, state.clone());
+            }
+            let mut work = HashWork::default();
+            let root = hamt.flush(&mut work);
+            blobs.push((ChunkKey::Accounts, accounts_leaf_blob(&root)));
         }
         if let Some(sca) = &self.sca {
             blobs.push((ChunkKey::Sca, blob(ChunkKey::Sca, sca)));
@@ -197,9 +205,11 @@ impl<'a> StateOverlay<'a> {
     ///
     /// When the overlay only rewrote existing chunks, this patches the
     /// base's Merkle tree along the touched root paths (O(touched·log n)).
-    /// New chunks (created accounts, deployed SAs) change the leaf set, so
-    /// the node levels are rebuilt from cached digests — still without
-    /// re-encoding any untouched chunk.
+    /// Account writes — including *created* accounts — always take this
+    /// path now, since they only rewrite the accounts-HAMT leaf. Only new
+    /// fixed chunks (deployed SAs) change the leaf set and rebuild the node
+    /// levels from cached digests — still without re-encoding any
+    /// untouched chunk.
     pub fn root(&self) -> Cid {
         let changed = self.changed_digests();
         if changed.is_empty() {

@@ -20,7 +20,7 @@ use parking_lot::RwLock;
 
 use hc_types::Cid;
 
-use crate::chunk::ChunkManifest;
+use crate::chunk::blob_links;
 
 /// A point-in-time snapshot of a [`CidStore`]'s size and traffic counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -114,42 +114,43 @@ impl CidStore {
         self.inner.write().blob_log = Some(log);
     }
 
-    /// Loads the manifest behind `root` — and, when it decodes as a
-    /// [`ChunkManifest`], its full chunk closure — from the attached blob
-    /// log into memory. Blobs already memory-resident are left alone and
-    /// nothing is re-journaled: the log is the source, not the sink.
+    /// Loads the manifest behind `root` and its full blob closure —
+    /// fixed chunks plus every account-HAMT node, discovered by traversing
+    /// [`blob_links`] — from the attached blob log into memory. Blobs
+    /// already memory-resident are left alone and nothing is re-journaled:
+    /// the log is the source, not the sink.
     ///
-    /// Returns `true` only when the manifest and every chunk it references
-    /// are now present in memory — the signal recovery uses to decide
-    /// whether a surviving snapshot can stand in for re-execution.
+    /// Returns `true` only when the manifest and its entire closure are now
+    /// present in memory — the signal recovery uses to decide whether a
+    /// surviving snapshot can stand in for re-execution. The root blob must
+    /// decode as a manifest.
     pub fn hydrate_manifest(&self, root: &Cid) -> bool {
         let mut inner = self.inner.write();
-        let manifest_blob = match inner.blobs.get(root).cloned() {
-            Some(blob) => blob,
-            None => {
-                let Some(bytes) = inner.blob_log.as_ref().and_then(|log| log.get(root)) else {
-                    return false;
-                };
-                let blob = Arc::new(bytes);
-                inner.total_bytes += blob.len() as u64;
-                inner.blobs.insert(*root, blob.clone());
-                blob
-            }
-        };
-        let Some(manifest) = ChunkManifest::decode(&manifest_blob) else {
-            return false;
-        };
-        for (_, cid) in &manifest.entries {
-            if inner.blobs.contains_key(cid) {
+        let mut frontier = vec![*root];
+        let mut seen = HashSet::new();
+        let mut saw_manifest = false;
+        while let Some(cid) = frontier.pop() {
+            if !seen.insert(cid) {
                 continue;
             }
-            let Some(bytes) = inner.blob_log.as_ref().and_then(|log| log.get(cid)) else {
-                return false;
+            let blob = match inner.blobs.get(&cid).cloned() {
+                Some(blob) => blob,
+                None => {
+                    let Some(bytes) = inner.blob_log.as_ref().and_then(|log| log.get(&cid)) else {
+                        return false;
+                    };
+                    let blob = Arc::new(bytes);
+                    inner.total_bytes += blob.len() as u64;
+                    inner.blobs.insert(cid, blob.clone());
+                    blob
+                }
             };
-            inner.total_bytes += bytes.len() as u64;
-            inner.blobs.insert(*cid, Arc::new(bytes));
+            if cid == *root {
+                saw_manifest = crate::chunk::ChunkManifest::decode(&blob).is_some();
+            }
+            frontier.extend(blob_links(&blob));
         }
-        true
+        saw_manifest
     }
 
     /// Forces the blob log (if any) to stable storage.
@@ -209,24 +210,24 @@ impl CidStore {
         }
     }
 
-    /// Computes the reachable closure of a set of snapshot-manifest CIDs:
-    /// each manifest blob itself plus every chunk blob it references.
+    /// Computes the reachable closure of a set of root CIDs by traversing
+    /// [`blob_links`]: manifests reach their fixed chunks and account-HAMT
+    /// subtree, HAMT/AMT nodes reach their children, leaves reach nothing.
     ///
-    /// CIDs whose blobs are absent or fail to parse as manifests are still
-    /// included (conservative: an unknown root keeps itself alive) but
-    /// contribute no children.
+    /// CIDs whose blobs are absent or unrecognisable are still included
+    /// (conservative: an unknown root keeps itself alive) but contribute no
+    /// children.
     pub fn manifest_closure(&self, roots: &[Cid]) -> HashSet<Cid> {
         let mut live: HashSet<Cid> = HashSet::new();
         let inner = self.inner.read();
-        for root in roots {
-            live.insert(*root);
-            let Some(blob) = inner.blobs.get(root) else {
+        let mut frontier: Vec<Cid> = roots.to_vec();
+        while let Some(cid) = frontier.pop() {
+            if !live.insert(cid) {
                 continue;
-            };
-            let Some(manifest) = ChunkManifest::decode(blob) else {
-                continue;
-            };
-            live.extend(manifest.entries.iter().map(|(_, cid)| *cid));
+            }
+            if let Some(blob) = inner.blobs.get(&cid) {
+                frontier.extend(blob_links(blob));
+            }
         }
         live
     }
@@ -331,14 +332,22 @@ mod tests {
     #[test]
     fn prune_unreachable_keeps_manifest_closures() {
         use crate::chunk::{ChunkKey, ChunkManifest};
-        use hc_types::{Address, CanonicalEncode};
+        use crate::hamt::Hamt;
+        use hc_types::CanonicalEncode;
 
         let store = CidStore::new();
         let live_chunk = store.put(b"live chunk".to_vec());
         let dead_chunk = store.put(b"dead chunk".to_vec());
+        // A real persisted HAMT: pruning must keep its interior nodes.
+        let mut hamt: Hamt<u64, u64> = Hamt::new();
+        for i in 0..100 {
+            hamt.set(i, i);
+        }
+        let accounts_root = hamt.persist(&store);
         let manifest = ChunkManifest {
             root: Cid::digest(b"root"),
-            entries: vec![(ChunkKey::Account(Address::new(1)), live_chunk)],
+            accounts_root,
+            entries: vec![(ChunkKey::Sa(hc_types::Address::new(1)), live_chunk)],
         };
         let manifest_cid = store.put(manifest.canonical_bytes());
 
@@ -347,6 +356,7 @@ mod tests {
         assert_eq!(bytes, b"dead chunk".len() as u64);
         assert!(store.contains(&live_chunk));
         assert!(store.contains(&manifest_cid));
+        assert!(store.contains(&accounts_root.cid()));
         assert!(!store.contains(&dead_chunk));
         let s = store.stats();
         assert_eq!((s.pruned_blobs, s.pruned_bytes), (1, bytes));

@@ -26,13 +26,16 @@ use serde::{Deserialize, Serialize};
 use hc_actors::ledger::LedgerError;
 use hc_actors::sa::SaState;
 use hc_actors::{AtomicExecRegistry, Ledger, ScaConfig, ScaState};
-use hc_types::merkle::{leaf_digest, MerkleTree};
+use hc_types::merkle::{leaf_digest, MerkleProof, MerkleTree};
 use hc_types::{
-    Address, ByteReader, CanonicalDecode, CanonicalEncode, Cid, DecodeError, Nonce, PublicKey,
-    SubnetId, TokenAmount,
+    Address, ByteReader, CanonicalDecode, CanonicalEncode, Cid, DecodeError, MHamtNode, Nonce,
+    PublicKey, SubnetId, TCid, TokenAmount,
 };
 
-use crate::chunk::{ChunkKey, ChunkManifest, CommitStats, Commitment};
+use crate::chunk::{
+    accounts_leaf_blob, build_accounts_hamt, ChunkKey, ChunkManifest, CommitStats, Commitment,
+};
+use crate::hamt::{HamtProof, HashWork};
 use crate::overlay::OverlayChanges;
 use crate::store::CidStore;
 
@@ -305,8 +308,9 @@ impl StateTree {
     }
 
     /// Computes the state root incrementally: only chunks dirtied since the
-    /// last flush are re-encoded and re-hashed, and only their Merkle root
-    /// paths are recombined. The first flush (or the first after
+    /// last flush are re-encoded and re-hashed, touched accounts re-hash
+    /// only their O(log n) HAMT root paths, and only the affected Merkle
+    /// root paths are recombined. The first flush (or the first after
     /// [`StateTree::rebuilt`]) builds the full commitment.
     pub fn flush(&mut self) -> Cid {
         self.commitment.stats.flushes += 1;
@@ -314,18 +318,35 @@ impl StateTree {
             return self.rebuild_commitment();
         }
         let mut dirty = std::mem::take(&mut self.commitment.dirty);
-        for addr in self.accounts.take_dirty() {
-            dirty.insert(ChunkKey::Account(addr));
+        let touched = self.accounts.take_dirty();
+        if !touched.is_empty() {
+            for addr in touched {
+                match self.accounts.get(addr) {
+                    Some(acc) => {
+                        self.commitment.accounts_hamt.set(addr, acc.clone());
+                    }
+                    None => {
+                        self.commitment.accounts_hamt.delete(&addr);
+                    }
+                }
+            }
+            dirty.insert(ChunkKey::Accounts);
         }
         if dirty.is_empty() {
             return self.commitment.merkle.root();
+        }
+        if dirty.contains(&ChunkKey::Accounts) {
+            // Re-hash exactly the invalidated HAMT node paths.
+            let mut work = HashWork::default();
+            self.commitment.accounts_hamt.flush(&mut work);
+            self.commitment.stats.hamt_nodes_hashed += work.nodes;
+            self.commitment.stats.bytes_hashed += work.bytes;
         }
         let mut patches: Vec<(usize, Cid)> = Vec::new();
         let mut structural = false;
         for key in &dirty {
             let present = match key {
                 ChunkKey::Sa(a) => self.sas.contains_key(a),
-                ChunkKey::Account(a) => self.accounts.get(*a).is_some(),
                 _ => true,
             };
             if !present {
@@ -369,12 +390,17 @@ impl StateTree {
         self.commitment.merkle.root()
     }
 
-    /// Builds the commitment from scratch: every chunk encoded and hashed.
+    /// Builds the commitment from scratch: the account HAMT rebuilt from
+    /// content and every chunk encoded and hashed.
     fn rebuild_commitment(&mut self) -> Cid {
         self.accounts.take_dirty();
+        let mut hamt = build_accounts_hamt(self.accounts.iter());
+        let mut work = HashWork::default();
+        hamt.flush(&mut work);
+        self.commitment.accounts_hamt = hamt;
         let keys = self.chunk_keys();
         let mut digests = BTreeMap::new();
-        let mut bytes = 0u64;
+        let mut bytes = work.bytes;
         for key in &keys {
             let blob = self.chunk_blob(key);
             bytes += blob.len() as u64 + 1;
@@ -385,6 +411,7 @@ impl StateTree {
         let c = &mut self.commitment;
         c.stats.full_builds += 1;
         c.stats.chunks_hashed += keys.len() as u64;
+        c.stats.hamt_nodes_hashed += work.nodes;
         c.stats.bytes_hashed += bytes;
         c.built = true;
         c.digests = digests;
@@ -395,11 +422,20 @@ impl StateTree {
     }
 
     /// Recomputes the state root from scratch, ignoring every cache: pure
-    /// function of the current state content. `flush()` must always agree
-    /// with this (the equivalence property tests enforce it).
+    /// function of the current state content. The account HAMT is rebuilt
+    /// from nothing (so this also re-derives the canonical tree shape).
+    /// `flush()` must always agree with this (the equivalence property
+    /// tests enforce it).
     pub fn recompute_root(&self) -> Cid {
+        let mut hamt = build_accounts_hamt(self.accounts.iter());
+        let mut work = HashWork::default();
+        let accounts_root = hamt.flush(&mut work);
         let keys = self.chunk_keys();
-        MerkleTree::from_leaf_bytes(keys.iter().map(|k| self.chunk_blob(k))).root()
+        MerkleTree::from_leaf_bytes(keys.iter().map(|k| match k {
+            ChunkKey::Accounts => accounts_leaf_blob(&accounts_root),
+            _ => self.chunk_blob(k),
+        }))
+        .root()
     }
 
     /// Returns a copy of this tree as if freshly decoded from storage:
@@ -427,13 +463,14 @@ impl StateTree {
     pub(crate) fn chunk_keys(&self) -> Vec<ChunkKey> {
         let mut keys = vec![ChunkKey::Meta, ChunkKey::Sca, ChunkKey::Atomic];
         keys.extend(self.sas.keys().map(|a| ChunkKey::Sa(*a)));
-        keys.extend(self.accounts.iter().map(|(a, _)| ChunkKey::Account(*a)));
+        keys.push(ChunkKey::Accounts);
         keys
     }
 
     /// The chunk blob for `key`: the key's canonical encoding followed by
-    /// the chunk content's canonical encoding. Panics if the chunk does not
-    /// exist in the current content.
+    /// the chunk content's canonical encoding. The accounts leaf embeds the
+    /// HAMT root CID and therefore requires a flushed commitment. Panics if
+    /// the chunk does not exist in the current content.
     pub(crate) fn chunk_blob(&self, key: &ChunkKey) -> Vec<u8> {
         let mut out = key.canonical_bytes();
         match key {
@@ -448,11 +485,14 @@ impl StateTree {
                 .get(a)
                 .expect("SA chunk exists")
                 .write_bytes(&mut out),
-            ChunkKey::Account(a) => self
-                .accounts
-                .get(*a)
-                .expect("account chunk exists")
-                .write_bytes(&mut out),
+            ChunkKey::Accounts => {
+                let root = self
+                    .commitment
+                    .accounts_hamt
+                    .cached_root()
+                    .expect("accounts HAMT flushed before encoding its leaf");
+                root.write_bytes(&mut out);
+            }
         }
         out
     }
@@ -462,23 +502,59 @@ impl StateTree {
         self.next_actor_id
     }
 
-    /// Persists the current state into `store` as content-addressed chunk
-    /// blobs plus a [`ChunkManifest`], returning the manifest's CID.
+    /// Persists the current state into `store` as content-addressed blobs
+    /// plus a [`ChunkManifest`], returning the manifest's CID.
     ///
-    /// Because blobs are keyed by content, persisting consecutive states
-    /// that differ in a few chunks stores only the changed blobs — the
-    /// manifests structurally share everything else (observable through
-    /// [`CidStore::stats`]).
+    /// The fixed chunks are stored as before; the account ledger is stored
+    /// as HAMT node blobs, skipping every subtree the store already holds.
+    /// Persisting consecutive states that differ in a few accounts
+    /// therefore writes only the changed root paths — the manifests
+    /// structurally share everything else (observable through
+    /// [`CidStore::stats`]), and the manifest itself is O(system actors),
+    /// not O(accounts).
     pub fn persist(&mut self, store: &CidStore) -> Cid {
         let root = self.flush();
         let entries = self
             .commitment
             .keys
             .iter()
+            .filter(|k| !matches!(k, ChunkKey::Accounts))
             .map(|k| (*k, store.put(self.chunk_blob(k))))
             .collect();
-        let manifest = ChunkManifest { root, entries };
+        let accounts_root = self.commitment.accounts_hamt.persist(store);
+        let manifest = ChunkManifest {
+            root,
+            accounts_root,
+            entries,
+        };
         store.put(manifest.canonical_bytes())
+    }
+
+    /// The committed account-HAMT root. `None` until the tree is flushed.
+    pub fn accounts_root(&self) -> Option<TCid<MHamtNode>> {
+        self.commitment.accounts_hamt.cached_root()
+    }
+
+    /// Builds a membership proof that `addr`'s current state is committed
+    /// under the current state root: a HAMT node path from the accounts
+    /// root down to the account, plus the Merkle path of the accounts leaf
+    /// in the state-root tree.
+    ///
+    /// Returns `None` if the account does not exist or the tree has
+    /// unflushed changes (call [`StateTree::flush`] first).
+    pub fn prove_account(&self, addr: Address) -> Option<AccountProof> {
+        if !self.is_committed() {
+            return None;
+        }
+        let hamt = self.commitment.accounts_hamt.prove(&addr)?;
+        let accounts_root = self.commitment.accounts_hamt.cached_root()?;
+        let leaf_index = self.commitment.index_of(&ChunkKey::Accounts)?;
+        let merkle = self.commitment.merkle.prove(leaf_index)?;
+        Some(AccountProof {
+            accounts_root,
+            hamt,
+            merkle,
+        })
     }
 
     /// Applies the changes captured by a [`crate::StateOverlay`] built on
@@ -509,6 +585,33 @@ impl StateTree {
     /// and burnt funds).
     pub fn total_supply(&self) -> TokenAmount {
         self.accounts.total()
+    }
+}
+
+/// A per-account membership proof against a committed state root — the
+/// light-client primitive: "this account has exactly this state under that
+/// state root".
+///
+/// Two chained commitments make up the proof: the HAMT node path proving
+/// the account under `accounts_root`, and the Merkle path proving the
+/// accounts leaf (which embeds `accounts_root`) under the state root.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AccountProof {
+    /// The account-HAMT root the state root commits to.
+    pub accounts_root: TCid<MHamtNode>,
+    /// Node path from `accounts_root` down to the account entry.
+    pub hamt: HamtProof,
+    /// Merkle path of the accounts leaf in the state-root tree.
+    pub merkle: MerkleProof,
+}
+
+impl AccountProof {
+    /// Verifies that `addr` holds exactly `state` under `state_root`.
+    pub fn verify(&self, state_root: Cid, addr: Address, state: &AccountState) -> bool {
+        self.hamt.verify(&self.accounts_root, &addr, state)
+            && self
+                .merkle
+                .verify_leaf_bytes(&accounts_leaf_blob(&self.accounts_root), state_root)
     }
 }
 
@@ -644,13 +747,24 @@ mod tests {
         t.accounts_mut().get_or_create(Address::new(100));
         let before = t.commit_stats().bytes_hashed;
         assert_eq!(t.flush(), r0, "unchanged content keeps its root");
-        // Chunks were re-encoded (dirty), but no interior Merkle rehash
-        // happened because every digest was unchanged.
+        // Chunks were re-encoded (dirty) and the touched account's HAMT
+        // path was re-hashed, but no interior Merkle rehash happened
+        // because every digest was unchanged. The single-account genesis
+        // HAMT is one node, so the invalidated path is exactly that node —
+        // reproduced here to pin the expected hash work.
         let hashed = t.commit_stats().bytes_hashed - before;
+        let mut twin = crate::hamt::Hamt::new();
+        twin.set(
+            Address::new(100),
+            t.accounts().get(Address::new(100)).unwrap().clone(),
+        );
+        let mut work = HashWork::default();
+        twin.flush(&mut work);
         let chunk_bytes = t.chunk_blob(&ChunkKey::Sca).len() as u64
             + t.chunk_blob(&ChunkKey::Atomic).len() as u64
-            + t.chunk_blob(&ChunkKey::Account(Address::new(100))).len() as u64
-            + 3;
+            + t.chunk_blob(&ChunkKey::Accounts).len() as u64
+            + 3
+            + work.bytes;
         assert_eq!(hashed, chunk_bytes);
     }
 
@@ -681,7 +795,7 @@ mod tests {
     fn persist_shares_unchanged_chunks_between_snapshots() {
         let store = CidStore::new();
         let mut t = tree();
-        for i in 0..20 {
+        for i in 0..200 {
             t.accounts_mut()
                 .credit(Address::new(500 + i), TokenAmount::from_whole(1));
         }
@@ -692,11 +806,41 @@ mod tests {
             .credit(Address::new(500), TokenAmount::from_atto(1));
         let m2 = t.persist(&store);
         assert_ne!(m1, m2);
-        // Only the changed account blob + the new manifest are new.
-        assert_eq!(store.len(), blobs_after_first + 2);
+        // Only the touched account's O(log n) HAMT root path + the new
+        // manifest are new; every untouched subtree and fixed chunk is
+        // structurally shared.
+        let new_blobs = store.len() - blobs_after_first;
+        assert!(
+            (2..=5).contains(&new_blobs),
+            "one HAMT path + manifest expected, got {new_blobs} new blobs"
+        );
         let manifest = ChunkManifest::decode(&store.get(&m2).unwrap()).unwrap();
         assert_eq!(manifest.root, t.flush());
         assert!(manifest.verify(&store));
+        // The manifest is O(fixed chunks), not O(accounts).
+        assert_eq!(manifest.entries.len(), 3);
+    }
+
+    #[test]
+    fn account_proofs_verify_against_the_committed_root() {
+        let mut t = tree();
+        for i in 0..50 {
+            t.accounts_mut()
+                .credit(Address::new(700 + i), TokenAmount::from_whole(2));
+        }
+        assert!(t.prove_account(Address::new(700)).is_none(), "unflushed");
+        let root = t.flush();
+        let proof = t.prove_account(Address::new(700)).unwrap();
+        let state = t.accounts().get(Address::new(700)).unwrap();
+        assert!(proof.verify(root, Address::new(700), state));
+        // Wrong account, wrong state, wrong root: rejected.
+        assert!(!proof.verify(root, Address::new(701), state));
+        let mut other = state.clone();
+        other.balance += TokenAmount::from_atto(1);
+        assert!(!proof.verify(root, Address::new(700), &other));
+        assert!(!proof.verify(Cid::digest(b"other root"), Address::new(700), state));
+        // Absent accounts have no proof.
+        assert!(t.prove_account(Address::new(999_999)).is_none());
     }
 
     #[test]

@@ -1,0 +1,85 @@
+//! Tier-1 scaling guard: at 1M accounts, a single-account write re-hashes
+//! at least 10× fewer bytes under the HAMT ledger than under the flat
+//! chunk-per-account baseline, and the manifest stays O(system actors).
+//!
+//! The flat baseline is the pre-HAMT design: every account is its own
+//! Merkle leaf, so a structural write (account created or removed)
+//! rebuilds the whole interior tree — `interior_hash_bytes` of a tree
+//! with `n + fixed` leaves. That cost is computed in closed form here and
+//! the closed form is checked against the real [`MerkleTree`] at small
+//! scale before being trusted at 1M.
+
+use hc_actors::ScaConfig;
+use hc_state::StateTree;
+use hc_types::merkle::MerkleTree;
+use hc_types::{Address, Cid, Keypair, SubnetId, TokenAmount};
+
+/// Interior bytes hashed by a full `MerkleTree::from_leaf_hashes` build
+/// over `n` leaves: each level hashes `floor(len/2)` pairs of `NODE_HASH_BYTES`
+/// (an odd tail node is promoted, not hashed).
+fn flat_interior_bytes(n: u64) -> u64 {
+    let mut total = 0u64;
+    let mut len = n;
+    while len > 1 {
+        total += (len / 2) * hc_types::merkle::NODE_HASH_BYTES;
+        len = len.div_ceil(2);
+    }
+    total
+}
+
+#[test]
+fn closed_form_matches_the_real_merkle_tree() {
+    for n in [1usize, 2, 3, 7, 100, 1_000, 4_097] {
+        let tree = MerkleTree::from_leaf_hashes(
+            (0..n)
+                .map(|i| Cid::digest(&(i as u64).to_le_bytes()))
+                .collect(),
+        );
+        assert_eq!(
+            tree.interior_hash_bytes(),
+            flat_interior_bytes(n as u64),
+            "closed form diverges from MerkleTree at {n} leaves"
+        );
+    }
+}
+
+#[test]
+fn million_account_write_rehashes_10x_less_than_flat_baseline() {
+    const N: u64 = 1_000_000;
+    let key = Keypair::from_seed([0x11; 32]).public();
+    let mut tree = StateTree::genesis(
+        SubnetId::root(),
+        ScaConfig::default(),
+        (0..N).map(|i| (Address::new(100 + i), key, TokenAmount::from_whole(1))),
+    );
+    tree.flush();
+
+    // One structural write: a previously unseen account appears.
+    let before = tree.commit_stats().bytes_hashed;
+    tree.accounts_mut()
+        .get_or_create(Address::new(100 + N))
+        .balance = TokenAmount::from_whole(7);
+    tree.flush();
+    let incremental = tree.commit_stats().bytes_hashed - before;
+
+    // Flat baseline: the new account becomes a new Merkle leaf, so the
+    // interior tree over (N + 1) account leaves + 3 fixed chunks is
+    // rebuilt from scratch (leaf blob hashing excluded — both designs pay
+    // it, so the comparison is conservative in the baseline's favor).
+    let flat = flat_interior_bytes(N + 1 + 3);
+    assert!(
+        incremental > 0 && flat >= 10 * incremental,
+        "HAMT write must beat the flat baseline 10x: {incremental} vs {flat} bytes"
+    );
+
+    // And the manifest no longer grows with the account count: the state
+    // root, the fixed chunks, and one HAMT root CID.
+    let store = hc_state::CidStore::new();
+    let manifest_cid = tree.persist(&store);
+    let manifest = hc_state::ChunkManifest::decode(&store.get(&manifest_cid).unwrap()).unwrap();
+    assert!(
+        manifest.entries.len() <= 4,
+        "manifest must stay O(system actors), got {} entries",
+        manifest.entries.len()
+    );
+}

@@ -4,14 +4,12 @@
 //! reproduces the source root) and tight (nothing unrelated is retained,
 //! and dropping any single chunk blob breaks the install).
 
-use std::collections::HashSet;
-
 use proptest::prelude::*;
 
 use hc_actors::sa::{SaConfig, SaState};
 use hc_actors::ScaConfig;
 use hc_state::{ChunkManifest, CidStore, InstallError, StateTree};
-use hc_types::{Address, Cid, Keypair, SubnetId, TokenAmount};
+use hc_types::{Address, Keypair, SubnetId, TokenAmount};
 
 const USERS: u64 = 4;
 
@@ -104,12 +102,20 @@ proptest! {
         let manifest_cid = tree.persist(&store);
         let manifest = ChunkManifest::decode(&store.get(&manifest_cid).unwrap()).unwrap();
 
-        // Exactness: the closure is the manifest blob plus every chunk
-        // blob it references — nothing more, nothing less.
+        // Exactness: the closure is precisely the blob set a cache-reset
+        // twin of the same content persists into an empty store — the
+        // manifest, the fixed chunks, and every account-HAMT node; nothing
+        // more, nothing less. (The twin also locks in persist determinism:
+        // same content, same manifest CID.)
+        let twin_store = CidStore::new();
+        let mut twin = tree.rebuilt();
+        let twin_cid = twin.persist(&twin_store);
+        prop_assert_eq!(twin_cid, manifest_cid, "persist must be deterministic");
         let closure = store.manifest_closure(&[manifest_cid]);
-        let mut expected: HashSet<Cid> = manifest.entries.iter().map(|(_, c)| *c).collect();
-        expected.insert(manifest_cid);
-        prop_assert_eq!(&closure, &expected, "closure != manifest + chunks");
+        prop_assert_eq!(closure.len(), twin_store.len(), "closure != persisted blob set");
+        for cid in &closure {
+            prop_assert!(twin_store.contains(cid), "closure retained an orphan");
+        }
         prop_assert!(!closure.contains(&garbage), "closure leaked an orphan");
 
         // Sufficiency: a fresh store seeded with exactly the closure

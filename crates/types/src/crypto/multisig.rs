@@ -135,6 +135,52 @@ impl SignaturePolicy {
     }
 }
 
+impl CanonicalEncode for SignaturePolicy {
+    fn write_bytes(&self, out: &mut Vec<u8>) {
+        match self {
+            SignaturePolicy::Single(pk) => {
+                out.push(0);
+                pk.write_bytes(out);
+            }
+            SignaturePolicy::MultiSig { signers, threshold } => {
+                out.push(1);
+                signers.write_bytes(out);
+                (*threshold as u64).write_bytes(out);
+            }
+            SignaturePolicy::Threshold { signers, num, den } => {
+                out.push(2);
+                signers.write_bytes(out);
+                (*num as u64).write_bytes(out);
+                (*den as u64).write_bytes(out);
+            }
+        }
+    }
+}
+
+impl crate::decode::CanonicalDecode for SignaturePolicy {
+    fn read_bytes(
+        r: &mut crate::decode::ByteReader<'_>,
+    ) -> Result<Self, crate::decode::DecodeError> {
+        let tag = u8::read_bytes(r)?;
+        match tag {
+            0 => Ok(SignaturePolicy::Single(PublicKey::read_bytes(r)?)),
+            1 => Ok(SignaturePolicy::MultiSig {
+                signers: Vec::<PublicKey>::read_bytes(r)?,
+                threshold: u64::read_bytes(r)? as usize,
+            }),
+            2 => Ok(SignaturePolicy::Threshold {
+                signers: Vec::<PublicKey>::read_bytes(r)?,
+                num: u64::read_bytes(r)? as usize,
+                den: u64::read_bytes(r)? as usize,
+            }),
+            other => Err(crate::decode::DecodeError::BadTag {
+                what: "SignaturePolicy",
+                tag: other,
+            }),
+        }
+    }
+}
+
 /// A bag of individual signatures submitted towards a policy check.
 #[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct AggregateSignature {
@@ -311,6 +357,26 @@ mod tests {
             policy.check(msg, &agg),
             Err(PolicyError::QuorumNotReached { got: 1, need: 2 })
         );
+    }
+
+    #[test]
+    fn signature_policy_codecs_round_trip_every_variant() {
+        use crate::decode::CanonicalDecode;
+        let kps = validators(3);
+        let pks: Vec<_> = kps.iter().map(|k| k.public()).collect();
+        for policy in [
+            SignaturePolicy::Single(pks[0]),
+            SignaturePolicy::MultiSig {
+                signers: pks.clone(),
+                threshold: 2,
+            },
+            SignaturePolicy::two_thirds(pks),
+        ] {
+            let bytes = policy.canonical_bytes();
+            let back = SignaturePolicy::decode(&bytes).unwrap();
+            assert_eq!(back, policy);
+        }
+        assert!(SignaturePolicy::decode(&[9]).is_err());
     }
 
     #[test]

@@ -46,6 +46,7 @@ pub mod encode;
 pub mod epoch;
 pub mod merkle;
 pub mod subnet_id;
+pub mod tcid;
 pub mod token;
 
 pub use address::Address;
@@ -55,4 +56,5 @@ pub use decode::{ByteReader, CanonicalDecode, DecodeError};
 pub use encode::CanonicalEncode;
 pub use epoch::{ChainEpoch, Nonce};
 pub use subnet_id::{RouteStep, SubnetId};
+pub use tcid::{MAmtRoot, MHamtNode, TCid};
 pub use token::TokenAmount;
