@@ -1,0 +1,60 @@
+//! Parallel block execution: block production and validation wall-clock
+//! across conflict ratio × engine thread count.
+//!
+//! The workload is `exec_block::workload` — `conflict_pct` percent of the
+//! block chained on one hot sender, the rest over disjoint account pairs.
+//! Each iteration clones the genesis tree (the same fixed cost for every
+//! configuration, so comparisons across thread counts stay fair). The
+//! determinism guard (schedule critical path, bit-identical replay) lives
+//! in `tests/exec_block_guard.rs`; this bench reports wall-clock only,
+//! which on single-CPU CI may show no speedup at all.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hc_bench::exec_block::{genesis, produce, validate, workload};
+
+fn bench_exec_block(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exec_block");
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(5));
+    group.sample_size(10);
+
+    const MSGS: usize = 1_000;
+    let mut base = genesis(MSGS);
+    base.flush();
+
+    for conflict_pct in [0u32, 50, 100] {
+        let msgs = workload(MSGS, conflict_pct);
+        let mut produced_tree = base.clone();
+        let block = produce(&mut produced_tree, msgs.clone(), 1).block;
+        group.throughput(Throughput::Elements(MSGS as u64));
+
+        for parallelism in [1usize, 2, 4, 8] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("produce/conflict_{conflict_pct}"), parallelism),
+                &parallelism,
+                |b, &p| {
+                    b.iter(|| {
+                        let mut tree = base.clone();
+                        produce(&mut tree, msgs.clone(), p)
+                    })
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("validate/conflict_{conflict_pct}"), parallelism),
+                &parallelism,
+                |b, &p| {
+                    b.iter(|| {
+                        let mut tree = base.clone();
+                        validate(&mut tree, &block, p)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_exec_block);
+criterion_main!(benches);

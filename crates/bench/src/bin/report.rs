@@ -1,5 +1,5 @@
 //! The experiment report generator: regenerates every figure scenario
-//! (F1–F11) and every quantitative experiment table (E1–E10) from DESIGN.md.
+//! (F1–F12) and every quantitative experiment table (E1–E10) from DESIGN.md.
 //!
 //! ```text
 //! cargo run -p hc-bench --bin report                  # everything
@@ -48,6 +48,7 @@ fn main() {
     run!("f9", hc_bench::f9_chaos());
     run!("f10", hc_bench::f10_state_sync());
     run!("f11", hc_bench::f11_state_tree_scaling());
+    run!("f12", hc_bench::f12_parallel_execution());
 
     run!("e1", {
         let params = if quick {

@@ -863,6 +863,55 @@ pub fn f11_state_tree_scaling() -> Result<Table, RuntimeError> {
     Ok(t)
 }
 
+/// F12 — deterministic parallel execution: the access-set schedule's shape
+/// and critical path across conflict ratios. Each row runs the
+/// `exec_block` workload at one contention level, builds the schedule the
+/// engine executes, and prices its critical path under 1/2/4/8 workers —
+/// the exact per-segment LPT assignment the executor uses, so "bound 4w" is
+/// the best speedup four workers can realise on that block. Receipts and
+/// roots are bit-identical at every setting (the `exec_block` guard and the
+/// `parallel_exec` proptests enforce it); wall-clock lives in the
+/// `exec_block` Criterion bench.
+///
+/// # Errors
+///
+/// Propagates runtime failures (none in practice — kept uniform with the
+/// other figures).
+pub fn f12_parallel_execution() -> Result<Table, RuntimeError> {
+    use crate::exec_block::{schedule_of, workload};
+
+    const MSGS: usize = 400;
+    let mut t = Table::new(
+        "F12: parallel execution — schedule shape and critical path vs conflict ratio",
+        &[
+            "conflict %",
+            "messages",
+            "lanes",
+            "longest lane",
+            "critical path 4w",
+            "bound 4w",
+            "bound 8w",
+        ],
+    );
+    for conflict_pct in [0u32, 25, 50, 75, 100] {
+        let msgs = workload(MSGS, conflict_pct);
+        let schedule = schedule_of(&msgs);
+        let stats = schedule.stats();
+        let cp4 = schedule.critical_path(4);
+        let cp8 = schedule.critical_path(8);
+        t.row(&[
+            conflict_pct.to_string(),
+            stats.messages.to_string(),
+            stats.lanes.to_string(),
+            stats.longest_lane.to_string(),
+            cp4.to_string(),
+            format!("{:.2}x", MSGS as f64 / cp4.max(1) as f64),
+            format!("{:.2}x", MSGS as f64 / cp8.max(1) as f64),
+        ]);
+    }
+    Ok(t)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -880,6 +929,29 @@ mod tests {
         assert!(!f9_chaos().unwrap().is_empty());
         assert!(!f10_state_sync().unwrap().is_empty());
         assert!(!f11_state_tree_scaling().unwrap().is_empty());
+        assert!(!f12_parallel_execution().unwrap().is_empty());
+    }
+
+    #[test]
+    fn f12_critical_path_tracks_the_conflict_ratio() {
+        let text = f12_parallel_execution().unwrap().to_string();
+        let rows: Vec<Vec<String>> = text
+            .lines()
+            .filter(|l| l.contains('|'))
+            .skip(1) // header
+            .map(|l| l.split('|').map(|c| c.trim().to_string()).collect())
+            .collect();
+        assert_eq!(rows.len(), 5, "{text}");
+        // Disjoint workload: 4 workers cut the path to a quarter.
+        let disjoint_cp: usize = rows[0][5].parse().unwrap();
+        let msgs: usize = rows[0][2].parse().unwrap();
+        assert_eq!(disjoint_cp, msgs / 4, "{text}");
+        // Fully conflicting workload: one chain, no extractable speedup.
+        let hot_cp: usize = rows[4][5].parse().unwrap();
+        assert_eq!(hot_cp, msgs, "{text}");
+        // Contention only ever lengthens the critical path.
+        let cps: Vec<usize> = rows.iter().map(|r| r[5].parse().unwrap()).collect();
+        assert!(cps.windows(2).all(|w| w[0] <= w[1]), "{text}");
     }
 
     #[test]

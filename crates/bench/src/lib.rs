@@ -3,7 +3,8 @@
 //! Scenario drivers for the paper's figures (F1–F5), the snapshot
 //! sharing demonstration (F6), the signature-cache pipeline (F7), the
 //! crash-recovery demonstration (F8), the deterministic chaos
-//! demonstration (F9), and the snapshot state-sync bootstrap (F10),
+//! demonstration (F9), the snapshot state-sync bootstrap (F10), and the
+//! parallel-execution conflict sweep (F12),
 //! shared by the
 //! `report` binary (which prints every table) and the Criterion benches.
 //! The quantitative experiments E1–E10 live in [`hc_sim::experiments`].
@@ -11,11 +12,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod exec_block;
 pub mod figures;
 pub mod msg_pipeline;
 pub mod state_sync;
 
 pub use figures::{
-    f10_state_sync, f11_state_tree_scaling, f1_overview, f2_windows, f3_commitment, f4_resolution,
-    f5_atomic, f6_snapshot_sharing, f7_sig_cache, f8_crash_recovery, f9_chaos,
+    f10_state_sync, f11_state_tree_scaling, f12_parallel_execution, f1_overview, f2_windows,
+    f3_commitment, f4_resolution, f5_atomic, f6_snapshot_sharing, f7_sig_cache, f8_crash_recovery,
+    f9_chaos,
 };

@@ -1,0 +1,66 @@
+//! The parallel-execution guard (tier-1): on 1 000 transfers over disjoint
+//! account pairs the deterministic access-set schedule must expose enough
+//! parallelism that four workers carry no more than a quarter of the block
+//! each, and production + validation must stay bit-identical — receipts,
+//! block, gas, and state roots — at every tested parallelism.
+//!
+//! Deliberately wall-clock-free: single-CPU CI cannot assert speedup, so
+//! the guard pins the schedule's *structure* (the critical path four
+//! workers would execute, which is the speedup bound) instead. Wall-clock
+//! lives in the `exec_block` Criterion bench.
+
+use hc_bench::exec_block::{genesis, produce, schedule_of, validate, workload};
+
+const MSGS: usize = 1_000;
+
+#[test]
+fn disjoint_block_schedules_flat_and_replays_bit_identically() {
+    let msgs = workload(MSGS, 0);
+
+    // Schedule structure: every message its own lane, and the deterministic
+    // LPT assignment spreads them evenly — four workers, a quarter each.
+    let schedule = schedule_of(&msgs);
+    let stats = schedule.stats();
+    assert_eq!(stats.messages, MSGS);
+    assert_eq!(stats.serial, 0, "transfers never enter the serial lane");
+    assert_eq!(stats.lanes, MSGS, "disjoint pairs must not share lanes");
+    let critical_path = schedule.critical_path(4);
+    assert!(
+        critical_path <= MSGS / 4,
+        "4-worker critical path {critical_path} exceeds 25% of {MSGS}"
+    );
+
+    // Reference: sequential production.
+    let mut base = genesis(MSGS);
+    base.flush();
+    let mut reference_tree = base.clone();
+    let reference = produce(&mut reference_tree, msgs.clone(), 1);
+    let reference_root = reference_tree.flush();
+    assert!(
+        reference.receipts.iter().all(|r| r.exit.is_ok()),
+        "the disjoint workload must fully succeed"
+    );
+
+    for parallelism in [2, 4, 8] {
+        let mut tree = base.clone();
+        let produced = produce(&mut tree, msgs.clone(), parallelism);
+        assert_eq!(
+            produced.receipts, reference.receipts,
+            "receipts diverged at parallelism {parallelism}"
+        );
+        assert_eq!(
+            produced.block, reference.block,
+            "block diverged at parallelism {parallelism}"
+        );
+        assert_eq!(produced.gas_used(), reference.gas_used());
+        assert_eq!(tree.flush(), reference_root);
+
+        let mut validator = base.clone();
+        let receipts = validate(&mut validator, &reference.block, parallelism);
+        assert_eq!(
+            receipts, reference.receipts,
+            "validation receipts diverged at parallelism {parallelism}"
+        );
+        assert_eq!(validator.flush(), reference_root);
+    }
+}

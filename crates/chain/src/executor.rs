@@ -5,21 +5,26 @@
 //! state root in the header verifiable: a validator re-executes the payload
 //! and compares roots.
 //!
-//! Both sides accept [`ExecOptions`] wiring in the message crypto pipeline:
-//! a node-local verified-signature cache consulted during sequential
-//! execution, and (validator side) batch pre-verification that fans a
-//! block's signatures across worker threads before execution consumes the
-//! verdicts. Receipts and state roots are bit-identical with the cache
-//! on/off and at any thread count — the cache and the pre-verification pass
-//! return exactly the verdict a full verification would.
+//! Both sides accept [`ExecOptions`] wiring in the message crypto pipeline
+//! and the execution engine: a node-local verified-signature cache, batch
+//! signature pre-verification fanning a block's signatures across worker
+//! threads, and — with `parallelism > 1` — conflict-aware parallel payload
+//! execution over the deterministic [`Schedule`] derived
+//! from the block's access sets (DESIGN.md §15). Receipts, gas, and state
+//! roots are bit-identical with the cache on/off and at every thread
+//! count: the scheduler only reorders messages whose access sets are
+//! provably disjoint, and each lane replays its messages in block order.
+
+use std::collections::BTreeMap;
 
 use hc_state::{
-    apply_implicit, apply_sealed, ImplicitMsg, Receipt, SealedMessage, SigCache, SigVerdict,
-    StateAccess, StateOverlay, StateTree,
+    apply_implicit, apply_sealed, AccountState, ImplicitMsg, LaneOverlay, Receipt, SealedMessage,
+    SigCache, SigVerdict, StateAccess, StateOverlay, StateTree,
 };
-use hc_types::{ChainEpoch, Cid, Keypair, SubnetId};
+use hc_types::{Address, ChainEpoch, Cid, Keypair, SubnetId};
 
 use crate::block::{Block, BlockHeader};
+use crate::schedule::{assign_lanes, Schedule, Segment};
 
 /// A produced or executed block together with its receipts.
 #[derive(Debug, Clone)]
@@ -44,9 +49,13 @@ pub struct ExecOptions<'a> {
     /// Node-local verified-signature cache. `None` means every signature is
     /// fully verified (the reference path).
     pub sig_cache: Option<&'a SigCache>,
-    /// Worker threads for batch signature pre-verification during block
-    /// validation. `0`/`1` keep everything on the caller's thread; verdicts
-    /// (and therefore receipts) are identical at every setting.
+    /// Worker threads for batch signature pre-verification *and* for
+    /// conflict-aware parallel payload execution: with `parallelism > 1`
+    /// the payload runs over the deterministic access-set
+    /// [`Schedule`] — conflict-free lanes on scoped
+    /// worker threads, serial segments as barriers. `0`/`1` keep
+    /// everything on the caller's thread (the reference sequential path).
+    /// Receipts, gas, and state roots are identical at every setting.
     pub parallelism: usize,
 }
 
@@ -160,6 +169,130 @@ fn run_payload<S: StateAccess>(
     receipts
 }
 
+/// One executed lane: its lane index, the receipts of its messages (lane
+/// order = block order within the lane), and its private write-set.
+type LaneOutcome = (usize, Vec<Receipt>, BTreeMap<Address, AccountState>);
+
+/// Executes a block's payload over the deterministic access-set
+/// [`Schedule`] with up to `parallelism` worker threads.
+///
+/// Implicit messages and serial segments run one at a time directly on
+/// `tree`, exactly as on the sequential path. Each parallel segment's lanes
+/// are deterministically assigned to workers ([`assign_lanes`] — the same
+/// assignment [`Schedule::critical_path`] prices) and executed on scoped
+/// threads, every lane against a private [`LaneOverlay`] over the shared
+/// read-only state; lane write-sets are merged back in lane order (they are
+/// disjoint by construction) and receipts scattered to canonical block
+/// positions. Signature verdicts must be pre-decided — lanes never touch
+/// the signature cache, so cache mutation stays off the concurrent path.
+///
+/// Produces bit-identical receipts, gas, and state roots to [`run_payload`]
+/// at every `parallelism`: within each dependency chain (lane, or serial
+/// barrier) messages execute in block order against exactly the state the
+/// sequential path would show them, because every account a lane reads or
+/// writes is untouched by all concurrently-running lanes.
+fn run_payload_scheduled<S: StateAccess + Sync>(
+    tree: &mut S,
+    epoch: ChainEpoch,
+    implicit: &[ImplicitMsg],
+    signed: &[SealedMessage],
+    verdicts: &[bool],
+    parallelism: usize,
+) -> Vec<Receipt> {
+    let mut receipts = Vec::with_capacity(implicit.len() + signed.len());
+    for m in implicit {
+        receipts.push(apply_implicit(tree, epoch, m));
+    }
+    let schedule = Schedule::build(signed);
+    let mut signed_receipts: Vec<Option<Receipt>> = vec![None; signed.len()];
+    for segment in schedule.segments() {
+        match segment {
+            Segment::Serial(idxs) => {
+                for &i in idxs {
+                    let verdict = SigVerdict::Decided(verdicts[i]);
+                    signed_receipts[i] = Some(apply_sealed(tree, epoch, &signed[i], verdict));
+                }
+            }
+            Segment::Parallel(lanes) => {
+                let assignment = assign_lanes(lanes, parallelism);
+                let mut outcomes: Vec<LaneOutcome> = {
+                    let base: &S = tree;
+                    let run_lanes = |lane_ids: &[usize]| -> Vec<LaneOutcome> {
+                        lane_ids
+                            .iter()
+                            .map(|&l| {
+                                let mut overlay = LaneOverlay::new(base);
+                                let lane_receipts = lanes[l]
+                                    .iter()
+                                    .map(|&i| {
+                                        let verdict = SigVerdict::Decided(verdicts[i]);
+                                        apply_sealed(&mut overlay, epoch, &signed[i], verdict)
+                                    })
+                                    .collect();
+                                (l, lane_receipts, overlay.into_writes())
+                            })
+                            .collect()
+                    };
+                    std::thread::scope(|scope| {
+                        // First worker on this thread, the rest spawned —
+                        // the same pattern as `preverify_signatures`.
+                        let pending: Vec<_> = assignment[1..]
+                            .iter()
+                            .map(|ids| scope.spawn(|| run_lanes(ids)))
+                            .collect();
+                        let mut out = run_lanes(&assignment[0]);
+                        for handle in pending {
+                            out.extend(handle.join().expect("lane worker panicked"));
+                        }
+                        out
+                    })
+                };
+                // Merge in lane order. The write-sets are pairwise disjoint,
+                // so this order is cosmetic — but keeping it fixed makes the
+                // merge auditably deterministic.
+                outcomes.sort_unstable_by_key(|(l, ..)| *l);
+                for (l, lane_receipts, writes) in outcomes {
+                    for (&i, receipt) in lanes[l].iter().zip(lane_receipts) {
+                        signed_receipts[i] = Some(receipt);
+                    }
+                    tree.absorb_accounts(writes);
+                }
+            }
+        }
+    }
+    receipts.extend(
+        signed_receipts
+            .into_iter()
+            .map(|r| r.expect("schedule covers every signed message exactly once")),
+    );
+    receipts
+}
+
+/// Dispatches the payload to the scheduled parallel engine
+/// (`parallelism > 1`) or the reference sequential path, consuming
+/// pre-decided signature verdicts either way.
+fn run_payload_with<S: StateAccess + Sync>(
+    tree: &mut S,
+    epoch: ChainEpoch,
+    implicit: &[ImplicitMsg],
+    signed: &[SealedMessage],
+    opts: ExecOptions<'_>,
+    verdicts: &[bool],
+) -> Vec<Receipt> {
+    if opts.parallelism > 1 {
+        run_payload_scheduled(tree, epoch, implicit, signed, verdicts, opts.parallelism)
+    } else {
+        run_payload(
+            tree,
+            epoch,
+            implicit,
+            signed,
+            opts.sig_cache,
+            Some(verdicts),
+        )
+    }
+}
+
 /// Produces a block at `epoch` on top of `parent`, executing the payload
 /// against `tree` (which is left at the post-block state) and sealing the
 /// result with the proposer's key. Uses the reference crypto path (no
@@ -190,10 +323,13 @@ pub fn produce_block(
     )
 }
 
-/// [`produce_block`] with crypto-pipeline options. With a signature cache,
-/// messages admitted through a cache-wired mempool execute without a second
-/// full verification (their verdicts were cached at admission), and the
-/// messages root reuses each message's memoized CID.
+/// [`produce_block`] with crypto-pipeline and execution-engine options.
+/// With a signature cache, messages admitted through a cache-wired mempool
+/// execute without a second full verification (their verdicts were cached
+/// at admission), and the messages root reuses each message's memoized CID.
+/// Signatures are batch pre-verified up front — across `opts.parallelism`
+/// threads, same as validation — and with `parallelism > 1` the payload
+/// executes on the scheduled parallel engine.
 #[allow(clippy::too_many_arguments)]
 pub fn produce_block_with(
     tree: &mut StateTree,
@@ -206,14 +342,8 @@ pub fn produce_block_with(
     timestamp_ms: u64,
     opts: ExecOptions<'_>,
 ) -> ExecutedBlock {
-    let receipts = run_payload(
-        tree,
-        epoch,
-        &implicit_msgs,
-        &signed_msgs,
-        opts.sig_cache,
-        None,
-    );
+    let verdicts = preverify_signatures(&signed_msgs, opts.sig_cache, opts.parallelism);
+    let receipts = run_payload_with(tree, epoch, &implicit_msgs, &signed_msgs, opts, &verdicts);
     let header = BlockHeader {
         subnet,
         epoch,
@@ -247,10 +377,11 @@ pub fn execute_block(tree: &mut StateTree, block: &Block) -> Result<Vec<Receipt>
     execute_block_with(tree, block, ExecOptions::default())
 }
 
-/// [`execute_block`] with crypto-pipeline options: the block's signatures
-/// are batch pre-verified (across `opts.parallelism` threads, through the
-/// cache when one is wired) before sequential execution consumes the
-/// verdicts.
+/// [`execute_block`] with crypto-pipeline and execution-engine options: the
+/// block's signatures are batch pre-verified (across `opts.parallelism`
+/// threads, through the cache when one is wired), then the payload consumes
+/// the verdicts — sequentially at `parallelism <= 1`, or on the scheduled
+/// conflict-free parallel engine above that.
 ///
 /// # Errors
 ///
@@ -273,13 +404,13 @@ pub fn execute_block_with(
     // overlays derive candidate roots from it.
     tree.flush();
     let mut overlay = StateOverlay::new(tree);
-    let receipts = run_payload(
+    let receipts = run_payload_with(
         &mut overlay,
         block.header.epoch,
         &block.implicit_msgs,
         &block.signed_msgs,
-        opts.sig_cache,
-        Some(&verdicts),
+        opts,
+        &verdicts,
     );
     let computed = overlay.root();
     if computed != block.header.state_root {
@@ -414,6 +545,105 @@ mod tests {
                 },
             )
             .unwrap();
+            assert_eq!(receipts, reference.receipts);
+            assert_eq!(validator.flush(), reference_tree.flush());
+        }
+    }
+
+    #[test]
+    fn parallel_production_is_bit_identical_to_sequential() {
+        use hc_state::Method;
+
+        let proposer = Keypair::from_seed([0xe2; 32]);
+        let users: Vec<Keypair> = (0..8).map(|i| Keypair::from_seed([0x40 + i; 32])).collect();
+        let mut base = StateTree::genesis(
+            SubnetId::root(),
+            ScaConfig::default(),
+            users.iter().enumerate().map(|(i, kp)| {
+                (
+                    Address::new(100 + i as u64),
+                    kp.public(),
+                    TokenAmount::from_whole(10),
+                )
+            }),
+        );
+        base.flush();
+
+        let send = |u: usize, to: u64, nonce: u64, signer: &Keypair| -> SealedMessage {
+            Message::transfer(
+                Address::new(100 + u as u64),
+                Address::new(to),
+                TokenAmount::from_whole(1),
+                Nonce::new(nonce),
+            )
+            .sign(signer)
+            .into()
+        };
+        let mut msgs: Vec<SealedMessage> = Vec::new();
+        // Disjoint pairs: each its own lane.
+        for (u, key) in users.iter().enumerate().take(4) {
+            msgs.push(send(u, 200 + u as u64, 0, key));
+        }
+        // Same-sender chain: must stay ordered within one lane.
+        msgs.push(send(0, 210, 1, &users[0]));
+        msgs.push(send(0, 211, 2, &users[0]));
+        // Serial barrier in the middle of the block.
+        msgs.push(
+            Message {
+                from: Address::new(105),
+                to: Address::SCA,
+                value: TokenAmount::ZERO,
+                nonce: Nonce::ZERO,
+                method: Method::SaveState { state: Cid::NIL },
+            }
+            .sign(&users[5])
+            .into(),
+        );
+        // Deterministic failures: bad nonce, then a forged signature.
+        msgs.push(send(6, 220, 7, &users[6]));
+        msgs.push(send(7, 221, 0, &users[0]));
+
+        let mut reference_tree = base.clone();
+        let reference = produce_block(
+            &mut reference_tree,
+            SubnetId::root(),
+            ChainEpoch::new(1),
+            Cid::NIL,
+            vec![],
+            msgs.clone(),
+            &proposer,
+            1_000,
+        );
+        let failures = reference
+            .receipts
+            .iter()
+            .filter(|r| !r.exit.is_ok())
+            .count();
+        assert_eq!(failures, 2, "bad nonce and forged signature both fail");
+
+        for parallelism in [2, 4, 8] {
+            let opts = ExecOptions {
+                sig_cache: None,
+                parallelism,
+            };
+            let mut produced_tree = base.clone();
+            let produced = produce_block_with(
+                &mut produced_tree,
+                SubnetId::root(),
+                ChainEpoch::new(1),
+                Cid::NIL,
+                vec![],
+                msgs.clone(),
+                &proposer,
+                1_000,
+                opts,
+            );
+            assert_eq!(produced.receipts, reference.receipts);
+            assert_eq!(produced.block, reference.block);
+            assert_eq!(produced_tree.flush(), reference_tree.flush());
+
+            let mut validator = base.clone();
+            let receipts = execute_block_with(&mut validator, &reference.block, opts).unwrap();
             assert_eq!(receipts, reference.receipts);
             assert_eq!(validator.flush(), reference_tree.flush());
         }

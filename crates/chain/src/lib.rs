@@ -11,7 +11,9 @@
 //!   and a [`CrossMsgPool`] tracking unverified cross-net messages;
 //! * [`store`] — the append-only chain store with head tracking;
 //! * [`executor`] — block production and validation against an
-//!   `hc-state` [`StateTree`](hc_state::StateTree).
+//!   `hc-state` [`StateTree`](hc_state::StateTree);
+//! * [`schedule`] — deterministic access-set scheduling that partitions a
+//!   block's messages into conflict-free lanes for parallel execution.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -19,6 +21,7 @@
 pub mod block;
 pub mod executor;
 pub mod mempool;
+pub mod schedule;
 pub mod store;
 
 pub use block::{Block, BlockHeader};
@@ -27,4 +30,5 @@ pub use executor::{
     BlockError, ExecOptions, ExecutedBlock,
 };
 pub use mempool::{CrossMsgPool, Mempool};
+pub use schedule::{Schedule, ScheduleStats, Segment};
 pub use store::ChainStore;

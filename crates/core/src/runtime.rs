@@ -62,10 +62,14 @@ pub struct RuntimeConfig {
     /// so destinations learn of pending payments immediately
     /// (the §IV-A acceleration).
     pub certificates_enabled: bool,
-    /// Worker threads for [`HierarchyRuntime::step_wave`]: subnets due in
-    /// the same wave produce their blocks concurrently on up to this many
-    /// threads. `1` (the default) keeps everything on the caller's thread;
-    /// results are bit-identical at every setting.
+    /// Worker threads, used three ways: subnets due in the same
+    /// [`HierarchyRuntime::step_wave`] produce their blocks concurrently,
+    /// each block's signatures are batch pre-verified across this many
+    /// threads, and — above `1` — block payloads execute on the
+    /// conflict-aware parallel engine (`hc-chain`'s access-set schedule:
+    /// disjoint lanes on worker threads, system-touching messages serial).
+    /// `1` (the default) keeps everything on the caller's thread; receipts,
+    /// gas, and state roots are bit-identical at every setting.
     pub parallelism: usize,
     /// Capacity of each node's verified-signature cache (entries). The
     /// cache memoizes `(signer, message CID, signature)` triples whose

@@ -8,6 +8,8 @@
 //! trait, so both paths execute the *same* code — the equivalence the
 //! state-root determinism guarantees rest on.
 
+use std::collections::BTreeMap;
+
 use hc_actors::sa::SaState;
 use hc_actors::{AtomicExecRegistry, Ledger, ScaState};
 use hc_types::{Address, SubnetId};
@@ -54,6 +56,14 @@ pub trait StateAccess {
 
     /// Mutable atomic-execution coordinator access.
     fn atomic_mut(&mut self) -> &mut AtomicExecRegistry;
+
+    /// Folds a batch of account states in wholesale — the merge step of
+    /// parallel lane execution ([`crate::parallel::LaneOverlay`]): each
+    /// entry replaces (or creates) the account at its address. The lanes a
+    /// schedule produces have disjoint write-sets, so the merge order can
+    /// never matter; the engine still merges in lane order for belt and
+    /// braces.
+    fn absorb_accounts(&mut self, writes: BTreeMap<Address, AccountState>);
 }
 
 impl StateAccess for StateTree {
@@ -104,5 +114,11 @@ impl StateAccess for StateTree {
 
     fn atomic_mut(&mut self) -> &mut AtomicExecRegistry {
         StateTree::atomic_mut(self)
+    }
+
+    fn absorb_accounts(&mut self, writes: BTreeMap<Address, AccountState>) {
+        for (addr, state) in writes {
+            *self.accounts_mut().get_or_create(addr) = state;
+        }
     }
 }

@@ -111,6 +111,13 @@ pub struct CommitStats {
     /// Total bytes fed to the hash function (chunk leaf encodings, HAMT
     /// node encodings, and interior Merkle nodes).
     pub bytes_hashed: u64,
+    /// Overlay account reads answered by the per-block read memo
+    /// (accumulated from applied overlays — see
+    /// [`crate::overlay::ReadMemoStats`]).
+    pub overlay_read_hits: u64,
+    /// Overlay account reads that traversed the base table (one per
+    /// distinct address per applied overlay).
+    pub overlay_read_misses: u64,
 }
 
 /// The cached commitment of a [`crate::StateTree`]: the account HAMT,

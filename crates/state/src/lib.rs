@@ -29,6 +29,7 @@ pub mod hamt;
 pub mod install;
 pub mod message;
 pub mod overlay;
+pub mod parallel;
 pub mod params;
 pub mod sealed;
 pub mod sigcache;
@@ -42,7 +43,8 @@ pub use chunk::{blob_links, ChunkKey, ChunkManifest, CommitStats, MANIFEST_TAG};
 pub use hamt::{Hamt, HamtError, HamtProof, HashWork};
 pub use install::InstallError;
 pub use message::{ImplicitMsg, Message, Method, SignedMessage};
-pub use overlay::{OverlayChanges, StateOverlay};
+pub use overlay::{OverlayChanges, ReadMemoStats, StateOverlay};
+pub use parallel::{access_pair, LaneOverlay};
 pub use sealed::SealedMessage;
 pub use sigcache::{SigCache, SigCacheStats, DEFAULT_SIG_CACHE_CAPACITY};
 pub use store::{CidStore, CidStoreStats};

@@ -15,6 +15,7 @@
 //! marking exactly those chunks dirty for the next flush.
 
 use std::collections::BTreeMap;
+use std::sync::Mutex;
 
 use hc_actors::ledger::LedgerError;
 use hc_actors::sa::SaState;
@@ -27,18 +28,55 @@ use crate::chunk::{accounts_leaf_blob, ChunkKey};
 use crate::hamt::HashWork;
 use crate::tree::{AccountState, Accounts, StateTree};
 
+/// Hit/miss counters of the per-block account read memo.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReadMemoStats {
+    /// Base-table reads answered from the memo.
+    pub hits: u64,
+    /// Base-table reads that had to traverse the base (and seeded the
+    /// memo).
+    pub misses: u64,
+}
+
+/// Per-block account read memo: each distinct address pays one base-table
+/// traversal per block, repeated reads of a hot account (authentication,
+/// balance checks) are answered from the memo. The cached references point
+/// into the immutable *base* table, so they stay valid for the overlay's
+/// whole lifetime; written accounts are served from `touched` before the
+/// memo is ever consulted. Interior mutability is a `Mutex` (not a
+/// `RefCell`) so the overlay stays `Sync` — parallel execution lanes read
+/// it concurrently.
+#[derive(Debug, Default)]
+struct ReadMemo<'a> {
+    cached: BTreeMap<Address, Option<&'a AccountState>>,
+    stats: ReadMemoStats,
+}
+
 /// Copy-on-write view of the account table: reads fall through to the base
-/// tree, writes materialise the account into a private map.
+/// tree (through a per-block read memo), writes materialise the account
+/// into a private map.
 #[derive(Debug)]
 pub struct OverlayAccounts<'a> {
     base: &'a Accounts,
     touched: BTreeMap<Address, AccountState>,
+    memo: Mutex<ReadMemo<'a>>,
 }
 
 impl OverlayAccounts<'_> {
     /// Read-only view of an account, overlay-first.
     pub fn get(&self, addr: Address) -> Option<&AccountState> {
-        self.touched.get(&addr).or_else(|| self.base.get(addr))
+        if let Some(acc) = self.touched.get(&addr) {
+            return Some(acc);
+        }
+        let mut memo = self.memo.lock().expect("read memo poisoned");
+        if let Some(&cached) = memo.cached.get(&addr) {
+            memo.stats.hits += 1;
+            return cached;
+        }
+        memo.stats.misses += 1;
+        let found = self.base.get(addr);
+        memo.cached.insert(addr, found);
+        found
     }
 
     /// Mutable access, copying the account out of the base on first touch.
@@ -86,6 +124,10 @@ pub struct OverlayChanges {
     pub(crate) sas: BTreeMap<Address, SaState>,
     pub(crate) atomic: Option<AtomicExecRegistry>,
     pub(crate) next_actor_id: Option<u64>,
+    /// Read-memo counters observed while executing on the overlay; folded
+    /// into [`crate::CommitStats`] by [`StateTree::apply_changes`]
+    /// (bookkeeping only — never part of the observable state).
+    pub(crate) read_stats: ReadMemoStats,
 }
 
 impl OverlayChanges {
@@ -127,6 +169,7 @@ impl<'a> StateOverlay<'a> {
             accounts: OverlayAccounts {
                 base: base.accounts(),
                 touched: BTreeMap::new(),
+                memo: Mutex::new(ReadMemo::default()),
             },
             sca: None,
             sas: BTreeMap::new(),
@@ -241,6 +284,7 @@ impl<'a> StateOverlay<'a> {
 
     /// Consumes the overlay, yielding the captured writes.
     pub fn into_changes(self) -> OverlayChanges {
+        let read_stats = self.read_memo_stats();
         OverlayChanges {
             accounts: self.accounts.touched,
             sca: self.sca,
@@ -248,6 +292,7 @@ impl<'a> StateOverlay<'a> {
             atomic: self.atomic,
             next_actor_id: (self.next_actor_id != self.base.next_actor_id())
                 .then_some(self.next_actor_id),
+            read_stats,
         }
     }
 
@@ -255,6 +300,12 @@ impl<'a> StateOverlay<'a> {
     /// for the no-full-clone guarantee).
     pub fn touched_accounts(&self) -> usize {
         self.accounts.touched_len()
+    }
+
+    /// Counters of the per-block account read memo: each distinct address
+    /// misses once, every further base-table read of it is a hit.
+    pub fn read_memo_stats(&self) -> ReadMemoStats {
+        self.accounts.memo.lock().expect("read memo poisoned").stats
     }
 }
 
@@ -323,6 +374,12 @@ impl<'o> StateAccess for StateOverlay<'o> {
 
     fn atomic_mut(&mut self) -> &mut AtomicExecRegistry {
         self.ensure_atomic()
+    }
+
+    fn absorb_accounts(&mut self, writes: BTreeMap<Address, AccountState>) {
+        // Written accounts are always served from `touched` before the read
+        // memo is consulted, so no memo invalidation is needed.
+        self.accounts.touched.extend(writes);
     }
 }
 
@@ -433,6 +490,43 @@ mod tests {
         assert!(overlay.account(Address::new(9999)).is_none());
         assert_eq!(overlay.sca().child_count(), 0);
         assert_eq!(overlay.touched_accounts(), 0);
+    }
+
+    #[test]
+    fn read_memo_pays_one_base_traversal_per_hot_account() {
+        let t = tree();
+        let overlay = StateOverlay::new(&t);
+        assert_eq!(overlay.read_memo_stats(), ReadMemoStats::default());
+        for _ in 0..5 {
+            assert!(overlay.account(Address::new(100)).is_some());
+            assert!(overlay.account(Address::new(9999)).is_none());
+        }
+        // Two distinct addresses (one absent — negative results memoise
+        // too): 2 misses, 8 hits.
+        assert_eq!(
+            overlay.read_memo_stats(),
+            ReadMemoStats { hits: 8, misses: 2 }
+        );
+    }
+
+    #[test]
+    fn read_memo_never_shadows_overlay_writes() {
+        let mut t = tree();
+        t.flush();
+        let mut overlay = StateOverlay::new(&t);
+        // Seed the memo with the base state, then write through the
+        // overlay: reads must see the write, not the memoised base ref.
+        assert_eq!(
+            overlay.account(Address::new(100)).unwrap().balance,
+            TokenAmount::from_whole(10)
+        );
+        overlay
+            .ledger_mut()
+            .credit(Address::new(100), TokenAmount::from_whole(5));
+        assert_eq!(
+            overlay.account(Address::new(100)).unwrap().balance,
+            TokenAmount::from_whole(15)
+        );
     }
 
     #[test]

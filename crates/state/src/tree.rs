@@ -560,6 +560,8 @@ impl StateTree {
     /// Applies the changes captured by a [`crate::StateOverlay`] built on
     /// this tree, marking exactly the written chunks dirty.
     pub fn apply_changes(&mut self, changes: OverlayChanges) {
+        self.commitment.stats.overlay_read_hits += changes.read_stats.hits;
+        self.commitment.stats.overlay_read_misses += changes.read_stats.misses;
         for (addr, state) in changes.accounts {
             *self.accounts.get_or_create(addr) = state;
         }
