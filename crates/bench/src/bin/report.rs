@@ -1,5 +1,6 @@
 //! The experiment report generator: regenerates every figure scenario
-//! (F1–F12) and every quantitative experiment table (E1–E10) from DESIGN.md.
+//! (F1–F12) and every quantitative experiment table (E1–E10, E13) from
+//! DESIGN.md.
 //!
 //! ```text
 //! cargo run -p hc-bench --bin report                  # everything
@@ -8,9 +9,9 @@
 //! ```
 
 use hc_sim::experiments::{
-    e10_cross_ratio, e1_scaling, e2_latency, e3_checkpoints, e4_firewall, e5_atomic, e6_consensus,
-    e7_resolution, e8_collateral, e9_certificates, E10Params, E1Params, E2Params, E3Params,
-    E4Params, E5Params, E6Params, E7Params, E8Params, E9Params,
+    e10_cross_ratio, e13_elasticity, e1_scaling, e2_latency, e3_checkpoints, e4_firewall,
+    e5_atomic, e6_consensus, e7_resolution, e8_collateral, e9_certificates, E10Params, E13Params,
+    E1Params, E2Params, E3Params, E4Params, E5Params, E6Params, E7Params, E8Params, E9Params,
 };
 
 fn main() {
@@ -152,5 +153,22 @@ fn main() {
             E10Params::default()
         };
         e10_cross_ratio::e10_run(&params).map(|rows| e10_cross_ratio::table(&rows))
+    });
+
+    run!("e13", {
+        let params = if quick {
+            E13Params {
+                population: 100_000,
+                rounds: 60,
+                start_rate: 5,
+                peak_rate: 150,
+                block_capacity: 25,
+                tail_window: 12,
+                ..E13Params::default()
+            }
+        } else {
+            E13Params::default()
+        };
+        e13_elasticity::e13_run(&params).map(|o| e13_elasticity::table(&o))
     });
 }

@@ -3,11 +3,13 @@
 //! Scenario drivers for the paper's figures (F1–F5), the snapshot
 //! sharing demonstration (F6), the signature-cache pipeline (F7), the
 //! crash-recovery demonstration (F8), the deterministic chaos
-//! demonstration (F9), the snapshot state-sync bootstrap (F10), and the
-//! parallel-execution conflict sweep (F12),
+//! demonstration (F9), the snapshot state-sync bootstrap (F10), the
+//! parallel-execution conflict sweep (F12), and the elastic scale-out
+//! ramp with its overload burst (F13),
 //! shared by the
 //! `report` binary (which prints every table) and the Criterion benches.
-//! The quantitative experiments E1–E10 live in [`hc_sim::experiments`].
+//! The quantitative experiments E1–E10 and E13 live in
+//! [`hc_sim::experiments`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -15,6 +17,7 @@
 pub mod exec_block;
 pub mod figures;
 pub mod msg_pipeline;
+pub mod scale_out;
 pub mod state_sync;
 
 pub use figures::{

@@ -132,25 +132,28 @@ pub fn baseline_admission(
     by_sender
 }
 
-/// Round-robin selection over senders in nonce order — the pre-pipeline
-/// `Mempool::select` fairness, reproduced so baseline and pipeline execute
-/// the identical sequence.
+/// Fee-priority selection over nonce lanes — `Mempool::select`'s order
+/// (all fees are equal here, so lanes merge on the head's message CID),
+/// reproduced with from-scratch CID recomputation per comparison so
+/// baseline and pipeline execute the identical sequence while the
+/// baseline pays pre-pipeline hashing costs.
 pub fn baseline_select(
     pool: &BTreeMap<Address, BTreeMap<Nonce, SignedMessage>>,
 ) -> Vec<SignedMessage> {
-    let mut cursors: Vec<_> = pool.values().map(|q| q.values()).collect();
+    let mut cursors: Vec<_> = pool.values().map(|q| q.values().peekable()).collect();
     let mut out = Vec::new();
     loop {
-        let mut any = false;
-        for c in &mut cursors {
-            if let Some(m) = c.next() {
-                out.push(m.clone());
-                any = true;
+        let mut best: Option<(Cid, usize)> = None;
+        for (i, c) in cursors.iter_mut().enumerate() {
+            if let Some(m) = c.peek() {
+                let cid = m.message.cid();
+                if best.as_ref().is_none_or(|(b, _)| cid < *b) {
+                    best = Some((cid, i));
+                }
             }
         }
-        if !any {
-            return out;
-        }
+        let Some((_, i)) = best else { return out };
+        out.push(cursors[i].next().expect("peeked lane has a head").clone());
     }
 }
 

@@ -29,6 +29,6 @@ pub use executor::{
     execute_block, execute_block_with, preverify_signatures, produce_block, produce_block_with,
     BlockError, ExecOptions, ExecutedBlock,
 };
-pub use mempool::{CrossMsgPool, Mempool};
+pub use mempool::{CrossMsgPool, Mempool, MempoolConfig, MempoolStats, PushOutcome};
 pub use schedule::{Schedule, ScheduleStats, Segment};
 pub use store::ChainStore;

@@ -5,40 +5,163 @@
 //! targeting the subnet, and a cross-msg pool that listens to unverified
 //! cross-msgs directed at (or traversing) the subnet".
 //!
-//! * [`Mempool`] is the internal pool: signed user messages, ordered per
-//!   sender by nonce, selected FIFO-fairly into block proposals.
+//! * [`Mempool`] is the internal pool: signed user messages in per-sender
+//!   nonce lanes, selected fee-priority-first into block proposals, with a
+//!   bounded-memory admission controller that evicts the lowest-fee lane
+//!   tails deterministically under overload.
 //! * [`CrossMsgPool`] is the cross-msg pool: top-down messages pulled from
 //!   the parent SCA (applied in nonce order), and bottom-up metas awaiting
 //!   content resolution before they can be proposed.
+//!
+//! # Admission control
+//!
+//! The fee attached at admission is *node-local gossip metadata* — a
+//! priority bid, like priority fees relayed alongside transactions before
+//! consensus. It is not part of the canonically encoded [`hc_state::Message`],
+//! is not covered by the signature, and never reaches execution; it only
+//! orders the pool. Occupancy is accounted in canonical wire bytes of the
+//! signed message, so the configured [`MempoolConfig::capacity_bytes`] is a
+//! real memory bound: the pool never holds more admitted bytes than that,
+//! no matter how hard it is flooded.
+//!
+//! Eviction picks the globally lowest-priority *lane tail* (the
+//! highest-nonce message of some sender), ordered by fee ascending with the
+//! message CID as the deterministic tie-break. Evicting tails (never heads)
+//! keeps every surviving lane a dense nonce prefix, so admission order
+//! cannot strand an executable message behind an evicted one. The incoming
+//! message itself participates: if it *is* the lowest-priority tail, it is
+//! the one refused.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, BinaryHeap, HashMap};
 
 use hc_actors::{CrossMsg, CrossMsgMeta};
 use hc_state::{SealedMessage, SigCache, SignedMessage};
-use hc_types::{Address, ChainEpoch, Cid, Nonce};
+use hc_types::{Address, CanonicalEncode, ChainEpoch, Cid, Nonce, SubnetId};
 
 /// How many epochs an admitted CID stays in the dedup set after its
 /// admission epoch. Replays older than this are caught by account-nonce
 /// validation at execution time, so the set can forget them.
 pub const DEFAULT_SEEN_HORIZON_EPOCHS: u64 = 256;
 
+/// Admission-control knobs for [`Mempool`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MempoolConfig {
+    /// Memory budget for pending messages, in canonical wire bytes of the
+    /// signed messages held. `0` means unbounded (the pre-admission-control
+    /// behaviour).
+    pub capacity_bytes: usize,
+    /// Epochs an admitted CID stays in the dedup set past its admission
+    /// epoch.
+    pub seen_horizon_epochs: u64,
+}
+
+impl Default for MempoolConfig {
+    fn default() -> Self {
+        MempoolConfig {
+            capacity_bytes: 0,
+            seen_horizon_epochs: DEFAULT_SEEN_HORIZON_EPOCHS,
+        }
+    }
+}
+
+/// Admission/eviction counters of one [`Mempool`] (mergeable into a
+/// runtime-wide aggregate, like `SigCacheStats`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MempoolStats {
+    /// Messages admitted (verified, deduped, and kept — at least until a
+    /// later admission evicted them).
+    pub admitted: u64,
+    /// Messages refused because their CID was already admitted within the
+    /// dedup horizon.
+    pub rejected_duplicate: u64,
+    /// Messages refused because their signature did not verify.
+    pub rejected_invalid: u64,
+    /// Messages refused by admission control: the pool was over budget and
+    /// the incoming message itself was the lowest-priority tail.
+    pub rejected_full: u64,
+    /// Previously admitted messages evicted to admit higher-priority ones.
+    pub evicted: u64,
+    /// Highest occupancy observed, in bytes (never exceeds the configured
+    /// capacity).
+    pub high_water_bytes: u64,
+    /// Highest occupancy observed, in messages.
+    pub high_water_msgs: u64,
+}
+
+impl MempoolStats {
+    /// Folds another pool's counters into this one. Counters sum;
+    /// high-water marks sum too, so a runtime-wide aggregate bounds the
+    /// hierarchy's total pool memory.
+    pub fn merge(&mut self, other: MempoolStats) {
+        self.admitted += other.admitted;
+        self.rejected_duplicate += other.rejected_duplicate;
+        self.rejected_invalid += other.rejected_invalid;
+        self.rejected_full += other.rejected_full;
+        self.evicted += other.evicted;
+        self.high_water_bytes += other.high_water_bytes;
+        self.high_water_msgs += other.high_water_msgs;
+    }
+}
+
+/// What [`Mempool::push_sealed_with_fee`] did with a message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushOutcome {
+    /// Verified and admitted (possibly evicting lower-priority messages).
+    Admitted,
+    /// Refused: CID already admitted within the dedup horizon.
+    Duplicate,
+    /// Refused: signature verification failed.
+    Invalid,
+    /// Refused by admission control: the pool is at capacity and this
+    /// message was the lowest-priority candidate.
+    Full,
+}
+
+impl PushOutcome {
+    /// `true` when the message is now pending in the pool.
+    pub fn is_admitted(self) -> bool {
+        self == PushOutcome::Admitted
+    }
+}
+
+/// One pending message with its admission metadata.
+#[derive(Debug, Clone)]
+struct PoolEntry {
+    msg: SealedMessage,
+    fee: u64,
+    bytes: usize,
+}
+
 /// The internal pool of pending signed user messages.
 #[derive(Debug, Clone)]
 pub struct Mempool {
-    /// Per-sender queues ordered by nonce, holding sealed messages so the
-    /// CIDs derived at admission travel into block assembly and execution.
-    by_sender: BTreeMap<Address, BTreeMap<Nonce, SealedMessage>>,
+    /// Per-sender nonce lanes holding sealed messages (CIDs derived at
+    /// admission travel into block assembly and execution) plus their
+    /// admission fee and byte accounting.
+    by_sender: BTreeMap<Address, BTreeMap<Nonce, PoolEntry>>,
     /// Message CIDs already admitted, tagged with the chain epoch current
     /// at admission (dedup with bounded memory — see
     /// [`Mempool::advance_epoch`]).
     seen: HashMap<Cid, ChainEpoch>,
-    /// Epochs a CID stays in `seen` past its admission epoch.
-    seen_horizon_epochs: u64,
+    /// Admission-control configuration.
+    config: MempoolConfig,
+    /// Bytes currently held (sum of entry `bytes`).
+    occupancy_bytes: usize,
     /// The chain epoch the pool currently considers "now".
     current_epoch: ChainEpoch,
     /// Verified-signature cache populated at admission and shared with the
     /// node's executor; `None` verifies every admission fully.
     sig_cache: Option<SigCache>,
+    /// Admission/eviction counters.
+    stats: MempoolStats,
+    /// Admissions per sender since the last [`Mempool::take_activity`]
+    /// drain — the hotness signal the elastic controller samples.
+    activity: BTreeMap<Address, u64>,
+    /// `(sender, nonce)` pairs dropped by admission control since the last
+    /// [`Mempool::drain_evictions`] — the submitter consults this to
+    /// rewind signing cursors so a dropped nonce can be re-signed instead
+    /// of leaving a permanent gap in the sender's lane.
+    evicted_log: Vec<(Address, Nonce)>,
 }
 
 impl Default for Mempool {
@@ -46,26 +169,38 @@ impl Default for Mempool {
         Mempool {
             by_sender: BTreeMap::new(),
             seen: HashMap::new(),
-            seen_horizon_epochs: DEFAULT_SEEN_HORIZON_EPOCHS,
+            config: MempoolConfig::default(),
+            occupancy_bytes: 0,
             current_epoch: ChainEpoch::GENESIS,
             sig_cache: None,
+            stats: MempoolStats::default(),
+            activity: BTreeMap::new(),
+            evicted_log: Vec::new(),
         }
     }
 }
 
 impl Mempool {
-    /// Creates an empty pool with the default dedup horizon.
+    /// Creates an empty unbounded pool with the default dedup horizon.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an empty pool with the given admission-control config.
+    pub fn with_config(config: MempoolConfig) -> Self {
+        Mempool {
+            config,
+            ..Self::default()
+        }
     }
 
     /// Creates an empty pool that remembers admitted CIDs for `horizon`
     /// epochs past their admission epoch.
     pub fn with_seen_horizon(horizon: u64) -> Self {
-        Mempool {
+        Self::with_config(MempoolConfig {
             seen_horizon_epochs: horizon,
-            ..Self::default()
-        }
+            ..MempoolConfig::default()
+        })
     }
 
     /// Wires in a verified-signature cache: admission verdicts are cached
@@ -77,8 +212,8 @@ impl Mempool {
         self
     }
 
-    /// Admits a message after signature pre-validation. Duplicates and
-    /// messages with unverifiable signatures are refused.
+    /// Admits a message after signature pre-validation, at fee 0.
+    /// Duplicates and messages with unverifiable signatures are refused.
     ///
     /// Returns `true` if the message was admitted.
     pub fn push(&mut self, msg: SignedMessage) -> bool {
@@ -87,33 +222,110 @@ impl Mempool {
 
     /// [`Mempool::push`] for an already-sealed message (keeps CIDs derived
     /// by the caller, e.g. the submission path that reports the CID back).
+    pub fn push_sealed(&mut self, msg: SealedMessage) -> bool {
+        self.push_sealed_with_fee(msg, 0).is_admitted()
+    }
+
+    /// Admits a message with a priority fee bid.
     ///
     /// The dedup check runs *before* signature verification: a replayed
-    /// duplicate costs one memoized CID read, not a full verification
-    /// (previously the expensive check ran first). Deduplication keys on
-    /// the message CID — what the signature covers and receipts are keyed
-    /// by — so a replay with a mangled signature is refused just like an
-    /// exact duplicate. `seen` is only populated by *verified* admissions:
-    /// an attacker cannot block a valid message by pre-sending a forgery
-    /// of it.
-    pub fn push_sealed(&mut self, msg: SealedMessage) -> bool {
+    /// duplicate costs one memoized CID read, not a full verification.
+    /// Deduplication keys on the message CID — what the signature covers
+    /// and receipts are keyed by — so a replay with a mangled signature is
+    /// refused just like an exact duplicate. `seen` is only populated by
+    /// *verified* admissions: an attacker cannot block a valid message by
+    /// pre-sending a forgery of it. Messages evicted by admission control
+    /// are forgotten by the dedup set, so a later re-submission (when the
+    /// pool has drained) is admitted again.
+    pub fn push_sealed_with_fee(&mut self, msg: SealedMessage, fee: u64) -> PushOutcome {
         let cid = msg.msg_cid();
         if self.seen.contains_key(&cid) {
-            return false;
+            self.stats.rejected_duplicate += 1;
+            return PushOutcome::Duplicate;
         }
         let verified = match &self.sig_cache {
             Some(cache) => cache.verify_sealed(&msg),
             None => msg.verify_signature(),
         };
         if !verified {
-            return false;
+            self.stats.rejected_invalid += 1;
+            return PushOutcome::Invalid;
         }
+        let bytes = msg.signed().canonical_bytes().len();
+        let from = msg.message().from;
+        let nonce = msg.message().nonce;
+
+        // Insert first, then restore the byte budget by evicting the
+        // globally lowest-priority lane tails. The incoming message
+        // competes on equal terms: if it is itself the lowest-priority
+        // tail it is the one refused, which is what makes the admitted
+        // set independent of arrival order for equal-size messages.
         self.seen.insert(cid, self.current_epoch);
+        self.occupancy_bytes += bytes;
         self.by_sender
-            .entry(msg.message().from)
+            .entry(from)
             .or_default()
-            .insert(msg.message().nonce, msg);
-        true
+            .insert(nonce, PoolEntry { msg, fee, bytes });
+
+        let mut survived = true;
+        while self.config.capacity_bytes > 0 && self.occupancy_bytes > self.config.capacity_bytes {
+            let (victim_addr, victim_nonce, victim_cid) = self
+                .lowest_priority_tail()
+                .expect("over-budget pool has at least one tail");
+            if victim_cid == cid {
+                survived = false;
+            } else {
+                self.stats.evicted += 1;
+            }
+            self.evict(victim_addr, victim_nonce, victim_cid);
+        }
+        if !survived {
+            self.stats.rejected_full += 1;
+            return PushOutcome::Full;
+        }
+        self.stats.admitted += 1;
+        *self.activity.entry(from).or_default() += 1;
+        self.stats.high_water_bytes = self.stats.high_water_bytes.max(self.occupancy_bytes as u64);
+        self.stats.high_water_msgs = self.stats.high_water_msgs.max(self.len() as u64);
+        PushOutcome::Admitted
+    }
+
+    /// The lowest-priority lane tail: among every sender's highest-nonce
+    /// entry, the one with the lowest `(fee, msg CID)`.
+    fn lowest_priority_tail(&self) -> Option<(Address, Nonce, Cid)> {
+        self.by_sender
+            .iter()
+            .filter_map(|(addr, lane)| {
+                lane.iter()
+                    .next_back()
+                    .map(|(nonce, e)| ((e.fee, e.msg.msg_cid()), (*addr, *nonce)))
+            })
+            .min_by_key(|(priority, _)| *priority)
+            .map(|((_, cid), (addr, nonce))| (addr, nonce, cid))
+    }
+
+    /// Removes one entry, un-remembering its CID from the dedup set (an
+    /// evicted message may be legitimately re-submitted later).
+    fn evict(&mut self, addr: Address, nonce: Nonce, cid: Cid) {
+        if let Some(lane) = self.by_sender.get_mut(&addr) {
+            if let Some(entry) = lane.remove(&nonce) {
+                self.occupancy_bytes -= entry.bytes;
+            }
+            if lane.is_empty() {
+                self.by_sender.remove(&addr);
+            }
+        }
+        self.seen.remove(&cid);
+        self.evicted_log.push((addr, nonce));
+    }
+
+    /// Drains the `(sender, nonce)` pairs dropped by admission control
+    /// since the last call. Dropped nonces never execute; a submitter that
+    /// tracks signing cursors must rewind each sender's cursor to the
+    /// lowest drained nonce, or every later message from that sender is
+    /// permanently gated behind the gap.
+    pub fn drain_evictions(&mut self) -> Vec<(Address, Nonce)> {
+        std::mem::take(&mut self.evicted_log)
     }
 
     /// Advances the pool's notion of the current chain epoch and prunes
@@ -127,7 +339,7 @@ impl Mempool {
             return;
         }
         self.current_epoch = epoch;
-        let horizon = self.seen_horizon_epochs;
+        let horizon = self.config.seen_horizon_epochs;
         self.seen
             .retain(|_, admitted| epoch.since(*admitted) <= horizon);
     }
@@ -147,35 +359,83 @@ impl Mempool {
         self.by_sender.values().all(BTreeMap::is_empty)
     }
 
-    /// Selects up to `max` messages for a block proposal: round-robin over
-    /// senders, each sender's messages in nonce order, so no sender can
-    /// starve the pool.
+    /// Bytes currently held (canonical wire bytes of pending messages).
+    pub fn occupancy_bytes(&self) -> usize {
+        self.occupancy_bytes
+    }
+
+    /// Pending messages queued by `sender`.
+    pub fn pending_for(&self, sender: &Address) -> usize {
+        self.by_sender.get(sender).map_or(0, BTreeMap::len)
+    }
+
+    /// Iterates every pending message, senders in address order and each
+    /// sender's lane in nonce order.
+    pub fn iter(&self) -> impl Iterator<Item = &SealedMessage> + '_ {
+        self.by_sender
+            .values()
+            .flat_map(|lane| lane.values().map(|e| &e.msg))
+    }
+
+    /// Admission/eviction counters.
+    pub fn stats(&self) -> MempoolStats {
+        self.stats
+    }
+
+    /// Drains the per-sender admission counters accumulated since the last
+    /// call — the load signal the elastic controller samples at checkpoint
+    /// boundaries.
+    pub fn take_activity(&mut self) -> BTreeMap<Address, u64> {
+        std::mem::take(&mut self.activity)
+    }
+
+    /// Selects up to `max` messages for a block proposal: fee-priority
+    /// order across senders, each sender's messages strictly in nonce
+    /// order. A lane position's priority is the highest fee *at or after*
+    /// it in the lane (suffix max) — child-pays-for-parent, so a high-fee
+    /// message deep in a nonce lane lifts its lower-fee predecessors into
+    /// the auction instead of starving behind them. Ties across lanes
+    /// break on the current lane-head's message CID (lowest first).
     ///
-    /// Runs in `O(selected + senders)` per call: each cursor is peekable,
-    /// so exhausted senders are dropped without cloning and re-walking
-    /// iterators (the previous implementation re-peeked every cursor by
-    /// clone-and-advance on every round, which was quadratic in the pool
-    /// depth).
+    /// Runs in `O(pending + (senders + selected) · log senders)` per call
+    /// via one suffix-max sweep plus a max-heap over lane heads.
     pub fn select(&self, max: usize) -> Vec<SealedMessage> {
-        let mut cursors: Vec<_> = self
+        // Precompute each lane's suffix-max fee so every head exposes the
+        // best fee still gated behind it; the heap holds lane heads keyed
+        // by (priority, reversed CID) and re-arms a lane with its
+        // successor after each pop.
+        let lanes: Vec<Vec<(u64, &PoolEntry)>> = self
             .by_sender
             .values()
-            .map(|q| q.values().peekable())
+            .map(|lane| {
+                let mut entries: Vec<(u64, &PoolEntry)> =
+                    lane.values().map(|e| (e.fee, e)).collect();
+                let mut best = 0u64;
+                for slot in entries.iter_mut().rev() {
+                    best = best.max(slot.0);
+                    slot.0 = best;
+                }
+                entries
+            })
             .collect();
-        cursors.retain_mut(|c| c.peek().is_some());
+        let mut cursors: Vec<usize> = vec![0; lanes.len()];
+        let mut heap: BinaryHeap<(u64, std::cmp::Reverse<Cid>, usize)> = lanes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, lane)| {
+                lane.first()
+                    .map(|(pri, e)| (*pri, std::cmp::Reverse(e.msg.msg_cid()), i))
+            })
+            .collect();
         let mut out = Vec::new();
-        while out.len() < max && !cursors.is_empty() {
-            for cursor in cursors.iter_mut() {
-                if out.len() >= max {
-                    break;
-                }
-                if let Some(m) = cursor.next() {
-                    out.push(m.clone());
-                }
+        while out.len() < max {
+            let Some((_, _, i)) = heap.pop() else { break };
+            let (_, entry) = lanes[i][cursors[i]];
+            out.push(entry.msg.clone());
+            cursors[i] += 1;
+            if let Some((pri, next)) = lanes[i].get(cursors[i]) {
+                heap.push((*pri, std::cmp::Reverse(next.msg.msg_cid()), i));
             }
-            // Drop drained senders; the survivors keep their round-robin
-            // order for the next pass.
-            cursors.retain_mut(|c| c.peek().is_some());
         }
         out
     }
@@ -184,7 +444,9 @@ impl Mempool {
     pub fn remove_included<'a, I: IntoIterator<Item = &'a SealedMessage>>(&mut self, msgs: I) {
         for m in msgs {
             if let Some(q) = self.by_sender.get_mut(&m.message().from) {
-                q.remove(&m.message().nonce);
+                if let Some(entry) = q.remove(&m.message().nonce) {
+                    self.occupancy_bytes -= entry.bytes;
+                }
             }
             // Keep `seen` so replays of the same CID stay excluded until
             // the dedup horizon passes (see `advance_epoch`).
@@ -313,6 +575,16 @@ impl CrossMsgPool {
         self.awaiting_resolution.len() + self.ready_bottom_up.len()
     }
 
+    /// Whether any resolved-but-unapplied bottom-up group carries a
+    /// message destined to `subnet` or one of its descendants — in-flight
+    /// work that would be stranded if that subnet were killed now.
+    pub fn routes_into(&self, subnet: &SubnetId) -> bool {
+        self.ready_bottom_up
+            .values()
+            .flat_map(|(_, msgs)| msgs.iter())
+            .any(|m| subnet.is_prefix_of(&m.to.subnet))
+    }
+
     /// The next top-down nonce this pool will release.
     pub fn next_top_down_nonce(&self) -> Nonce {
         self.next_top_down
@@ -411,63 +683,143 @@ mod tests {
         assert_eq!(cache.len(), 1, "failed verdicts are not cached");
     }
 
+    fn push_fee(pool: &mut Mempool, from: u64, nonce: u64, key: &Keypair, fee: u64) -> PushOutcome {
+        pool.push_sealed_with_fee(SealedMessage::new(signed(from, nonce, key)), fee)
+    }
+
     #[test]
-    fn mempool_selects_fairly_across_senders_in_nonce_order() {
+    fn select_orders_by_fee_within_nonce_lanes() {
         let mut pool = Mempool::new();
         let ka = kp(2);
         let kb = kp(3);
-        for n in 0..3 {
-            pool.push(signed(100, n, &ka));
-            pool.push(signed(200, n, &kb));
-        }
+        // Sender A: high-fee head, low-fee tail. Sender B: flat mid fees.
+        assert!(push_fee(&mut pool, 100, 0, &ka, 5).is_admitted());
+        assert!(push_fee(&mut pool, 100, 1, &ka, 1).is_admitted());
+        assert!(push_fee(&mut pool, 200, 0, &kb, 3).is_admitted());
+        assert!(push_fee(&mut pool, 200, 1, &kb, 3).is_admitted());
+        let picked: Vec<(u64, u64)> = pool
+            .select(10)
+            .iter()
+            .map(|m| (m.message().from.id(), m.message().nonce.value()))
+            .collect();
+        // A's fee-1 tail is gated behind its fee-5 head, so it drops to
+        // the back once the head is taken; B's lane flows in between.
+        assert_eq!(picked, vec![(100, 0), (200, 0), (200, 1), (100, 1)]);
+        // Selection does not mutate the pool; removal after inclusion does.
+        assert_eq!(pool.len(), 4);
         let selected = pool.select(4);
-        assert_eq!(selected.len(), 4);
-        // Round-robin: a0, b0, a1, b1.
-        assert_eq!(selected[0].message().from, Address::new(100));
-        assert_eq!(selected[1].message().from, Address::new(200));
-        assert_eq!(selected[0].message().nonce, Nonce::new(0));
-        assert_eq!(selected[2].message().nonce, Nonce::new(1));
-        // Selection does not mutate the pool.
-        assert_eq!(pool.len(), 6);
-        // Removal after inclusion.
         pool.remove_included(selected.iter());
-        assert_eq!(pool.len(), 2);
+        assert_eq!(pool.len(), 0);
+        assert_eq!(pool.occupancy_bytes(), 0);
         // Replays of included messages stay excluded.
         assert!(!pool.push_sealed(selected[0].clone()));
     }
 
     #[test]
-    fn mempool_select_round_robin_survives_uneven_queues() {
-        // Senders with different queue depths: the rotation must keep
-        // visiting the surviving senders in order after short queues
-        // drain (regression test for the cursor rewrite in `select`).
+    fn select_breaks_fee_ties_by_message_cid() {
         let mut pool = Mempool::new();
-        let ka = kp(4);
-        let kb = kp(5);
-        let kc = kp(6);
-        pool.push(signed(100, 0, &ka));
-        for n in 0..3 {
-            pool.push(signed(200, n, &kb));
+        let keys: Vec<Keypair> = (0..4).map(|i| kp(10 + i)).collect();
+        let mut cids = Vec::new();
+        for (i, k) in keys.iter().enumerate() {
+            let sealed = SealedMessage::new(signed(100 + i as u64, 0, k));
+            cids.push(sealed.msg_cid());
+            assert!(pool.push_sealed_with_fee(sealed, 7).is_admitted());
         }
-        for n in 0..2 {
-            pool.push(signed(300, n, &kc));
-        }
-        let picked: Vec<(u64, u64)> = pool
-            .select(6)
-            .iter()
-            .map(|m| (m.message().from.id(), m.message().nonce.value()))
-            .collect();
+        cids.sort();
+        let picked: Vec<Cid> = pool.select(10).iter().map(|m| m.msg_cid()).collect();
+        assert_eq!(picked, cids, "equal fees select in ascending CID order");
+    }
+
+    /// Canonical wire size of one test message (they are all identically
+    /// shaped, so this is the per-message byte cost).
+    fn msg_bytes() -> usize {
+        SealedMessage::new(signed(1, 0, &kp(1)))
+            .signed()
+            .canonical_bytes()
+            .len()
+    }
+
+    #[test]
+    fn eviction_enforces_byte_bound_lowest_fee_first() {
+        let cap = 2 * msg_bytes();
+        let mut pool = Mempool::with_config(MempoolConfig {
+            capacity_bytes: cap,
+            ..MempoolConfig::default()
+        });
+        let (ka, kb, kc) = (kp(2), kp(3), kp(4));
+        assert!(push_fee(&mut pool, 100, 0, &ka, 5).is_admitted());
+        let low = SealedMessage::new(signed(200, 0, &kb));
+        assert!(pool.push_sealed_with_fee(low.clone(), 1).is_admitted());
+        assert!(pool.occupancy_bytes() <= cap);
+        // A third, higher-fee message evicts the fee-1 tail.
+        assert!(push_fee(&mut pool, 300, 0, &kc, 3).is_admitted());
+        assert_eq!(pool.len(), 2);
+        assert!(pool.occupancy_bytes() <= cap);
+        assert_eq!(pool.pending_for(&Address::new(200)), 0);
+        let stats = pool.stats();
         assert_eq!(
-            picked,
-            vec![(100, 0), (200, 0), (300, 0), (200, 1), (300, 1), (200, 2)]
+            (stats.admitted, stats.evicted, stats.rejected_full),
+            (3, 1, 0)
         );
-        // A capped selection stops mid-rotation without skipping anyone.
-        let capped: Vec<u64> = pool
-            .select(2)
-            .iter()
-            .map(|m| m.message().from.id())
-            .collect();
-        assert_eq!(capped, vec![100, 200]);
+        assert!(stats.high_water_bytes <= cap as u64);
+        // An incoming message that is itself the lowest priority is the
+        // one refused...
+        let kd = kp(5);
+        assert_eq!(push_fee(&mut pool, 400, 0, &kd, 0), PushOutcome::Full);
+        assert_eq!(pool.stats().rejected_full, 1);
+        assert_eq!(pool.len(), 2);
+        // ...and the evicted message was forgotten by dedup, so it can be
+        // re-admitted once there is room again.
+        let head = pool.select(1);
+        pool.remove_included(head.iter());
+        assert!(pool.push_sealed_with_fee(low, 1).is_admitted());
+    }
+
+    #[test]
+    fn eviction_takes_lane_tails_never_heads() {
+        let cap = 2 * msg_bytes();
+        let mut pool = Mempool::with_config(MempoolConfig {
+            capacity_bytes: cap,
+            ..MempoolConfig::default()
+        });
+        let (ka, kb) = (kp(6), kp(7));
+        // A's lane: cheap head, expensive tail. The tail — not the cheap
+        // head — is what competes at eviction time, so a mid-fee arrival
+        // from B loses to it and is refused: surviving lanes stay dense
+        // nonce prefixes.
+        assert!(push_fee(&mut pool, 100, 0, &ka, 1).is_admitted());
+        assert!(push_fee(&mut pool, 100, 1, &ka, 9).is_admitted());
+        assert_eq!(push_fee(&mut pool, 200, 0, &kb, 5), PushOutcome::Full);
+        assert_eq!(pool.pending_for(&Address::new(100)), 2);
+        // Reversed fee shape: now A's tail is the cheapest and gives way.
+        let mut pool2 = Mempool::with_config(MempoolConfig {
+            capacity_bytes: cap,
+            ..MempoolConfig::default()
+        });
+        assert!(push_fee(&mut pool2, 100, 0, &ka, 9).is_admitted());
+        assert!(push_fee(&mut pool2, 100, 1, &ka, 1).is_admitted());
+        assert!(push_fee(&mut pool2, 200, 0, &kb, 5).is_admitted());
+        assert_eq!(pool2.pending_for(&Address::new(100)), 1);
+        assert_eq!(pool2.pending_for(&Address::new(200)), 1);
+        assert_eq!(pool2.stats().evicted, 1);
+    }
+
+    #[test]
+    fn activity_counters_accumulate_and_drain() {
+        let mut pool = Mempool::new();
+        let ka = kp(2);
+        let kb = kp(3);
+        for n in 0..3 {
+            assert!(push_fee(&mut pool, 100, n, &ka, 0).is_admitted());
+        }
+        assert!(push_fee(&mut pool, 200, 0, &kb, 0).is_admitted());
+        let activity = pool.take_activity();
+        assert_eq!(activity.get(&Address::new(100)), Some(&3));
+        assert_eq!(activity.get(&Address::new(200)), Some(&1));
+        assert!(pool.take_activity().is_empty(), "drained");
+        // Rejections don't count as activity.
+        assert!(!pool.push(signed(100, 0, &ka)));
+        assert!(pool.take_activity().is_empty());
     }
 
     #[test]

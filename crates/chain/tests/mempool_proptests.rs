@@ -1,0 +1,263 @@
+//! Property tests of mempool admission control: selection is a pure
+//! function of the admitted set (push order never matters), the
+//! over-capacity flood converges to one surviving set with the byte bound
+//! holding at every step, and the admission → selection → execution
+//! pipeline is bit-identical at every `parallelism` setting.
+
+use proptest::prelude::*;
+
+use hc_actors::ScaConfig;
+use hc_chain::{
+    execute_block_with, produce_block_with, ExecOptions, Mempool, MempoolConfig, PushOutcome,
+};
+use hc_state::{Message, SealedMessage, StateTree};
+use hc_types::{Address, CanonicalEncode, ChainEpoch, Cid, Keypair, Nonce, SubnetId, TokenAmount};
+
+const USERS: u64 = 12;
+
+fn keypair(i: u64) -> Keypair {
+    let mut seed = [0u8; 32];
+    seed[..8].copy_from_slice(&i.to_le_bytes());
+    seed[8] = 0x9b;
+    Keypair::from_seed(seed)
+}
+
+fn genesis() -> StateTree {
+    StateTree::genesis(
+        SubnetId::root(),
+        ScaConfig::default(),
+        (0..USERS).map(|i| {
+            (
+                Address::new(100 + i),
+                keypair(i).public(),
+                TokenAmount::from_whole(1_000),
+            )
+        }),
+    )
+}
+
+/// A signed transfer with dense per-sender nonces, shaped identically
+/// across the whole payload so every message costs the same wire bytes.
+fn payload(ops: &[(u64, u64)]) -> Vec<SealedMessage> {
+    let mut nonces = [0u64; USERS as usize];
+    ops.iter()
+        .map(|&(from_sel, to_sel)| {
+            let from = from_sel % USERS;
+            let nonce = nonces[from as usize];
+            nonces[from as usize] += 1;
+            SealedMessage::new(
+                Message::transfer(
+                    Address::new(100 + from),
+                    Address::new(100 + to_sel % USERS),
+                    TokenAmount::from_atto(7),
+                    Nonce::new(nonce),
+                )
+                .sign(&keypair(from)),
+            )
+        })
+        .collect()
+}
+
+/// Fisher–Yates driven by a tiny LCG: a deterministic permutation of
+/// `msgs` from the generated seed.
+fn shuffled(msgs: &[SealedMessage], mut seed: u64) -> Vec<SealedMessage> {
+    let mut out: Vec<SealedMessage> = msgs.to_vec();
+    for i in (1..out.len()).rev() {
+        seed = seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        out.swap(i, (seed >> 33) as usize % (i + 1));
+    }
+    out
+}
+
+fn selection(pool: &Mempool) -> Vec<Cid> {
+    pool.select(usize::MAX)
+        .iter()
+        .map(|m| m.msg_cid())
+        .collect()
+}
+
+proptest! {
+    /// With no byte bound, the pool's state — and therefore the selected
+    /// block order — is a pure function of the admitted *set*: pushing
+    /// any permutation of the same messages, with the same per-message
+    /// fees, selects the identical sequence (fees descending, equal fees
+    /// in ascending message-CID order, lanes in nonce order).
+    #[test]
+    fn selection_is_push_order_invariant(
+        ops in prop::collection::vec((0u64..USERS, 0u64..USERS), 1..64),
+        fees in prop::collection::vec(0u64..5, 64),
+        seed in any::<u64>(),
+    ) {
+        let msgs = payload(&ops);
+        let mut a = Mempool::new();
+        for (i, m) in msgs.iter().enumerate() {
+            prop_assert!(a.push_sealed_with_fee(m.clone(), fees[i % fees.len()]).is_admitted());
+        }
+        let mut b = Mempool::new();
+        // The permutation must carry each message's fee with it.
+        let indexed: Vec<(SealedMessage, u64)> = msgs
+            .iter()
+            .enumerate()
+            .map(|(i, m)| (m.clone(), fees[i % fees.len()]))
+            .collect();
+        let mut perm = indexed;
+        let mut s = seed;
+        for i in (1..perm.len()).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            perm.swap(i, (s >> 33) as usize % (i + 1));
+        }
+        for (m, fee) in &perm {
+            prop_assert!(b.push_sealed_with_fee(m.clone(), *fee).is_admitted());
+        }
+        prop_assert_eq!(selection(&a), selection(&b));
+        prop_assert_eq!(a.occupancy_bytes(), b.occupancy_bytes());
+    }
+
+    /// Flooding a bounded pool with equal-fee, equal-size messages: the
+    /// byte budget holds after *every* push (and at the high-water mark),
+    /// the books balance, and replaying the identical flood is
+    /// bit-identical — eviction never consults anything but the pool.
+    #[test]
+    fn flood_never_exceeds_byte_bound(
+        ops in prop::collection::vec((0u64..USERS, 0u64..USERS), 8..96),
+        capacity_msgs in 2usize..24,
+    ) {
+        let msgs = payload(&ops);
+        let bytes_each = msgs[0].signed().canonical_bytes().len();
+        let cap = capacity_msgs * bytes_each;
+        let config = MempoolConfig { capacity_bytes: cap, ..MempoolConfig::default() };
+
+        let mut a = Mempool::with_config(config);
+        for m in &msgs {
+            let outcome = a.push_sealed_with_fee(m.clone(), 3);
+            prop_assert!(matches!(outcome, PushOutcome::Admitted | PushOutcome::Full));
+            prop_assert!(a.occupancy_bytes() <= cap, "bound violated mid-flood");
+        }
+        let stats = a.stats();
+        prop_assert!(stats.high_water_bytes <= cap as u64);
+        prop_assert_eq!(stats.admitted - stats.evicted, a.len() as u64);
+        prop_assert_eq!(
+            stats.admitted + stats.rejected_full,
+            msgs.len() as u64,
+            "every push was either admitted or refused"
+        );
+
+        let mut b = Mempool::with_config(config);
+        for m in &msgs {
+            b.push_sealed_with_fee(m.clone(), 3);
+        }
+        prop_assert_eq!(selection(&a), selection(&b), "replaying the flood must be bit-identical");
+        prop_assert_eq!(a.stats(), b.stats());
+    }
+
+    /// With one message per sender (every lane a singleton, so every
+    /// message is always an eviction candidate), an equal-fee flood
+    /// converges to exactly the `capacity` highest message CIDs no matter
+    /// what order it arrived in: eviction discards the lowest `(fee,
+    /// CID)` first, and selection emits the survivors in ascending CID
+    /// order.
+    ///
+    /// (Multi-message lanes are deliberately excluded — only lane *tails*
+    /// are eviction candidates there, so a message refused while its
+    /// lane-mate shielded it never returns, and the surviving set
+    /// legitimately depends on arrival order.)
+    #[test]
+    fn singleton_lane_flood_converges_independent_of_order(
+        senders in 8u64..80,
+        capacity_msgs in 2usize..24,
+        seed in any::<u64>(),
+    ) {
+        let msgs: Vec<SealedMessage> = (0..senders)
+            .map(|i| {
+                SealedMessage::new(
+                    Message::transfer(
+                        Address::new(1_000 + i),
+                        Address::new(5_000 + i),
+                        TokenAmount::from_atto(7),
+                        Nonce::new(0),
+                    )
+                    .sign(&keypair(1_000 + i)),
+                )
+            })
+            .collect();
+        let bytes_each = msgs[0].signed().canonical_bytes().len();
+        let config = MempoolConfig {
+            capacity_bytes: capacity_msgs * bytes_each,
+            ..MempoolConfig::default()
+        };
+
+        // Oracle: survivors are the top `capacity_msgs` CIDs, selected in
+        // ascending CID order (fees are all equal).
+        let mut expected: Vec<Cid> = msgs.iter().map(|m| m.msg_cid()).collect();
+        expected.sort();
+        if expected.len() > capacity_msgs {
+            expected.drain(..expected.len() - capacity_msgs);
+        }
+
+        for order in [msgs.clone(), shuffled(&msgs, seed), shuffled(&msgs, seed ^ 0xdead_beef)] {
+            let mut pool = Mempool::with_config(config);
+            for m in order {
+                pool.push_sealed_with_fee(m, 3);
+                prop_assert!(pool.occupancy_bytes() <= config.capacity_bytes);
+            }
+            prop_assert_eq!(selection(&pool), expected.clone());
+        }
+    }
+
+    /// The whole admission → selection → block production → validation
+    /// pipeline yields bit-identical receipts, blocks, and state roots at
+    /// parallelism 1, 2, 4, and 8.
+    #[test]
+    fn selected_blocks_execute_identically_across_parallelism(
+        ops in prop::collection::vec((0u64..USERS, 0u64..USERS), 1..64),
+        fees in prop::collection::vec(0u64..9, 64),
+    ) {
+        let msgs = payload(&ops);
+        let mut pool = Mempool::new();
+        for (i, m) in msgs.iter().enumerate() {
+            prop_assert!(pool.push_sealed_with_fee(m.clone(), fees[i % fees.len()]).is_admitted());
+        }
+        let selected = pool.select(usize::MAX);
+        let proposer = keypair(0);
+
+        let mut ref_tree = genesis();
+        let reference = produce_block_with(
+            &mut ref_tree,
+            SubnetId::root(),
+            ChainEpoch::new(1),
+            Cid::NIL,
+            vec![],
+            selected.clone(),
+            &proposer,
+            1_000,
+            ExecOptions::default(),
+        );
+        let ref_root = ref_tree.flush();
+
+        for parallelism in [1usize, 2, 4, 8] {
+            let opts = ExecOptions { sig_cache: None, parallelism };
+            let mut tree = genesis();
+            let produced = produce_block_with(
+                &mut tree,
+                SubnetId::root(),
+                ChainEpoch::new(1),
+                Cid::NIL,
+                vec![],
+                selected.clone(),
+                &proposer,
+                1_000,
+                opts,
+            );
+            prop_assert_eq!(&produced.receipts, &reference.receipts);
+            prop_assert_eq!(&produced.block, &reference.block);
+            prop_assert_eq!(tree.flush(), ref_root);
+
+            let mut validator = genesis();
+            let receipts = execute_block_with(&mut validator, &reference.block, opts).unwrap();
+            prop_assert_eq!(&receipts, &reference.receipts);
+            prop_assert_eq!(validator.flush(), ref_root);
+        }
+    }
+}

@@ -60,6 +60,7 @@ pub mod atomic;
 pub mod attack;
 pub mod audit;
 pub mod chaos;
+pub mod elastic;
 pub mod node;
 pub mod persist;
 pub mod runtime;
@@ -69,6 +70,9 @@ pub use atomic::{AtomicOrchestrator, AtomicOutcome, AtomicParty, PartyBehavior};
 pub use attack::AttackReport;
 pub use audit::{audit_escrow, audit_quiescent, SupplyReport};
 pub use chaos::{ChaosStats, CrashPhase, SyncMode, BLOCK_BATCH_CAP};
+pub use elastic::{ElasticConfig, ElasticController, ElasticStats};
 pub use node::{NodeStats, SubnetNode};
 pub use persist::{ControlRecord, DurableOptions, PersistenceConfig};
-pub use runtime::{HierarchyRuntime, RuntimeConfig, RuntimeError, StepReport, UserHandle};
+pub use runtime::{
+    HierarchyRuntime, PoolStats, RuntimeConfig, RuntimeError, StepReport, UserHandle,
+};

@@ -198,6 +198,21 @@ impl SubnetNode {
         self.mempool.len()
     }
 
+    /// Bytes of pending user messages held by this node's mempool.
+    pub fn mempool_occupancy_bytes(&self) -> usize {
+        self.mempool.occupancy_bytes()
+    }
+
+    /// Admission/eviction counters of this node's mempool.
+    pub fn mempool_stats(&self) -> hc_chain::MempoolStats {
+        self.mempool.stats()
+    }
+
+    /// Activity counters of this node's content resolver.
+    pub fn resolver_stats(&self) -> hc_net::ResolverStats {
+        self.resolver.stats()
+    }
+
     /// Counters of this node's verified-signature cache (all zeros when
     /// the cache is disabled).
     pub fn sig_cache_stats(&self) -> SigCacheStats {

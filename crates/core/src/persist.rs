@@ -181,6 +181,21 @@ pub enum ControlRecord {
         /// CID of the persisted [`hc_state::ChunkManifest`].
         manifest: Cid,
     },
+    /// `adopt_user` installed an existing logical account (same address,
+    /// same derived key) in another subnet — the elastic controller's
+    /// account-migration step.
+    UserAdopted {
+        /// The subnet the account was installed in.
+        subnet: SubnetId,
+        /// The adopted address.
+        addr: Address,
+    },
+    /// `retire_subnet` removed a killed, drained leaf subnet's node from
+    /// the hierarchy (the elastic controller's merge step).
+    SubnetRetired {
+        /// The retired subnet.
+        subnet: SubnetId,
+    },
     /// A checkpoint cut persisted a subnet's state. Verify-only on replay:
     /// the replayed cut re-persists through the same code path, and this
     /// anchor must match what it produced.
@@ -242,6 +257,15 @@ impl CanonicalEncode for ControlRecord {
                 epoch.write_bytes(out);
                 manifest.write_bytes(out);
             }
+            ControlRecord::UserAdopted { subnet, addr } => {
+                out.push(6);
+                subnet.write_bytes(out);
+                addr.write_bytes(out);
+            }
+            ControlRecord::SubnetRetired { subnet } => {
+                out.push(7);
+                subnet.write_bytes(out);
+            }
         }
     }
 }
@@ -275,6 +299,13 @@ impl CanonicalDecode for ControlRecord {
                 subnet: SubnetId::read_bytes(r)?,
                 epoch: ChainEpoch::read_bytes(r)?,
                 manifest: Cid::read_bytes(r)?,
+            }),
+            6 => Ok(ControlRecord::UserAdopted {
+                subnet: SubnetId::read_bytes(r)?,
+                addr: Address::read_bytes(r)?,
+            }),
+            7 => Ok(ControlRecord::SubnetRetired {
+                subnet: SubnetId::read_bytes(r)?,
             }),
             tag => Err(DecodeError::BadTag {
                 what: "ControlRecord",
@@ -315,10 +346,15 @@ mod tests {
                 manifest: Cid::digest(b"manifest"),
             },
             ControlRecord::CheckpointAnchor {
-                subnet,
+                subnet: subnet.clone(),
                 epoch: ChainEpoch::new(20),
                 manifest: Cid::digest(b"manifest2"),
             },
+            ControlRecord::UserAdopted {
+                subnet: subnet.clone(),
+                addr: Address::new(102),
+            },
+            ControlRecord::SubnetRetired { subnet },
         ];
         for rec in records {
             let bytes = rec.canonical_bytes();

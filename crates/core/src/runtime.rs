@@ -12,9 +12,12 @@ use hc_actors::sa::SaConfig;
 use hc_actors::{CrossMsg, HcAddress, ScaConfig};
 use hc_chain::{
     execute_block_with, produce_block_with, Block, ChainStore, CrossMsgPool, ExecOptions, Mempool,
+    MempoolConfig, MempoolStats,
 };
 use hc_consensus::{make_engine, EngineParams, ValidatorSet};
-use hc_net::{NetConfig, Network, PullDecision, ResolutionMsg, Resolver, RetryPolicy};
+use hc_net::{
+    NetConfig, Network, PullDecision, ResolutionMsg, Resolver, ResolverStats, RetryPolicy,
+};
 use hc_state::{
     ChunkManifest, CidStore, ImplicitMsg, Message, Method, Receipt, SealedMessage, SigCache,
     SigCacheStats, SignedMessage, StateTree, VmEvent, DEFAULT_SIG_CACHE_CAPACITY,
@@ -92,6 +95,12 @@ pub struct RuntimeConfig {
     /// [`hc_net::ResolverStats::pulls_abandoned`] — degraded, never
     /// silently lost.
     pub retry: RetryPolicy,
+    /// Mempool admission control applied to every subnet node: the
+    /// byte-capacity bound (`0` = unbounded, the historical behaviour)
+    /// and the seen-CID horizon. Overload then degrades by deterministic
+    /// lowest-fee-first eviction instead of growing without bound; see
+    /// [`hc_chain::MempoolConfig`].
+    pub mempool: MempoolConfig,
     /// How rejoining ([`HierarchyRuntime::rejoin_node`]) and recovering
     /// ([`HierarchyRuntime::recover`]) nodes bootstrap missed history:
     /// [`SyncMode::Replay`](crate::SyncMode::Replay) re-executes every missed block,
@@ -116,9 +125,33 @@ impl Default for RuntimeConfig {
             sig_cache_capacity: DEFAULT_SIG_CACHE_CAPACITY,
             persistence: PersistenceConfig::InMemory,
             retry: RetryPolicy::default(),
+            mempool: MempoolConfig::default(),
             sync_mode: crate::chaos::SyncMode::default(),
         }
     }
+}
+
+/// Hierarchy-wide message-pool counters: every subnet node's mempool,
+/// cross-net pool, and resolver folded into one aggregate (see
+/// [`HierarchyRuntime::pool_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Summed mempool admission/eviction counters.
+    pub mempool: MempoolStats,
+    /// User messages currently pending across every mempool.
+    pub mempool_pending: u64,
+    /// Bytes currently held across every mempool.
+    pub mempool_bytes: u64,
+    /// Top-down cross-net messages applied locally but not yet executed,
+    /// summed over subnets.
+    pub pending_top_down: u64,
+    /// Bottom-up/path cross-net message groups awaiting content
+    /// resolution or commitment, summed over subnets.
+    pub pending_bottom_up: u64,
+    /// Summed resolver counters, including `pulls_abandoned` — requests
+    /// that exhausted their retry budget and degraded instead of
+    /// resolving.
+    pub resolver: ResolverStats,
 }
 
 /// A user account handle: the subnet it lives in plus its address. The
@@ -173,6 +206,9 @@ pub enum RuntimeError {
     NonRootMint,
     /// The spawn flow failed at the given stage.
     Spawn(String),
+    /// A subnet could not be retired (not killed, not drained, not a
+    /// leaf, …).
+    Retire(String),
 }
 
 impl fmt::Display for RuntimeError {
@@ -185,6 +221,7 @@ impl fmt::Display for RuntimeError {
                 f.write_str("non-root accounts must be created empty and funded cross-net")
             }
             RuntimeError::Spawn(why) => write!(f, "subnet spawn failed: {why}"),
+            RuntimeError::Retire(why) => write!(f, "subnet retire refused: {why}"),
         }
     }
 }
@@ -505,6 +542,16 @@ impl HierarchyRuntime {
             }
             ControlRecord::ClaimantCreated { subnet, addr } => {
                 self.create_claimant(&UserHandle { subnet, addr }).is_ok()
+            }
+            ControlRecord::UserAdopted { subnet, addr } => {
+                self.install_adopted(&subnet, addr).is_ok()
+            }
+            ControlRecord::SubnetRetired { subnet } => {
+                if !self.nodes.contains_key(&subnet) {
+                    return false;
+                }
+                self.retire_node(&subnet);
+                true
             }
             ControlRecord::SubnetBoot {
                 child,
@@ -916,8 +963,8 @@ impl HierarchyRuntime {
             tree,
             chain: ChainStore::new(root.clone()),
             mempool: match &sig_cache {
-                Some(c) => Mempool::new().with_sig_cache(c.clone()),
-                None => Mempool::new(),
+                Some(c) => Mempool::with_config(config.mempool).with_sig_cache(c.clone()),
+                None => Mempool::with_config(config.mempool),
             },
             cross_pool: CrossMsgPool::new(),
             engine,
@@ -1115,6 +1162,86 @@ impl HierarchyRuntime {
         total
     }
 
+    /// Aggregate mempool admission/eviction counters across every subnet
+    /// node (same aggregation discipline as
+    /// [`HierarchyRuntime::sig_cache_stats`]). High-water marks sum over
+    /// nodes, bounding hierarchy-wide peak memory.
+    pub fn mempool_stats(&self) -> MempoolStats {
+        let mut total = MempoolStats::default();
+        for node in self.nodes.values() {
+            total.merge(node.mempool.stats());
+        }
+        total
+    }
+
+    /// One hierarchy-wide snapshot of every message pool: user-message
+    /// admission counters plus live occupancy, the cross-net pools'
+    /// pending backlogs (paper §IV-B), and resolver activity including
+    /// abandoned pulls — the previously unobservable corners of the
+    /// message path, folded into a single aggregate.
+    pub fn pool_stats(&self) -> PoolStats {
+        let mut total = PoolStats::default();
+        for node in self.nodes.values() {
+            total.mempool.merge(node.mempool.stats());
+            total.mempool_pending += node.mempool.len() as u64;
+            total.mempool_bytes += node.mempool.occupancy_bytes() as u64;
+            total.pending_top_down += node.cross_pool().pending_top_down() as u64;
+            total.pending_bottom_up += node.cross_pool().pending_bottom_up() as u64;
+            total.resolver.merge(node.resolver.stats());
+        }
+        total
+    }
+
+    /// Drains the per-sender admission counters of `subnet`'s mempool —
+    /// the hotness signal the elastic controller samples at evaluation
+    /// boundaries. Empty for unknown subnets.
+    pub fn take_mempool_activity(&mut self, subnet: &SubnetId) -> BTreeMap<Address, u64> {
+        self.nodes
+            .get_mut(subnet)
+            .map(|n| n.mempool.take_activity())
+            .unwrap_or_default()
+    }
+
+    /// Returns `true` when `subnet` has no local pending work *and* no
+    /// top-down messages waiting for it in its parent's SCA — the drain
+    /// condition required before a child can be merged away. `false` for
+    /// unknown subnets.
+    pub fn subnet_settled(&self, subnet: &SubnetId) -> bool {
+        let Some(n) = self.nodes.get(subnet) else {
+            return false;
+        };
+        if !n.is_quiescent() {
+            return false;
+        }
+        let Some(parent) = n.subnet_id.parent() else {
+            return true;
+        };
+        let delivered = self.nodes.get(&parent).is_none_or(|p| {
+            p.tree
+                .sca()
+                .top_down_msgs(&n.subnet_id, n.cross_pool.next_top_down_nonce())
+                .is_empty()
+        });
+        if !delivered {
+            return false;
+        }
+        // Work still routed *into* the subnet from elsewhere in the
+        // hierarchy: queued user messages carrying a cross transfer
+        // destined here, or resolved bottom-up groups not yet applied.
+        // Killing the subnet now would execute those against a dead
+        // destination and strand the transfers.
+        self.nodes.values().all(|other| {
+            !other.cross_pool.routes_into(&n.subnet_id)
+                && !other.mempool.iter().any(|m| {
+                    matches!(
+                        &m.message().method,
+                        Method::SendCrossMsg { msg }
+                            if n.subnet_id.is_prefix_of(&msg.to.subnet)
+                    )
+                })
+        })
+    }
+
     /// Tokens minted at the root (the global conservation baseline).
     pub fn root_minted(&self) -> TokenAmount {
         self.root_minted
@@ -1248,6 +1375,56 @@ impl HierarchyRuntime {
         Ok(())
     }
 
+    /// Installs an *existing* logical account in another subnet: same
+    /// address, same derived key, starting empty — the account-migration
+    /// step of elastic scale-out. The caller funds the new home with a
+    /// cross-net transfer from the old one; adoption itself never touches
+    /// balances (the account may already have received funds top-down).
+    /// Idempotent: re-adopting an address that already has a wallet in
+    /// `subnet` is a no-op.
+    ///
+    /// # Errors
+    ///
+    /// Fails for unknown subnets.
+    pub fn adopt_user(
+        &mut self,
+        subnet: &SubnetId,
+        addr: Address,
+    ) -> Result<UserHandle, RuntimeError> {
+        let handle = UserHandle {
+            subnet: subnet.clone(),
+            addr,
+        };
+        if self.wallets.contains_key(&(subnet.clone(), addr)) {
+            return Ok(handle);
+        }
+        self.install_adopted(subnet, addr)?;
+        self.journal(&ControlRecord::UserAdopted {
+            subnet: subnet.clone(),
+            addr,
+        });
+        Ok(handle)
+    }
+
+    /// The shared tail of [`HierarchyRuntime::adopt_user`] and its
+    /// recovery replay: installs the derived key and a wallet whose nonce
+    /// cursor continues from the account's executed nonce, and preserves
+    /// any balance already present.
+    fn install_adopted(&mut self, subnet: &SubnetId, addr: Address) -> Result<(), RuntimeError> {
+        let key = self.user_key(addr);
+        let node = Self::get_node_mut(&mut self.nodes, subnet)?;
+        self.user_installs
+            .entry(subnet.clone())
+            .or_default()
+            .push((node.next_epoch, addr));
+        let acc = node.tree.accounts_mut().get_or_create(addr);
+        acc.key = Some(key.public());
+        let next_nonce = acc.nonce;
+        self.wallets
+            .insert((subnet.clone(), addr), Wallet { key, next_nonce });
+        Ok(())
+    }
+
     /// Balance of a user account (zero for unknown accounts).
     pub fn balance(&self, user: &UserHandle) -> TokenAmount {
         self.nodes
@@ -1278,7 +1455,53 @@ impl HierarchyRuntime {
         let cid = sealed.msg_cid();
         let node = Self::get_node_mut(&mut self.nodes, &user.subnet)?;
         node.mempool.push_sealed(sealed);
+        self.reconcile_evictions(&user.subnet);
         Ok(cid)
+    }
+
+    /// [`HierarchyRuntime::submit`] with an explicit fee bid. The fee is
+    /// node-local admission metadata (not part of the canonical message
+    /// encoding): it orders selection and decides who is evicted when the
+    /// pool's byte bound overflows. Returns the message CID and the
+    /// admission outcome — under overload the message may itself be the
+    /// eviction victim ([`hc_chain::PushOutcome::Full`]).
+    ///
+    /// # Errors
+    ///
+    /// Fails for unknown users/subnets.
+    pub fn submit_with_fee(
+        &mut self,
+        user: &UserHandle,
+        to: Address,
+        value: TokenAmount,
+        method: Method,
+        fee: u64,
+    ) -> Result<(Cid, hc_chain::PushOutcome), RuntimeError> {
+        let signed = self.sign_message(user, to, value, method)?;
+        let sealed = SealedMessage::new(signed);
+        let cid = sealed.msg_cid();
+        let node = Self::get_node_mut(&mut self.nodes, &user.subnet)?;
+        let outcome = node.mempool.push_sealed_with_fee(sealed, fee);
+        self.reconcile_evictions(&user.subnet);
+        Ok((cid, outcome))
+    }
+
+    /// Reconciles wallet signing cursors with admission-control drops on
+    /// `subnet`'s pool. An evicted message's nonce never executes, so the
+    /// sender's cursor rewinds to the lowest dropped nonce — the next
+    /// submission re-signs it instead of stranding every later message
+    /// behind a permanent lane gap.
+    fn reconcile_evictions(&mut self, subnet: &SubnetId) {
+        let Some(node) = self.nodes.get_mut(subnet) else {
+            return;
+        };
+        for (addr, nonce) in node.mempool.drain_evictions() {
+            if let Some(w) = self.wallets.get_mut(&(subnet.clone(), addr)) {
+                if nonce < w.next_nonce {
+                    w.next_nonce = nonce;
+                }
+            }
+        }
     }
 
     fn sign_message(
@@ -1316,22 +1539,31 @@ impl HierarchyRuntime {
         method: Method,
     ) -> Result<Receipt, RuntimeError> {
         let subnet = user.subnet.clone();
-        let cid = self.submit(user, to, value, method)?;
-        self.tick_subnet(&subnet)?;
-        let node = self
-            .nodes
-            .get(&subnet)
-            .ok_or_else(|| RuntimeError::UnknownSubnet(subnet.clone()))?;
-        let rec = node
-            .last_receipts
-            .get(&cid)
-            .cloned()
-            .ok_or_else(|| RuntimeError::Execution("message not included in block".into()))?;
-        if rec.exit.is_ok() {
-            Ok(rec)
-        } else {
-            Err(RuntimeError::Execution(rec.exit.to_string()))
+        // Maximal fee bid: lifecycle operations driven through `execute`
+        // (spawn, kill, fund recovery) must not lose the admission
+        // auction to a backlogged fee-paying pool.
+        let (cid, _) = self.submit_with_fee(user, to, value, method, u64::MAX)?;
+        // A block's implicit payload (cross-net applies, checkpoint
+        // commits) can consume its whole capacity under load, so allow a
+        // bounded number of follow-up blocks before declaring failure.
+        const INCLUSION_BLOCKS: usize = 16;
+        for _ in 0..INCLUSION_BLOCKS {
+            self.tick_subnet(&subnet)?;
+            let node = self
+                .nodes
+                .get(&subnet)
+                .ok_or_else(|| RuntimeError::UnknownSubnet(subnet.clone()))?;
+            if let Some(rec) = node.last_receipts.get(&cid).cloned() {
+                return if rec.exit.is_ok() {
+                    Ok(rec)
+                } else {
+                    Err(RuntimeError::Execution(rec.exit.to_string()))
+                };
+            }
         }
+        Err(RuntimeError::Execution(
+            "message not included in block".into(),
+        ))
     }
 
     // ------------------------------------------------------------------
@@ -1467,8 +1699,8 @@ impl HierarchyRuntime {
             tree,
             chain: ChainStore::new(child_id.clone()),
             mempool: match &sig_cache {
-                Some(c) => Mempool::new().with_sig_cache(c.clone()),
-                None => Mempool::new(),
+                Some(c) => Mempool::with_config(self.config.mempool).with_sig_cache(c.clone()),
+                None => Mempool::with_config(self.config.mempool),
             },
             cross_pool: CrossMsgPool::new(),
             engine,
@@ -1566,6 +1798,79 @@ impl HierarchyRuntime {
             subnet: parent,
             addr: user.addr,
         })
+    }
+
+    /// Removes a killed, fully drained leaf subnet's node from the
+    /// hierarchy — the final step of elastic scale-in after traffic was
+    /// rehomed, the subnet killed via [`Method::KillSubnet`], and funds
+    /// recovered on the parent. Retirement only tears down runtime
+    /// machinery (node, wallets, anchors); fund recovery stays possible
+    /// afterwards because it runs on the *parent* against the saved
+    /// snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Refused for the root, subnets with live children, crashed or
+    /// catching-up subnets, subnets whose SA is not killed on the parent,
+    /// or subnets that still hold pending work.
+    pub fn retire_subnet(&mut self, subnet: &SubnetId) -> Result<(), RuntimeError> {
+        let parent = subnet
+            .parent()
+            .ok_or_else(|| RuntimeError::Retire("the root cannot be retired".into()))?;
+        if !self.nodes.contains_key(subnet) {
+            return Err(RuntimeError::UnknownSubnet(subnet.clone()));
+        }
+        if self
+            .nodes
+            .keys()
+            .any(|s| s.parent().as_ref() == Some(subnet))
+        {
+            return Err(RuntimeError::Retire(format!(
+                "{subnet} still has live child subnets"
+            )));
+        }
+        if self.crashed.contains_key(subnet) || self.catching_up.contains_key(subnet) {
+            return Err(RuntimeError::Retire(format!(
+                "{subnet} is crashed or catching up"
+            )));
+        }
+        let status = self
+            .nodes
+            .get(&parent)
+            .and_then(|p| p.tree.sca().subnet(subnet))
+            .map(|info| info.status);
+        if status != Some(hc_actors::SubnetStatus::Killed) {
+            return Err(RuntimeError::Retire(format!(
+                "{subnet} must be killed on its parent before retirement"
+            )));
+        }
+        let node = self.nodes.get(subnet).expect("checked above");
+        if !node.is_quiescent() {
+            return Err(RuntimeError::Retire(format!(
+                "{subnet} still holds pending work"
+            )));
+        }
+        self.retire_node(subnet);
+        self.journal(&ControlRecord::SubnetRetired {
+            subnet: subnet.clone(),
+        });
+        Ok(())
+    }
+
+    /// The shared tail of [`HierarchyRuntime::retire_subnet`] and its
+    /// recovery replay: drops the node and every piece of runtime state
+    /// keyed by the subnet, and takes its network subscription offline so
+    /// undeliverable traffic stops queueing.
+    fn retire_node(&mut self, subnet: &SubnetId) {
+        if let Some(node) = self.nodes.remove(subnet) {
+            self.network.set_offline(node.subscription, true);
+        }
+        self.wallets.retain(|(s, _), _| s != subnet);
+        self.user_installs.remove(subnet);
+        self.checkpoint_anchors.remove(subnet);
+        self.recent_manifests.remove(subnet);
+        self.boot_params.remove(subnet);
+        self.snapshot_bases.remove(subnet);
     }
 
     /// Builds a balance snapshot of `subnet` from its current state, signs
@@ -1689,6 +1994,34 @@ impl HierarchyRuntime {
         let msg = CrossMsg::transfer(from.hc_address(), to.hc_address(), amount);
         let value = msg.value + fee;
         self.submit(from, Address::SCA, value, Method::SendCrossMsg { msg })
+    }
+
+    /// [`HierarchyRuntime::cross_transfer_lazy`] with an admission fee bid
+    /// (see [`HierarchyRuntime::submit_with_fee`]): cross-net traffic
+    /// competes for bounded mempool space on equal terms with local
+    /// traffic.
+    ///
+    /// # Errors
+    ///
+    /// Fails for unknown users/subnets.
+    pub fn cross_transfer_lazy_with_fee(
+        &mut self,
+        from: &UserHandle,
+        to: &UserHandle,
+        amount: TokenAmount,
+        fee: u64,
+    ) -> Result<(Cid, hc_chain::PushOutcome), RuntimeError> {
+        let cross_fee = self
+            .nodes
+            .get(&from.subnet)
+            .ok_or_else(|| RuntimeError::UnknownSubnet(from.subnet.clone()))?
+            .tree
+            .sca()
+            .config()
+            .cross_msg_fee;
+        let msg = CrossMsg::transfer(from.hc_address(), to.hc_address(), amount);
+        let value = msg.value + cross_fee;
+        self.submit_with_fee(from, Address::SCA, value, Method::SendCrossMsg { msg }, fee)
     }
 
     /// Sends an arbitrary cross-net message originated by `from`.

@@ -332,6 +332,24 @@ pub struct ResolverStats {
     pub evictions: u64,
 }
 
+impl ResolverStats {
+    /// Folds another node's counters into this one (hierarchy-wide
+    /// aggregation, mirroring `SigCacheStats::merge`).
+    pub fn merge(&mut self, other: ResolverStats) {
+        self.pushes_cached += other.pushes_cached;
+        self.rejected += other.rejected;
+        self.pulls_served += other.pulls_served;
+        self.pulls_missed += other.pulls_missed;
+        self.resolves_cached += other.resolves_cached;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.pulls_sent += other.pulls_sent;
+        self.pulls_retried += other.pulls_retried;
+        self.pulls_abandoned += other.pulls_abandoned;
+        self.evictions += other.evictions;
+    }
+}
+
 /// The per-node content-resolution state machine.
 ///
 /// `handle` consumes an incoming [`ResolutionMsg`] and optionally produces

@@ -6,7 +6,7 @@
 //! * [`topology`] — hierarchy builders (flat sibling sets, deep chains,
 //!   trees), pre-funded with users.
 //! * [`workload`] — seeded traffic generators mixing intra-subnet and
-//!   cross-net transfers.
+//!   cross-net transfers (a thin shim over the `hc-workload` crate).
 //! * [`metrics`] — virtual-time throughput/latency measurement helpers.
 //! * [`experiments`] — the E1–E10 experiment drivers from DESIGN.md, each
 //!   returning printable rows; the `hc-bench` crate wraps them in Criterion

@@ -20,6 +20,7 @@ pub struct Table {
     title: String,
     headers: Vec<String>,
     rows: Vec<Vec<String>>,
+    notes: Vec<String>,
 }
 
 impl Table {
@@ -29,7 +30,14 @@ impl Table {
             title: title.to_owned(),
             headers: headers.iter().map(|s| (*s).to_owned()).collect(),
             rows: Vec::new(),
+            notes: Vec::new(),
         }
+    }
+
+    /// Appends a free-form note line printed under the table.
+    pub fn note(&mut self, text: &str) -> &mut Self {
+        self.notes.push(text.to_owned());
+        self
     }
 
     /// Appends a row (must match the header arity).
@@ -75,6 +83,9 @@ impl fmt::Display for Table {
         writeln!(f, "{}", "-".repeat(total))?;
         for row in &self.rows {
             write_row(f, row)?;
+        }
+        for note in &self.notes {
+            writeln!(f, "  {note}")?;
         }
         Ok(())
     }

@@ -1,11 +1,14 @@
-//! Seeded traffic generators.
-
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+//! Seeded traffic generators — a thin shim over [`hc_workload`].
+//!
+//! The actual generation/driving engine lives in the `hc-workload` crate
+//! ([`hc_workload::ClosedBatch`]); this module keeps the historical
+//! `Workload` API that the E10 experiment and older callers use, with the
+//! same seeded rng sequence (reports are bit-identical to the
+//! pre-`hc-workload` implementation).
 
 use hc_core::RuntimeError;
-use hc_state::Method;
 use hc_types::TokenAmount;
+use hc_workload::ClosedBatch;
 
 use crate::topology::FlatTopology;
 
@@ -63,84 +66,23 @@ impl Workload {
     ///
     /// Propagates submission/step failures.
     pub fn run(&self, topo: &mut FlatTopology) -> Result<WorkloadReport, RuntimeError> {
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let batch = ClosedBatch {
+            msgs_per_subnet: self.msgs_per_subnet,
+            cross_ratio: self.cross_ratio,
+            amount: self.amount,
+            seed: self.seed,
+            max_fee: 0,
+        };
         let subnets = topo.all_subnets();
-
-        let stats_before: Vec<_> = subnets
-            .iter()
-            .map(|s| topo.rt.node(s).unwrap().stats())
-            .collect();
-        let t0 = topo.rt.now_ms();
-
-        // Submit the full workload up front (closed-loop batch).
-        let mut submitted = 0usize;
-        for subnet in &subnets {
-            let locals = topo.users.get(subnet).cloned().unwrap_or_default();
-            if locals.is_empty() {
-                continue;
-            }
-            for i in 0..self.msgs_per_subnet {
-                let from = &locals[i % locals.len()];
-                let cross = self.cross_ratio > 0.0 && rng.gen_bool(self.cross_ratio.min(1.0));
-                // Cross targets must live in a *different* subnet that has
-                // users (the root may carry none in subnet-only sweeps).
-                let candidates: Vec<&hc_types::SubnetId> = subnets
-                    .iter()
-                    .filter(|s| *s != subnet && topo.users.get(s).is_some_and(|u| !u.is_empty()))
-                    .collect();
-                if cross && !candidates.is_empty() {
-                    let other = candidates[rng.gen_range(0..candidates.len())];
-                    let peers = &topo.users[other];
-                    let to = &peers[rng.gen_range(0..peers.len())];
-                    topo.rt.cross_transfer_lazy(from, to, self.amount)?;
-                } else {
-                    let to = &locals[rng.gen_range(0..locals.len())];
-                    if to.addr != from.addr {
-                        topo.rt.submit(from, to.addr, self.amount, Method::Send)?;
-                    } else {
-                        topo.rt.submit(
-                            from,
-                            from.addr,
-                            TokenAmount::ZERO,
-                            Method::PutData {
-                                key: b"ping".to_vec(),
-                                data: i.to_le_bytes().to_vec(),
-                            },
-                        )?;
-                    }
-                }
-                submitted += 1;
-            }
-        }
-
-        topo.rt.run_until_quiescent(1_000_000)?;
-
-        let mut executed_ok = 0;
-        let mut failed = 0;
-        let mut cross_applied = 0;
-        let mut blocks = 0;
-        let mut aggregate_tps = 0.0;
-        for (s, before) in subnets.iter().zip(stats_before) {
-            let node = topo.rt.node(s).unwrap();
-            let after = node.stats();
-            executed_ok += after.user_msgs_ok - before.user_msgs_ok;
-            failed += after.user_msgs_failed - before.user_msgs_failed;
-            cross_applied += after.cross_applied - before.cross_applied;
-            blocks += after.blocks - before.blocks;
-            let interval = after.total_interval_ms - before.total_interval_ms;
-            if interval > 0 {
-                aggregate_tps +=
-                    (after.user_msgs_ok - before.user_msgs_ok) as f64 * 1_000.0 / interval as f64;
-            }
-        }
+        let r = batch.run(&mut topo.rt, &subnets, &topo.users)?;
         Ok(WorkloadReport {
-            submitted,
-            executed_ok,
-            failed,
-            cross_applied,
-            elapsed_ms: topo.rt.now_ms() - t0,
-            blocks,
-            aggregate_tps,
+            submitted: r.submitted,
+            executed_ok: r.executed_ok,
+            failed: r.failed,
+            cross_applied: r.cross_applied,
+            elapsed_ms: r.elapsed_ms,
+            blocks: r.blocks,
+            aggregate_tps: r.aggregate_tps,
         })
     }
 }
