@@ -653,9 +653,12 @@ impl ScaState {
         let info = self.active_subnet_mut(&child)?;
         msg.nonce = info.topdown_nonce.fetch_increment();
         info.circ_supply += msg.value;
+        // The relay queue is transport bookkeeping excluded from the
+        // canonical encoding, so a snapshot-installed SCA starts without one
+        // even for registered children — recreate it lazily.
         self.top_down_queue
-            .get_mut(&child)
-            .expect("queue exists for registered subnet")
+            .entry(child.clone())
+            .or_default()
             .push_back(msg.clone());
         Ok(msg)
     }

@@ -1,6 +1,6 @@
 //! The experiment report generator: regenerates every figure scenario
-//! (F1–F12) and every quantitative experiment table (E1–E10, E13) from
-//! DESIGN.md.
+//! (F1–F12, F14) and every quantitative experiment table (E1–E10,
+//! E13–E14) from DESIGN.md.
 //!
 //! ```text
 //! cargo run -p hc-bench --bin report                  # everything
@@ -9,9 +9,10 @@
 //! ```
 
 use hc_sim::experiments::{
-    e10_cross_ratio, e13_elasticity, e1_scaling, e2_latency, e3_checkpoints, e4_firewall,
+    e10_cross_ratio, e13_elasticity, e14_geo, e1_scaling, e2_latency, e3_checkpoints, e4_firewall,
     e5_atomic, e6_consensus, e7_resolution, e8_collateral, e9_certificates, E10Params, E13Params,
-    E1Params, E2Params, E3Params, E4Params, E5Params, E6Params, E7Params, E8Params, E9Params,
+    E14Params, E1Params, E2Params, E3Params, E4Params, E5Params, E6Params, E7Params, E8Params,
+    E9Params,
 };
 
 fn main() {
@@ -170,5 +171,18 @@ fn main() {
             E13Params::default()
         };
         e13_elasticity::e13_run(&params).map(|o| e13_elasticity::table(&o))
+    });
+
+    run!("e14", {
+        let params = if quick {
+            E14Params {
+                scenarios: vec!["none", "outage"],
+                seeds: vec![11],
+                ..E14Params::default()
+            }
+        } else {
+            E14Params::default()
+        };
+        e14_geo::e14_run(&params).map(|rows| e14_geo::table(&rows))
     });
 }

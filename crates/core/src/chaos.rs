@@ -44,13 +44,19 @@ use hc_types::{Address, CanonicalDecode, CanonicalEncode, ChainEpoch, Cid, Subne
 
 use crate::node::{NodeStats, SubnetNode};
 use crate::persist::chain_log_name;
-use crate::runtime::{node_rng, HierarchyRuntime, ReplayMode, RuntimeError};
+use crate::runtime::{node_jitter_seed, node_rng, HierarchyRuntime, ReplayMode, RuntimeError};
 use hc_store::Wal;
 
 /// Blocks per [`hc_net::ResolutionMsg::BlockBatch`] reply. Deliberately
 /// small so a long outage takes several pull round trips to repair, each
 /// one exposed to the fault plan.
 pub const BLOCK_BATCH_CAP: usize = 8;
+
+/// Jitter-stream salts separating a catching-up node's block-pull and
+/// blob-pull backoff schedules (see
+/// [`hc_net::RetryPolicy::jittered_timeout_for`]).
+const BLOCK_PULL_JITTER_SALT: u64 = 0xb10c_700c;
+const BLOB_PULL_JITTER_SALT: u64 = 0xb10b_700c;
 
 /// How a rejoining (or recovering) node bootstraps the history it missed.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -107,6 +113,28 @@ pub struct ChaosStats {
     /// with a bounded [`hc_net::RetryPolicy::max_attempts`]): the sync
     /// pauses on the current batch, it never abandons the rest.
     pub pull_budget_rearms: u64,
+    /// Scheduled whole-region outages ([`hc_net::RegionOutage`]) that
+    /// fired — the node-crash leg; the network blackhole leg is driven by
+    /// the fault plan itself and accounted in
+    /// [`hc_net::NetStats::region_dropped`].
+    pub region_outages: u64,
+    /// Nodes crashed because their region went down.
+    pub region_crashes: u64,
+    /// Region members that could not be crashed when their outage fired
+    /// (the rootnet, or a subnet with live out-of-region descendants) —
+    /// they stay up, only their traffic is blackholed.
+    pub region_crash_skips: u64,
+    /// Region outages fully healed: every crashed member rejoined.
+    pub region_heals: u64,
+    /// Member rejoins deferred past the heal time because the parent
+    /// subnet was itself still down or catching up; retried every step
+    /// until the dependency clears.
+    pub region_heals_deferred: u64,
+    /// Cut-but-uncommitted checkpoints resubmitted after a catch-up
+    /// because a crashed parent lost them from its in-memory pending
+    /// queue (losing one would wedge the child's `prev` hash chain and
+    /// strand every bottom-up message behind it).
+    pub checkpoints_resubmitted: u64,
 }
 
 /// Progress of one scheduled [`CrashFault`].
@@ -199,6 +227,10 @@ impl HierarchyRuntime {
     pub fn extend_faults(&mut self, plan: hc_net::FaultPlan) {
         for crash in &plan.crashes {
             self.crash_plan.push((crash.clone(), CrashPhase::Pending));
+        }
+        for outage in &plan.region_outages {
+            self.region_outage_plan
+                .push((outage.clone(), CrashPhase::Pending));
         }
         self.network.extend_faults(plan);
     }
@@ -315,7 +347,10 @@ impl HierarchyRuntime {
             engine: make_engine(sa_config.consensus, engine_params.clone()),
             validators: ValidatorSet::default(),
             validator_keys: Vec::new(),
-            resolver: Resolver::with_policy(self.config.retry),
+            resolver: Resolver::with_policy_seeded(
+                self.config.retry,
+                node_jitter_seed(self.config.seed, subnet),
+            ),
             subscription: crashed.subscription,
             // Unschedulable until catch-up completes.
             next_block_at_ms: u64::MAX,
@@ -389,9 +424,13 @@ impl HierarchyRuntime {
     /// [`HierarchyRuntime::step_wave`]; a no-op (and RNG-neutral) when the
     /// fault plan schedules no crashes and nothing is catching up.
     pub(crate) fn process_fault_events(&mut self) -> Result<(), RuntimeError> {
-        if self.crash_plan.is_empty() && self.catching_up.is_empty() {
+        if self.crash_plan.is_empty()
+            && self.region_outage_plan.is_empty()
+            && self.catching_up.is_empty()
+        {
             return Ok(());
         }
+        self.process_region_outages()?;
         for i in 0..self.crash_plan.len() {
             let (fault, phase) = self.crash_plan[i].clone();
             match phase {
@@ -417,6 +456,80 @@ impl HierarchyRuntime {
         let syncing: Vec<SubnetId> = self.catching_up.keys().cloned().collect();
         for subnet in syncing {
             self.advance_catch_up(&subnet)?;
+        }
+        Ok(())
+    }
+
+    /// Drives scheduled whole-region outages: when one fires, every node
+    /// placed in the region is crashed (deepest subnets first, so parents
+    /// never lose a live descendant mid-sweep); from the heal time on,
+    /// crashed members rejoin shallowest-first — but a member whose parent
+    /// is itself still down or catching up defers to a later step, so the
+    /// recovery wave rolls down the hierarchy in dependency order. The
+    /// traffic blackhole of the same [`hc_net::RegionOutage`] window is
+    /// enforced independently by the network's fault machinery.
+    fn process_region_outages(&mut self) -> Result<(), RuntimeError> {
+        for i in 0..self.region_outage_plan.len() {
+            let (outage, phase) = self.region_outage_plan[i].clone();
+            match phase {
+                CrashPhase::Pending if self.now_ms >= outage.from_ms => {
+                    // Members at fire time, deepest-first. Within the
+                    // sweep a member's only live descendants may be other
+                    // members; crashing deepest-first clears them in
+                    // dependency order.
+                    let mut members: Vec<SubnetId> = self
+                        .region_assignments
+                        .iter()
+                        .filter(|(s, r)| *r == &outage.region && self.nodes.contains_key(s))
+                        .map(|(s, _)| s.clone())
+                        .collect();
+                    members.sort_by_key(|s| std::cmp::Reverse(s.depth()));
+                    self.chaos.region_outages += 1;
+                    for subnet in members {
+                        let safe = !subnet.is_root()
+                            && !self.nodes.keys().any(|k| subnet.is_ancestor_of(k));
+                        if safe {
+                            self.crash_node(&subnet)?;
+                            self.chaos.region_crashes += 1;
+                        } else {
+                            self.chaos.region_crash_skips += 1;
+                        }
+                    }
+                    self.region_outage_plan[i].1 = CrashPhase::Down;
+                }
+                CrashPhase::Down if self.now_ms >= outage.heal_ms => {
+                    // Crashed members still assigned to the region,
+                    // shallowest-first (a child can only catch up against
+                    // a live parent chain).
+                    let mut waiting: Vec<SubnetId> = self
+                        .crashed
+                        .keys()
+                        .filter(|s| {
+                            self.region_assignments.get(*s).map(String::as_str)
+                                == Some(outage.region.as_str())
+                        })
+                        .cloned()
+                        .collect();
+                    waiting.sort_by_key(SubnetId::depth);
+                    let mut deferred = false;
+                    for subnet in waiting {
+                        let parent_ready = subnet.parent().is_none_or(|p| {
+                            self.nodes.contains_key(&p) && !self.catching_up.contains_key(&p)
+                        });
+                        if parent_ready {
+                            self.rejoin_node(&subnet)?;
+                        } else {
+                            self.chaos.region_heals_deferred += 1;
+                            deferred = true;
+                        }
+                    }
+                    if !deferred {
+                        self.region_outage_plan[i].1 = CrashPhase::Done;
+                        self.chaos.region_heals += 1;
+                    }
+                }
+                _ => {}
+            }
         }
         Ok(())
     }
@@ -587,7 +700,15 @@ impl HierarchyRuntime {
                 return Ok(());
             }
             cu.attempts += 1;
-            cu.next_pull_at_ms = now_ms + policy.timeout_for(cu.attempts);
+            // Same deterministic seeded jitter as resolver pulls, salted
+            // per leg; with `jitter_pct == 0` this is exactly
+            // `timeout_for` (bit-identical to the un-jittered schedule).
+            cu.next_pull_at_ms = now_ms
+                + policy.jittered_timeout_for(
+                    cu.attempts,
+                    node_jitter_seed(self.config.seed, subnet),
+                    BLOCK_PULL_JITTER_SALT,
+                );
             if cu.attempts > 1 {
                 self.chaos.block_pull_retries += 1;
             }
@@ -681,7 +802,13 @@ impl HierarchyRuntime {
             return Ok(());
         }
         cu.attempts += 1;
-        cu.next_pull_at_ms = now_ms + policy.timeout_for(cu.attempts);
+        // Seeded jitter, salted apart from the block-pull leg (see there).
+        cu.next_pull_at_ms = now_ms
+            + policy.jittered_timeout_for(
+                cu.attempts,
+                node_jitter_seed(self.config.seed, subnet),
+                BLOB_PULL_JITTER_SALT,
+            );
         if cu.attempts > 1 {
             self.chaos.blob_pull_retries += 1;
         }
@@ -889,6 +1016,74 @@ impl HierarchyRuntime {
         let node = Self::get_node_mut(&mut self.nodes, subnet)?;
         node.next_block_at_ms = now_ms + block_time_ms;
         self.chaos.catch_ups_completed += 1;
+        self.resubmit_lost_checkpoints(subnet)?;
+        Ok(())
+    }
+
+    /// Repairs checkpoint submissions a crash may have stranded, in both
+    /// directions around the freshly caught-up `subnet`: its own
+    /// uncommitted cut suffix goes (back) to its parent, and every live
+    /// child's uncommitted suffix goes (back) to it. A checkpoint lives
+    /// only in the parent's in-memory pending queue between cut and
+    /// commit, so a parent crash loses it — and the per-child `prev` hash
+    /// chain would then reject every subsequent checkpoint from that
+    /// child, stranding its bottom-up messages forever.
+    fn resubmit_lost_checkpoints(&mut self, subnet: &SubnetId) -> Result<(), RuntimeError> {
+        self.resubmit_cut_suffix(subnet)?;
+        let children: Vec<SubnetId> = self
+            .nodes
+            .keys()
+            .filter(|s| s.parent().as_ref() == Some(subnet))
+            .cloned()
+            .collect();
+        for child in children {
+            self.resubmit_cut_suffix(&child)?;
+        }
+        Ok(())
+    }
+
+    /// Re-enqueues `child`'s cut-but-uncommitted checkpoints at its
+    /// parent, in chain order. The uncommitted suffix is exactly the
+    /// chain walk from the child's current cut head through the
+    /// runtime's cut ledger (entries are pruned when the parent archives
+    /// a commit, so the walk stops at the committed boundary). Already
+    /// pending copies are skipped, which makes the repair idempotent.
+    fn resubmit_cut_suffix(&mut self, child: &SubnetId) -> Result<(), RuntimeError> {
+        let Some(parent) = child.parent() else {
+            return Ok(());
+        };
+        if self.catching_up.contains_key(child) || self.catching_up.contains_key(&parent) {
+            return Ok(());
+        }
+        let Some(child_node) = self.nodes.get(child) else {
+            return Ok(());
+        };
+        let mut cursor = child_node.tree.sca().prev_checkpoint();
+        let mut suffix = Vec::new();
+        while cursor != Cid::NIL {
+            let Some(signed) = self.cut_checkpoints.get(&cursor) else {
+                break;
+            };
+            cursor = signed.checkpoint.prev;
+            suffix.push(signed.clone());
+        }
+        if suffix.is_empty() {
+            return Ok(());
+        }
+        suffix.reverse();
+        let parent_node = Self::get_node_mut(&mut self.nodes, &parent)?;
+        let mut resubmitted = 0u64;
+        for signed in suffix {
+            if !parent_node
+                .pending_checkpoints
+                .iter()
+                .any(|p| p.checkpoint == signed.checkpoint)
+            {
+                parent_node.pending_checkpoints.push(signed);
+                resubmitted += 1;
+            }
+        }
+        self.chaos.checkpoints_resubmitted += resubmitted;
         Ok(())
     }
 

@@ -74,5 +74,6 @@ pub use elastic::{ElasticConfig, ElasticController, ElasticStats};
 pub use node::{NodeStats, SubnetNode};
 pub use persist::{ControlRecord, DurableOptions, PersistenceConfig};
 pub use runtime::{
-    HierarchyRuntime, PoolStats, RuntimeConfig, RuntimeError, StepReport, UserHandle,
+    HierarchyRuntime, PlacementPolicy, PoolStats, RuntimeConfig, RuntimeError, StepReport,
+    UserHandle,
 };

@@ -207,6 +207,16 @@ pub enum ControlRecord {
         /// CID of the persisted manifest.
         manifest: Cid,
     },
+    /// A subnet's node was placed in a named network region (geo-aware
+    /// placement). Recovery replays the placement into the rebuilt
+    /// network's [`hc_net::RegionMap`] so region-scoped behaviour
+    /// survives a restart. Only journaled for non-default placements.
+    RegionAssigned {
+        /// The placed subnet.
+        subnet: SubnetId,
+        /// The region name.
+        region: String,
+    },
 }
 
 impl CanonicalEncode for ControlRecord {
@@ -266,6 +276,11 @@ impl CanonicalEncode for ControlRecord {
                 out.push(7);
                 subnet.write_bytes(out);
             }
+            ControlRecord::RegionAssigned { subnet, region } => {
+                out.push(8);
+                subnet.write_bytes(out);
+                region.write_bytes(out);
+            }
         }
     }
 }
@@ -306,6 +321,10 @@ impl CanonicalDecode for ControlRecord {
             }),
             7 => Ok(ControlRecord::SubnetRetired {
                 subnet: SubnetId::read_bytes(r)?,
+            }),
+            8 => Ok(ControlRecord::RegionAssigned {
+                subnet: SubnetId::read_bytes(r)?,
+                region: String::read_bytes(r)?,
             }),
             tag => Err(DecodeError::BadTag {
                 what: "ControlRecord",
@@ -354,7 +373,13 @@ mod tests {
                 subnet: subnet.clone(),
                 addr: Address::new(102),
             },
-            ControlRecord::SubnetRetired { subnet },
+            ControlRecord::SubnetRetired {
+                subnet: subnet.clone(),
+            },
+            ControlRecord::RegionAssigned {
+                subnet,
+                region: "eu-west".into(),
+            },
         ];
         for rec in records {
             let bytes = rec.canonical_bytes();

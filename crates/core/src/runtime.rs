@@ -40,6 +40,25 @@ const DEFAULT_MANIFEST_HISTORY: usize = 16;
 /// Domain separation for root validator key seeds.
 const ROOT_SEED_DOMAIN: u64 = 0x726f_6f74; // "root"
 
+/// How validators/subnets are assigned to the regions declared in
+/// [`NetConfig::regions`] at boot (paper §V geo-distribution). Placement
+/// is deterministic from the config alone, recorded in the control log
+/// (as [`ControlRecord::RegionAssigned`]) for recovery, and a no-op on a
+/// uniform map — the default stays bit-identical to a place-less network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PlacementPolicy {
+    /// Every node stays in the default region (index 0). With
+    /// [`hc_net::RegionMap::uniform`] this is the region-less behaviour.
+    #[default]
+    Uniform,
+    /// Nodes cycle through the declared regions in boot order (root takes
+    /// the first region) — the *geo-spread* placement of experiment E14.
+    RoundRobin,
+    /// A child subnet is placed in its parent's region; the root takes the
+    /// first region — the *co-located* placement of experiment E14.
+    FollowParent,
+}
+
 /// Global runtime parameters.
 #[derive(Debug, Clone)]
 pub struct RuntimeConfig {
@@ -108,6 +127,10 @@ pub struct RuntimeConfig {
     /// state snapshot and replays only the post-checkpoint suffix.
     /// Snapshot mode degrades to replay when no usable anchor exists.
     pub sync_mode: crate::chaos::SyncMode,
+    /// How booted nodes are assigned to the regions of
+    /// [`NetConfig::regions`] (see [`PlacementPolicy`]). Ignored — and
+    /// draw-free — when the map declares at most one region.
+    pub placement: PlacementPolicy,
 }
 
 impl Default for RuntimeConfig {
@@ -127,6 +150,7 @@ impl Default for RuntimeConfig {
             retry: RetryPolicy::default(),
             mempool: MempoolConfig::default(),
             sync_mode: crate::chaos::SyncMode::default(),
+            placement: PlacementPolicy::default(),
         }
     }
 }
@@ -242,6 +266,20 @@ pub(crate) fn node_rng(seed: u64, subnet: &SubnetId) -> StdRng {
     StdRng::from_seed(*Cid::digest(&bytes).as_bytes())
 }
 
+/// Seed for a node's resolver backoff jitter: the run seed mixed with the
+/// subnet identity, so co-located retry loops desynchronize while every
+/// run stays replayable. Inert while [`RetryPolicy::jitter_pct`] is 0.
+pub(crate) fn node_jitter_seed(seed: u64, subnet: &SubnetId) -> u64 {
+    let mut bytes = seed.to_le_bytes().to_vec();
+    bytes.extend_from_slice(&subnet.canonical_bytes());
+    let digest = Cid::digest(&bytes);
+    u64::from_le_bytes(
+        digest.as_bytes()[..8]
+            .try_into()
+            .expect("digest has 8+ bytes"),
+    )
+}
+
 /// What phase (a) of a tick — the pure per-subnet part — computed, to be
 /// applied to shared runtime state by phase (b).
 struct LocalOutcome {
@@ -346,6 +384,25 @@ pub struct HierarchyRuntime {
     /// epoch boundary the live run did, or the replayed state roots
     /// diverge from the headers.
     pub(crate) user_installs: BTreeMap<SubnetId, Vec<(ChainEpoch, Address)>>,
+    /// Region each subnet's node was placed in at boot (or by an explicit
+    /// [`HierarchyRuntime::place_subnet`] override). Only non-default
+    /// placements appear; journaled as [`ControlRecord::RegionAssigned`].
+    pub(crate) region_assignments: BTreeMap<SubnetId, String>,
+    /// Signed checkpoints cut but not yet committed by the parent, keyed
+    /// by checkpoint CID. A checkpoint submitted to a parent lives only in
+    /// that node's in-memory `pending_checkpoints` until committed, so a
+    /// parent crash loses it — and the per-child `prev` hash chain then
+    /// rejects every later checkpoint from that child. This runtime-level
+    /// ledger (the runtime outlives node crashes) lets catch-up resubmit
+    /// the lost suffix; entries are pruned as commits are archived.
+    pub(crate) cut_checkpoints: BTreeMap<Cid, SignedCheckpoint>,
+    /// Round-robin placement cursor ([`PlacementPolicy::RoundRobin`]):
+    /// the region index the *next* booted node takes.
+    next_region_slot: usize,
+    /// Scheduled whole-region outages copied from the fault plan (plus any
+    /// added via [`HierarchyRuntime::extend_faults`]) and each one's
+    /// progress through crash → heal, mirroring `crash_plan`.
+    pub(crate) region_outage_plan: Vec<(hc_net::RegionOutage, crate::chaos::CrashPhase)>,
 }
 
 impl fmt::Debug for HierarchyRuntime {
@@ -376,6 +433,14 @@ impl HierarchyRuntime {
             let (wal, _) = Wal::open(durable.device.clone(), &chain_log_name(&root), durable.wal);
             if let Some(node) = rt.nodes.get_mut(&root) {
                 node.chain.attach_wal(wal);
+            }
+            // The root's boot-time placement predates the control log's
+            // attachment; journal it now so recovery replays it.
+            if let Some(region) = rt.region_assignments.get(&root).cloned() {
+                rt.journal(&ControlRecord::RegionAssigned {
+                    subnet: root,
+                    region,
+                });
             }
         }
         rt
@@ -660,6 +725,17 @@ impl HierarchyRuntime {
                     }
                 }
             }
+            ControlRecord::RegionAssigned { subnet, region } => {
+                // Boot-time policy placement already re-ran inside the
+                // replayed boot; this record re-applies it (and carries
+                // explicit `place_subnet` overrides the policy can't
+                // reproduce). The region must still be declared.
+                if self.network.region_map().region_index(&region).is_none() {
+                    return false;
+                }
+                self.apply_region(&subnet, &region);
+                true
+            }
         }
     }
 
@@ -931,6 +1007,14 @@ impl HierarchyRuntime {
             .cloned()
             .map(|c| (c, crate::chaos::CrashPhase::Pending))
             .collect();
+        let region_outage_plan: Vec<(hc_net::RegionOutage, crate::chaos::CrashPhase)> = config
+            .net
+            .faults
+            .region_outages
+            .iter()
+            .cloned()
+            .map(|o| (o, crate::chaos::CrashPhase::Pending))
+            .collect();
         let root = SubnetId::root();
 
         // Root validators: deterministic authority identities.
@@ -970,7 +1054,10 @@ impl HierarchyRuntime {
             engine,
             validators: ValidatorSet::new(validators),
             validator_keys,
-            resolver: Resolver::with_policy(config.retry),
+            resolver: Resolver::with_policy_seeded(
+                config.retry,
+                node_jitter_seed(config.seed, &root),
+            ),
             subscription,
             next_block_at_ms: config.engine_params.block_time_ms,
             next_epoch: ChainEpoch::new(1),
@@ -986,8 +1073,8 @@ impl HierarchyRuntime {
         };
 
         let mut nodes = BTreeMap::new();
-        nodes.insert(root, node);
-        HierarchyRuntime {
+        nodes.insert(root.clone(), node);
+        let mut rt = HierarchyRuntime {
             config,
             nodes,
             network,
@@ -1010,7 +1097,54 @@ impl HierarchyRuntime {
             crash_plan,
             chaos: crate::chaos::ChaosStats::default(),
             user_installs: BTreeMap::new(),
+            region_assignments: BTreeMap::new(),
+            next_region_slot: 0,
+            region_outage_plan,
+            cut_checkpoints: BTreeMap::new(),
+        };
+        rt.assign_boot_region(&root);
+        rt
+    }
+
+    /// Assigns a freshly booted node to a region per the placement policy
+    /// (paper §V geo-distribution). A no-op — no placement, no journal
+    /// record — when the region map declares at most one region, so
+    /// default configurations stay bit-identical to a place-less network.
+    /// Journaling happens at the caller's control-log point (after
+    /// [`ControlRecord::SubnetBoot`]), never here, so replay sees records
+    /// in dependency order.
+    fn assign_boot_region(&mut self, subnet: &SubnetId) {
+        let names = self.network.region_map().region_names().to_vec();
+        if names.len() <= 1 {
+            return;
         }
+        let region = match self.config.placement {
+            PlacementPolicy::Uniform => return,
+            PlacementPolicy::RoundRobin => {
+                let r = names[self.next_region_slot % names.len()].clone();
+                self.next_region_slot += 1;
+                r
+            }
+            PlacementPolicy::FollowParent => match subnet.parent() {
+                Some(parent) => self
+                    .region_assignments
+                    .get(&parent)
+                    .cloned()
+                    .unwrap_or_else(|| names[0].clone()),
+                None => names[0].clone(),
+            },
+        };
+        self.apply_region(subnet, &region);
+    }
+
+    /// Applies a region placement to the live network (via the node's
+    /// subscription, when booted) and the assignment table. Idempotent.
+    fn apply_region(&mut self, subnet: &SubnetId, region: &str) {
+        if let Some(node) = self.nodes.get(subnet) {
+            self.network.place_in_region(node.subscription, region);
+        }
+        self.region_assignments
+            .insert(subnet.clone(), region.to_owned());
     }
 
     /// Appends a control record to the runtime's control log. A no-op when
@@ -1124,6 +1258,45 @@ impl HierarchyRuntime {
     /// The shared network's traffic statistics.
     pub fn net_stats(&self) -> hc_net::NetStats {
         self.network.stats()
+    }
+
+    /// Explicitly places `subnet`'s node in `region`, overriding the
+    /// boot-time placement policy. The override is journaled (control log)
+    /// so recovery reproduces it, and recorded so a crash–rejoin re-places
+    /// the node's fresh subscription.
+    ///
+    /// # Errors
+    ///
+    /// Fails for unknown subnets and for regions the network's
+    /// [`hc_net::RegionMap`] never declared.
+    pub fn place_subnet(&mut self, subnet: &SubnetId, region: &str) -> Result<(), RuntimeError> {
+        if !self.nodes.contains_key(subnet) {
+            return Err(RuntimeError::UnknownSubnet(subnet.clone()));
+        }
+        if self.network.region_map().region_index(region).is_none() {
+            return Err(RuntimeError::Execution(format!(
+                "region {region} is not declared in the network's region map"
+            )));
+        }
+        self.apply_region(subnet, region);
+        self.journal(&ControlRecord::RegionAssigned {
+            subnet: subnet.clone(),
+            region: region.to_owned(),
+        });
+        Ok(())
+    }
+
+    /// The region `subnet`'s node is placed in, or `None` for default
+    /// (region-less) placement.
+    pub fn region_of_subnet(&self, subnet: &SubnetId) -> Option<&str> {
+        self.region_assignments.get(subnet).map(String::as_str)
+    }
+
+    /// Delivered-latency summary (p50/p99/max) of `subnet`'s gossip topic,
+    /// or `None` before its first delivery — the cross-net message-latency
+    /// probe of experiment E14.
+    pub fn topic_latency(&self, subnet: &SubnetId) -> Option<hc_net::TopicLatency> {
+        self.network.topic_latency(&subnet.topic())
     }
 
     /// The runtime-wide content-addressed blob store holding persisted
@@ -1666,6 +1839,13 @@ impl HierarchyRuntime {
             config: boot_config,
             engine_params,
         });
+        // After SubnetBoot so replay sees records in dependency order.
+        if let Some(region) = self.region_assignments.get(&child_id).cloned() {
+            self.journal(&ControlRecord::RegionAssigned {
+                subnet: child_id.clone(),
+                region,
+            });
+        }
         Ok(child_id)
     }
 
@@ -1706,7 +1886,10 @@ impl HierarchyRuntime {
             engine,
             validators: ValidatorSet::default(),
             validator_keys: Vec::new(),
-            resolver: Resolver::with_policy(self.config.retry),
+            resolver: Resolver::with_policy_seeded(
+                self.config.retry,
+                node_jitter_seed(self.config.seed, child_id),
+            ),
             subscription,
             next_block_at_ms: self.now_ms + engine_params.block_time_ms,
             next_epoch: ChainEpoch::new(1),
@@ -1725,6 +1908,7 @@ impl HierarchyRuntime {
         // rejoin ([`HierarchyRuntime::rejoin_node`]).
         self.boot_params
             .insert(child_id.clone(), (config.clone(), engine_params.clone()));
+        self.assign_boot_region(child_id);
         self.refresh_validators(child_id);
     }
 
@@ -2348,6 +2532,24 @@ impl HierarchyRuntime {
                     certs.push(*cert);
                     continue;
                 }
+                // The resolver cache dies with the process, but the SCA
+                // registry is canonical state and survives crash recovery
+                // — re-seed on demand so a rejoined node still serves
+                // pulls for groups it checkpointed before the crash (the
+                // registry is the authoritative store; the cache is only
+                // its hot front).
+                if let ResolutionMsg::Pull { cid, .. } = &msg {
+                    if node.resolver.cache().get(cid).is_none() {
+                        if let Some(msgs) = node
+                            .tree
+                            .sca()
+                            .resolve_content(cid)
+                            .map(<[CrossMsg]>::to_vec)
+                        {
+                            node.resolver.seed(*cid, msgs);
+                        }
+                    }
+                }
                 if let Some(reply) = node.resolver.handle(msg) {
                     replies.push(reply);
                 }
@@ -2357,7 +2559,10 @@ impl HierarchyRuntime {
             self.ingest_certificate(subnet, cert);
         }
         for (topic, msg) in replies {
-            self.network.publish(&topic, msg, now_ms, None);
+            // State the replying node as origin so region-scoped rules
+            // see the true (from, to) region pair.
+            self.network
+                .publish_from(&topic, msg, now_ms, None, Some(sub));
         }
         Ok(())
     }
@@ -2429,8 +2634,10 @@ impl HierarchyRuntime {
     fn resolve_pending(&mut self, subnet: &SubnetId, now_ms: u64) -> Result<(), RuntimeError> {
         let own_topic = subnet.topic();
         let mut pulls: Vec<(String, ResolutionMsg)> = Vec::new();
+        let origin;
         {
             let node = Self::get_node_mut(&mut self.nodes, subnet)?;
+            origin = node.subscription;
             for meta in node.cross_pool.unresolved_metas() {
                 match node.resolver.lookup_or_pull(meta.msgs_cid, &own_topic) {
                     Ok(msgs) => {
@@ -2459,7 +2666,10 @@ impl HierarchyRuntime {
             node.unresolved_turnarounds = still_unresolved;
         }
         for (topic, pull) in pulls {
-            self.network.publish(&topic, pull, now_ms, None);
+            // The pulling node is the origin: a pull that must cross a
+            // severed or degraded region pair is subject to those rules.
+            self.network
+                .publish_from(&topic, pull, now_ms, None, Some(origin));
         }
         Ok(())
     }
@@ -2652,6 +2862,7 @@ impl HierarchyRuntime {
             epoch: report.epoch,
         });
         for (signed, policy) in archived {
+            self.cut_checkpoints.remove(&signed.checkpoint.cid());
             self.archive.record(signed, policy);
         }
         if !self.recovering {
@@ -2726,11 +2937,21 @@ impl HierarchyRuntime {
                         }
                     }
                 }
+                let origin = node.subscription;
                 for (topic, push) in pushes {
-                    self.network.publish(&topic, push, now_ms, None);
+                    // Pushes originate here: announcing content across a
+                    // severed ocean fails like any other delivery (the
+                    // destination falls back to the pull path).
+                    self.network
+                        .publish_from(&topic, push, now_ms, None, Some(origin));
                 }
 
                 if let Some(parent) = subnet.parent() {
+                    // Ledger the cut until the parent archives its commit,
+                    // so a parent crash cannot strand it (see
+                    // `cut_checkpoints`).
+                    self.cut_checkpoints
+                        .insert(signed.checkpoint.cid(), signed.clone());
                     Self::get_node_mut(&mut self.nodes, &parent)?
                         .pending_checkpoints
                         .push(signed);
@@ -2777,11 +2998,15 @@ impl HierarchyRuntime {
                 for key in &node.validator_keys {
                     cert.signatures.add(key.sign(cid.as_bytes()));
                 }
-                self.network.publish(
+                // The certificate travels from the *source* subnet's
+                // region to the destination topic — stating the origin
+                // lets inter-region partitions and degrades intersect it.
+                self.network.publish_from(
                     &msg.to.subnet.topic(),
                     ResolutionMsg::Certificate(Box::new(cert)),
                     now_ms,
                     None,
+                    Some(node.subscription),
                 );
             }
 

@@ -267,6 +267,7 @@ fn retry_budget_exhaustion_is_reported_not_lost() {
             backoff: 2,
             max_timeout_ms: 1_600,
             max_attempts: 3,
+            jitter_pct: 0,
         },
         ..RuntimeConfig::default()
     };

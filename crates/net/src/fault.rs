@@ -192,6 +192,96 @@ pub struct CrashFault {
     pub rejoin_at_ms: u64,
 }
 
+/// A scheduled whole-region disaster: every node placed in `region`
+/// (see [`crate::RegionMap`]) crashes at `from_ms` and heals (rejoins
+/// through recovery plus catch-up) at `heal_ms`.
+///
+/// Two layers cooperate: `hc-core` drives the crash–rejoin state machine
+/// for every region member (deepest subnets first, parents rejoining
+/// before their children), while the network blackholes any delivery to
+/// or from a subscriber placed in the region for the whole window
+/// (counted in `NetStats::region_dropped`) — members that cannot safely
+/// crash, such as the rootnet node, still go dark on the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegionOutage {
+    /// Name of the region that goes dark.
+    pub region: String,
+    /// Virtual time the outage starts.
+    pub from_ms: u64,
+    /// Virtual time the region heals (`u64::MAX` = never).
+    pub heal_ms: u64,
+}
+
+impl RegionOutage {
+    /// Returns `true` while the outage is in force at `now_ms`.
+    pub fn active(&self, now_ms: u64) -> bool {
+        self.from_ms <= now_ms && now_ms < self.heal_ms
+    }
+}
+
+/// An inter-region partition: deliveries crossing between regions `a`
+/// and `b` (in either direction) are severed for `[from_ms, heal_ms)`.
+/// Traffic within each region, and to/from third regions, still flows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegionPartition {
+    /// Human-readable label.
+    pub name: String,
+    /// One side of the partition (a region name).
+    pub a: String,
+    /// The other side.
+    pub b: String,
+    /// Virtual time the partition starts.
+    pub from_ms: u64,
+    /// Virtual time the partition heals (`u64::MAX` = never).
+    pub heal_ms: u64,
+    /// Fate of severed deliveries: dropped (`NetStats::region_dropped`)
+    /// or queued until heal (`NetStats::region_held`).
+    pub policy: PartitionPolicy,
+}
+
+impl RegionPartition {
+    /// Returns `true` while the partition is in force at `now_ms`.
+    pub fn active(&self, now_ms: u64) -> bool {
+        self.from_ms <= now_ms && now_ms < self.heal_ms
+    }
+
+    /// Returns `true` when a delivery from region `from` to region `to`
+    /// (by name) crosses this partition.
+    pub fn severs(&self, from: &str, to: &str) -> bool {
+        (from == self.a && to == self.b) || (from == self.b && to == self.a)
+    }
+}
+
+/// A degraded trans-oceanic link: deliveries from region `from` to
+/// region `to` get `extra_delay_ms` of added latency and an extra
+/// `loss_rate` drop probability for `[from_ms, until_ms)` — inflation
+/// *on top of* the static [`crate::RegionLink`] matrix. Directed; add
+/// the reverse rule for a symmetric degradation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegionDegrade {
+    /// Origin region name.
+    pub from: String,
+    /// Destination region name.
+    pub to: String,
+    /// Virtual time the degradation starts.
+    pub from_ms: u64,
+    /// Virtual time it ends (`u64::MAX` = never).
+    pub until_ms: u64,
+    /// Extra one-way latency while active, in virtual ms.
+    pub extra_delay_ms: u64,
+    /// Extra per-delivery drop probability while active (counted in
+    /// `NetStats::region_lost`).
+    pub loss_rate: f64,
+}
+
+impl RegionDegrade {
+    /// Returns `true` when the rule applies to a delivery published at
+    /// `now_ms` from region `from` to region `to` (by name).
+    pub fn matches(&self, now_ms: u64, from: &str, to: &str) -> bool {
+        self.from_ms <= now_ms && now_ms < self.until_ms && from == self.from && to == self.to
+    }
+}
+
 /// A complete, seeded, schedulable fault plan.
 ///
 /// The default plan is empty ([`FaultPlan::none`]) and is guaranteed to
@@ -209,6 +299,13 @@ pub struct FaultPlan {
     pub reorders: Vec<ReorderRule>,
     /// Scheduled node crash–rejoin windows (interpreted by `hc-core`).
     pub crashes: Vec<CrashFault>,
+    /// Whole-region outages (network blackhole here; the crash–rejoin
+    /// of region members is interpreted by `hc-core`).
+    pub region_outages: Vec<RegionOutage>,
+    /// Inter-region partitions.
+    pub region_partitions: Vec<RegionPartition>,
+    /// Degraded inter-region links (latency/loss inflation).
+    pub region_degrades: Vec<RegionDegrade>,
 }
 
 impl FaultPlan {
@@ -225,6 +322,9 @@ impl FaultPlan {
             && self.duplications.is_empty()
             && self.reorders.is_empty()
             && self.crashes.is_empty()
+            && self.region_outages.is_empty()
+            && self.region_partitions.is_empty()
+            && self.region_degrades.is_empty()
     }
 
     /// Merges another plan's rules into this one (used by tests that
@@ -235,6 +335,9 @@ impl FaultPlan {
         self.duplications.extend(other.duplications);
         self.reorders.extend(other.reorders);
         self.crashes.extend(other.crashes);
+        self.region_outages.extend(other.region_outages);
+        self.region_partitions.extend(other.region_partitions);
+        self.region_degrades.extend(other.region_degrades);
     }
 }
 
@@ -311,5 +414,79 @@ mod tests {
         assert!(!rule.matches(10, "y", Some(origin), dest));
         assert!(!rule.matches(10, "x", None, dest));
         assert!(!rule.matches(2_000, "x", Some(origin), dest));
+    }
+
+    #[test]
+    fn region_rules_count_toward_is_none_and_merge() {
+        let mut plan = FaultPlan::none();
+        plan.region_outages.push(RegionOutage {
+            region: "ap-south".into(),
+            from_ms: 10,
+            heal_ms: 20,
+        });
+        assert!(!plan.is_none());
+
+        let mut other = FaultPlan::none();
+        other.region_partitions.push(RegionPartition {
+            name: "atlantic".into(),
+            a: "us-east".into(),
+            b: "eu-west".into(),
+            from_ms: 0,
+            heal_ms: 5,
+            policy: PartitionPolicy::HoldUntilHeal,
+        });
+        other.region_degrades.push(RegionDegrade {
+            from: "us-east".into(),
+            to: "eu-west".into(),
+            from_ms: 0,
+            until_ms: 5,
+            extra_delay_ms: 40,
+            loss_rate: 0.1,
+        });
+        assert!(!other.is_none());
+        plan.merge(other);
+        assert_eq!(plan.region_outages.len(), 1);
+        assert_eq!(plan.region_partitions.len(), 1);
+        assert_eq!(plan.region_degrades.len(), 1);
+    }
+
+    #[test]
+    fn region_windows_are_half_open_and_pair_matched() {
+        let outage = RegionOutage {
+            region: "r".into(),
+            from_ms: 100,
+            heal_ms: 200,
+        };
+        assert!(!outage.active(99));
+        assert!(outage.active(100));
+        assert!(outage.active(199));
+        assert!(!outage.active(200));
+
+        let part = RegionPartition {
+            name: "p".into(),
+            a: "x".into(),
+            b: "y".into(),
+            from_ms: 0,
+            heal_ms: 10,
+            policy: PartitionPolicy::Drop,
+        };
+        assert!(part.severs("x", "y"));
+        assert!(part.severs("y", "x"));
+        assert!(!part.severs("x", "x"));
+        assert!(!part.severs("x", "z"));
+
+        let degrade = RegionDegrade {
+            from: "x".into(),
+            to: "y".into(),
+            from_ms: 5,
+            until_ms: 10,
+            extra_delay_ms: 1,
+            loss_rate: 0.0,
+        };
+        // Directed: only x → y matches, and only inside the window.
+        assert!(degrade.matches(5, "x", "y"));
+        assert!(!degrade.matches(5, "y", "x"));
+        assert!(!degrade.matches(4, "x", "y"));
+        assert!(!degrade.matches(10, "x", "y"));
     }
 }

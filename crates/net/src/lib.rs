@@ -16,6 +16,11 @@
 //!   targeted/asymmetric loss, bounded duplication, adversarial
 //!   reordering, and node crash windows — all deterministic under the
 //!   run seed and inert by default.
+//! * [`region`] — geo-aware placement: a [`RegionMap`] of named regions,
+//!   a per-region-pair latency/jitter matrix with asymmetric
+//!   bandwidth/loss multipliers, layered under the per-topic model, plus
+//!   region-scoped disaster rules in the fault plan (whole-region
+//!   outage, inter-region partition, degraded trans-oceanic links).
 //!
 //! # Substitution note (DESIGN.md)
 //!
@@ -29,12 +34,15 @@
 
 pub mod fault;
 pub mod pubsub;
+pub mod region;
 pub mod resolver;
 
 pub use fault::{
-    CrashFault, DupRule, FaultPlan, LossRule, Partition, PartitionPolicy, ReorderRule,
+    CrashFault, DupRule, FaultPlan, LossRule, Partition, PartitionPolicy, RegionDegrade,
+    RegionOutage, RegionPartition, ReorderRule,
 };
-pub use pubsub::{NetConfig, NetStats, Network, SubscriberId};
+pub use pubsub::{NetConfig, NetStats, Network, SubscriberId, TopicLatency};
+pub use region::{RegionLink, RegionMap};
 pub use resolver::{
     ContentCache, PullDecision, ResolutionMsg, Resolver, ResolverStats, RetryPolicy,
     BLOB_BATCH_CAP, DEFAULT_CONTENT_CACHE_CAPACITY,

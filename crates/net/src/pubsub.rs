@@ -12,6 +12,12 @@
 //! reordering (see [`crate::fault`]). Fault decisions draw from a
 //! dedicated, domain-separated RNG stream, so the empty plan leaves the
 //! base behaviour bit-identical.
+//!
+//! A [`RegionMap`] (see [`crate::region`]) layers geography *under* the
+//! per-topic model: deliveries crossing a non-identity region pair gain
+//! extra delay/jitter/loss drawn from the same domain-separated fault
+//! stream, and region-scoped disaster rules (outage, partition, degrade)
+//! resolve placements against the map. The uniform map draws nothing.
 
 use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 use std::sync::Arc;
@@ -21,10 +27,12 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::fault::{FaultPlan, PartitionPolicy};
+use crate::region::RegionMap;
 
 /// Domain separation for the fault-decision RNG stream: fault draws must
-/// never perturb the base delay/loss stream.
-const FAULT_RNG_DOMAIN: u64 = 0x6661_756c_7421; // "fault!"
+/// never perturb the base delay/loss stream. Shared with the resolver's
+/// seeded backoff jitter, which belongs to the same fault domain.
+pub(crate) const FAULT_RNG_DOMAIN: u64 = 0x6661_756c_7421; // "fault!"
 
 /// Delay and loss model of the simulated network.
 #[derive(Debug, Clone, PartialEq)]
@@ -39,6 +47,10 @@ pub struct NetConfig {
     /// reordering, crash windows). The default — [`FaultPlan::none`] —
     /// schedules nothing and is bit-identical to the pre-chaos network.
     pub faults: FaultPlan,
+    /// Geo-aware placement and inter-region link matrix. The default —
+    /// [`RegionMap::uniform`] — draws no extra randomness, adds no delay,
+    /// and is bit-identical to the region-less network.
+    pub regions: RegionMap,
 }
 
 impl Default for NetConfig {
@@ -48,6 +60,7 @@ impl Default for NetConfig {
             jitter_ms: 20,
             drop_rate: 0.0,
             faults: FaultPlan::none(),
+            regions: RegionMap::uniform(),
         }
     }
 }
@@ -71,10 +84,20 @@ impl SubscriberId {
 }
 
 /// Aggregate traffic statistics.
+///
+/// Every candidate delivery is accounted for exactly once:
+/// `attempts == scheduled + dropped + partition_dropped +
+/// targeted_dropped + offline_dropped + region_dropped + region_lost`,
+/// and after a full drain `scheduled + duplicated == delivered +
+/// redelivered + offline_cleared` (plus whatever
+/// [`Network::pending_deliveries`] still holds).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct NetStats {
     /// Messages published.
     pub published: u64,
+    /// Candidate per-subscriber deliveries considered (publishes fanned
+    /// out over topic membership, minus the publisher's excluded copy).
+    pub attempts: u64,
     /// Per-subscriber deliveries scheduled (fault-injected duplicate
     /// copies are *not* counted here — see [`NetStats::duplicated`]).
     pub scheduled: u64,
@@ -103,11 +126,43 @@ pub struct NetStats {
     /// Pending deliveries discarded when a subscriber's inbox was
     /// cleared at crash time.
     pub offline_cleared: u64,
+    /// Deliveries blackholed by a region disaster: an active
+    /// [`crate::fault::RegionOutage`] touching either endpoint's region,
+    /// or an active [`crate::fault::RegionPartition`] with
+    /// [`PartitionPolicy::Drop`].
+    pub region_dropped: u64,
+    /// Deliveries deferred to heal time by an active
+    /// [`crate::fault::RegionPartition`] with
+    /// [`PartitionPolicy::HoldUntilHeal`].
+    pub region_held: u64,
+    /// Deliveries dropped by inter-region link loss — the static
+    /// [`crate::RegionLink::loss_rate`] matrix or an active
+    /// [`crate::fault::RegionDegrade`] inflation.
+    pub region_lost: u64,
+}
+
+/// Delivered-latency summary of one topic, measured per unique delivery
+/// as `deliver_at_ms - sent_at_ms` (pull cadence does not affect it).
+/// Fault-injected duplicate copies are not counted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TopicLatency {
+    /// Unique deliveries measured.
+    pub count: u64,
+    /// Median delivery latency in virtual ms (nearest-rank).
+    pub p50_ms: u64,
+    /// 99th-percentile delivery latency in virtual ms (nearest-rank).
+    pub p99_ms: u64,
+    /// Worst delivery latency in virtual ms.
+    pub max_ms: u64,
 }
 
 #[derive(Debug)]
 struct Pending<P> {
     deliver_at_ms: u64,
+    /// Publish time, kept so poll can histogram the delivered latency.
+    sent_at_ms: u64,
+    /// Interned topic id (index into `Inner::latency`).
+    topic: u32,
     payload: P,
     /// `true` for fault-injected duplicate copies: polled copies count
     /// into `redelivered`, never `delivered`.
@@ -134,6 +189,11 @@ struct Inner<P> {
     /// [`Network::next_delivery_ms`] is an O(1) first-key read instead of
     /// an O(total-queued) scan over every inbox.
     pending_times: BTreeMap<u64, usize>,
+    /// Topic name → interned id (index into `latency`).
+    topic_ids: HashMap<String, u32>,
+    /// Per-topic exact latency histogram (latency ms → unique deliveries),
+    /// indexed by interned topic id.
+    latency: Vec<BTreeMap<u64, u64>>,
     stats: NetStats,
 }
 
@@ -180,6 +240,8 @@ impl<P: Clone> Network<P> {
                 inboxes: BTreeMap::new(),
                 offline: BTreeSet::new(),
                 pending_times: BTreeMap::new(),
+                topic_ids: HashMap::new(),
+                latency: Vec::new(),
                 stats: NetStats::default(),
             })),
         }
@@ -240,11 +302,60 @@ impl<P: Clone> Network<P> {
         inner.stats.published += 1;
         let subs = inner.topics.get(topic).cloned().unwrap_or_default();
         let faulty = !inner.config.faults.is_none();
+        let uniform = inner.config.regions.is_uniform();
+        // Intern the topic for the per-topic latency histogram.
+        let topic_id = match inner.topic_ids.get(topic).copied() {
+            Some(id) => id,
+            None => {
+                let id = inner.latency.len() as u32;
+                inner.topic_ids.insert(topic.to_owned(), id);
+                inner.latency.push(BTreeMap::new());
+                id
+            }
+        };
+        // The origin's region, and the active region-scoped disaster rules
+        // resolved against the map once per publish. Region names a rule
+        // carries but the map never declared match nothing.
+        let from_region = origin.map_or(0, |o| inner.config.regions.region_of(o));
+        let mut outage_regions: Vec<usize> = Vec::new();
+        let mut region_parts: Vec<(usize, usize, u64, PartitionPolicy)> = Vec::new();
+        let mut degrades: Vec<(usize, usize, u64, f64)> = Vec::new();
+        if faulty {
+            for o in &inner.config.faults.region_outages {
+                if o.active(now_ms) {
+                    if let Some(i) = inner.config.regions.region_index(&o.region) {
+                        outage_regions.push(i);
+                    }
+                }
+            }
+            for p in &inner.config.faults.region_partitions {
+                if p.active(now_ms) {
+                    if let (Some(a), Some(b)) = (
+                        inner.config.regions.region_index(&p.a),
+                        inner.config.regions.region_index(&p.b),
+                    ) {
+                        region_parts.push((a, b, p.heal_ms, p.policy));
+                    }
+                }
+            }
+            for d in &inner.config.faults.region_degrades {
+                if d.from_ms <= now_ms && now_ms < d.until_ms {
+                    if let (Some(f), Some(t)) = (
+                        inner.config.regions.region_index(&d.from),
+                        inner.config.regions.region_index(&d.to),
+                    ) {
+                        degrades.push((f, t, d.extra_delay_ms, d.loss_rate));
+                    }
+                }
+            }
+        }
         let mut scheduled = 0;
         for sub in subs {
             if Some(sub) == exclude {
                 continue;
             }
+            inner.stats.attempts += 1;
+            let to_region = inner.config.regions.region_of(sub);
             // Offline (crashed) subscribers never receive publishes. The
             // check draws no randomness, so it is safe outside the fault
             // gate: crash tests work without an active `FaultPlan`.
@@ -278,6 +389,37 @@ impl<P: Clone> Network<P> {
                     }
                     PartitionGate::Pass => {}
                 }
+                // Whole-region outage: anything to or from a dark region
+                // is blackholed for the window (the crash–rejoin of the
+                // region's nodes is driven separately by `hc-core`).
+                if outage_regions
+                    .iter()
+                    .any(|&r| r == from_region || r == to_region)
+                {
+                    inner.stats.region_dropped += 1;
+                    continue;
+                }
+                // Inter-region partition: the first active rule whose pair
+                // this delivery crosses (either direction) decides.
+                let crossed = region_parts
+                    .iter()
+                    .find(|(a, b, _, _)| {
+                        (from_region == *a && to_region == *b)
+                            || (from_region == *b && to_region == *a)
+                    })
+                    .map(|&(_, _, heal_ms, policy)| (heal_ms, policy));
+                if let Some((heal_ms, policy)) = crossed {
+                    match policy {
+                        PartitionPolicy::Drop => {
+                            inner.stats.region_dropped += 1;
+                            continue;
+                        }
+                        PartitionPolicy::HoldUntilHeal => {
+                            inner.stats.region_held += 1;
+                            hold_until = Some(hold_until.map_or(heal_ms, |h| h.max(heal_ms)));
+                        }
+                    }
+                }
                 // Targeted/asymmetric loss.
                 let loss_rates: Vec<f64> = inner
                     .config
@@ -295,6 +437,18 @@ impl<P: Clone> Network<P> {
                     continue;
                 }
             }
+            // Static inter-region link loss. Gated on the link actually
+            // carrying loss, so uniform maps and identity links draw
+            // nothing from the fault stream.
+            let link = if uniform {
+                crate::region::RegionLink::IDENTITY
+            } else {
+                inner.config.regions.link(from_region, to_region)
+            };
+            if link.loss_rate > 0.0 && inner.fault_rng.gen_bool(link.loss_rate.clamp(0.0, 1.0)) {
+                inner.stats.region_lost += 1;
+                continue;
+            }
             // Base loss/delay model — drawn from the base stream in the
             // exact pre-chaos order.
             let drop_rate = inner.config.drop_rate;
@@ -309,6 +463,41 @@ impl<P: Clone> Network<P> {
                 0
             };
             let mut deliver_at_ms = now_ms + inner.config.base_delay_ms + jitter;
+            if !link.is_identity() {
+                // The link's bandwidth factor scales the *base* portion
+                // (a slow pipe stretches every transfer), then the pair's
+                // fixed propagation delay and jitter stack on top. Region
+                // jitter comes from the fault stream so the base stream
+                // stays untouched.
+                let scaled =
+                    (inner.config.base_delay_ms + jitter) * u64::from(link.delay_factor_pct) / 100;
+                let region_jitter = if link.jitter_ms > 0 {
+                    inner.fault_rng.gen_range(0..=link.jitter_ms)
+                } else {
+                    0
+                };
+                deliver_at_ms = now_ms + scaled + link.extra_delay_ms + region_jitter;
+            }
+            if faulty && !degrades.is_empty() {
+                // Degraded trans-oceanic links: every active matching rule
+                // stacks its latency inflation; loss draws short-circuit.
+                let mut extra = 0u64;
+                let mut lost = false;
+                for &(f, t, extra_delay_ms, rate) in &degrades {
+                    if f == from_region && t == to_region {
+                        if rate > 0.0 && inner.fault_rng.gen_bool(rate.clamp(0.0, 1.0)) {
+                            lost = true;
+                            break;
+                        }
+                        extra += extra_delay_ms;
+                    }
+                }
+                if lost {
+                    inner.stats.region_lost += 1;
+                    continue;
+                }
+                deliver_at_ms += extra;
+            }
             if faulty {
                 // Adversarial reordering: inflate the delay within the
                 // rule's window so later publishes can overtake this one.
@@ -335,6 +524,8 @@ impl<P: Clone> Network<P> {
                 .expect("subscriber has inbox")
                 .push_back(Pending {
                     deliver_at_ms,
+                    sent_at_ms: now_ms,
+                    topic: topic_id,
                     payload: payload.clone(),
                     duplicate: false,
                 });
@@ -370,6 +561,8 @@ impl<P: Clone> Network<P> {
                                 .expect("subscriber has inbox")
                                 .push_back(Pending {
                                     deliver_at_ms: copy_at,
+                                    sent_at_ms: now_ms,
+                                    topic: topic_id,
                                     payload: payload.clone(),
                                     duplicate: true,
                                 });
@@ -391,12 +584,17 @@ impl<P: Clone> Network<P> {
         };
         let mut out = Vec::new();
         let mut taken_times = Vec::new();
+        let mut measured = Vec::new();
         let mut redelivered = 0u64;
         let mut remaining = VecDeque::with_capacity(inbox.len());
         while let Some(p) = inbox.pop_front() {
             if p.deliver_at_ms <= now_ms {
                 taken_times.push(p.deliver_at_ms);
-                redelivered += u64::from(p.duplicate);
+                if p.duplicate {
+                    redelivered += 1;
+                } else {
+                    measured.push((p.topic, p.deliver_at_ms - p.sent_at_ms));
+                }
                 out.push(p.payload);
             } else {
                 remaining.push_back(p);
@@ -405,6 +603,9 @@ impl<P: Clone> Network<P> {
         *inbox = remaining;
         for t in taken_times {
             inner.note_delivered(t);
+        }
+        for (topic, latency_ms) in measured {
+            *inner.latency[topic as usize].entry(latency_ms).or_insert(0) += 1;
         }
         inner.stats.delivered += out.len() as u64 - redelivered;
         inner.stats.redelivered += redelivered;
@@ -465,6 +666,60 @@ impl<P: Clone> Network<P> {
     /// Traffic statistics so far.
     pub fn stats(&self) -> NetStats {
         self.inner.lock().stats
+    }
+
+    /// Places a subscriber in a named region of the live map (declaring
+    /// the region if needed). Runtimes call this at boot, after
+    /// subscribing each node.
+    pub fn place_in_region(&self, sub: SubscriberId, region: &str) {
+        self.inner.lock().config.regions.place(sub, region);
+    }
+
+    /// A snapshot of the live region map.
+    pub fn region_map(&self) -> RegionMap {
+        self.inner.lock().config.regions.clone()
+    }
+
+    /// The region name a subscriber is placed in.
+    pub fn region_name_of(&self, sub: SubscriberId) -> String {
+        let inner = self.inner.lock();
+        inner.config.regions.region_name_of(sub).to_owned()
+    }
+
+    /// Delivered-latency summary for `topic` (p50/p99/max over every
+    /// unique delivery polled so far), or `None` before the first one.
+    pub fn topic_latency(&self, topic: &str) -> Option<TopicLatency> {
+        let inner = self.inner.lock();
+        let id = *inner.topic_ids.get(topic)?;
+        let hist = &inner.latency[id as usize];
+        let count: u64 = hist.values().sum();
+        if count == 0 {
+            return None;
+        }
+        let quantile = |q: f64| -> u64 {
+            let rank = ((q * count as f64).ceil() as u64).max(1);
+            let mut seen = 0u64;
+            for (&lat, &c) in hist {
+                seen += c;
+                if seen >= rank {
+                    return lat;
+                }
+            }
+            *hist.keys().next_back().expect("non-empty histogram")
+        };
+        Some(TopicLatency {
+            count,
+            p50_ms: quantile(0.50),
+            p99_ms: quantile(0.99),
+            max_ms: *hist.keys().next_back().expect("non-empty histogram"),
+        })
+    }
+
+    /// Deliveries scheduled but not yet polled (nor cleared), across all
+    /// subscribers — the remainder term of the [`NetStats`] ledger.
+    pub fn pending_deliveries(&self) -> u64 {
+        let inner = self.inner.lock();
+        inner.pending_times.values().map(|&c| c as u64).sum()
     }
 }
 
@@ -597,6 +852,7 @@ mod tests {
                     jitter_ms: 50,
                     drop_rate: 0.3,
                     faults,
+                    ..NetConfig::default()
                 },
                 99,
             );
@@ -787,5 +1043,268 @@ mod tests {
         let stats = n.stats();
         assert_eq!(stats.offline_dropped, 1);
         assert_eq!(stats.offline_cleared, 1);
+    }
+
+    #[test]
+    fn placed_but_linkless_region_map_is_bit_identical() {
+        // Placing subscribers in regions without any non-identity link
+        // must not perturb a single delivery time: the map is still
+        // behaviourally uniform and draws nothing.
+        let run = |place: bool| {
+            let mut config = NetConfig {
+                base_delay_ms: 10,
+                jitter_ms: 50,
+                drop_rate: 0.3,
+                ..NetConfig::default()
+            };
+            if place {
+                config.regions = RegionMap::named(&["us-east", "eu-west"]);
+            }
+            let n: Network<u32> = Network::new(config, 4242);
+            let a = n.subscribe("t");
+            if place {
+                n.place_in_region(a, "eu-west");
+            }
+            for i in 0..100 {
+                n.publish("t", i, u64::from(i) * 7, None);
+            }
+            n.poll(a, 1_000_000)
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn region_links_shape_delay_asymmetrically() {
+        let mut regions = RegionMap::named(&["us", "eu"]);
+        regions.set_link(
+            "us",
+            "eu",
+            crate::region::RegionLink {
+                extra_delay_ms: 70,
+                jitter_ms: 0,
+                loss_rate: 0.0,
+                delay_factor_pct: 200,
+            },
+        );
+        let n: Network<&'static str> = Network::new(
+            NetConfig {
+                base_delay_ms: 100,
+                jitter_ms: 0,
+                drop_rate: 0.0,
+                regions,
+                ..NetConfig::default()
+            },
+            7,
+        );
+        let a = n.subscribe("t");
+        let b = n.subscribe("t");
+        n.place_in_region(a, "us");
+        n.place_in_region(b, "eu");
+        // us → eu: base 100 scaled ×2 plus 70 propagation = 270.
+        n.publish_from("t", "east", 0, Some(a), Some(a));
+        assert!(n.poll(b, 269).is_empty());
+        assert_eq!(n.poll(b, 270), vec!["east"]);
+        // eu → us was never configured: plain base delay.
+        n.publish_from("t", "west", 1_000, Some(b), Some(b));
+        assert_eq!(n.poll(a, 1_100), vec!["west"]);
+        // Same-region traffic is untouched too.
+        let a2 = n.subscribe("t");
+        n.place_in_region(a2, "us");
+        n.publish_from("t", "local", 2_000, Some(a), Some(a));
+        assert_eq!(n.poll(a2, 2_100), vec!["local"]);
+    }
+
+    #[test]
+    fn region_link_loss_is_counted_and_ledger_balances() {
+        let mut regions = RegionMap::named(&["us", "eu"]);
+        regions.set_link(
+            "us",
+            "eu",
+            crate::region::RegionLink {
+                loss_rate: 1.0,
+                ..crate::region::RegionLink::IDENTITY
+            },
+        );
+        let n: Network<u32> = Network::new(
+            NetConfig {
+                base_delay_ms: 100,
+                jitter_ms: 0,
+                drop_rate: 0.0,
+                regions,
+                ..NetConfig::default()
+            },
+            7,
+        );
+        let a = n.subscribe("t");
+        let b = n.subscribe("t");
+        n.place_in_region(a, "us");
+        n.place_in_region(b, "eu");
+        // a → b crosses the lossy pair; a's own copy is excluded.
+        assert_eq!(n.publish_from("t", 1, 0, Some(a), Some(a)), 0);
+        // b → a flows: loss is directional.
+        assert_eq!(n.publish_from("t", 2, 0, Some(b), Some(b)), 1);
+        assert_eq!(n.poll(a, 1_000), vec![2]);
+        assert!(n.poll(b, 1_000).is_empty());
+        let stats = n.stats();
+        assert_eq!(stats.region_lost, 1);
+        assert_eq!(
+            stats.attempts,
+            stats.scheduled
+                + stats.dropped
+                + stats.partition_dropped
+                + stats.targeted_dropped
+                + stats.offline_dropped
+                + stats.region_dropped
+                + stats.region_lost
+        );
+    }
+
+    #[test]
+    fn region_outage_blackholes_both_directions_until_heal() {
+        use crate::fault::RegionOutage;
+        let regions = RegionMap::named(&["us", "ap"]);
+        let n: Network<&'static str> = Network::new(
+            NetConfig {
+                base_delay_ms: 100,
+                jitter_ms: 0,
+                drop_rate: 0.0,
+                regions,
+                ..NetConfig::default()
+            },
+            7,
+        );
+        let a = n.subscribe("t");
+        let b = n.subscribe("t");
+        n.place_in_region(a, "us");
+        n.place_in_region(b, "ap");
+        n.extend_faults(FaultPlan {
+            region_outages: vec![RegionOutage {
+                region: "ap".into(),
+                from_ms: 0,
+                heal_ms: 1_000,
+            }],
+            ..FaultPlan::none()
+        });
+        // Into the dark region: blackholed.
+        assert_eq!(n.publish_from("t", "in", 0, Some(a), Some(a)), 0);
+        // Out of the dark region: blackholed too.
+        assert_eq!(n.publish_from("t", "out", 0, Some(b), Some(b)), 0);
+        // After heal, both directions flow.
+        assert_eq!(n.publish_from("t", "healed", 1_000, Some(a), Some(a)), 1);
+        assert_eq!(n.poll(b, 2_000), vec!["healed"]);
+        assert_eq!(n.stats().region_dropped, 2);
+    }
+
+    #[test]
+    fn region_partition_severs_or_holds_cross_pair_traffic() {
+        use crate::fault::RegionPartition;
+        let regions = RegionMap::named(&["us", "eu", "ap"]);
+        let n: Network<&'static str> = Network::new(
+            NetConfig {
+                base_delay_ms: 100,
+                jitter_ms: 0,
+                drop_rate: 0.0,
+                regions,
+                ..NetConfig::default()
+            },
+            7,
+        );
+        let us = n.subscribe("t");
+        let eu = n.subscribe("t");
+        let ap = n.subscribe("t");
+        n.place_in_region(us, "us");
+        n.place_in_region(eu, "eu");
+        n.place_in_region(ap, "ap");
+        n.extend_faults(FaultPlan {
+            region_partitions: vec![RegionPartition {
+                name: "atlantic".into(),
+                a: "us".into(),
+                b: "eu".into(),
+                from_ms: 0,
+                heal_ms: 5_000,
+                policy: PartitionPolicy::HoldUntilHeal,
+            }],
+            ..FaultPlan::none()
+        });
+        // us → {eu held, ap flows}.
+        assert_eq!(n.publish_from("t", "x", 0, Some(us), Some(us)), 2);
+        assert_eq!(n.poll(ap, 4_999), vec!["x"]);
+        assert!(n.poll(eu, 4_999).is_empty());
+        assert_eq!(n.poll(eu, 5_000), vec!["x"]);
+        let stats = n.stats();
+        assert_eq!(stats.region_held, 1);
+        assert_eq!(stats.region_dropped, 0);
+    }
+
+    #[test]
+    fn degraded_links_inflate_latency_and_count_losses() {
+        use crate::fault::RegionDegrade;
+        let regions = RegionMap::named(&["us", "eu"]);
+        let n: Network<&'static str> = Network::new(
+            NetConfig {
+                base_delay_ms: 100,
+                jitter_ms: 0,
+                drop_rate: 0.0,
+                regions,
+                ..NetConfig::default()
+            },
+            7,
+        );
+        let a = n.subscribe("t");
+        let b = n.subscribe("t");
+        n.place_in_region(a, "us");
+        n.place_in_region(b, "eu");
+        n.extend_faults(FaultPlan {
+            region_degrades: vec![
+                RegionDegrade {
+                    from: "us".into(),
+                    to: "eu".into(),
+                    from_ms: 0,
+                    until_ms: 1_000,
+                    extra_delay_ms: 400,
+                    loss_rate: 0.0,
+                },
+                RegionDegrade {
+                    from: "eu".into(),
+                    to: "us".into(),
+                    from_ms: 0,
+                    until_ms: 1_000,
+                    extra_delay_ms: 0,
+                    loss_rate: 1.0,
+                },
+            ],
+            ..FaultPlan::none()
+        });
+        // us → eu: inflated by 400ms while degraded.
+        n.publish_from("t", "slow", 0, Some(a), Some(a));
+        assert!(n.poll(b, 499).is_empty());
+        assert_eq!(n.poll(b, 500), vec!["slow"]);
+        // eu → us: fully lossy while degraded.
+        assert_eq!(n.publish_from("t", "gone", 0, Some(b), Some(b)), 0);
+        assert_eq!(n.stats().region_lost, 1);
+        // Window over: both directions back to base behaviour.
+        n.publish_from("t", "fast", 1_000, Some(a), Some(a));
+        assert_eq!(n.poll(b, 1_100), vec!["fast"]);
+    }
+
+    #[test]
+    fn topic_latency_reports_exact_quantiles() {
+        let n = net(0.0);
+        let a = n.subscribe("t");
+        let _ = a;
+        assert_eq!(n.topic_latency("t"), None);
+        // Base delay 100, no jitter: every delivery takes exactly 100ms
+        // regardless of when it is polled.
+        for i in 0..10u64 {
+            n.publish("t", "m", i * 50, None);
+        }
+        n.poll(a, 1_000_000);
+        let lat = n.topic_latency("t").expect("measured");
+        assert_eq!(lat.count, 10);
+        assert_eq!(lat.p50_ms, 100);
+        assert_eq!(lat.p99_ms, 100);
+        assert_eq!(lat.max_ms, 100);
+        assert_eq!(n.topic_latency("unknown"), None);
+        assert_eq!(n.pending_deliveries(), 0);
     }
 }

@@ -24,6 +24,8 @@
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 use hc_actors::{CrossMsg, FundCertificate};
@@ -246,6 +248,13 @@ impl ContentCache {
 /// after `max_attempts` sends the request is abandoned (and counted in
 /// [`ResolverStats::pulls_abandoned`]). `max_attempts == 0` retries
 /// forever.
+///
+/// When `jitter_pct > 0`, every timeout is stretched by a deterministic
+/// seeded jitter in `[0, timeout * jitter_pct / 100]`, drawn from the
+/// fault RNG domain keyed by `(seed, request, attempt)` — after a
+/// region heal, the surviving peers see the backlog of retries spread
+/// out instead of a synchronized thundering herd. `jitter_pct == 0`
+/// (the default) is bit-identical to the jitter-less schedule.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RetryPolicy {
     /// Timeout of the first attempt, in virtual ms.
@@ -256,6 +265,9 @@ pub struct RetryPolicy {
     pub max_timeout_ms: u64,
     /// Retry budget (`0` = unbounded).
     pub max_attempts: u32,
+    /// Deterministic backoff jitter as a percentage of each attempt's
+    /// timeout (`0` = none, `50` = up to +50%).
+    pub jitter_pct: u32,
 }
 
 impl Default for RetryPolicy {
@@ -265,12 +277,13 @@ impl Default for RetryPolicy {
             backoff: 2,
             max_timeout_ms: 6_400,
             max_attempts: 0,
+            jitter_pct: 0,
         }
     }
 }
 
 impl RetryPolicy {
-    /// Timeout of the `attempt`-th send (1-based), capped.
+    /// Timeout of the `attempt`-th send (1-based), capped. Jitter-free.
     pub fn timeout_for(&self, attempt: u32) -> u64 {
         let mut t = self.base_timeout_ms.max(1);
         for _ in 1..attempt {
@@ -280,6 +293,29 @@ impl RetryPolicy {
             }
         }
         t.min(self.max_timeout_ms.max(1))
+    }
+
+    /// [`RetryPolicy::timeout_for`] plus the deterministic seeded jitter:
+    /// `seed` is the owner's jitter seed, `salt` identifies the request
+    /// (e.g. the CID's leading bytes), and the same `(seed, salt,
+    /// attempt)` always yields the same stretch. With `jitter_pct == 0`
+    /// no RNG is constructed and the result equals `timeout_for`.
+    pub fn jittered_timeout_for(&self, attempt: u32, seed: u64, salt: u64) -> u64 {
+        let t = self.timeout_for(attempt);
+        if self.jitter_pct == 0 {
+            return t;
+        }
+        let bound = t.saturating_mul(u64::from(self.jitter_pct)) / 100;
+        if bound == 0 {
+            return t;
+        }
+        let mut rng = StdRng::seed_from_u64(
+            seed ^ crate::pubsub::FAULT_RNG_DOMAIN
+                ^ salt
+                    .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                    .wrapping_add(u64::from(attempt)),
+        );
+        t + rng.gen_range(0..=bound)
     }
 }
 
@@ -360,6 +396,10 @@ impl ResolverStats {
 pub struct Resolver {
     cache: ContentCache,
     policy: RetryPolicy,
+    /// Seed of the deterministic backoff jitter (see
+    /// [`RetryPolicy::jittered_timeout_for`]); irrelevant while the
+    /// policy's `jitter_pct` is 0.
+    jitter_seed: u64,
     pending: BTreeMap<Cid, PullState>,
     stats: ResolverStats,
 }
@@ -375,6 +415,17 @@ impl Resolver {
     pub fn with_policy(policy: RetryPolicy) -> Self {
         Resolver {
             policy,
+            ..Self::default()
+        }
+    }
+
+    /// Creates a resolver with an explicit retry policy and the seed its
+    /// deterministic backoff jitter derives from (typically the run seed
+    /// mixed with a node identity).
+    pub fn with_policy_seeded(policy: RetryPolicy, jitter_seed: u64) -> Self {
+        Resolver {
+            policy,
+            jitter_seed,
             ..Self::default()
         }
     }
@@ -430,13 +481,16 @@ impl Resolver {
         if self.cache.contains(&cid) {
             return PullDecision::Wait;
         }
-        match self.pending.get_mut(&cid) {
+        // Copy out the outstanding state first: the jittered timeout
+        // reads `&self` and must not overlap a live `&mut` into the map.
+        match self.pending.get(&cid).copied() {
             None => {
+                let timeout = self.jittered_timeout(&cid, 1);
                 self.pending.insert(
                     cid,
                     PullState {
                         attempts: 1,
-                        next_retry_at_ms: now_ms + self.policy.timeout_for(1),
+                        next_retry_at_ms: now_ms + timeout,
                         abandoned: false,
                     },
                 );
@@ -450,17 +504,29 @@ impl Resolver {
             Some(state) if now_ms < state.next_retry_at_ms => PullDecision::Wait,
             Some(state) => {
                 if self.policy.max_attempts > 0 && state.attempts >= self.policy.max_attempts {
-                    state.abandoned = true;
+                    self.pending.get_mut(&cid).expect("outstanding").abandoned = true;
                     self.cache.unpin(&cid);
                     self.stats.pulls_abandoned += 1;
                     return PullDecision::Abandoned;
                 }
-                state.attempts += 1;
-                state.next_retry_at_ms = now_ms + self.policy.timeout_for(state.attempts);
+                let attempts = state.attempts + 1;
+                let timeout = self.jittered_timeout(&cid, attempts);
+                let live = self.pending.get_mut(&cid).expect("outstanding");
+                live.attempts = attempts;
+                live.next_retry_at_ms = now_ms + timeout;
                 self.stats.pulls_retried += 1;
                 PullDecision::Send
             }
         }
+    }
+
+    /// The per-request jitter salt is the CID's leading bytes, so
+    /// distinct outstanding pulls de-synchronize from each other while
+    /// the whole schedule stays a pure function of the seed.
+    fn jittered_timeout(&self, cid: &Cid, attempt: u32) -> u64 {
+        let salt = u64::from_le_bytes(cid.as_bytes()[..8].try_into().expect("32-byte cid"));
+        self.policy
+            .jittered_timeout_for(attempt, self.jitter_seed, salt)
     }
 
     /// Number of sends (1-based attempts) for an outstanding pull; `0`
@@ -682,6 +748,7 @@ mod tests {
             backoff: 3,
             max_timeout_ms: 1_000,
             max_attempts: 5,
+            jitter_pct: 0,
         };
         assert_eq!(p.timeout_for(1), 100);
         assert_eq!(p.timeout_for(2), 300);
@@ -697,6 +764,7 @@ mod tests {
             backoff: 2,
             max_timeout_ms: 1_000,
             max_attempts: 0,
+            jitter_pct: 0,
         });
         let (cid, _) = group(1);
         assert_eq!(r.should_pull(cid, 0), PullDecision::Send);
@@ -721,6 +789,7 @@ mod tests {
             backoff: 1,
             max_timeout_ms: 10,
             max_attempts: 2,
+            jitter_pct: 0,
         });
         let (cid, _) = group(2);
         assert_eq!(r.should_pull(cid, 0), PullDecision::Send);
@@ -804,6 +873,7 @@ mod tests {
                 backoff: 1,
                 max_timeout_ms: 10,
                 max_attempts: 1,
+                jitter_pct: 0,
             },
             1,
         );
@@ -842,5 +912,66 @@ mod tests {
             })
             .is_none());
         assert_eq!(r.stats(), ResolverStats::default());
+    }
+
+    #[test]
+    fn zero_jitter_is_bit_identical_to_plain_backoff() {
+        let policy = RetryPolicy {
+            base_timeout_ms: 100,
+            backoff: 2,
+            max_timeout_ms: 1_000,
+            max_attempts: 0,
+            jitter_pct: 0,
+        };
+        // Whatever seed the owner carries, jitter_pct == 0 must reproduce
+        // the pure schedule exactly — the jitter RNG is never built.
+        for seed in [0u64, 1, 0xdead_beef] {
+            for attempt in 1..=6 {
+                assert_eq!(
+                    policy.jittered_timeout_for(attempt, seed, 42),
+                    policy.timeout_for(attempt),
+                );
+            }
+        }
+        // And the resolvers behave identically end to end.
+        let drive = |r: &mut Resolver| -> Vec<(PullDecision, u32)> {
+            let (cid, _) = group(77);
+            (0..2_000)
+                .step_by(50)
+                .map(|now| (r.should_pull(cid, now), r.pull_attempts(&cid)))
+                .collect()
+        };
+        let mut plain = Resolver::with_policy(policy);
+        let mut seeded = Resolver::with_policy_seeded(policy, 0xfeed);
+        assert_eq!(drive(&mut plain), drive(&mut seeded));
+    }
+
+    #[test]
+    fn jitter_is_deterministic_bounded_and_desynchronizing() {
+        let policy = RetryPolicy {
+            base_timeout_ms: 100,
+            backoff: 2,
+            max_timeout_ms: 1_000,
+            max_attempts: 0,
+            jitter_pct: 50,
+        };
+        for attempt in 1..=6 {
+            let base = policy.timeout_for(attempt);
+            let jittered = policy.jittered_timeout_for(attempt, 7, 99);
+            // Bounded stretch, never a shrink.
+            assert!(jittered >= base);
+            assert!(jittered <= base + base / 2);
+            // Pure function of (seed, salt, attempt).
+            assert_eq!(jittered, policy.jittered_timeout_for(attempt, 7, 99));
+        }
+        // Different seeds or salts de-synchronize: across the whole
+        // schedule at least one attempt must differ.
+        let schedule = |seed: u64, salt: u64| -> Vec<u64> {
+            (1..=8)
+                .map(|a| policy.jittered_timeout_for(a, seed, salt))
+                .collect()
+        };
+        assert_ne!(schedule(1, 99), schedule(2, 99));
+        assert_ne!(schedule(1, 99), schedule(1, 100));
     }
 }

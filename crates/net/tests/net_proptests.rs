@@ -134,6 +134,24 @@ proptest! {
         prop_assert_eq!(stats.redelivered, stats.duplicated);
         prop_assert_eq!(got.len() as u64, stats.delivered + stats.redelivered);
         prop_assert!(stats.duplicated <= publishes.len() as u64 * u64::from(max_copies));
+        // The full ledger reconciles: every candidate delivery landed in
+        // exactly one bucket (scheduled or one of the drop classes) ...
+        prop_assert_eq!(
+            stats.attempts,
+            stats.scheduled
+                + stats.dropped
+                + stats.partition_dropped
+                + stats.targeted_dropped
+                + stats.offline_dropped
+                + stats.region_dropped
+                + stats.region_lost
+        );
+        // ... and after the full drain, everything scheduled was polled.
+        prop_assert_eq!(net.pending_deliveries(), 0);
+        prop_assert_eq!(
+            stats.scheduled + stats.duplicated,
+            stats.delivered + stats.redelivered + stats.offline_cleared
+        );
     }
 
     /// Redelivery through the resolver is idempotent: however many times

@@ -18,9 +18,11 @@
 //! | E9 | fund-certificate acceleration | [`e9_certificates`] |
 //! | E10 | cross-traffic sensitivity ablation | [`e10_cross_ratio`] |
 //! | E13 | elastic scale-out under a load ramp | [`e13_elasticity`] |
+//! | E14 | geo placement under region disasters | [`e14_geo`] |
 
 pub mod e10_cross_ratio;
 pub mod e13_elasticity;
+pub mod e14_geo;
 pub mod e1_scaling;
 pub mod e2_latency;
 pub mod e3_checkpoints;
@@ -33,6 +35,7 @@ pub mod e9_certificates;
 
 pub use e10_cross_ratio::{e10_run, E10Params, E10Row};
 pub use e13_elasticity::{e13_run, E13Outcome, E13Params, E13Row};
+pub use e14_geo::{e14_run, E14Params, E14Row, E14_REGIONS, E14_SCENARIOS};
 pub use e1_scaling::{e1_run, E1Params, E1Row};
 pub use e2_latency::{e2_run, E2Params, E2Row};
 pub use e3_checkpoints::{e3_run, E3Params, E3Row};
